@@ -1,0 +1,165 @@
+// Top-level benchmarks regenerating the paper's evaluation, one benchmark
+// family per table (see DESIGN.md §5 and EXPERIMENTS.md):
+//
+//   - BenchmarkTableI   — description-size statistics (report-only).
+//   - BenchmarkTableII  — simulation speed for each of the twelve derived
+//     interfaces on each ISA (the MIPS metric mirrors the paper's rows).
+//   - BenchmarkTableIII — base cost and incremental costs of detail.
+//   - BenchmarkAblation* — footnote-5 interpreted mode and the design
+//     ablations DESIGN.md §6 calls out.
+//
+// Run with:  go test -bench . -benchmem
+package singlespec
+
+import (
+	"fmt"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/expt"
+	"singlespec/internal/isa"
+)
+
+// benchCell runs the full kernel mix once per iteration through one
+// derived interface and reports simulated MIPS.
+func benchCell(b *testing.B, isaName, buildset string, opts core.Options) {
+	i, err := isa.Load(isaName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs, err := expt.BuildMix(i, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := core.Synthesize(i.Spec, buildset, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runners := make([]*expt.Runner, len(progs.Progs))
+	for k, prog := range progs.Progs {
+		runners[k] = expt.NewRunner(sim, i, prog)
+		if _, _, err := runners[k].Run(); err != nil { // warmup + validate
+			b.Fatalf("%s: %v", progs.Names[k], err)
+		}
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for k := range runners {
+			in, _, err := runners[k].Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += in
+		}
+	}
+	b.StopTimer()
+	ns := float64(b.Elapsed().Nanoseconds()) / float64(instrs)
+	b.ReportMetric(1e3/ns, "MIPS")
+	b.ReportMetric(ns, "ns/instr")
+}
+
+// BenchmarkTableI reports the Table I description statistics as metrics
+// (it performs no timed work).
+func BenchmarkTableI(b *testing.B) {
+	for _, name := range isa.Names() {
+		b.Run(name, func(b *testing.B) {
+			i, err := isa.Load(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := 0
+			for _, bs := range i.Spec.Buildsets {
+				total += bs.SrcLines
+			}
+			for n := 0; n < b.N; n++ {
+				// Table I is static; nothing to time.
+			}
+			b.ReportMetric(float64(i.DescLines), "ISA-lines")
+			b.ReportMetric(float64(total)/float64(len(i.Spec.Buildsets)), "lines/buildset")
+			b.ReportMetric(float64(len(i.Spec.Instrs)), "instructions")
+		})
+	}
+}
+
+// BenchmarkTableII is the paper's Table II: one sub-benchmark per
+// (semantic × informational × speculation) interface per ISA.
+func BenchmarkTableII(b *testing.B) {
+	for _, name := range isa.Names() {
+		for _, bs := range isa.StdBuildsets {
+			b.Run(fmt.Sprintf("%s/%s", name, bs), func(b *testing.B) {
+				benchCell(b, name, bs, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkTableIII measures the cells Table III derives its base and
+// incremental costs from (base = One/Min/No; increments are differences of
+// the reported ns/instr — see EXPERIMENTS.md).
+func BenchmarkTableIII(b *testing.B) {
+	rows := []struct{ label, bs string }{
+		{"base_one_min", "one_min"},
+		{"decode_info", "one_decode"},
+		{"full_info", "one_all"},
+		{"block_call", "block_min"},
+		{"multiple_calls", "step_all"},
+		{"speculation", "one_all_spec"},
+	}
+	for _, name := range isa.Names() {
+		for _, row := range rows {
+			b.Run(fmt.Sprintf("%s/%s", name, row.label), func(b *testing.B) {
+				benchCell(b, name, row.bs, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationInterpreter is the paper's footnote 5: the One/Min
+// interface with the translation cache disabled (decode every instruction).
+func BenchmarkAblationInterpreter(b *testing.B) {
+	for _, name := range isa.Names() {
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, name, "one_min", core.Options{NoTranslate: true})
+		})
+	}
+}
+
+// BenchmarkAblationNoDCE disables dead-code elimination of hidden-field
+// computation, isolating how much of the Min-detail win DCE provides.
+func BenchmarkAblationNoDCE(b *testing.B) {
+	for _, name := range isa.Names() {
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, name, "one_min", core.Options{NoDCE: true})
+		})
+	}
+}
+
+// BenchmarkAblationBlockRecords forces per-instruction records at minimal
+// detail, isolating the Block interface's record-elision win.
+func BenchmarkAblationBlockRecords(b *testing.B) {
+	b.Run("elided", func(b *testing.B) { benchCell(b, "alpha64", "block_min", core.Options{}) })
+	b.Run("forced", func(b *testing.B) {
+		benchCell(b, "alpha64", "block_min", core.Options{ForceRecords: true})
+	})
+}
+
+// BenchmarkSynthesis measures how long deriving a simulator from the
+// specification takes (the cost the single-specification principle trades
+// against hand-writing interfaces).
+func BenchmarkSynthesis(b *testing.B) {
+	for _, name := range isa.Names() {
+		b.Run(name, func(b *testing.B) {
+			i, err := isa.Load(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := core.Synthesize(i.Spec, "one_all", core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

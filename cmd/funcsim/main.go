@@ -1,0 +1,116 @@
+// funcsim runs a program on a synthesized functional simulator: pick an
+// ISA, an interface (buildset), and either a bundled kernel or an assembly
+// file.
+//
+// Usage:
+//
+//	funcsim -isa alpha64 -buildset block_min -kernel sieve -n 2000
+//	funcsim -isa arm32 -buildset one_all -asm prog.s
+//	funcsim -isa ppc32 -kernel crc32 -interp        # interpreted ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/sysemu"
+)
+
+func main() {
+	isaName := flag.String("isa", "alpha64", "instruction set (alpha64|arm32|ppc32)")
+	buildset := flag.String("buildset", "one_all", "interface to synthesize")
+	kernel := flag.String("kernel", "", "bundled kernel to run")
+	n := flag.Int("n", 0, "kernel problem size (0 = kernel default)")
+	asmFile := flag.String("asm", "", "assembly file to run instead of a kernel")
+	interp := flag.Bool("interp", false, "disable translation (interpreted execution)")
+	budget := flag.Uint64("budget", 1<<40, "instruction budget")
+	flag.Parse()
+
+	i, err := isa.Load(*isaName)
+	if err != nil {
+		fatal(err)
+	}
+	var prog *asm.Program
+	switch {
+	case *kernel != "":
+		k := kernels.ByName(*kernel)
+		if k == nil {
+			fatal(fmt.Errorf("unknown kernel %q (have: %v)", *kernel, kernelNames()))
+		}
+		size := k.DefaultN
+		if *n > 0 {
+			size = *n
+		}
+		prog, err = kernels.BuildProgram(i, k.Build(size))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kernel %s (n=%d), expected checksum %#x\n", *kernel, size, k.Ref(size))
+	case *asmFile != "":
+		src, rerr := os.ReadFile(*asmFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, aerr := asm.New(i)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		prog, err = a.Assemble(*asmFile, string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -kernel or -asm"))
+	}
+
+	sim, err := core.Synthesize(i.Spec, *buildset, core.Options{NoTranslate: *interp})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range sim.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	x := sim.NewExec(m)
+
+	start := time.Now()
+	x.Run(*budget)
+	elapsed := time.Since(start)
+
+	if out := emu.Stdout.String(); out != "" {
+		fmt.Printf("--- program output ---\n%s----------------------\n", out)
+	}
+	fmt.Printf("halted=%v exit=%d instructions=%d\n", m.Halted, m.ExitCode, m.Instret)
+	if sym, ok := prog.Symbols["result"]; ok {
+		v, _ := m.Mem.Load(sym, 4)
+		fmt.Printf("result checksum = %#x\n", v)
+	}
+	if m.Instret > 0 {
+		ns := float64(elapsed.Nanoseconds()) / float64(m.Instret)
+		fmt.Printf("speed: %.1f MIPS (%.1f ns/instr), %.1f work units/instr\n",
+			1e3/ns, ns, float64(x.Work())/float64(m.Instret))
+	}
+}
+
+func kernelNames() []string {
+	var out []string
+	for _, k := range kernels.All {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "funcsim:", err)
+	os.Exit(1)
+}

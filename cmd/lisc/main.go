@@ -1,0 +1,98 @@
+// lisc is the LIS specification compiler: it parses and checks an ADL
+// description, synthesizes its buildsets, and reports the Table I
+// statistics. With -emit it prints the specialized per-instruction code
+// the engine derives for a buildset (the analogue of the paper's Figures
+// 3 and 4).
+//
+// Usage:
+//
+//	lisc -builtin alpha64            # check a bundled ISA
+//	lisc file.lis                    # check a description file
+//	lisc -builtin arm32 -emit one_min -instr ADD
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/lis"
+)
+
+func main() {
+	builtin := flag.String("builtin", "", "check a bundled ISA (alpha64|arm32|ppc32) instead of a file")
+	emit := flag.String("emit", "", "emit the specialized code derived for this buildset")
+	instr := flag.String("instr", "", "restrict -emit to one instruction")
+	flag.Parse()
+
+	var spec *lis.Spec
+	var name string
+	switch {
+	case *builtin != "":
+		i, err := isa.Load(*builtin)
+		if err != nil {
+			fatal(err)
+		}
+		spec, name = i.Spec, *builtin
+		fmt.Printf("%s: %d lines of LIS (ISA), %d lines (buildsets)\n", name, i.DescLines, i.BuildsetLines)
+	case flag.NArg() == 1:
+		path := flag.Arg(0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err = lis.Parse(path, string(data))
+		if err != nil {
+			fatal(err)
+		}
+		name = path
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: isa %q, %d instructions, %d fields, %d formats, %d buildsets\n",
+		name, spec.Name, len(spec.Instrs), len(spec.Fields), len(spec.Formats), len(spec.Buildsets))
+	for _, bs := range spec.Buildsets {
+		sim, err := core.Synthesize(spec, bs.Name, core.Options{})
+		if err != nil {
+			fmt.Printf("  buildset %-20s FAILED: %v\n", bs.Name, err)
+			continue
+		}
+		mode := "one"
+		if bs.Mode == lis.ModeBlock {
+			mode = "block"
+		} else if len(bs.Entrypoints) > 1 {
+			mode = fmt.Sprintf("step(%d)", len(bs.Entrypoints))
+		}
+		spc := ""
+		if bs.Spec {
+			spc = " +speculation"
+		}
+		fmt.Printf("  buildset %-20s %-8s %2d visible fields, %2d source lines%s\n",
+			bs.Name, mode, sim.Layout.NumSlots(), bs.SrcLines, spc)
+		for _, w := range sim.Warnings {
+			fmt.Printf("    warning: %s\n", w)
+		}
+	}
+
+	if *emit != "" {
+		sim, err := core.Synthesize(spec, *emit, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		out := sim.EmitSpecialized(*instr)
+		if strings.TrimSpace(out) == "" {
+			fatal(fmt.Errorf("nothing to emit (unknown instruction %q?)", *instr))
+		}
+		fmt.Println(out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lisc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// ssbench regenerates the paper's evaluation artifacts as markdown:
+// Table I (description characteristics), Table II (simulation speed per
+// interface), Table III (costs of detail), the headline speedup, and the
+// design ablations.
+//
+// Usage:
+//
+//	ssbench                  # everything, quick settings
+//	ssbench -table 2 -scale 4 -dur 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"singlespec/internal/expt"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1|2|3), 0 = all")
+	scale := flag.Int("scale", 2, "workload scale factor")
+	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement time per cell")
+	ablate := flag.Bool("ablations", true, "include design ablations")
+	flag.Parse()
+
+	if *table == 0 || *table == 1 {
+		t1, err := expt.TableI()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("## Table I — Instruction set characteristics")
+		fmt.Println()
+		fmt.Println(t1)
+	}
+	if *table == 0 || *table == 2 || *table == 3 {
+		fmt.Println("## Table II — Simulation speed (MIPS, geometric mean over the kernel mix)")
+		fmt.Println()
+		cells, t2, err := expt.TableII(*scale, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t2)
+		fmt.Println("### Headline: lowest-detail vs. highest-detail interface")
+		fmt.Println()
+		fmt.Println(expt.Headline(cells))
+		if *table == 0 || *table == 3 {
+			fmt.Println("## Table III — Costs of detail (base + increments)")
+			fmt.Println()
+			fmt.Println(expt.TableIII(cells))
+		}
+	}
+	if *ablate && *table == 0 {
+		fmt.Println("## Ablations (footnote 5 and DESIGN.md §6)")
+		fmt.Println()
+		ta, err := expt.Ablations(*scale, *dur)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ta)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssbench:", err)
+	os.Exit(1)
+}

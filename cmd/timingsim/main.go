@@ -1,0 +1,111 @@
+// timingsim runs a decoupled microarchitectural simulation using one of
+// the organizations from the paper's Figure 1.
+//
+// Usage:
+//
+//	timingsim -isa alpha64 -org funcfirst -kernel sieve
+//	timingsim -isa arm32 -org timingdirected -kernel crc32
+//	timingsim -isa ppc32 -org sampled -kernel hashmix -detailed 1000 -ff 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/orgs"
+)
+
+func main() {
+	isaName := flag.String("isa", "alpha64", "instruction set")
+	org := flag.String("org", "funcfirst",
+		"organization: integrated|funcfirst|blockff|timingdirected|timingfirst|specff|sampled")
+	kernel := flag.String("kernel", "sieve", "bundled kernel")
+	n := flag.Int("n", 0, "kernel problem size (0 = default)")
+	budget := flag.Uint64("budget", 1<<40, "instruction budget")
+	window := flag.Int("window", 64, "spec-FF run-ahead window")
+	detailed := flag.Uint64("detailed", 1000, "sampling: detailed window instructions")
+	ff := flag.Uint64("ff", 20000, "sampling: fast-forward instructions")
+	flag.Parse()
+
+	i, err := isa.Load(*isaName)
+	if err != nil {
+		fatal(err)
+	}
+	k := kernels.ByName(*kernel)
+	if k == nil {
+		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	size := k.DefaultN
+	if *n > 0 {
+		size = *n
+	}
+	var prog *asm.Program
+	prog, err = kernels.BuildProgram(i, k.Build(size))
+	if err != nil {
+		fatal(err)
+	}
+
+	var r *orgs.Result
+	switch *org {
+	case "integrated":
+		r, err = orgs.RunIntegrated(i, prog, *budget)
+	case "funcfirst":
+		r, err = orgs.RunFunctionalFirst(i, prog, *budget)
+	case "blockff":
+		r, err = orgs.RunBlockFunctionalFirst(i, prog, *budget)
+	case "timingdirected":
+		r, err = orgs.RunTimingDirected(i, prog, *budget)
+	case "timingfirst":
+		r, err = orgs.RunTimingFirst(i, prog, *budget, nil)
+	case "specff":
+		r, err = orgs.RunSpecFunctionalFirst(i, prog, *budget, *window, nil)
+	case "sampled":
+		r, err = orgs.RunSampled(i, prog, *budget, *detailed, *ff)
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *org))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("organization: %s (%s, %s n=%d)\n", r.Org, i.Name, k.Name, size)
+	fmt.Printf("instructions: %d   cycles: %d   IPC: %.3f\n", r.Instrs, r.Cycles, r.IPC())
+	if sym, ok := prog.Symbols["result"]; ok && r.Machine != nil {
+		v, _ := r.Machine.Mem.Load(sym, 4)
+		status := "OK"
+		if uint32(v) != k.Ref(size) {
+			status = fmt.Sprintf("MISMATCH (want %#x)", k.Ref(size))
+		}
+		fmt.Printf("checksum: %#x  %s\n", v, status)
+	}
+	if r.Pipeline.Instrs > 0 {
+		p := r.Pipeline
+		fmt.Printf("pipeline: %d branches (%d mispredicted), %d loads, %d stores\n",
+			p.Branches, p.Mispredicts, p.Loads, p.Stores)
+	}
+	if r.OoO.Instrs > 0 {
+		o := r.OoO
+		fmt.Printf("core:     %d branches (%d mispredicted), %d loads, %d stores\n",
+			o.Branches, o.Mispredicts, o.Loads, o.Stores)
+	}
+	if r.Mismatches > 0 {
+		fmt.Printf("timing-first mismatches repaired: %d\n", r.Mismatches)
+	}
+	if r.Rollbacks > 0 {
+		fmt.Printf("speculative rollbacks: %d\n", r.Rollbacks)
+	}
+	if r.FFInstrs > 0 {
+		fmt.Printf("fast-forwarded: %d of %d instructions (%.1f%%)\n",
+			r.FFInstrs, r.Instrs, 100*float64(r.FFInstrs)/float64(r.Instrs))
+	}
+	fmt.Printf("exit: halted=%v code=%d\n", r.Halted, r.ExitCode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timingsim:", err)
+	os.Exit(1)
+}

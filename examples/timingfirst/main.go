@@ -1,0 +1,62 @@
+// Timing-first: the timing simulator performs functional behaviour itself
+// — possibly incorrectly — and a minimal functional simulator checks each
+// instruction and repairs the architectural state on mismatches (§II-D,
+// TFsim-style). This example injects a recurring corruption into the
+// "timing" side and shows the checker detecting and repairing every one,
+// with the final result still correct.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"singlespec"
+
+	"singlespec/internal/kernels"
+	"singlespec/internal/mach"
+)
+
+func main() {
+	i, err := singlespec.LoadISA("ppc32")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := kernels.ByName("crc32")
+	prog, err := kernels.BuildProgram(i, k.Build(k.DefaultN))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The injected bug: every 500th instruction, the "timing simulator"
+	// corrupts a register — modeling the kind of datapath bug timing-first
+	// organizations tolerate during bring-up.
+	injected := 0
+	bug := func(seq uint64, m *mach.Machine, rec *singlespec.Record) bool {
+		if seq%500 != 499 {
+			return false
+		}
+		m.MustSpace("r").Vals[15] ^= 0xff
+		injected++
+		return true
+	}
+
+	r, err := singlespec.RunTimingFirst(i, prog, 1<<40, bug)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	got, _ := r.Machine.Mem.Load(prog.Symbols["result"], 4)
+	want := k.Ref(k.DefaultN)
+	status := "CORRECT"
+	if uint32(got) != want {
+		status = fmt.Sprintf("WRONG (want %#x)", want)
+	}
+	fmt.Printf("instructions:        %d\n", r.Instrs)
+	fmt.Printf("injected bugs:       %d\n", injected)
+	fmt.Printf("mismatches repaired: %d\n", r.Mismatches)
+	fmt.Printf("final checksum:      %#x  %s\n", got, status)
+	fmt.Printf("exit code:           %d\n", r.ExitCode)
+	fmt.Println("\nThe checker caught every corruption the instant it became")
+	fmt.Println("architecturally visible — the paper's \"nearly-immediate")
+	fmt.Println("notification when an error occurs\".")
+}

@@ -1,0 +1,3 @@
+module singlespec
+
+go 1.22

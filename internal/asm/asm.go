@@ -1,0 +1,675 @@
+// Package asm implements an assembler and disassembler derived from a LIS
+// specification: the instruction mnemonics, operand syntax, and encodings
+// all come from the spec's `asm` templates, so the single-specification
+// principle extends to the tooling — no per-ISA assembler tables exist
+// anywhere in this repository.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"singlespec/internal/isa"
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+)
+
+// tpart is one element of a compiled asm template: a literal or a field
+// placeholder.
+type tpart struct {
+	lit   string
+	field *lis.FmtField
+	// pcrel placeholders encode (target - (pc + bias)) >> shift.
+	pcrel       bool
+	shift, bias int
+}
+
+type pattern struct {
+	in       *lis.Instr
+	mnemonic string
+	parts    []tpart // operand portion (after the mnemonic)
+	// defaults holds encoding bits for fields that are neither matched nor
+	// templated (e.g. arm32's cond field defaulting to AL).
+	defaults uint64
+}
+
+// Assembler assembles text for one ISA.
+type Assembler struct {
+	isa      *isa.ISA
+	patterns map[string][]*pattern // by mnemonic
+	byID     []*pattern            // by instruction ID (disassembly)
+}
+
+// New compiles the asm templates of the ISA's spec.
+func New(i *isa.ISA) (*Assembler, error) {
+	a := &Assembler{isa: i, patterns: make(map[string][]*pattern), byID: make([]*pattern, len(i.Spec.Instrs))}
+	for _, in := range i.Spec.Instrs {
+		if in.Asm == "" {
+			continue
+		}
+		p, err := compileTemplate(in)
+		if err != nil {
+			return nil, err
+		}
+		a.patterns[p.mnemonic] = append(a.patterns[p.mnemonic], p)
+		a.byID[in.ID] = p
+	}
+	// More specific patterns (more literal text) first, so e.g. the
+	// register form wins over the literal form only when it matches.
+	for _, ps := range a.patterns {
+		sort.SliceStable(ps, func(x, y int) bool {
+			return litLen(ps[x]) > litLen(ps[y])
+		})
+	}
+	return a, nil
+}
+
+func litLen(p *pattern) int {
+	n := 0
+	for _, t := range p.parts {
+		n += len(t.lit)
+	}
+	return n
+}
+
+func compileTemplate(in *lis.Instr) (*pattern, error) {
+	tpl := in.Asm
+	sp := strings.IndexByte(tpl, ' ')
+	p := &pattern{in: in}
+	rest := ""
+	if sp < 0 {
+		p.mnemonic = tpl
+	} else {
+		p.mnemonic = tpl[:sp]
+		rest = strings.TrimSpace(tpl[sp+1:])
+	}
+	for i := 0; i < len(rest); {
+		if rest[i] != '%' {
+			j := i
+			for j < len(rest) && rest[j] != '%' {
+				j++
+			}
+			p.parts = append(p.parts, tpart{lit: rest[i:j]})
+			i = j
+			continue
+		}
+		i++
+		j := i
+		for j < len(rest) && (isAlnum(rest[j]) || rest[j] == '_') {
+			j++
+		}
+		name := rest[i:j]
+		ff := in.Format.Field(name)
+		if ff == nil {
+			return nil, fmt.Errorf("asm template for %s: unknown encoding field %%%s", in.Name, name)
+		}
+		part := tpart{field: ff}
+		i = j
+		// Optional :pcrel(shift,bias) modifier.
+		if strings.HasPrefix(rest[i:], ":pcrel(") {
+			i += len(":pcrel(")
+			end := strings.IndexByte(rest[i:], ')')
+			if end < 0 {
+				return nil, fmt.Errorf("asm template for %s: unterminated pcrel modifier", in.Name)
+			}
+			args := strings.Split(rest[i:i+end], ",")
+			if len(args) != 2 {
+				return nil, fmt.Errorf("asm template for %s: pcrel wants (shift,bias)", in.Name)
+			}
+			sh, err1 := strconv.Atoi(strings.TrimSpace(args[0]))
+			bi, err2 := strconv.Atoi(strings.TrimSpace(args[1]))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("asm template for %s: bad pcrel arguments", in.Name)
+			}
+			part.pcrel, part.shift, part.bias = true, sh, bi
+			i += end + 1
+		}
+		p.parts = append(p.parts, part)
+	}
+	placed := make(map[*lis.FmtField]bool)
+	for _, t := range p.parts {
+		if t.field != nil {
+			placed[t.field] = true
+		}
+	}
+	for _, ff := range in.Format.Fields {
+		fieldMask := (uint64(1)<<uint(ff.Width()) - 1) << uint(ff.Lo)
+		if ff.Default != 0 && !placed[ff] && in.Mask&fieldMask == 0 {
+			p.defaults |= (ff.Default & (1<<uint(ff.Width()) - 1)) << uint(ff.Lo)
+		}
+	}
+	return p, nil
+}
+
+var asmFuncs = []string{"hi", "lo", "ha", "byte0", "byte1", "byte2", "byte3"}
+
+// endsWithAsmFunc reports whether the text scanned so far ends in an
+// assembler helper-function name.
+func endsWithAsmFunc(s string) bool {
+	s = strings.TrimSpace(s)
+	for _, f := range asmFuncs {
+		if strings.HasSuffix(s, f) {
+			// The character before must not extend the identifier.
+			if len(s) == len(f) || !isAlnum(s[len(s)-len(f)-1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// Program is the result of assembly: loadable segments plus symbols.
+type Program struct {
+	Entry    uint64
+	Segments []Segment
+	Symbols  map[string]uint64
+}
+
+// Segment is a contiguous run of bytes at an address.
+type Segment struct {
+	Name string // ".text" or ".data"
+	Addr uint64
+	Data []byte
+}
+
+// LoadInto copies the program into machine memory and sets the entry PC.
+func (p *Program) LoadInto(m *mach.Machine) {
+	for _, s := range p.Segments {
+		m.Mem.WriteBytes(s.Addr, s.Data)
+	}
+	m.PC = p.Entry
+}
+
+// ReloadData rewrites only the data segments (including zeroed .space
+// regions) and resets the PC — enough to re-run a program whose code is
+// already loaded, without invalidating code-translation caches.
+func (p *Program) ReloadData(m *mach.Machine) {
+	for _, s := range p.Segments {
+		if s.Name != ".text" {
+			m.Mem.WriteBytes(s.Addr, s.Data)
+		}
+	}
+	m.PC = p.Entry
+}
+
+// asmError is a diagnostic with a line number.
+func asmError(file string, line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", file, line, fmt.Sprintf(format, args...))
+}
+
+type section struct {
+	name   string
+	base   uint64
+	cursor uint64
+	data   []byte
+}
+
+func (s *section) addr() uint64 { return s.base + s.cursor }
+
+type asmCtx struct {
+	a        *Assembler
+	file     string
+	symbols  map[string]uint64
+	sections map[string]*section
+	cur      *section
+	pass     int
+	errs     []string
+}
+
+// Assemble translates assembly text into a Program. Directives:
+// .text/.data (sections), .org, .align, .byte/.half/.word/.quad, .ascii,
+// .asciz, .space, .equ. Labels end with ':'; `_start` sets the entry point.
+func (a *Assembler) Assemble(file, src string) (*Program, error) {
+	symbols := make(map[string]uint64)
+	var prog *Program
+	for pass := 1; pass <= 2; pass++ {
+		ctx := &asmCtx{
+			a: a, file: file, symbols: symbols, pass: pass,
+			sections: map[string]*section{
+				".text": {name: ".text", base: a.isa.Conv.CodeBase},
+				".data": {name: ".data", base: a.isa.Conv.DataBase},
+			},
+		}
+		ctx.cur = ctx.sections[".text"]
+		for lineNo, raw := range strings.Split(src, "\n") {
+			if err := ctx.line(lineNo+1, raw); err != nil {
+				ctx.errs = append(ctx.errs, err.Error())
+				if len(ctx.errs) > 20 {
+					break
+				}
+			}
+		}
+		if len(ctx.errs) > 0 {
+			return nil, fmt.Errorf("%s", strings.Join(ctx.errs, "\n"))
+		}
+		if pass == 2 {
+			prog = &Program{Entry: a.isa.Conv.CodeBase, Symbols: symbols}
+			if e, ok := symbols["_start"]; ok {
+				prog.Entry = e
+			}
+			for _, name := range []string{".text", ".data"} {
+				s := ctx.sections[name]
+				if len(s.data) > 0 {
+					prog.Segments = append(prog.Segments, Segment{Name: name, Addr: s.base, Data: s.data})
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+func (c *asmCtx) line(no int, raw string) error {
+	// Strip comments (';' or '//' or '#' at start of comment).
+	if i := strings.Index(raw, "//"); i >= 0 {
+		raw = raw[:i]
+	}
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several on one line).
+	for {
+		i := strings.IndexByte(s, ':')
+		if i <= 0 || strings.ContainsAny(s[:i], " \t,()[]#") {
+			break
+		}
+		name := s[:i]
+		if c.pass == 1 {
+			if _, dup := c.symbols[name]; dup {
+				return asmError(c.file, no, "duplicate label %q", name)
+			}
+			c.symbols[name] = c.cur.addr()
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if s[0] == '.' {
+		return c.directive(no, s)
+	}
+	return c.instruction(no, s)
+}
+
+func (c *asmCtx) emit(b []byte) {
+	c.cur.data = append(c.cur.data, b...)
+	c.cur.cursor += uint64(len(b))
+}
+
+func (c *asmCtx) emitInt(v uint64, size int) {
+	b := make([]byte, size)
+	if c.a.isa.Spec.Endian == mach.LittleEndian {
+		for i := 0; i < size; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			b[size-1-i] = byte(v >> (8 * i))
+		}
+	}
+	c.emit(b)
+}
+
+func (c *asmCtx) directive(no int, s string) error {
+	fields := strings.Fields(s)
+	dir := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(s, dir))
+	switch dir {
+	case ".text", ".data":
+		c.cur = c.sections[dir]
+		return nil
+	case ".org":
+		v, err := c.evalExpr(no, rest)
+		if err != nil {
+			return err
+		}
+		if v < c.cur.addr() {
+			return asmError(c.file, no, ".org moves backwards")
+		}
+		pad := v - c.cur.addr()
+		c.emit(make([]byte, pad))
+		return nil
+	case ".align":
+		v, err := c.evalExpr(no, rest)
+		if err != nil {
+			return err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return asmError(c.file, no, ".align wants a power of two")
+		}
+		pad := (v - c.cur.addr()%v) % v
+		c.emit(make([]byte, pad))
+		return nil
+	case ".byte", ".half", ".word", ".quad":
+		size := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".quad": 8}[dir]
+		for _, part := range strings.Split(rest, ",") {
+			v, err := c.evalExpr(no, strings.TrimSpace(part))
+			if err != nil {
+				return err
+			}
+			c.emitInt(v, size)
+		}
+		return nil
+	case ".ascii", ".asciz":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return asmError(c.file, no, "bad string literal: %v", err)
+		}
+		c.emit([]byte(str))
+		if dir == ".asciz" {
+			c.emit([]byte{0})
+		}
+		return nil
+	case ".space":
+		v, err := c.evalExpr(no, rest)
+		if err != nil {
+			return err
+		}
+		c.emit(make([]byte, v))
+		return nil
+	case ".equ":
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			return asmError(c.file, no, ".equ wants name, value")
+		}
+		name := strings.TrimSpace(rest[:i])
+		v, err := c.evalExpr(no, strings.TrimSpace(rest[i+1:]))
+		if err != nil {
+			return err
+		}
+		if c.pass == 1 {
+			c.symbols[name] = v
+		}
+		return nil
+	}
+	return asmError(c.file, no, "unknown directive %s", dir)
+}
+
+func (c *asmCtx) instruction(no int, s string) error {
+	mn := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn = s[:i]
+		rest = strings.TrimSpace(s[i+1:])
+	}
+	pats := c.a.patterns[mn]
+	suffix := -1 // index into AsmSuffix.Defs forced by a mnemonic suffix
+	if len(pats) == 0 {
+		if sx := c.a.isa.Spec.AsmSuffix; sx != nil {
+			for di, d := range sx.Defs {
+				if d.Name == "" || !strings.HasSuffix(mn, d.Name) {
+					continue
+				}
+				base := mn[:len(mn)-len(d.Name)]
+				if ps := c.a.patterns[base]; len(ps) > 0 {
+					pats, suffix = ps, di
+					break
+				}
+			}
+		}
+	}
+	if len(pats) == 0 {
+		return asmError(c.file, no, "unknown mnemonic %q", mn)
+	}
+	var firstErr error
+	for _, p := range pats {
+		word, err := c.match(no, p, rest)
+		if err != nil {
+			// Prefer value errors (out of range, undefined symbol) over
+			// structural mismatches from patterns that never applied.
+			if firstErr == nil || !strings.Contains(err.Error(), "expected") {
+				firstErr = err
+			}
+			continue
+		}
+		if suffix >= 0 {
+			sx := c.a.isa.Spec.AsmSuffix
+			ff := p.in.Format.Field(sx.Field)
+			if ff == nil {
+				return asmError(c.file, no, "instruction %s has no %s field for a condition suffix", p.in.Name, sx.Field)
+			}
+			fieldMask := (uint64(1)<<uint(ff.Width()) - 1) << uint(ff.Lo)
+			word = word&^fieldMask | sx.Defs[suffix].Val<<uint(ff.Lo)
+		}
+		c.emitInt(word, c.a.isa.Spec.InstrSize)
+		return nil
+	}
+	return firstErr
+}
+
+// match attempts to encode one instruction from its operand text.
+func (c *asmCtx) match(no int, p *pattern, operands string) (uint64, error) {
+	word := p.in.Value | p.defaults
+	pos := 0
+	skipWS := func() {
+		for pos < len(operands) && (operands[pos] == ' ' || operands[pos] == '\t') {
+			pos++
+		}
+	}
+	for _, part := range p.parts {
+		if part.lit != "" {
+			for _, ch := range []byte(part.lit) {
+				if ch == ' ' {
+					skipWS()
+					continue
+				}
+				skipWS()
+				if pos >= len(operands) || operands[pos] != ch {
+					return 0, asmError(c.file, no, "expected %q in operands of %s", string(ch), p.in.Name)
+				}
+				pos++
+			}
+			continue
+		}
+		skipWS()
+		start := pos
+		// An operand expression extends to the next structural character.
+		// A '(' belongs to the expression only when it follows a known
+		// assembler function name (hi/lo/ha/byteN); otherwise it is operand
+		// syntax, as in "16(r2)".
+		for pos < len(operands) {
+			ch := operands[pos]
+			if ch == ',' || ch == ')' || ch == ']' {
+				break
+			}
+			if ch == '(' {
+				if !endsWithAsmFunc(operands[start:pos]) {
+					break
+				}
+				depth := 1
+				pos++
+				for pos < len(operands) && depth > 0 {
+					switch operands[pos] {
+					case '(':
+						depth++
+					case ')':
+						depth--
+					}
+					pos++
+				}
+				continue
+			}
+			pos++
+		}
+		expr := strings.TrimSpace(operands[start:pos])
+		if expr == "" {
+			return 0, asmError(c.file, no, "missing operand for %%%s of %s", part.field.Name, p.in.Name)
+		}
+		v, err := c.evalExpr(no, expr)
+		if err != nil {
+			return 0, err
+		}
+		enc, err := c.encodeField(no, p, part, v)
+		if err != nil {
+			return 0, err
+		}
+		word |= enc << uint(part.field.Lo)
+	}
+	skipWS()
+	if pos != len(operands) {
+		return 0, asmError(c.file, no, "trailing operand text %q for %s", operands[pos:], p.in.Name)
+	}
+	return word, nil
+}
+
+func (c *asmCtx) encodeField(no int, p *pattern, part tpart, v uint64) (uint64, error) {
+	ff := part.field
+	w := uint(ff.Width())
+	if part.pcrel {
+		target := int64(v)
+		rel := target - int64(c.cur.addr()) - int64(part.bias)
+		if rel&(1<<uint(part.shift)-1) != 0 {
+			return 0, asmError(c.file, no, "misaligned branch target for %s", p.in.Name)
+		}
+		rel >>= uint(part.shift)
+		if c.pass == 2 && (rel >= 1<<(w-1) || rel < -(1<<(w-1))) {
+			return 0, asmError(c.file, no, "branch target out of range for %s", p.in.Name)
+		}
+		return uint64(rel) & (1<<w - 1), nil
+	}
+	if ff.Signed {
+		sv := int64(v)
+		if c.pass == 2 && (sv >= 1<<(w-1) || sv < -(1<<(w-1))) {
+			return 0, asmError(c.file, no, "value %d out of range for %d-bit signed field %s", sv, w, ff.Name)
+		}
+		return v & (1<<w - 1), nil
+	}
+	if c.pass == 2 && v >= 1<<w {
+		return 0, asmError(c.file, no, "value %d out of range for %d-bit field %s", v, w, ff.Name)
+	}
+	return v & (1<<w - 1), nil
+}
+
+// evalExpr evaluates an operand expression: numbers, symbols, sym+N/sym-N,
+// unary '-' and '#' prefix, and the helper functions hi(x), lo(x), ha(x),
+// byte0..byte3(x).
+func (c *asmCtx) evalExpr(no int, s string) (uint64, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	if s == "" {
+		return 0, asmError(c.file, no, "empty expression")
+	}
+	// Function call forms.
+	if i := strings.IndexByte(s, '('); i > 0 && strings.HasSuffix(s, ")") {
+		fn := s[:i]
+		inner, err := c.evalExpr(no, s[i+1:len(s)-1])
+		if err != nil {
+			return 0, err
+		}
+		switch fn {
+		case "hi":
+			return inner >> 16, nil
+		case "lo":
+			// Sign-extended so it pairs with ha() in signed 16-bit fields.
+			return uint64(int64(int16(inner))), nil
+		case "ha":
+			// Sign-extended adjusted high half: pairs with a sign-extended
+			// lo() so `ldah/lda` and `addis/addi` reconstruct 32-bit values.
+			return uint64(int64(int16((inner + 0x8000) >> 16))), nil
+		case "byte0":
+			return inner & 0xff, nil
+		case "byte1":
+			return inner >> 8 & 0xff, nil
+		case "byte2":
+			return inner >> 16 & 0xff, nil
+		case "byte3":
+			return inner >> 24 & 0xff, nil
+		}
+		return 0, asmError(c.file, no, "unknown assembler function %q", fn)
+	}
+	// sym+N / sym-N (split at the last +/- that is not the leading sign).
+	for i := len(s) - 1; i > 0; i-- {
+		if s[i] == '+' || s[i] == '-' {
+			l, err1 := c.evalExpr(no, s[:i])
+			r, err2 := c.evalExpr(no, s[i+1:])
+			if err1 != nil || err2 != nil {
+				break
+			}
+			if s[i] == '+' {
+				return l + r, nil
+			}
+			return l - r, nil
+		}
+	}
+	if s[0] == '-' {
+		v, err := c.evalExpr(no, s[1:])
+		return -v, err
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		v, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return 0, asmError(c.file, no, "bad number %q", s)
+		}
+		return v, nil
+	}
+	if v, ok := c.symbols[s]; ok {
+		return v, nil
+	}
+	if c.pass == 1 {
+		return 0, nil // forward reference; resolved in pass 2
+	}
+	return 0, asmError(c.file, no, "undefined symbol %q", s)
+}
+
+// Disassemble renders one instruction word using the spec's asm template.
+func (a *Assembler) Disassemble(word uint32, pc uint64) string {
+	for _, in := range a.isa.Spec.Instrs {
+		if uint64(word)&in.Mask != in.Value {
+			continue
+		}
+		p := a.byID[in.ID]
+		if p == nil {
+			return in.Name
+		}
+		var b strings.Builder
+		b.WriteString(p.mnemonic)
+		if sx := a.isa.Spec.AsmSuffix; sx != nil {
+			if ff := in.Format.Field(sx.Field); ff != nil {
+				raw := uint64(word) >> uint(ff.Lo) & (1<<uint(ff.Width()) - 1)
+				if raw != ff.Default {
+					for _, d := range sx.Defs {
+						if d.Val == raw {
+							b.WriteString(d.Name)
+							break
+						}
+					}
+				}
+			}
+		}
+		if len(p.parts) > 0 {
+			b.WriteByte(' ')
+		}
+		for _, part := range p.parts {
+			if part.lit != "" {
+				b.WriteString(part.lit)
+				continue
+			}
+			ff := part.field
+			raw := uint64(word) >> uint(ff.Lo) & (1<<uint(ff.Width()) - 1)
+			switch {
+			case part.pcrel:
+				rel := signExtend(raw, ff.Width()) << uint(part.shift)
+				fmt.Fprintf(&b, "%#x", uint64(int64(pc)+int64(part.bias)+rel))
+			case ff.Signed:
+				fmt.Fprintf(&b, "%d", signExtend(raw, ff.Width()))
+			default:
+				fmt.Fprintf(&b, "%d", raw)
+			}
+		}
+		return b.String()
+	}
+	return fmt.Sprintf(".word %#08x", word)
+}
+
+func signExtend(v uint64, w int) int64 {
+	sh := uint(64 - w)
+	return int64(v<<sh) >> sh
+}

@@ -1,0 +1,522 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/sysemu"
+)
+
+// Per-ISA validation programs: each computes sum(1..10), doubles it via a
+// function call, round-trips the result through memory, prints "OK\n", and
+// exits with (loaded - 110), i.e. 0 on success.
+
+const alphaProg = `
+.text
+_start:
+    bis r31, r31, r1
+    addq r31, 10, r2
+loop:
+    addq r1, r2, r1
+    subq r2, 1, r2
+    bne r2, loop
+    bis r1, r1, r16
+    bsr r26, double
+    bis r0, r0, r1
+    ldah r3, ha(val)(r31)
+    lda r3, lo(val)(r3)
+    stq r1, 0(r3)
+    ldq r4, 0(r3)
+    addq r31, 2, r0        // SysWrite
+    addq r31, 1, r16       // fd
+    ldah r17, ha(msg)(r31)
+    lda r17, lo(msg)(r17)
+    addq r31, 3, r18
+    callsys
+    addq r31, 1, r0        // SysExit
+    subq r4, 110, r16
+    callsys
+
+double:
+    addq r16, r16, r0
+    ret r31, (r26)
+
+.data
+msg: .ascii "OK\n"
+.align 8
+val: .quad 0
+`
+
+const armProg = `
+.text
+_start:
+    mov r1, #0, 0
+    mov r2, #10, 0
+loop:
+    add r1, r1, r2, 0, 0
+    sub r2, r2, #1, 0
+    cmp r2, #0, 0
+    bne loop
+    mov r0, r1, 0, 0
+    bl double
+    mov r5, r0, 0, 0
+    mov r3, #byte2(val), 8
+    orr r3, r3, #byte1(val), 12
+    orr r3, r3, #byte0(val), 0
+    str r5, [r3, #0]
+    ldr r4, [r3, #0]
+    mov r7, #2, 0          // SysWrite
+    mov r0, #1, 0
+    mov r1, #byte2(msg), 8
+    orr r1, r1, #byte1(msg), 12
+    orr r1, r1, #byte0(msg), 0
+    mov r2, #3, 0
+    swi
+    mov r7, #1, 0          // SysExit
+    sub r0, r4, #110, 0
+    swi
+
+double:
+    add r0, r0, r0, 0, 0
+    bx r14
+
+.data
+msg: .ascii "OK\n"
+.align 4
+val: .word 0
+`
+
+const ppcProg = `
+.text
+_start:
+    addi r10, r0, 0
+    addi r11, r0, 10
+loop:
+    add r10, r10, r11
+    addi r11, r11, -1
+    cmpwi 0, r11, 0
+    bf 2, loop
+    addi r3, r10, 0
+    bl double
+    addi r10, r3, 0
+    addis r9, r0, ha(val)
+    addi r9, r9, lo(val)
+    stw r10, 0(r9)
+    lwz r12, 0(r9)
+    addi r0, r0, 2         // SysWrite
+    addi r3, r0, 1
+    addis r4, r0, ha(msg)
+    addi r4, r4, lo(msg)
+    addi r5, r0, 3
+    sc
+    addi r0, r0, 1         // SysExit
+    addi r3, r12, -110
+    sc
+
+double:
+    add r3, r3, r3
+    blr
+
+.data
+msg: .ascii "OK\n"
+.align 4
+val: .word 0
+`
+
+// Progs maps ISA name to its validation program (shared with other test
+// packages through NewForTest).
+var progs = map[string]string{
+	"alpha64": alphaProg,
+	"arm32":   armProg,
+	"ppc32":   ppcProg,
+}
+
+// ValidationProgram exposes the per-ISA validation program source for other
+// packages' tests.
+func ValidationProgram(name string) string { return progs[name] }
+
+func mustAsm(t *testing.T, name string) (*isa.ISA, *Program) {
+	t.Helper()
+	i, err := isa.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble(name+".s", progs[name])
+	if err != nil {
+		t.Fatalf("assemble %s: %v", name, err)
+	}
+	return i, prog
+}
+
+func runProgram(t *testing.T, i *isa.ISA, prog *Program, buildset string) (*sysemu.Emulator, int) {
+	t.Helper()
+	sim, err := core.Synthesize(i.Spec, buildset, core.Options{})
+	if err != nil {
+		t.Fatalf("synthesize %s/%s: %v", i.Name, buildset, err)
+	}
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	x := sim.NewExec(m)
+	x.Run(1_000_000)
+	if !m.Halted {
+		t.Fatalf("%s/%s: program did not halt", i.Name, buildset)
+	}
+	return emu, m.ExitCode
+}
+
+func TestValidationProgramsRun(t *testing.T) {
+	for _, name := range isa.Names() {
+		t.Run(name, func(t *testing.T) {
+			i, prog := mustAsm(t, name)
+			emu, code := runProgram(t, i, prog, "one_all")
+			if code != 0 {
+				t.Errorf("exit code = %d, want 0", code)
+			}
+			if got := emu.Stdout.String(); got != "OK\n" {
+				t.Errorf("stdout = %q, want OK", got)
+			}
+		})
+	}
+}
+
+func TestValidationProgramsAcrossAllInterfaces(t *testing.T) {
+	// The same program must behave identically through every derived
+	// interface (§V-D validation).
+	for _, name := range isa.Names() {
+		i, prog := mustAsm(t, name)
+		for _, bs := range isa.StdBuildsets {
+			t.Run(name+"/"+bs, func(t *testing.T) {
+				emu, code := runProgram(t, i, prog, bs)
+				if code != 0 {
+					t.Errorf("exit code = %d, want 0", code)
+				}
+				if got := emu.Stdout.String(); got != "OK\n" {
+					t.Errorf("stdout = %q", got)
+				}
+			})
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Disassembling the text segment and reassembling each line must
+	// reproduce the same encodings (branch targets become absolute).
+	for _, name := range isa.Names() {
+		t.Run(name, func(t *testing.T) {
+			i, prog := mustAsm(t, name)
+			a, _ := New(i)
+			text := prog.Segments[0]
+			for off := 0; off+4 <= len(text.Data); off += 4 {
+				pc := text.Addr + uint64(off)
+				var word uint32
+				if i.Spec.Endian == 0 { // little
+					word = uint32(text.Data[off]) | uint32(text.Data[off+1])<<8 |
+						uint32(text.Data[off+2])<<16 | uint32(text.Data[off+3])<<24
+				} else {
+					word = uint32(text.Data[off+3]) | uint32(text.Data[off+2])<<8 |
+						uint32(text.Data[off+1])<<16 | uint32(text.Data[off])<<24
+				}
+				dis := a.Disassemble(word, pc)
+				if strings.HasPrefix(dis, ".word") {
+					t.Fatalf("%s@%#x: did not disassemble (%#x)", name, pc, word)
+				}
+				prog2, err := a.Assemble("rt.s", ".org "+hex(pc)+"\n"+dis+"\n")
+				if err != nil {
+					t.Fatalf("%s@%#x: reassemble %q: %v", name, pc, dis, err)
+				}
+				data := prog2.Segments[0].Data
+				got := data[len(data)-4:]
+				want := text.Data[off : off+4]
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("%s@%#x: %q reassembled to % x, want % x", name, pc, dis, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func hex(v uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 0, 18)
+	out = append(out, '0', 'x')
+	started := false
+	for sh := 60; sh >= 0; sh -= 4 {
+		d := v >> uint(sh) & 0xf
+		if d != 0 || started || sh == 0 {
+			out = append(out, digits[d])
+			started = true
+		}
+	}
+	return string(out)
+}
+
+func TestARMConditionSuffixes(t *testing.T) {
+	i, _ := mustAsm(t, "arm32")
+	a, _ := New(i)
+	prog, err := a.Assemble("c.s", "addeq r1, r2, r3, 0, 0\naddal r1, r2, r3, 0, 0\nadd r1, r2, r3, 0, 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Segments[0].Data
+	w0 := uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	w1 := uint32(d[4]) | uint32(d[5])<<8 | uint32(d[6])<<16 | uint32(d[7])<<24
+	w2 := uint32(d[8]) | uint32(d[9])<<8 | uint32(d[10])<<16 | uint32(d[11])<<24
+	if w0>>28 != 0 {
+		t.Errorf("addeq cond = %d", w0>>28)
+	}
+	if w1>>28 != 14 || w2>>28 != 14 {
+		t.Errorf("addal/add cond = %d/%d, want 14", w1>>28, w2>>28)
+	}
+	if dis := a.Disassemble(w0, 0x1000); !strings.HasPrefix(dis, "addeq") {
+		t.Errorf("disassembled %q", dis)
+	}
+}
+
+func TestPredicatedExecution(t *testing.T) {
+	// cmp sets flags; addeq executes only when equal.
+	src := `
+_start:
+    mov r1, #5, 0
+    cmp r1, #5, 0
+    mov r2, #0, 0
+    addeq r2, r2, #1, 0    // taken: r2 = 1
+    cmp r1, #6, 0
+    addeq r2, r2, #8, 0    // nullified
+    mov r7, #1, 0
+    mov r0, r2, 0, 0
+    swi
+`
+	i := isa.MustLoad("arm32")
+	a, _ := New(i)
+	prog, err := a.Assemble("p.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []string{"one_all", "block_min", "step_all"} {
+		_, code := runProgram(t, i, prog, bs)
+		if code != 1 {
+			t.Errorf("%s: exit = %d, want 1 (predication broken)", bs, code)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	a, _ := New(i)
+	cases := []struct {
+		src, want string
+	}{
+		{"frobnicate r1, r2", "unknown mnemonic"},
+		{"addq r1, 999, r3", "out of range"},
+		{"ldq r1, nosuch(r2)", "undefined symbol"},
+		{"x: bis r31,r31,r1\nx: bis r31,r31,r1", "duplicate label"},
+		{".bogus 3", "unknown directive"},
+		{".align 3", "power of two"},
+		{"ldq r1, 40000(r2)", "out of range"},
+		{"beq r1, 3", "misaligned"},
+	}
+	for _, tc := range cases {
+		_, err := a.Assemble("e.s", tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("source %q: error %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	a, _ := New(i)
+	prog, err := a.Assemble("d.s", `
+.equ MAGIC, 0x1234
+.data
+b: .byte 1, 2, 3
+.align 4
+w: .word MAGIC
+q: .quad MAGIC+1
+s: .asciz "hi"
+sp: .space 5
+end:
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Symbols["MAGIC"] != 0x1234 {
+		t.Errorf("MAGIC = %#x", prog.Symbols["MAGIC"])
+	}
+	data := prog.Segments[0].Data
+	if data[0] != 1 || data[1] != 2 || data[2] != 3 {
+		t.Errorf("bytes: % x", data[:3])
+	}
+	if prog.Symbols["w"] != i.Conv.DataBase+4 {
+		t.Errorf("alignment: w at %#x", prog.Symbols["w"])
+	}
+	// little-endian word
+	if data[4] != 0x34 || data[5] != 0x12 {
+		t.Errorf("word bytes: % x", data[4:8])
+	}
+	if got := prog.Symbols["end"] - prog.Symbols["sp"]; got != 5 {
+		t.Errorf(".space advanced %d", got)
+	}
+	if s := prog.Symbols["s"]; data[s-i.Conv.DataBase] != 'h' || data[s-i.Conv.DataBase+2] != 0 {
+		t.Errorf("asciz content wrong")
+	}
+}
+
+func TestBigEndianDirectives(t *testing.T) {
+	i := isa.MustLoad("ppc32")
+	a, _ := New(i)
+	prog, err := a.Assemble("d.s", ".data\nw: .word 0x11223344\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Segments[0].Data
+	if d[0] != 0x11 || d[3] != 0x44 {
+		t.Errorf("big-endian word: % x", d)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	a, _ := New(i)
+	prog, err := a.Assemble("f.s", `
+_start:
+    br r31, fwd
+    bis r31, r31, r1
+fwd:
+    addq r31, 1, r0
+    addq r31, 7, r16
+    callsys
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := runProgram(t, i, prog, "one_min")
+	if code != 7 {
+		t.Errorf("exit = %d, want 7", code)
+	}
+}
+
+func TestAlphaByteManipulation(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	a, _ := New(i)
+	prog, err := a.Assemble("b.s", `
+_start:
+    ldah r1, 0x1234(r31)
+    lda  r1, 0x5678(r1)      // r1 = 0x12345678 (ha/lo math folded manually)
+    addq r31, 2, r2
+    extbl r1, r2, r3         // byte 2 of r1 -> 0x34... (little numbering)
+    addq r31, 0xab, r4
+    insbl r4, r2, r5         // 0xab << 16
+    mskbl r1, r2, r6         // clear byte 2
+    addq r31, 3, r7
+    zapnot r1, r7, r8        // keep bytes 0,1
+    sextb r4, r9             // 0xab -> sign-extended
+    addq r31, 1, r0
+    bis r31, r31, r16
+    callsys
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := runProgram(t, i, prog, "one_all")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	sim, _ := core.Synthesize(i.Spec, "one_min", core.Options{})
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	sim.NewExec(m).Run(100)
+	r := m.MustSpace("r")
+	v1 := r.Vals[1]
+	want3 := (v1 >> 16) & 0xff
+	if r.Vals[3] != want3 {
+		t.Errorf("extbl = %#x, want %#x", r.Vals[3], want3)
+	}
+	if r.Vals[5] != 0xab0000 {
+		t.Errorf("insbl = %#x", r.Vals[5])
+	}
+	if r.Vals[6] != v1&^uint64(0xff0000) {
+		t.Errorf("mskbl = %#x", r.Vals[6])
+	}
+	if r.Vals[8] != v1&0xffff {
+		t.Errorf("zapnot = %#x", r.Vals[8])
+	}
+	b9 := uint8(0xab)
+	if r.Vals[9] != uint64(int64(int8(b9))) {
+		t.Errorf("sextb = %#x", r.Vals[9])
+	}
+}
+
+func TestARMPostIndexedAddressing(t *testing.T) {
+	i := isa.MustLoad("arm32")
+	a, _ := New(i)
+	prog, err := a.Assemble("p.s", `
+_start:
+    mov r3, #byte2(buf), 8
+    orr r3, r3, #byte1(buf), 12
+    orr r3, r3, #byte0(buf), 0
+    ldr r1, [r3], #4          // r1 = buf[0]; r3 += 4
+    ldr r2, [r3], #4          // r2 = buf[1]; r3 += 4
+    add r0, r1, r2, 0, 0
+    mov r7, #1, 0
+    swi
+
+.data
+buf: .word 11, 31
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := runProgram(t, i, prog, "one_all")
+	if code != 42 {
+		t.Fatalf("post-indexed loads: exit %d, want 42", code)
+	}
+	// And through the Step interface (double writeback crosses entrypoints).
+	_, code = runProgram(t, i, prog, "step_all")
+	if code != 42 {
+		t.Fatalf("step interface: exit %d, want 42", code)
+	}
+}
+
+func TestPPCImmediateSubtractAndHighMultiply(t *testing.T) {
+	i := isa.MustLoad("ppc32")
+	a, _ := New(i)
+	prog, err := a.Assemble("s.s", `
+_start:
+    addi r14, r0, 2
+    subfic r15, r14, 100      // 100 - 2 = 98
+    addis r16, r0, 4          // 0x40000 = 2^18
+    mulhw r17, r16, r16       // 2^36 >> 32 = 16
+    add r18, r15, r17         // 98 + 16 = 114
+    addi r0, r0, 1
+    addi r3, r18, -114        // exit(0)
+    sc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, code := runProgram(t, i, prog, "block_all")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+}
+
+func TestDisassembleUnknownWord(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	a, _ := New(i)
+	if dis := a.Disassemble(7<<26, 0x1000); !strings.HasPrefix(dis, ".word") {
+		t.Errorf("unknown word disassembled to %q", dis)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+)
+
+// benchProgram is a tight loop: ALU + memory work, decrement, loop branch.
+// r9 holds the iteration count.
+func benchProgram() []uint32 {
+	return []uint32{
+		encALU(opADD, 1, 2, 3),
+		encALU(opSUB, 3, 1, 4),
+		encALU(opXOR, 3, 4, 5),
+		encALU(opADD, 5, 2, 6),
+		encMEM(opSTW, 6, 10, 0),
+		encMEM(opLDW, 7, 10, 0),
+		encALU(opADD, 7, 3, 8),
+		encALU(opSUB, 9, 11, 9), // r9 -= 1
+		encBR(opBEQ, 9, 1),      // r9 == 0: exit loop
+		encBR(opBEQ, 15, -10),   // always taken: back to start
+		encALU(opHLT, 15, 0, 0),
+	}
+}
+
+func benchMachine(spec *lis.Spec, iters uint64) *mach.Machine {
+	m := loadProgram(spec, benchProgram())
+	r := m.MustSpace("r")
+	r.Vals[1], r.Vals[2] = 5, 7
+	r.Vals[10] = dataBase
+	r.Vals[11] = 1
+	r.Vals[9] = iters
+	return m
+}
+
+func benchBuildset(b *testing.B, bs string, opts Options) {
+	spec, err := lis.Parse("toy.lis", toySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Synthesize(spec, bs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchMachine(spec, 1<<62)
+	x := s.NewExec(m)
+	b.ResetTimer()
+	var n uint64
+	for n < uint64(b.N) {
+		chunk := uint64(b.N) - n
+		if chunk > 65536 {
+			chunk = 65536
+		}
+		n += x.Run(chunk)
+		if m.JournalOn {
+			// A speculative driver periodically commits; without it the
+			// undo log would grow without bound.
+			m.Journal.Reset()
+		}
+	}
+	b.StopTimer()
+	if m.Halted {
+		b.Fatal("benchmark loop halted early")
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "instrs/op")
+}
+
+func BenchmarkToyOneAll(b *testing.B)       { benchBuildset(b, "one_all", Options{}) }
+func BenchmarkToyOneDecode(b *testing.B)    { benchBuildset(b, "one_decode", Options{}) }
+func BenchmarkToyOneMin(b *testing.B)       { benchBuildset(b, "one_min", Options{}) }
+func BenchmarkToyOneAllSpec(b *testing.B)   { benchBuildset(b, "one_all_spec", Options{}) }
+func BenchmarkToyStepAll(b *testing.B)      { benchBuildset(b, "step_all", Options{}) }
+func BenchmarkToyBlockMin(b *testing.B)     { benchBuildset(b, "block_min", Options{}) }
+func BenchmarkToyBlockAll(b *testing.B)     { benchBuildset(b, "block_all", Options{}) }
+func BenchmarkToyBlockMinSpec(b *testing.B) { benchBuildset(b, "block_min_spec", Options{}) }
+func BenchmarkToyOneMinInterp(b *testing.B) {
+	benchBuildset(b, "one_min", Options{NoTranslate: true})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+)
+
+// The Block interface executes a basic block per call — the engine's
+// analogue of the paper's binary-translated functional simulators. Blocks
+// are decoded once, each instruction specialized for its fixed PC and
+// encoding (operand decode folds to constants, the fall-through next PC is
+// a constant), and cached until the code page changes.
+
+type xblock struct {
+	startPC uint64
+	gen     uint64
+	units   []*unit
+}
+
+// ExecBlock executes the basic block at the machine's PC, filling batch.
+// Per-instruction records are produced only when the buildset exposes
+// information beyond the minimal set (or ForceRecords is set); at minimal
+// detail only the block summary is produced. It reports false when the
+// machine halted or faulted.
+func (x *Exec) ExecBlock(batch *Batch) bool {
+	batch.Reset()
+	m := x.M
+	pc := m.PC
+	batch.StartPC = pc
+	blk := x.transBlock(pc)
+	if blk == nil {
+		// Fetch fault or undecodable first instruction: let the dynamic
+		// path raise it and publish a record if detail requires.
+		rec := batch.next()
+		x.execOneDynamic(rec)
+		if rec.Fault == mach.FaultNone {
+			batch.N++
+		} else {
+			batch.Fault = rec.Fault
+		}
+		if !x.sim.emitBlockRecords() {
+			batch.Recs = batch.Recs[:0]
+		}
+		batch.Halted = m.Halted
+		return batch.Fault == mach.FaultNone && !m.Halted
+	}
+	emit := x.sim.emitBlockRecords()
+	for _, u := range blk.units {
+		x.pc = u.pc
+		x.physPC = u.physPC
+		x.nextPC = u.fall
+		x.bits = u.bits
+		x.instrID = u.id
+		x.fault = mach.FaultNone
+		x.nullify = false
+		x.runSegs(u, 0, int32(len(u.segs)))
+		x.work += uint64(u.work)
+		if emit {
+			x.publish(batch.next())
+		}
+		if x.fault != mach.FaultNone {
+			batch.Fault = x.fault
+			batch.Halted = m.Halted
+			return false
+		}
+		m.PC = x.nextPC
+		m.Instret++
+		batch.N++
+	}
+	return true
+}
+
+func (s *Sim) emitBlockRecords() bool {
+	return s.Layout.NumSlots() > 0 || s.Opts.ForceRecords
+}
+
+// next returns the next record slot of the batch, reusing capacity (and
+// the Vals allocations of previous uses).
+func (b *Batch) next() *Record {
+	if len(b.Recs) < cap(b.Recs) {
+		b.Recs = b.Recs[:len(b.Recs)+1]
+	} else {
+		b.Recs = append(b.Recs, Record{})
+	}
+	return &b.Recs[len(b.Recs)-1]
+}
+
+// transBlock returns the translated block starting at pc, translating on a
+// miss. nil means the first instruction cannot be fetched or decoded.
+func (x *Exec) transBlock(pc uint64) *xblock {
+	if x.bcache == nil {
+		x.bcache = make(map[uint64]*xblock)
+	}
+	if blk, ok := x.bcache[pc]; ok {
+		if blk.gen == x.M.Mem.Gen(pc) {
+			return blk
+		}
+		delete(x.bcache, pc)
+	}
+	blk := x.buildBlock(pc)
+	if blk == nil {
+		return nil
+	}
+	if len(x.bcache) >= x.sim.Opts.CacheCap {
+		x.bcache = make(map[uint64]*xblock)
+	}
+	x.bcache[pc] = blk
+	return blk
+}
+
+// buildBlock decodes instructions from pc until a control-transfer or
+// barrier instruction, an undecodable word, a page boundary, or the block
+// length limit.
+func (x *Exec) buildBlock(pc uint64) *xblock {
+	s := x.sim
+	blk := &xblock{startPC: pc, gen: x.M.Mem.Gen(pc)}
+	cur := pc
+	pageEnd := (pc | 0xffff) + 1 // 64 KiB pages (mach page size)
+	for len(blk.units) < s.Opts.MaxBlockLen {
+		if cur+s.instrSize > pageEnd {
+			break
+		}
+		v, f := x.M.Mem.Load(cur, s.Spec.InstrSize)
+		if f != mach.FaultNone {
+			break
+		}
+		bits := uint32(v)
+		id := s.dec.decode(bits)
+		if id < 0 {
+			break
+		}
+		in := s.Spec.Instrs[id]
+		blk.units = append(blk.units, s.translate(in, cur, bits))
+		cur += s.instrSize
+		if in.CTI || in.Barrier {
+			break
+		}
+	}
+	if len(blk.units) == 0 {
+		return nil
+	}
+	return blk
+}
+
+// Run drives the machine to completion (halt, fault, or the instruction
+// budget) through the buildset's natural interface, returning the number
+// of instructions executed. It is the convenience entry used by tools and
+// tests; benchmarks drive the interfaces directly.
+func (x *Exec) Run(maxInstrs uint64) uint64 {
+	start := x.M.Instret
+	switch {
+	case x.sim.BS.Mode == lis.ModeBlock:
+		var batch Batch
+		for !x.M.Halted && x.M.Instret-start < maxInstrs {
+			if !x.ExecBlock(&batch) {
+				break
+			}
+		}
+	case len(x.sim.BS.Entrypoints) > 1:
+		var rec Record
+		for !x.M.Halted && x.M.Instret-start < maxInstrs {
+			if !x.ExecOneStepwise(&rec) {
+				break
+			}
+		}
+	default:
+		var rec Record
+		for !x.M.Halted && x.M.Instret-start < maxInstrs {
+			if !x.ExecOne(&rec) {
+				break
+			}
+		}
+	}
+	return x.M.Instret - start
+}

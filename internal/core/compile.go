@@ -1,0 +1,658 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+)
+
+// The compiler lowers resolved action ASTs and generated operand ops into
+// trees of closures over *Exec. Specialization per buildset happens here:
+// hidden fields resolve to frame slots, dead statements (per liveness) are
+// dropped, and in translated mode the PC and instruction bits are
+// compile-time constants so operand decode folds away entirely.
+
+type evalFn func(*Exec) uint64
+type stepFn func(*Exec)
+
+type compiler struct {
+	sim *Sim
+	in  *lis.Instr
+	li  *liveInfo
+
+	// Translated-mode constants.
+	constPC   bool
+	pc        uint64
+	constBits bool
+	bits      uint32
+
+	letSlots map[*lis.Local]int
+	nextLet  int
+
+	work int // closure nodes emitted (deterministic work-unit accounting)
+}
+
+func (c *compiler) errf(pos lis.Pos, format string, args ...any) {
+	panic(&lis.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// value is a possibly-constant compiled expression.
+type value struct {
+	fn  evalFn
+	c   uint64
+	isC bool
+}
+
+func constVal(v uint64) value { return value{c: v, isC: true} }
+
+func (v value) force() evalFn {
+	if v.isC {
+		k := v.c
+		return func(*Exec) uint64 { return k }
+	}
+	return v.fn
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// compileExpr lowers an expression, folding constants.
+func (c *compiler) compileExpr(e lis.Expr) value {
+	switch e := e.(type) {
+	case *lis.NumExpr:
+		return constVal(e.Val)
+	case *lis.IdentExpr:
+		return c.compileIdent(e)
+	case *lis.UnaryExpr:
+		x := c.compileExpr(e.X)
+		if x.isC {
+			return constVal(lis.EvalUnaryOp(e.Op, x.c))
+		}
+		xf := x.fn
+		c.work++
+		switch e.Op {
+		case lis.OpNeg:
+			return value{fn: func(x *Exec) uint64 { return -xf(x) }}
+		case lis.OpInv:
+			return value{fn: func(x *Exec) uint64 { return ^xf(x) }}
+		default: // OpNot
+			return value{fn: func(x *Exec) uint64 { return b2u(xf(x) == 0) }}
+		}
+	case *lis.BinaryExpr:
+		return c.compileBinary(e)
+	case *lis.CondExpr:
+		cc := c.compileExpr(e.C)
+		if cc.isC {
+			if cc.c != 0 {
+				return c.compileExpr(e.A)
+			}
+			return c.compileExpr(e.B)
+		}
+		af := c.compileExpr(e.A).force()
+		bf := c.compileExpr(e.B).force()
+		cf := cc.fn
+		c.work++
+		return value{fn: func(x *Exec) uint64 {
+			if cf(x) != 0 {
+				return af(x)
+			}
+			return bf(x)
+		}}
+	case *lis.CallExpr:
+		return c.compileCall(e)
+	}
+	c.errf(e.Position(), "internal: unknown expression")
+	return value{}
+}
+
+func (c *compiler) compileBinary(e *lis.BinaryExpr) value {
+	l := c.compileExpr(e.L)
+	r := c.compileExpr(e.R)
+	if l.isC && r.isC {
+		return constVal(lis.EvalBinaryOp(e.Op, l.c, r.c))
+	}
+	lf := l.force()
+	rf := r.force()
+	c.work++
+	// Specialize the hottest operators; fall back to the shared evaluator.
+	switch e.Op {
+	case lis.OpAdd:
+		return value{fn: func(x *Exec) uint64 { return lf(x) + rf(x) }}
+	case lis.OpSub:
+		return value{fn: func(x *Exec) uint64 { return lf(x) - rf(x) }}
+	case lis.OpMul:
+		return value{fn: func(x *Exec) uint64 { return lf(x) * rf(x) }}
+	case lis.OpAnd:
+		return value{fn: func(x *Exec) uint64 { return lf(x) & rf(x) }}
+	case lis.OpOr:
+		return value{fn: func(x *Exec) uint64 { return lf(x) | rf(x) }}
+	case lis.OpXor:
+		return value{fn: func(x *Exec) uint64 { return lf(x) ^ rf(x) }}
+	case lis.OpEq:
+		return value{fn: func(x *Exec) uint64 { return b2u(lf(x) == rf(x)) }}
+	case lis.OpNe:
+		return value{fn: func(x *Exec) uint64 { return b2u(lf(x) != rf(x)) }}
+	case lis.OpLt:
+		return value{fn: func(x *Exec) uint64 { return b2u(lf(x) < rf(x)) }}
+	case lis.OpShl:
+		if r.isC && r.c < 64 {
+			k := r.c
+			return value{fn: func(x *Exec) uint64 { return lf(x) << k }}
+		}
+	case lis.OpShr:
+		if r.isC && r.c < 64 {
+			k := r.c
+			return value{fn: func(x *Exec) uint64 { return lf(x) >> k }}
+		}
+	case lis.OpLand:
+		return value{fn: func(x *Exec) uint64 {
+			if lf(x) == 0 {
+				return 0
+			}
+			return b2u(rf(x) != 0)
+		}}
+	case lis.OpLor:
+		return value{fn: func(x *Exec) uint64 {
+			if lf(x) != 0 {
+				return 1
+			}
+			return b2u(rf(x) != 0)
+		}}
+	}
+	op := e.Op
+	return value{fn: func(x *Exec) uint64 { return lis.EvalBinaryOp(op, lf(x), rf(x)) }}
+}
+
+func (c *compiler) compileIdent(e *lis.IdentExpr) value {
+	switch e.Ref {
+	case lis.RefConst:
+		return constVal(e.Sym.(*lis.Const).Val)
+	case lis.RefLocal:
+		slot, ok := c.letSlots[e.Sym.(*lis.Local)]
+		if !ok {
+			c.errf(e.Pos, "internal: local '%s' has no slot", e.Name)
+		}
+		c.work++
+		return value{fn: func(x *Exec) uint64 { return x.fr[slot] }}
+	case lis.RefEncoding:
+		ff := c.in.Format.Field(e.Name)
+		if ff == nil {
+			c.errf(e.Pos, "internal: encoding field '%s' missing from format", e.Name)
+		}
+		return c.encValue(ff)
+	case lis.RefField:
+		return c.readField(e.Sym.(*lis.Field), e.Pos)
+	}
+	c.errf(e.Pos, "internal: unresolved identifier '%s'", e.Name)
+	return value{}
+}
+
+// encValue extracts an encoding bitfield (constant-folded in translated
+// mode — the paper's binary-translation decode hoisting).
+func (c *compiler) encValue(ff *lis.FmtField) value {
+	lo, w := uint(ff.Lo), uint(ff.Width())
+	mask := uint32(1)<<w - 1
+	if c.constBits {
+		return constVal(uint64(c.bits >> lo & mask))
+	}
+	c.work++
+	return value{fn: func(x *Exec) uint64 { return uint64(x.bits >> lo & mask) }}
+}
+
+func (c *compiler) readField(f *lis.Field, pos lis.Pos) value {
+	if f.Builtin {
+		c.work++
+		switch f.Name {
+		case lis.FieldPC:
+			if c.constPC {
+				c.work--
+				return constVal(c.pc)
+			}
+			return value{fn: func(x *Exec) uint64 { return x.pc }}
+		case lis.FieldPhysPC:
+			return value{fn: func(x *Exec) uint64 { return x.physPC }}
+		case lis.FieldInstrBits:
+			if c.constBits {
+				c.work--
+				return constVal(uint64(c.bits))
+			}
+			return value{fn: func(x *Exec) uint64 { return uint64(x.bits) }}
+		case lis.FieldNextPC:
+			return value{fn: func(x *Exec) uint64 { return x.nextPC }}
+		case lis.FieldFault:
+			return value{fn: func(x *Exec) uint64 { return uint64(x.fault) }}
+		case lis.FieldCtx:
+			return value{fn: func(x *Exec) uint64 { return uint64(x.M.CtxID) }}
+		case lis.FieldOpcode:
+			return value{fn: func(x *Exec) uint64 { return uint64(x.instrID) }}
+		case lis.FieldNullify:
+			return value{fn: func(x *Exec) uint64 { return b2u(x.nullify) }}
+		}
+		c.errf(pos, "internal: unknown builtin field '%s'", f.Name)
+	}
+	slot := c.sim.fslot[f.Index]
+	c.work++
+	return value{fn: func(x *Exec) uint64 { return x.fr[slot] }}
+}
+
+// assignField returns a closure storing v into field f's working storage.
+func (c *compiler) assignField(f *lis.Field, v value, pos lis.Pos) stepFn {
+	c.work++
+	if f.Builtin {
+		vf := v.force()
+		switch f.Name {
+		case lis.FieldPhysPC:
+			return func(x *Exec) { x.physPC = vf(x) }
+		case lis.FieldNextPC:
+			return func(x *Exec) { x.nextPC = vf(x) }
+		case lis.FieldFault:
+			return func(x *Exec) { x.fault = mach.Fault(vf(x)) }
+		case lis.FieldNullify:
+			return func(x *Exec) { x.nullify = vf(x) != 0 }
+		}
+		c.errf(pos, "internal: assignment to read-only builtin '%s'", f.Name)
+	}
+	slot := c.sim.fslot[f.Index]
+	if f.Width < 64 {
+		mask := uint64(1)<<uint(f.Width) - 1
+		if v.isC {
+			k := v.c & mask
+			return func(x *Exec) { x.fr[slot] = k }
+		}
+		vf := v.fn
+		return func(x *Exec) { x.fr[slot] = vf(x) & mask }
+	}
+	vf := v.force()
+	return func(x *Exec) { x.fr[slot] = vf(x) }
+}
+
+func (c *compiler) compileCall(e *lis.CallExpr) value {
+	b := e.Builtin
+	switch b.Kind {
+	case lis.BuiltinPure:
+		args := make([]value, len(e.Args))
+		allC := true
+		for i, a := range e.Args {
+			args[i] = c.compileExpr(a)
+			allC = allC && args[i].isC
+		}
+		if allC {
+			cv := make([]uint64, len(args))
+			for i, a := range args {
+				cv[i] = a.c
+			}
+			return constVal(lis.EvalPureBuiltin(b, cv))
+		}
+		return c.purBuiltin(b, args)
+	case lis.BuiltinLoad:
+		addr := c.compileExpr(e.Args[0]).force()
+		size := b.Size
+		c.work += 2
+		if b.Signed {
+			sh := uint(64 - 8*size)
+			return value{fn: func(x *Exec) uint64 {
+				v, f := x.M.LoadValue(addr(x), size)
+				if f != mach.FaultNone {
+					x.fault = f
+					return 0
+				}
+				return uint64(int64(v<<sh) >> sh)
+			}}
+		}
+		return value{fn: func(x *Exec) uint64 {
+			v, f := x.M.LoadValue(addr(x), size)
+			if f != mach.FaultNone {
+				x.fault = f
+				return 0
+			}
+			return v
+		}}
+	}
+	c.errf(e.Pos, "internal: builtin '%s' in expression position", b.Name)
+	return value{}
+}
+
+// purBuiltin compiles a pure builtin with at least one dynamic argument.
+// The hottest builtins get dedicated closures; the rest evaluate through
+// the shared table.
+func (c *compiler) purBuiltin(b *lis.Builtin, args []value) value {
+	c.work++
+	switch b.Name {
+	case "sext8":
+		a := args[0].force()
+		return value{fn: func(x *Exec) uint64 { return uint64(int64(int8(a(x)))) }}
+	case "sext16":
+		a := args[0].force()
+		return value{fn: func(x *Exec) uint64 { return uint64(int64(int16(a(x)))) }}
+	case "sext32":
+		a := args[0].force()
+		return value{fn: func(x *Exec) uint64 { return uint64(int64(int32(a(x)))) }}
+	case "sext":
+		if args[1].isC && args[1].c > 0 && args[1].c < 64 {
+			a := args[0].force()
+			sh := uint(64 - args[1].c)
+			return value{fn: func(x *Exec) uint64 { return uint64(int64(a(x)<<sh) >> sh) }}
+		}
+	case "trunc":
+		if args[1].isC && args[1].c < 64 {
+			a := args[0].force()
+			mask := uint64(1)<<args[1].c - 1
+			return value{fn: func(x *Exec) uint64 { return a(x) & mask }}
+		}
+	case "bits":
+		if args[1].isC && args[2].isC && args[1].c < 64 && args[2].c <= args[1].c {
+			a := args[0].force()
+			lo := args[2].c
+			mask := uint64(1)<<(args[1].c-args[2].c+1) - 1
+			return value{fn: func(x *Exec) uint64 { return a(x) >> lo & mask }}
+		}
+	case "asr":
+		a0 := args[0].force()
+		a1 := args[1].force()
+		return value{fn: func(x *Exec) uint64 {
+			s := a1(x)
+			if s >= 64 {
+				s = 63
+			}
+			return uint64(int64(a0(x)) >> s)
+		}}
+	case "lts":
+		a0, a1 := args[0].force(), args[1].force()
+		return value{fn: func(x *Exec) uint64 { return b2u(int64(a0(x)) < int64(a1(x))) }}
+	case "ges":
+		a0, a1 := args[0].force(), args[1].force()
+		return value{fn: func(x *Exec) uint64 { return b2u(int64(a0(x)) >= int64(a1(x))) }}
+	case "popcnt":
+		a := args[0].force()
+		return value{fn: func(x *Exec) uint64 { return uint64(bits.OnesCount64(a(x))) }}
+	}
+	fns := make([]evalFn, len(args))
+	for i, a := range args {
+		fns[i] = a.force()
+	}
+	switch len(fns) {
+	case 1:
+		f0 := fns[0]
+		return value{fn: func(x *Exec) uint64 { return lis.EvalPureBuiltin(b, []uint64{f0(x)}) }}
+	case 2:
+		f0, f1 := fns[0], fns[1]
+		return value{fn: func(x *Exec) uint64 { return lis.EvalPureBuiltin(b, []uint64{f0(x), f1(x)}) }}
+	default:
+		return value{fn: func(x *Exec) uint64 {
+			av := make([]uint64, len(fns))
+			for i, f := range fns {
+				av[i] = f(x)
+			}
+			return lis.EvalPureBuiltin(b, av)
+		}}
+	}
+}
+
+// compiled statement with fault metadata for sequencing.
+type cstmt struct {
+	run      stepFn
+	canFault bool
+}
+
+// compileBlock compiles the live statements of a block into a fused stepFn
+// (nil when everything in it is dead). Fault checks are inserted after
+// fault-capable statements so a faulting instruction stops mid-step.
+func (c *compiler) compileBlock(b *lis.Block) (stepFn, bool) {
+	var stmts []cstmt
+	for _, st := range b.Stmts {
+		if !c.li.stmt[st] {
+			continue
+		}
+		if cs := c.compileStmt(st); cs.run != nil {
+			stmts = append(stmts, cs)
+		}
+	}
+	return fuse(stmts)
+}
+
+// fuse sequences compiled statements with fault short-circuiting.
+func fuse(stmts []cstmt) (stepFn, bool) {
+	switch len(stmts) {
+	case 0:
+		return nil, false
+	case 1:
+		return stmts[0].run, stmts[0].canFault
+	}
+	canFault := false
+	anyMidFault := false
+	for i, s := range stmts {
+		if s.canFault {
+			canFault = true
+			if i < len(stmts)-1 {
+				anyMidFault = true
+			}
+		}
+	}
+	if !anyMidFault {
+		// No statement before the last can fault: plain sequencing.
+		fns := make([]stepFn, len(stmts))
+		for i, s := range stmts {
+			fns[i] = s.run
+		}
+		return func(x *Exec) {
+			for _, f := range fns {
+				f(x)
+			}
+		}, canFault
+	}
+	type guarded struct {
+		run   stepFn
+		guard bool // check fault after running
+	}
+	gs := make([]guarded, len(stmts))
+	for i, s := range stmts {
+		gs[i] = guarded{run: s.run, guard: s.canFault && i < len(stmts)-1}
+	}
+	return func(x *Exec) {
+		for _, g := range gs {
+			g.run(x)
+			if g.guard && x.fault != mach.FaultNone {
+				return
+			}
+		}
+	}, true
+}
+
+func (c *compiler) compileStmt(st lis.Stmt) cstmt {
+	switch st := st.(type) {
+	case *lis.Block:
+		run, cf := c.compileBlock(st)
+		return cstmt{run: run, canFault: cf}
+	case *lis.AssignStmt:
+		v := c.compileExpr(st.RHS)
+		cf := exprHasEffect(st.RHS)
+		switch st.Ref {
+		case lis.RefField:
+			return cstmt{run: c.assignField(st.Sym.(*lis.Field), v, st.Pos), canFault: cf}
+		case lis.RefLocal:
+			slot := c.letSlots[st.Sym.(*lis.Local)]
+			vf := v.force()
+			c.work++
+			return cstmt{run: func(x *Exec) { x.fr[slot] = vf(x) }, canFault: cf}
+		}
+		c.errf(st.Pos, "internal: unresolved assignment")
+	case *lis.LetStmt:
+		slot := c.nextLet + c.sim.frameFields
+		c.nextLet++
+		c.letSlots[st.Local] = slot
+		vf := c.compileExpr(st.RHS).force()
+		c.work++
+		return cstmt{run: func(x *Exec) { x.fr[slot] = vf(x) }, canFault: exprHasEffect(st.RHS)}
+	case *lis.IfStmt:
+		cond := c.compileExpr(st.Cond)
+		thenFn, thenF := c.compileBlock(st.Then)
+		var elseFn stepFn
+		elseF := false
+		if st.Else != nil && c.li.stmt[st.Else] {
+			cs := c.compileStmt(st.Else)
+			elseFn, elseF = cs.run, cs.canFault
+		}
+		cf := thenF || elseF || exprHasEffect(st.Cond)
+		if cond.isC {
+			if cond.c != 0 {
+				return cstmt{run: thenFn, canFault: thenF}
+			}
+			return cstmt{run: elseFn, canFault: elseF}
+		}
+		cfn := cond.fn
+		c.work++
+		if elseFn == nil {
+			if thenFn == nil {
+				return cstmt{run: func(x *Exec) { cfn(x) }, canFault: cf}
+			}
+			tf := thenFn
+			return cstmt{run: func(x *Exec) {
+				if cfn(x) != 0 {
+					tf(x)
+				}
+			}, canFault: cf}
+		}
+		tf, ef := thenFn, elseFn
+		if tf == nil {
+			tf = func(*Exec) {}
+		}
+		return cstmt{run: func(x *Exec) {
+			if cfn(x) != 0 {
+				tf(x)
+			} else {
+				ef(x)
+			}
+		}, canFault: cf}
+	case *lis.CallStmt:
+		return c.compileCallStmt(st)
+	}
+	c.errf(lis.Pos{}, "internal: unknown statement")
+	return cstmt{}
+}
+
+func (c *compiler) compileCallStmt(st *lis.CallStmt) cstmt {
+	b := st.Builtin
+	c.work += 2
+	switch b.Kind {
+	case lis.BuiltinStore:
+		addr := c.compileExpr(st.Args[0]).force()
+		val := c.compileExpr(st.Args[1]).force()
+		size := b.Size
+		return cstmt{run: func(x *Exec) {
+			if f := x.M.StoreValue(addr(x), val(x), size); f != mach.FaultNone {
+				x.fault = f
+			}
+		}, canFault: true}
+	case lis.BuiltinEffect:
+		switch b.Name {
+		case "syscall":
+			return cstmt{run: func(x *Exec) {
+				if x.M.Syscall == nil {
+					x.fault = mach.FaultIllegal
+					return
+				}
+				x.M.Syscall(x.M)
+				if x.M.Halted {
+					x.fault = mach.FaultHalt
+				}
+			}, canFault: true}
+		case "halt":
+			code := c.compileExpr(st.Args[0]).force()
+			return cstmt{run: func(x *Exec) {
+				x.M.Halt(int(code(x)))
+				x.fault = mach.FaultHalt
+			}, canFault: true}
+		}
+	}
+	c.errf(st.Pos, "internal: unknown effect builtin '%s'", b.Name)
+	return cstmt{}
+}
+
+// compileOp compiles one generated operand op (decode extract / read /
+// write).
+func (c *compiler) compileOp(op iop) cstmt {
+	b := op.bind
+	sp := b.Acc.Space
+	spIdx := sp.Index
+	count := sp.Count
+	zero := sp.Zero
+	switch op.kind {
+	case opExtract:
+		var v value
+		if b.IdxEnc != nil {
+			v = c.encValue(b.IdxEnc)
+		} else {
+			v = constVal(uint64(b.IdxConst))
+		}
+		return cstmt{run: c.assignField(b.Op.IdxField, v, b.Pos)}
+	case opRead:
+		idx := c.operandIndex(b, count)
+		var v value
+		c.work++
+		if idx.isC {
+			k := int(idx.c)
+			if k == zero {
+				v = constVal(0)
+				c.work--
+			} else {
+				v = value{fn: func(x *Exec) uint64 { return x.spaces[spIdx].Vals[k] }}
+			}
+		} else {
+			idxF := idx.fn
+			v = value{fn: func(x *Exec) uint64 { return x.spaces[spIdx].Read(int(idxF(x))) }}
+		}
+		return cstmt{run: c.assignField(b.Op.Value, v, b.Pos)}
+	case opWrite:
+		idx := c.operandIndex(b, count)
+		val := c.readField(b.Op.Value, b.Pos).force()
+		c.work++
+		if c.sim.BS.Spec {
+			c.work += 2 // undo-journal append per architectural write
+			if idx.isC {
+				k := int(idx.c)
+				return cstmt{run: func(x *Exec) { x.M.WriteReg(x.spaces[spIdx], k, val(x)) }}
+			}
+			idxF := idx.fn
+			return cstmt{run: func(x *Exec) { x.M.WriteReg(x.spaces[spIdx], int(idxF(x)), val(x)) }}
+		}
+		if idx.isC {
+			k := int(idx.c)
+			if k == zero {
+				return cstmt{run: func(x *Exec) { val(x) }}
+			}
+			return cstmt{run: func(x *Exec) { x.spaces[spIdx].Vals[k] = val(x) }}
+		}
+		idxF := idx.fn
+		return cstmt{run: func(x *Exec) { x.spaces[spIdx].Write(int(idxF(x)), val(x)) }}
+	}
+	c.errf(b.Pos, "internal: compileOp on action")
+	return cstmt{}
+}
+
+// operandIndex produces the register index for a binding: a compile-time
+// constant in translated mode (decode hoisted) or for constant bindings;
+// otherwise the decoded index field's storage is read, so a timing
+// simulator may redirect operand access between Step calls by rewriting
+// the index field in the record. The index is clamped into the space.
+func (c *compiler) operandIndex(b *lis.OperandBinding, count int) value {
+	if b.IdxEnc == nil {
+		return constVal(uint64(b.IdxConst))
+	}
+	if c.constBits {
+		v := c.encValue(b.IdxEnc)
+		return constVal(v.c % uint64(count))
+	}
+	vf := c.readField(b.Op.IdxField, b.Pos).force()
+	if count&(count-1) == 0 {
+		mask := uint64(count - 1)
+		return value{fn: func(x *Exec) uint64 { return vf(x) & mask }}
+	}
+	n := uint64(count)
+	return value{fn: func(x *Exec) uint64 { return vf(x) % n }}
+}

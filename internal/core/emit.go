@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"singlespec/internal/lis"
+)
+
+// EmitSpecialized renders the code the engine derives for this buildset as
+// readable Go-style source — the direct analogue of the paper's Figures 3
+// and 4: hidden fields appear as locals, visible fields as record stores,
+// and computation eliminated by liveness analysis appears as a comment.
+// instrName restricts output to one instruction ("" emits all).
+//
+// The emitted text documents the specialization; the engine executes the
+// equivalent compiled closures.
+func (s *Sim) EmitSpecialized(instrName string) string {
+	var b strings.Builder
+	for _, in := range s.Spec.Instrs {
+		if instrName != "" && in.Name != instrName {
+			continue
+		}
+		s.emitInstr(&b, in)
+	}
+	return b.String()
+}
+
+func (s *Sim) emitInstr(b *strings.Builder, in *lis.Instr) {
+	ops := buildOps(s.Spec, in)
+	li := analyzeLiveness(s.BS, ops, false)
+	if s.Opts.NoDCE {
+		li = liveAll(ops)
+	}
+	e := &emitter{sim: s, in: in, li: li, b: b}
+
+	fmt.Fprintf(b, "// %s: instruction %s under buildset %q\n", s.Spec.Name, in.Name, s.BS.Name)
+
+	// Collect hidden fields this instruction actually uses (frame locals).
+	locals := e.usedHiddenFields(ops)
+	for epi, ep := range s.BS.Entrypoints {
+		fmt.Fprintf(b, "func %s_%s(m *Machine, di *Record) {\n", in.Name, ep.Name)
+		if epi == 0 || len(s.BS.Entrypoints) > 1 {
+			if len(locals) > 0 {
+				fmt.Fprintf(b, "\tvar %s uint64 // hidden fields: private locals\n", strings.Join(locals, ", "))
+			}
+		}
+		wrote := false
+		for i, op := range ops {
+			if s.epOf[op.step] != epi {
+				continue
+			}
+			e.emitOp(i, op)
+			wrote = true
+		}
+		if !wrote {
+			fmt.Fprintf(b, "\t// (no work for this instruction at this interface call)\n")
+		}
+		if epi == len(s.BS.Entrypoints)-1 {
+			fmt.Fprintf(b, "\tm.PC = %s\n", e.fieldRef(s.Spec.Field(lis.FieldNextPC)))
+		}
+		fmt.Fprintf(b, "}\n")
+	}
+	fmt.Fprintln(b)
+}
+
+type emitter struct {
+	sim *Sim
+	in  *lis.Instr
+	li  *liveInfo
+	b   *strings.Builder
+}
+
+// usedHiddenFields lists hidden non-builtin fields referenced by live code.
+func (e *emitter) usedHiddenFields(ops []iop) []string {
+	seen := map[string]bool{}
+	var out []string
+	note := func(f *lis.Field) {
+		if f == nil || f.Builtin || e.sim.BS.Visible(f) || seen[f.Name] {
+			return
+		}
+		seen[f.Name] = true
+		out = append(out, f.Name)
+	}
+	var walkE func(x lis.Expr)
+	var walkS func(st lis.Stmt)
+	walkE = func(x lis.Expr) {
+		switch x := x.(type) {
+		case *lis.IdentExpr:
+			if x.Ref == lis.RefField {
+				note(x.Sym.(*lis.Field))
+			}
+		case *lis.UnaryExpr:
+			walkE(x.X)
+		case *lis.BinaryExpr:
+			walkE(x.L)
+			walkE(x.R)
+		case *lis.CondExpr:
+			walkE(x.C)
+			walkE(x.A)
+			walkE(x.B)
+		case *lis.CallExpr:
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		}
+	}
+	walkS = func(st lis.Stmt) {
+		if !e.li.stmt[st] {
+			return
+		}
+		switch st := st.(type) {
+		case *lis.Block:
+			for _, s2 := range st.Stmts {
+				walkS(s2)
+			}
+		case *lis.AssignStmt:
+			if st.Ref == lis.RefField {
+				note(st.Sym.(*lis.Field))
+			}
+			walkE(st.RHS)
+		case *lis.LetStmt:
+			walkE(st.RHS)
+		case *lis.IfStmt:
+			walkE(st.Cond)
+			walkS(st.Then)
+			if st.Else != nil {
+				walkS(st.Else)
+			}
+		case *lis.CallStmt:
+			for _, a := range st.Args {
+				walkE(a)
+			}
+		}
+	}
+	for i, op := range ops {
+		if !e.li.op[i] {
+			continue
+		}
+		switch op.kind {
+		case opExtract:
+			note(op.bind.Op.IdxField)
+		case opRead, opWrite:
+			note(op.bind.Op.Value)
+			if op.bind.IdxEnc != nil {
+				note(op.bind.Op.IdxField)
+			}
+		case opAction:
+			walkS(op.act.Body)
+		}
+	}
+	return out
+}
+
+func (e *emitter) fieldRef(f *lis.Field) string {
+	if f.Builtin {
+		switch f.Name {
+		case lis.FieldPC:
+			return "di.PC"
+		case lis.FieldPhysPC:
+			return "di.PhysPC"
+		case lis.FieldInstrBits:
+			return "di.InstrBits"
+		case lis.FieldNextPC:
+			return "di.NextPC"
+		case lis.FieldFault:
+			return "di.Fault"
+		case lis.FieldCtx:
+			return "di.Ctx"
+		case lis.FieldOpcode:
+			return "di.InstrID"
+		case lis.FieldNullify:
+			return "di.Nullified"
+		}
+	}
+	if e.sim.BS.Visible(f) {
+		return "di." + f.Name // published in the record
+	}
+	return f.Name // hidden: a local
+}
+
+func (e *emitter) emitOp(idx int, op iop) {
+	ind := "\t"
+	stepName := e.sim.Spec.Steps[op.step]
+	switch op.kind {
+	case opExtract:
+		f := op.bind.Op.IdxField
+		src := fmt.Sprintf("bits(di.InstrBits, %d, %d)", enc(op.bind).Hi, enc(op.bind).Lo)
+		if op.bind.IdxEnc == nil {
+			src = fmt.Sprintf("%d", op.bind.IdxConst)
+		}
+		if e.li.op[idx] {
+			fmt.Fprintf(e.b, "%s%s = %s // %s: operand decode\n", ind, e.fieldRef(f), src, stepName)
+		} else {
+			fmt.Fprintf(e.b, "%s// dead (hidden): %s = %s\n", ind, f.Name, src)
+		}
+	case opRead:
+		f := op.bind.Op.Value
+		idxs := e.idxRef(op.bind)
+		if e.li.op[idx] {
+			fmt.Fprintf(e.b, "%s%s = m.%s[%s] // %s: read operand %s\n",
+				ind, e.fieldRef(f), op.bind.Acc.Space.Name, idxs, stepName, op.bind.Op.Name)
+		} else {
+			fmt.Fprintf(e.b, "%s// dead (hidden): %s = m.%s[%s]\n", ind, f.Name, op.bind.Acc.Space.Name, idxs)
+		}
+	case opWrite:
+		f := op.bind.Op.Value
+		idxs := e.idxRef(op.bind)
+		fmt.Fprintf(e.b, "%sm.%s[%s] = %s // %s: write operand %s\n",
+			ind, op.bind.Acc.Space.Name, idxs, e.fieldRef(f), stepName, op.bind.Op.Name)
+	case opAction:
+		fmt.Fprintf(e.b, "%s// %s action (%s)\n", ind, stepName, op.act.Owner)
+		e.emitBlock(op.act.Body, ind)
+	}
+}
+
+func enc(b *lis.OperandBinding) *lis.FmtField {
+	if b.IdxEnc != nil {
+		return b.IdxEnc
+	}
+	return &lis.FmtField{}
+}
+
+func (e *emitter) idxRef(b *lis.OperandBinding) string {
+	if b.IdxEnc == nil {
+		return fmt.Sprintf("%d", b.IdxConst)
+	}
+	return e.fieldRef(b.Op.IdxField)
+}
+
+func (e *emitter) emitBlock(blk *lis.Block, ind string) {
+	for _, st := range blk.Stmts {
+		e.emitStmt(st, ind)
+	}
+}
+
+func (e *emitter) emitStmt(st lis.Stmt, ind string) {
+	switch st := st.(type) {
+	case *lis.Block:
+		e.emitBlock(st, ind)
+	case *lis.AssignStmt:
+		var lhs string
+		if st.Ref == lis.RefField {
+			lhs = e.fieldRef(st.Sym.(*lis.Field))
+		} else {
+			lhs = st.Name
+		}
+		if e.li.stmt[st] {
+			fmt.Fprintf(e.b, "%s%s = %s\n", ind, lhs, e.expr(st.RHS))
+		} else {
+			fmt.Fprintf(e.b, "%s// dead (hidden): %s = %s\n", ind, st.Name, e.expr(st.RHS))
+		}
+	case *lis.LetStmt:
+		if e.li.stmt[st] {
+			fmt.Fprintf(e.b, "%s%s := %s\n", ind, st.Name, e.expr(st.RHS))
+		} else {
+			fmt.Fprintf(e.b, "%s// dead: %s := %s\n", ind, st.Name, e.expr(st.RHS))
+		}
+	case *lis.IfStmt:
+		if !e.li.stmt[st] {
+			fmt.Fprintf(e.b, "%s// dead: if %s { ... }\n", ind, e.expr(st.Cond))
+			return
+		}
+		fmt.Fprintf(e.b, "%sif %s != 0 {\n", ind, e.expr(st.Cond))
+		e.emitBlock(st.Then, ind+"\t")
+		if st.Else != nil {
+			fmt.Fprintf(e.b, "%s} else {\n", ind)
+			e.emitStmt(st.Else, ind+"\t")
+		}
+		fmt.Fprintf(e.b, "%s}\n", ind)
+	case *lis.CallStmt:
+		fmt.Fprintf(e.b, "%s%s(%s)\n", ind, st.Name, e.args(st.Args))
+	}
+}
+
+func (e *emitter) args(xs []lis.Expr) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = e.expr(x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (e *emitter) expr(x lis.Expr) string {
+	switch x := x.(type) {
+	case *lis.NumExpr:
+		if x.Val > 9 {
+			return fmt.Sprintf("%#x", x.Val)
+		}
+		return fmt.Sprintf("%d", x.Val)
+	case *lis.IdentExpr:
+		switch x.Ref {
+		case lis.RefField:
+			return e.fieldRef(x.Sym.(*lis.Field))
+		case lis.RefConst:
+			return fmt.Sprintf("%d", x.Sym.(*lis.Const).Val)
+		case lis.RefEncoding:
+			ff := e.in.Format.Field(x.Name)
+			return fmt.Sprintf("bits(di.InstrBits, %d, %d)", ff.Hi, ff.Lo)
+		default:
+			return x.Name
+		}
+	case *lis.UnaryExpr:
+		return fmt.Sprintf("%s(%s)", x.Op, e.expr(x.X))
+	case *lis.BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", e.expr(x.L), x.Op, e.expr(x.R))
+	case *lis.CondExpr:
+		return fmt.Sprintf("tern(%s, %s, %s)", e.expr(x.C), e.expr(x.A), e.expr(x.B))
+	case *lis.CallExpr:
+		return fmt.Sprintf("%s(%s)", x.Name, e.args(x.Args))
+	}
+	return "?"
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+
+	"singlespec/internal/lis"
+)
+
+// An iop is one unit of an instruction's execution: a generated operand
+// decode/read/write or a user action body. The planner lays out each
+// instruction as an ordered iop list (grouped by step) and then runs
+// liveness analysis over it.
+type opKind int
+
+const (
+	opExtract opKind = iota // idx_field = encoding bits (operand decode)
+	opRead                  // value_field = space[idx]
+	opWrite                 // space[idx] = value_field (architectural write)
+	opAction                // user action body
+)
+
+type iop struct {
+	kind opKind
+	step int
+	bind *lis.OperandBinding
+	act  *lis.Action
+}
+
+// buildOps lays out the execution order of one instruction: for each step
+// in spec order — generated operand decodes (at the decode step), generated
+// reads, user actions, then generated writes.
+func buildOps(spec *lis.Spec, in *lis.Instr) []iop {
+	var ops []iop
+	// Steps before the decode step are engine-level (ALL actions only) and
+	// are handled by the simulator's pre-decode sequence.
+	for s := spec.DecodeStep; s < len(spec.Steps); s++ {
+		if s == spec.DecodeStep {
+			for _, b := range in.Operands {
+				ops = append(ops, iop{kind: opExtract, step: s, bind: b})
+			}
+		}
+		for _, b := range in.Operands {
+			if !b.Op.IsWrite && b.Op.AccessStep == s {
+				ops = append(ops, iop{kind: opRead, step: s, bind: b})
+			}
+		}
+		for _, act := range in.StepActions[s] {
+			ops = append(ops, iop{kind: opAction, step: s, act: act})
+		}
+		for _, b := range in.Operands {
+			if b.Op.IsWrite && b.Op.AccessStep == s {
+				ops = append(ops, iop{kind: opWrite, step: s, bind: b})
+			}
+		}
+	}
+	return ops
+}
+
+// Builtin fields that action code may assign and that are always live
+// (published in the record header or consumed by the engine).
+var writableBuiltins = map[string]bool{
+	lis.FieldNextPC: true, lis.FieldFault: true,
+	lis.FieldNullify: true, lis.FieldPhysPC: true,
+}
+
+// liveInfo records the result of liveness analysis for one (instruction,
+// buildset) pair: which statements and iops must be compiled. Statement
+// bodies are shared between instructions (class actions), so liveness is a
+// side table rather than an AST annotation.
+type liveInfo struct {
+	stmt map[lis.Stmt]bool
+	op   []bool
+}
+
+// analyzeLiveness runs backward liveness/DCE over an instruction's iops.
+// A computation is kept iff it feeds an architectural effect, a visible
+// (published) field, an engine control field, or a side-effecting builtin.
+// This is the mechanism by which hiding a field removes its computation
+// (the paper's "dead code which can be optimized away", §IV-A).
+// translated controls whether operand reads/writes take their register
+// index from the decoded index field's storage (dynamic mode) or from a
+// compile-time constant (translated mode, where decode is hoisted).
+func analyzeLiveness(bs *lis.Buildset, ops []iop, translated bool) *liveInfo {
+	li := &liveInfo{stmt: make(map[lis.Stmt]bool), op: make([]bool, len(ops))}
+	live := make(map[any]bool)
+	needed := func(f *lis.Field) bool {
+		if f.Builtin {
+			return true // header fields are always published
+		}
+		return bs.Visible(f) || live[f]
+	}
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		switch op.kind {
+		case opWrite:
+			li.op[i] = true
+			live[op.bind.Op.Value] = true
+			if op.bind.IdxEnc != nil && !translated {
+				live[op.bind.Op.IdxField] = true
+			}
+		case opRead:
+			if needed(op.bind.Op.Value) {
+				li.op[i] = true
+				delete(live, op.bind.Op.Value)
+				if op.bind.IdxEnc != nil && !translated {
+					live[op.bind.Op.IdxField] = true
+				}
+			}
+		case opExtract:
+			f := op.bind.Op.IdxField
+			if bs.Visible(f) || live[f] {
+				li.op[i] = true
+				delete(live, f)
+			}
+		case opAction:
+			if blockLive := liveBlock(op.act.Body, live, bs, li); blockLive {
+				li.op[i] = true
+			}
+		}
+	}
+	return li
+}
+
+// liveBlock analyzes a statement block backward, mutating live in place and
+// marking live statements in li. It reports whether any statement in the
+// block is live.
+func liveBlock(b *lis.Block, live map[any]bool, bs *lis.Buildset, li *liveInfo) bool {
+	any := false
+	for i := len(b.Stmts) - 1; i >= 0; i-- {
+		if liveStmt(b.Stmts[i], live, bs, li) {
+			any = true
+		}
+	}
+	if any {
+		li.stmt[b] = true
+	}
+	return any
+}
+
+func liveStmt(st lis.Stmt, live map[any]bool, bs *lis.Buildset, li *liveInfo) bool {
+	switch st := st.(type) {
+	case *lis.Block:
+		return liveBlock(st, live, bs, li)
+	case *lis.AssignStmt:
+		isLive := exprHasEffect(st.RHS)
+		switch st.Ref {
+		case lis.RefField:
+			f := st.Sym.(*lis.Field)
+			if f.Builtin {
+				isLive = true // next_pc / fault / nullify / phys_pc
+			} else if bs.Visible(f) || live[f] {
+				isLive = true
+			}
+			if isLive {
+				delete(live, f)
+			}
+		case lis.RefLocal:
+			if live[st.Sym.(*lis.Local)] {
+				isLive = true
+				delete(live, st.Sym.(*lis.Local))
+			}
+		}
+		if isLive {
+			addUses(st.RHS, live)
+			li.stmt[st] = true
+		}
+		return isLive
+	case *lis.LetStmt:
+		isLive := live[st.Local] || exprHasEffect(st.RHS)
+		if isLive {
+			delete(live, st.Local)
+			addUses(st.RHS, live)
+			li.stmt[st] = true
+		}
+		return isLive
+	case *lis.IfStmt:
+		thenLive := liveBranch(st.Then, live, bs, li)
+		var elseLive map[any]bool
+		elseAny := false
+		if st.Else != nil {
+			elseLive = copySet(live)
+			elseAny = liveStmt(st.Else, elseLive, bs, li)
+		}
+		anyInner := li.stmt[st.Then] || elseAny
+		if !anyInner && !exprHasEffect(st.Cond) {
+			return false
+		}
+		// Merge branch live-in sets (conditional kills do not kill).
+		for k := range thenLive {
+			live[k] = true
+		}
+		for k := range elseLive {
+			live[k] = true
+		}
+		addUses(st.Cond, live)
+		li.stmt[st] = true
+		return true
+	case *lis.CallStmt:
+		// store*/syscall/halt: always live.
+		for _, a := range st.Args {
+			addUses(a, live)
+		}
+		li.stmt[st] = true
+		return true
+	}
+	return false
+}
+
+// liveBranch analyzes a branch body on a copy of the live set and returns
+// the branch's live-in set.
+func liveBranch(b *lis.Block, live map[any]bool, bs *lis.Buildset, li *liveInfo) map[any]bool {
+	branch := copySet(live)
+	liveBlock(b, branch, bs, li)
+	return branch
+}
+
+func copySet(s map[any]bool) map[any]bool {
+	out := make(map[any]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func addUses(e lis.Expr, live map[any]bool) {
+	switch e := e.(type) {
+	case *lis.IdentExpr:
+		switch e.Ref {
+		case lis.RefField:
+			if f := e.Sym.(*lis.Field); !f.Builtin {
+				live[f] = true
+			}
+		case lis.RefLocal:
+			live[e.Sym.(*lis.Local)] = true
+		}
+	case *lis.UnaryExpr:
+		addUses(e.X, live)
+	case *lis.BinaryExpr:
+		addUses(e.L, live)
+		addUses(e.R, live)
+	case *lis.CondExpr:
+		addUses(e.C, live)
+		addUses(e.A, live)
+		addUses(e.B, live)
+	case *lis.CallExpr:
+		for _, a := range e.Args {
+			addUses(a, live)
+		}
+	}
+}
+
+// exprHasEffect reports whether evaluating e has a side effect (memory
+// loads may fault, so dead assignments containing them are kept).
+func exprHasEffect(e lis.Expr) bool {
+	switch e := e.(type) {
+	case *lis.UnaryExpr:
+		return exprHasEffect(e.X)
+	case *lis.BinaryExpr:
+		return exprHasEffect(e.L) || exprHasEffect(e.R)
+	case *lis.CondExpr:
+		return exprHasEffect(e.C) || exprHasEffect(e.A) || exprHasEffect(e.B)
+	case *lis.CallExpr:
+		if e.Builtin != nil && e.Builtin.Kind == lis.BuiltinLoad {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprHasEffect(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkInterface validates one instruction's dataflow against a buildset:
+// a hidden field written in one entrypoint and read in a later one is an
+// error (the paper's classic interface bug, §IV-B step 4); a field read
+// before any write in the same instruction earns a warning. Liveness must
+// already have run: dead statements are not checked.
+func checkInterface(spec *lis.Spec, bs *lis.Buildset, in *lis.Instr, ops []iop, li *liveInfo) (errs, warns []string) {
+	// Map each step to its entrypoint ordinal.
+	epOf := make([]int, len(spec.Steps))
+	for i := range epOf {
+		epOf[i] = -1
+	}
+	for ei, ep := range bs.Entrypoints {
+		for _, s := range ep.Steps {
+			epOf[s] = ei
+		}
+	}
+	writtenEp := make(map[*lis.Field]int) // field -> ep of first write
+	writtenNow := make(map[any]bool)      // written so far in current ep (optimistic)
+	curEp := -2
+	reported := make(map[string]bool)
+
+	checkRead := func(f *lis.Field, ep int) {
+		if f.Builtin || writtenNow[f] {
+			return
+		}
+		key := in.Name + "/" + f.Name
+		if reported[key] {
+			return
+		}
+		if wep, ok := writtenEp[f]; ok && wep != ep {
+			if !bs.Visible(f) && !bs.Unchecked {
+				reported[key] = true
+				errs = append(errs, fmt.Sprintf(
+					"buildset %s: instruction %s: hidden field '%s' is written in entrypoint '%s' and read in '%s'; it must be visible to cross the interface",
+					bs.Name, in.Name, f.Name, bs.Entrypoints[wep].Name, bs.Entrypoints[ep].Name))
+			}
+			return
+		}
+		if _, ok := writtenEp[f]; !ok {
+			reported[key] = true
+			warns = append(warns, fmt.Sprintf(
+				"buildset %s: instruction %s: field '%s' may be read before it is written",
+				bs.Name, in.Name, f.Name))
+		}
+	}
+
+	var scanReads func(e lis.Expr, ep int)
+	scanReads = func(e lis.Expr, ep int) {
+		switch e := e.(type) {
+		case *lis.IdentExpr:
+			if e.Ref == lis.RefField {
+				checkRead(e.Sym.(*lis.Field), ep)
+			}
+		case *lis.UnaryExpr:
+			scanReads(e.X, ep)
+		case *lis.BinaryExpr:
+			scanReads(e.L, ep)
+			scanReads(e.R, ep)
+		case *lis.CondExpr:
+			scanReads(e.C, ep)
+			scanReads(e.A, ep)
+			scanReads(e.B, ep)
+		case *lis.CallExpr:
+			for _, a := range e.Args {
+				scanReads(a, ep)
+			}
+		}
+	}
+	noteWrite := func(f *lis.Field, ep int) {
+		writtenNow[f] = true
+		if _, ok := writtenEp[f]; !ok {
+			writtenEp[f] = ep
+		}
+	}
+	var scanStmt func(st lis.Stmt, ep int)
+	scanStmt = func(st lis.Stmt, ep int) {
+		if !li.stmt[st] {
+			return
+		}
+		switch st := st.(type) {
+		case *lis.Block:
+			for _, s := range st.Stmts {
+				scanStmt(s, ep)
+			}
+		case *lis.AssignStmt:
+			scanReads(st.RHS, ep)
+			if st.Ref == lis.RefField {
+				noteWrite(st.Sym.(*lis.Field), ep)
+			}
+		case *lis.LetStmt:
+			scanReads(st.RHS, ep)
+		case *lis.IfStmt:
+			scanReads(st.Cond, ep)
+			scanStmt(st.Then, ep)
+			if st.Else != nil {
+				scanStmt(st.Else, ep)
+			}
+		case *lis.CallStmt:
+			for _, a := range st.Args {
+				scanReads(a, ep)
+			}
+		}
+	}
+
+	for i, op := range ops {
+		if !li.op[i] {
+			continue
+		}
+		ep := epOf[op.step]
+		if ep != curEp {
+			// New entrypoint: private (frame) storage does not survive.
+			writtenNow = make(map[any]bool)
+			for f := range writtenEp {
+				if bs.Visible(f) {
+					writtenNow[f] = true // imported from the record
+				}
+			}
+			curEp = ep
+		}
+		switch op.kind {
+		case opExtract:
+			noteWrite(op.bind.Op.IdxField, ep)
+		case opRead:
+			if op.bind.IdxEnc != nil {
+				checkRead(op.bind.Op.IdxField, ep)
+			}
+			noteWrite(op.bind.Op.Value, ep)
+		case opWrite:
+			if op.bind.IdxEnc != nil {
+				checkRead(op.bind.Op.IdxField, ep)
+			}
+			checkRead(op.bind.Op.Value, ep)
+		case opAction:
+			scanStmt(op.act.Body, ep)
+		}
+	}
+	return errs, warns
+}

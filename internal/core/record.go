@@ -1,0 +1,106 @@
+// Package core is the single-specification engine: it specializes a
+// resolved LIS spec (internal/lis) for one buildset — placing fields in the
+// published instruction record or in private frame storage, eliminating
+// dead computation, weaving speculation support — and compiles the result
+// into executable closures behind Block / One / Step interfaces.
+//
+// This package is the paper's contribution: "specify all the details of
+// instructions once and derive the desired lower levels of detail in the
+// interface from that specification."
+package core
+
+import (
+	"fmt"
+
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+)
+
+// Record is the dynamic instruction record published through the interface
+// (the paper's "dynamic instruction structure", Fig. 2). The fixed header
+// carries the always-visible minimal information; Vals carries the
+// buildset-visible fields at slots assigned by the Layout.
+type Record struct {
+	Ctx       int
+	PC        uint64
+	PhysPC    uint64
+	NextPC    uint64
+	InstrBits uint32
+	InstrID   uint16 // the decoded instruction (the `opcode` builtin field)
+	Fault     mach.Fault
+	Nullified bool // predicated-off instruction (no architectural effect)
+	Vals      []uint64
+}
+
+// Field reads a visible field value by layout slot; convenience for timing
+// simulators (hot paths should cache the slot and index Vals directly).
+func (r *Record) Field(slot int) uint64 { return r.Vals[slot] }
+
+// Layout assigns record slots to the fields visible in a buildset.
+type Layout struct {
+	slots  map[string]int
+	fields []*lis.Field // slot -> field
+}
+
+// NumSlots returns the record Vals length for this layout.
+func (l *Layout) NumSlots() int { return len(l.fields) }
+
+// Slot returns the Vals index of a visible field.
+func (l *Layout) Slot(name string) (int, bool) {
+	s, ok := l.slots[name]
+	return s, ok
+}
+
+// MustSlot is Slot but panics on invisible fields (programming error in a
+// timing model).
+func (l *Layout) MustSlot(name string) int {
+	s, ok := l.slots[name]
+	if !ok {
+		panic(fmt.Sprintf("core: field %q is not visible in this buildset", name))
+	}
+	return s
+}
+
+// FieldNames lists the visible fields in slot order.
+func (l *Layout) FieldNames() []string {
+	out := make([]string, len(l.fields))
+	for i, f := range l.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func buildLayout(spec *lis.Spec, bs *lis.Buildset) *Layout {
+	l := &Layout{slots: make(map[string]int)}
+	for _, f := range spec.Fields {
+		if f.Builtin {
+			continue // builtins live in the record header
+		}
+		if bs.Visible(f) {
+			l.slots[f.Name] = len(l.fields)
+			l.fields = append(l.fields, f)
+		}
+	}
+	return l
+}
+
+// Batch is the unit of the Block interface: the result of executing one
+// basic block. When the buildset's informational detail is minimal the
+// per-instruction records are not produced (Recs stays empty) and only the
+// block-level summary is filled — this elision is a large part of the
+// Block/Min speed advantage the paper reports.
+type Batch struct {
+	StartPC uint64
+	N       int // instructions executed
+	Recs    []Record
+	Fault   mach.Fault
+	Halted  bool
+}
+
+// Reset prepares a batch for reuse.
+func (b *Batch) Reset() {
+	b.N = 0
+	b.Recs = b.Recs[:0]
+	b.Fault = mach.FaultNone
+	b.Halted = false
+}

@@ -1,0 +1,402 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation artifacts: Table I (description characteristics), Table II
+// (simulation speed per interface), Table III (costs of detail), and the
+// footnote-5 interpreted-vs-translated ablation. It is shared by the
+// ssbench tool and the repository's top-level benchmarks.
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/mach"
+	"singlespec/internal/stats"
+	"singlespec/internal/sysemu"
+)
+
+// MixEntry is one workload of the Table II benchmark mix.
+type MixEntry struct {
+	Kernel string
+	N      int
+}
+
+// Mix returns the six-kernel benchmark mix (mirroring the paper's six
+// SPECint benchmarks). scale multiplies problem sizes: 1 for tests, larger
+// for real measurement runs.
+func Mix(scale int) []MixEntry {
+	if scale < 1 {
+		scale = 1
+	}
+	return []MixEntry{
+		{"sieve", 2000 * scale},
+		{"fib_iter", 20000 * scale},
+		{"crc32", 1024 * scale},
+		{"listchase", 4096 * scale}, // must stay a power of two
+		{"bubblesort", 96 * scale},
+		{"hashmix", 10000 * scale},
+	}
+}
+
+// Programs holds the assembled mix for one ISA.
+type Programs struct {
+	ISA   *isa.ISA
+	Progs []*asm.Program
+	Names []string
+}
+
+// BuildMix assembles the benchmark mix for one ISA.
+func BuildMix(i *isa.ISA, scale int) (*Programs, error) {
+	out := &Programs{ISA: i}
+	for _, me := range Mix(scale) {
+		k := kernels.ByName(me.Kernel)
+		if k == nil {
+			return nil, fmt.Errorf("expt: unknown kernel %q", me.Kernel)
+		}
+		n := me.N
+		if me.Kernel == "listchase" {
+			// Round to a power of two.
+			p := 1
+			for p < n {
+				p <<= 1
+			}
+			n = p
+		}
+		prog, err := kernels.BuildProgram(i, k.Build(n))
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", me.Kernel, err)
+		}
+		out.Progs = append(out.Progs, prog)
+		out.Names = append(out.Names, me.Kernel)
+	}
+	return out, nil
+}
+
+// RunOnce executes one assembled program to completion on a fresh machine
+// and returns retired instructions and accumulated work units.
+func RunOnce(sim *core.Sim, i *isa.ISA, prog *asm.Program) (instrs, work uint64, err error) {
+	r := NewRunner(sim, i, prog)
+	return r.Run()
+}
+
+// Runner repeatedly executes one program on one synthesized simulator,
+// resetting architectural state between runs while keeping the translation
+// caches warm (so translation amortizes, as in the paper's 4-billion-
+// instruction measurement runs).
+type Runner struct {
+	sim   *core.Sim
+	i     *isa.ISA
+	prog  *asm.Program
+	m     *mach.Machine
+	emu   *sysemu.Emulator
+	x     *core.Exec
+	runs  int
+	prevW uint64
+}
+
+// NewRunner binds a simulator, ISA, and program.
+func NewRunner(sim *core.Sim, i *isa.ISA, prog *asm.Program) *Runner {
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	return &Runner{sim: sim, i: i, prog: prog, m: m, emu: emu, x: sim.NewExec(m)}
+}
+
+func (r *Runner) reset() {
+	for _, sp := range r.m.Spaces {
+		for k := range sp.Vals {
+			sp.Vals[k] = 0
+		}
+	}
+	r.m.Halted = false
+	r.m.ExitCode = 0
+	r.m.Instret = 0
+	r.m.Journal.Reset()
+	r.emu.Stdout.Reset()
+	r.emu.Install(r.m)
+	r.prog.ReloadData(r.m)
+}
+
+// Run executes the program once, returning retired instructions and the
+// work units accumulated by this run.
+func (r *Runner) Run() (instrs, work uint64, err error) {
+	if r.runs > 0 {
+		r.reset()
+	}
+	r.runs++
+	r.x.Run(1 << 62)
+	if !r.m.Halted {
+		return 0, 0, fmt.Errorf("expt: %s/%s did not halt", r.i.Name, r.sim.BS.Name)
+	}
+	if r.m.ExitCode != 0 {
+		return 0, 0, fmt.Errorf("expt: %s/%s exited %d", r.i.Name, r.sim.BS.Name, r.m.ExitCode)
+	}
+	w := r.x.Work()
+	dw := w - r.prevW
+	r.prevW = w
+	return r.m.Instret, dw, nil
+}
+
+// Cell is one measured (ISA, interface) speed.
+type Cell struct {
+	ISA      string
+	Buildset string
+	// MIPS is the geometric mean over the mix of simulated instructions
+	// per microsecond of host time (the paper's Table II metric).
+	MIPS float64
+	// NsPerInstr is the geometric-mean host time per simulated instruction
+	// (our Table III unit — a stand-in for host instructions; DESIGN.md §2).
+	NsPerInstr float64
+	// WorkPerInstr is the deterministic engine work-unit count per
+	// instruction (hardware-independent cross-check of the same trends).
+	WorkPerInstr float64
+}
+
+// MeasureCell times one (ISA, interface) pair over the mix. Each kernel
+// runs repeatedly until minDur has elapsed (one warmup run first).
+func MeasureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration) (Cell, error) {
+	sim, err := core.Synthesize(p.ISA.Spec, buildset, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	var mipsVals, nsVals, workVals []float64
+	for idx, prog := range p.Progs {
+		runner := NewRunner(sim, p.ISA, prog)
+		// Warmup (also validates, and fills the translation caches).
+		if _, _, err := runner.Run(); err != nil {
+			return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
+		}
+		var instrs, work uint64
+		var elapsed time.Duration
+		for elapsed < minDur {
+			start := time.Now()
+			in, wk, err := runner.Run()
+			if err != nil {
+				return Cell{}, err
+			}
+			elapsed += time.Since(start)
+			instrs += in
+			work += wk
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(instrs)
+		mipsVals = append(mipsVals, 1e3/ns)
+		nsVals = append(nsVals, ns)
+		workVals = append(workVals, float64(work)/float64(instrs))
+	}
+	return Cell{
+		ISA: p.ISA.Name, Buildset: buildset,
+		MIPS:         stats.GeoMean(mipsVals),
+		NsPerInstr:   stats.GeoMean(nsVals),
+		WorkPerInstr: stats.GeoMean(workVals),
+	}, nil
+}
+
+// rowLabel renders a buildset name in the paper's Table II row style.
+func rowLabel(bs string) (semantic, info, spec string) {
+	semantic, info, spec = "One", "All", "No"
+	switch {
+	case len(bs) > 5 && bs[:5] == "block":
+		semantic = "Block"
+	case len(bs) > 4 && bs[:4] == "step":
+		semantic = "Step"
+	}
+	switch {
+	case contains(bs, "_min"):
+		info = "Min"
+	case contains(bs, "_decode"):
+		info = "Decode"
+	}
+	if contains(bs, "_spec") {
+		spec = "Yes"
+	}
+	return
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TableI renders the instruction-set description characteristics.
+func TableI() (*stats.Table, error) {
+	t := stats.NewTable("Characteristic", "alpha64", "arm32", "ppc32")
+	var loaded []*isa.ISA
+	for _, name := range isa.Names() {
+		i, err := isa.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, i)
+	}
+	row := func(label string, f func(*isa.ISA) any) {
+		cells := []any{label}
+		for _, i := range loaded {
+			cells = append(cells, f(i))
+		}
+		t.Row(cells...)
+	}
+	row("ISA description (lines of LIS)", func(i *isa.ISA) any { return i.DescLines })
+	row("Buildset descriptions (lines)", func(i *isa.ISA) any { return i.BuildsetLines })
+	row("Lines per experimental buildset", func(i *isa.ISA) any {
+		total, n := 0, 0
+		for _, bs := range i.Spec.Buildsets {
+			total += bs.SrcLines
+			n++
+		}
+		return fmt.Sprintf("%.1f", float64(total)/float64(n))
+	})
+	row("Number of instructions", func(i *isa.ISA) any { return len(i.Spec.Instrs) })
+	row("Buildsets (interfaces)", func(i *isa.ISA) any { return len(i.Spec.Buildsets) })
+	return t, nil
+}
+
+// TableII measures all twelve interfaces on all three ISAs.
+func TableII(scale int, minDur time.Duration) ([]Cell, *stats.Table, error) {
+	var cells []Cell
+	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
+	byBS := map[string]map[string]Cell{}
+	for _, name := range isa.Names() {
+		i, err := isa.Load(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		progs, err := BuildMix(i, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, bs := range isa.StdBuildsets {
+			c, err := MeasureCell(progs, bs, core.Options{}, minDur)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%s: %w", name, bs, err)
+			}
+			cells = append(cells, c)
+			if byBS[bs] == nil {
+				byBS[bs] = map[string]Cell{}
+			}
+			byBS[bs][name] = c
+		}
+	}
+	for _, bs := range isa.StdBuildsets {
+		sem, info, spec := rowLabel(bs)
+		t.Row(sem, info, spec,
+			byBS[bs]["alpha64"].MIPS, byBS[bs]["arm32"].MIPS, byBS[bs]["ppc32"].MIPS)
+	}
+	return cells, t, nil
+}
+
+// find returns the cell for (isa, buildset).
+func find(cells []Cell, isaName, bs string) Cell {
+	for _, c := range cells {
+		if c.ISA == isaName && c.Buildset == bs {
+			return c
+		}
+	}
+	return Cell{}
+}
+
+// TableIII derives the costs of detail from Table II measurements:
+// base = One/Min/No; increments are differences, in host-ns per simulated
+// instruction (stand-in for the paper's host instructions) and in
+// deterministic work units.
+func TableIII(cells []Cell) *stats.Table {
+	t := stats.NewTable("Cost (ns/instr | work/instr)", "alpha64", "arm32", "ppc32")
+	row := func(label string, f func(isaName string) (float64, float64)) {
+		cellsOut := []any{label}
+		for _, name := range isa.Names() {
+			ns, work := f(name)
+			cellsOut = append(cellsOut, fmt.Sprintf("%s | %s", stats.FormatSig(ns, 3), stats.FormatSig(work, 3)))
+		}
+		t.Row(cellsOut...)
+	}
+	base := func(n string) Cell { return find(cells, n, "one_min") }
+	row("Base cost (One/Min/No)", func(n string) (float64, float64) {
+		c := base(n)
+		return c.NsPerInstr, c.WorkPerInstr
+	})
+	row("Incremental: decode information", func(n string) (float64, float64) {
+		c := find(cells, n, "one_decode")
+		return c.NsPerInstr - base(n).NsPerInstr, c.WorkPerInstr - base(n).WorkPerInstr
+	})
+	row("Incremental: full information", func(n string) (float64, float64) {
+		c := find(cells, n, "one_all")
+		return c.NsPerInstr - base(n).NsPerInstr, c.WorkPerInstr - base(n).WorkPerInstr
+	})
+	row("Incremental: block-call", func(n string) (float64, float64) {
+		c := find(cells, n, "block_min")
+		return c.NsPerInstr - base(n).NsPerInstr, c.WorkPerInstr - base(n).WorkPerInstr
+	})
+	row("Incremental: multiple calls (Step)", func(n string) (float64, float64) {
+		c := find(cells, n, "step_all")
+		a := find(cells, n, "one_all")
+		return c.NsPerInstr - a.NsPerInstr, c.WorkPerInstr - a.WorkPerInstr
+	})
+	row("Incremental: speculation", func(n string) (float64, float64) {
+		c := find(cells, n, "one_all_spec")
+		a := find(cells, n, "one_all")
+		return c.NsPerInstr - a.NsPerInstr, c.WorkPerInstr - a.WorkPerInstr
+	})
+	return t
+}
+
+// Headline computes the paper's headline ratio: fastest (Block/Min) over
+// slowest (Step/All/Yes) interface, per ISA.
+func Headline(cells []Cell) *stats.Table {
+	t := stats.NewTable("ISA", "Block/Min (MIPS)", "Step/All/Yes (MIPS)", "Speedup")
+	for _, name := range isa.Names() {
+		fast := find(cells, name, "block_min")
+		slow := find(cells, name, "step_all_spec")
+		ratio := 0.0
+		if slow.MIPS > 0 {
+			ratio = fast.MIPS / slow.MIPS
+		}
+		t.Row(name, fast.MIPS, slow.MIPS, fmt.Sprintf("%.1fx", ratio))
+	}
+	return t
+}
+
+// Ablations measures the design-choice ablations DESIGN.md calls out:
+// translated vs. interpreted base cost (paper footnote 5) and DCE on/off.
+func Ablations(scale int, minDur time.Duration) (*stats.Table, error) {
+	t := stats.NewTable("Configuration", "alpha64", "arm32", "ppc32")
+	type variant struct {
+		label string
+		bs    string
+		opts  core.Options
+	}
+	variants := []variant{
+		{"One/Min translated (ns/instr)", "one_min", core.Options{}},
+		{"One/Min interpreted (ns/instr)", "one_min", core.Options{NoTranslate: true}},
+		{"One/Min no-DCE (ns/instr)", "one_min", core.Options{NoDCE: true}},
+		{"Block/Min per-instr records (ns/instr)", "block_min", core.Options{ForceRecords: true}},
+	}
+	rows := map[string][]any{}
+	for _, name := range isa.Names() {
+		i, err := isa.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		progs, err := BuildMix(i, scale)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			c, err := MeasureCell(progs, v.bs, v.opts, minDur)
+			if err != nil {
+				return nil, err
+			}
+			rows[v.label] = append(rows[v.label], c.NsPerInstr)
+		}
+	}
+	for _, v := range variants {
+		t.Row(append([]any{v.label}, rows[v.label]...)...)
+	}
+	return t, nil
+}

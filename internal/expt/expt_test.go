@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+)
+
+func TestTableI(t *testing.T) {
+	tab, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"alpha64", "Number of instructions", "Lines per experimental buildset"} {
+		if !contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureCellQuick(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	progs, err := BuildMix(i, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := MeasureCell(progs, "block_min", core.Options{}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := MeasureCell(progs, "step_all_spec", core.Options{}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.MIPS <= slow.MIPS {
+		t.Errorf("Block/Min (%.1f MIPS) should beat Step/All/Yes (%.1f MIPS)", fast.MIPS, slow.MIPS)
+	}
+	if fast.WorkPerInstr >= slow.WorkPerInstr {
+		t.Errorf("work units should track detail: %f vs %f", fast.WorkPerInstr, slow.WorkPerInstr)
+	}
+}
+
+func TestRowLabel(t *testing.T) {
+	cases := map[string][3]string{
+		"block_min":       {"Block", "Min", "No"},
+		"one_decode_spec": {"One", "Decode", "Yes"},
+		"step_all":        {"Step", "All", "No"},
+	}
+	for bs, want := range cases {
+		s, i2, sp := rowLabel(bs)
+		if s != want[0] || i2 != want[1] || sp != want[2] {
+			t.Errorf("rowLabel(%s) = %s/%s/%s", bs, s, i2, sp)
+		}
+	}
+}
+
+func TestTablesIIandIIIGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	cells, tab, err := TableII(1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 36 {
+		t.Fatalf("cells = %d, want 36", len(cells))
+	}
+	out := tab.String()
+	if !contains(out, "Block") || !contains(out, "Step") {
+		t.Errorf("Table II malformed:\n%s", out)
+	}
+	t3 := TableIII(cells).String()
+	if !contains(t3, "Base cost") || !contains(t3, "block-call") {
+		t.Errorf("Table III malformed:\n%s", t3)
+	}
+	h := Headline(cells).String()
+	if !contains(h, "x") {
+		t.Errorf("headline malformed:\n%s", h)
+	}
+}
+
+func TestAblationsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	tab, err := Ablations(1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(tab.String(), "interpreted") {
+		t.Errorf("ablations malformed:\n%s", tab)
+	}
+}

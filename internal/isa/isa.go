@@ -1,0 +1,221 @@
+// Package isa embeds the three LIS instruction-set descriptions (alpha64,
+// arm32, ppc32) and derives from each the paper's twelve standard
+// interfaces: {Block, One, Step} semantic detail × {Min, Decode, All}
+// informational detail × speculation on/off (§V-B).
+package isa
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+	"sync"
+
+	"singlespec/internal/lis"
+)
+
+//go:embed alpha.lis
+var alphaSrc string
+
+//go:embed arm.lis
+var armSrc string
+
+//go:embed ppc.lis
+var ppcSrc string
+
+// Convention carries the per-ISA ABI knowledge that is not part of the LIS
+// description: syscall argument registers, the stack pointer, and the
+// program memory layout used by the assembler and loader.
+type Convention struct {
+	// SyscallNum is the register holding the system-call number; Args the
+	// argument registers; Ret the result register.
+	SyscallNum int
+	Args       []int
+	Ret        int
+	// Stack is the stack-pointer register (initialized to StackTop).
+	Stack int
+	// Link is the link register used by calls, or -1 when the link lives
+	// in a special register space (ppc32's LR).
+	Link int
+	// LinkSpace/LinkIdx locate the link register when Link is -1.
+	LinkSpace string
+	LinkIdx   int
+
+	CodeBase uint64
+	DataBase uint64
+	HeapBase uint64
+	StackTop uint64
+}
+
+// ISA is one loaded instruction set: its resolved spec plus conventions.
+type ISA struct {
+	Name string
+	Spec *lis.Spec
+	Conv Convention
+	// DescLines is the size of the ISA description (Table I), excluding
+	// comments and blanks.
+	DescLines int
+	// BuildsetLines is the generated buildset description size.
+	BuildsetLines int
+}
+
+// StdBuildsets lists the paper's twelve interfaces in Table II order.
+var StdBuildsets = []string{
+	"block_min",
+	"block_decode", "block_decode_spec",
+	"block_all", "block_all_spec",
+	"one_min",
+	"one_decode", "one_decode_spec",
+	"one_all", "one_all_spec",
+	"step_all", "step_all_spec",
+}
+
+// decodeFields lists, per ISA, the fields visible at the Decode level of
+// informational detail: operand identifiers, effective addresses, and
+// branch resolution (§V-B).
+var decodeFields = map[string][]string{
+	"alpha64": {"opcode", "instr_class", "mem_size", "effective_addr", "lit_val",
+		"src1_idx", "src2_idx", "src3_idx", "dest1_idx", "branch_taken", "branch_target"},
+	"arm32": {"opcode", "instr_class", "mem_size", "effective_addr",
+		"src1_idx", "src2_idx", "src3_idx", "dest1_idx", "branch_taken", "branch_target"},
+	"ppc32": {"opcode", "instr_class", "mem_size", "effective_addr",
+		"src1_idx", "src2_idx", "dest1_idx", "dest2_idx", "spec_s_idx", "spec_d_idx",
+		"branch_taken", "branch_target"},
+}
+
+var sources = map[string]string{
+	"alpha64": alphaSrc,
+	"arm32":   armSrc,
+	"ppc32":   ppcSrc,
+}
+
+var conventions = map[string]Convention{
+	"alpha64": {
+		SyscallNum: 0, Args: []int{16, 17, 18, 19}, Ret: 0,
+		Stack: 30, Link: 26,
+		CodeBase: 0x10000, DataBase: 0x100000, HeapBase: 0x200000, StackTop: 0x7ff000,
+	},
+	"arm32": {
+		SyscallNum: 7, Args: []int{0, 1, 2, 3}, Ret: 0,
+		Stack: 13, Link: 14,
+		CodeBase: 0x10000, DataBase: 0x100000, HeapBase: 0x200000, StackTop: 0x7ff000,
+	},
+	"ppc32": {
+		SyscallNum: 0, Args: []int{3, 4, 5, 6}, Ret: 3,
+		Stack: 1, Link: -1, LinkSpace: "s", LinkIdx: 0,
+		CodeBase: 0x10000, DataBase: 0x100000, HeapBase: 0x200000, StackTop: 0x7ff000,
+	},
+}
+
+// Names lists the available instruction sets in canonical order.
+func Names() []string { return []string{"alpha64", "arm32", "ppc32"} }
+
+// Source returns the raw LIS description of a bundled ISA (without the
+// generated standard buildsets), so users can extend it with their own
+// interface descriptions — the paper's tailoring workflow.
+func Source(name string) string { return sources[name] }
+
+// Conv returns the ABI convention for a bundled ISA name.
+func Conv(name string) Convention { return conventions[name] }
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*ISA{}
+)
+
+// Load parses an embedded ISA description together with its twelve
+// standard buildsets and returns the resolved ISA. Results are cached.
+func Load(name string) (*ISA, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if isa, ok := cache[name]; ok {
+		return isa, nil
+	}
+	src, ok := sources[name]
+	if !ok {
+		return nil, fmt.Errorf("isa: unknown instruction set %q (have %v)", name, Names())
+	}
+	bs := StandardBuildsetText(decodeFields[name])
+	spec, err := lis.Parse(name+".lis", src+"\n"+bs)
+	if err != nil {
+		return nil, fmt.Errorf("isa %s: %w", name, err)
+	}
+	isa := &ISA{
+		Name: name, Spec: spec, Conv: conventions[name],
+		DescLines:     countCodeLines(src),
+		BuildsetLines: countCodeLines(bs),
+	}
+	cache[name] = isa
+	return isa, nil
+}
+
+// MustLoad is Load for tests and tools where the ISA is known to exist.
+func MustLoad(name string) *ISA {
+	isa, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return isa
+}
+
+// StandardBuildsetText generates the paper's twelve interface descriptions.
+// A new interface is "about a dozen lines" (§V-A, Table I): this function
+// is the direct analogue of writing those lines.
+func StandardBuildsetText(decode []string) string {
+	const allSteps = "translate_pc, fetch, decode, opread, execute, memory, writeback, exception"
+	var b strings.Builder
+	one := func(name, vis string, mode, spec bool) {
+		fmt.Fprintf(&b, "buildset %s {\n", name)
+		fmt.Fprintf(&b, "  visibility %s;\n", vis)
+		if mode {
+			fmt.Fprintf(&b, "  mode block;\n")
+		}
+		if spec {
+			fmt.Fprintf(&b, "  speculation on;\n")
+		}
+		fmt.Fprintf(&b, "  entrypoint do_in_one = %s;\n", allSteps)
+		fmt.Fprintf(&b, "}\n")
+	}
+	step := func(name string, spec bool) {
+		fmt.Fprintf(&b, "buildset %s {\n", name)
+		fmt.Fprintf(&b, "  visibility all;\n")
+		if spec {
+			fmt.Fprintf(&b, "  speculation on;\n")
+		}
+		fmt.Fprintf(&b, "  entrypoint ep_fetch = translate_pc, fetch;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_decode = decode;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_opread = opread;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_execute = execute;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_memory = memory;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_writeback = writeback;\n")
+		fmt.Fprintf(&b, "  entrypoint ep_exception = exception;\n")
+		fmt.Fprintf(&b, "}\n")
+	}
+	dec := "min show " + strings.Join(decode, ", ")
+	one("block_min", "min", true, false)
+	one("block_decode", dec, true, false)
+	one("block_decode_spec", dec, true, true)
+	one("block_all", "all", true, false)
+	one("block_all_spec", "all", true, true)
+	one("one_min", "min", false, false)
+	one("one_decode", dec, false, false)
+	one("one_decode_spec", dec, false, true)
+	one("one_all", "all", false, false)
+	one("one_all_spec", "all", false, true)
+	step("step_all", false)
+	step("step_all_spec", true)
+	return b.String()
+}
+
+// countCodeLines counts non-blank, non-comment-only lines (the Table I
+// metric: "Lines of LIS code (excl. comments and blank lines)").
+func countCodeLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/sysemu"
+)
+
+func TestAllISAsLoadWithAllBuildsets(t *testing.T) {
+	for _, name := range isa.Names() {
+		i, err := isa.Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(i.Spec.Buildsets) != len(isa.StdBuildsets) {
+			t.Errorf("%s: %d buildsets, want %d", name, len(i.Spec.Buildsets), len(isa.StdBuildsets))
+		}
+		for _, bs := range isa.StdBuildsets {
+			sim, err := core.Synthesize(i.Spec, bs, core.Options{})
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, bs, err)
+				continue
+			}
+			if len(sim.Warnings) > 0 {
+				t.Errorf("%s/%s: warnings: %v", name, bs, sim.Warnings)
+			}
+		}
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	// The description sizes should be in the right ballpark and every
+	// buildset should cost ~a dozen lines or less (the paper's headline
+	// development-effort claim).
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		if i.DescLines < 150 {
+			t.Errorf("%s: suspiciously small description (%d lines)", name, i.DescLines)
+		}
+		if len(i.Spec.Instrs) < 40 {
+			t.Errorf("%s: only %d instructions", name, len(i.Spec.Instrs))
+		}
+		for _, bs := range i.Spec.Buildsets {
+			if bs.SrcLines > 12 {
+				t.Errorf("%s/%s: %d lines (a new interface should be ~a dozen lines)",
+					name, bs.Name, bs.SrcLines)
+			}
+		}
+	}
+}
+
+func TestDecodeFieldsExist(t *testing.T) {
+	// Every field named in the Decode visibility list must exist, so the
+	// decode-level interfaces really carry what timing models expect.
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		sim, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []string{"instr_class", "effective_addr", "branch_taken", "branch_target", "src1_idx", "dest1_idx"} {
+			if _, ok := sim.Layout.Slot(f); !ok {
+				t.Errorf("%s: decode interface lacks %s", name, f)
+			}
+		}
+	}
+}
+
+func TestUnknownISA(t *testing.T) {
+	if _, err := isa.Load("mips"); err == nil || !strings.Contains(err.Error(), "unknown instruction set") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSourceRoundTrip(t *testing.T) {
+	// The exported raw source plus generated buildsets must parse to the
+	// same spec the loader produced (the tailoring workflow's foundation).
+	src := isa.Source("alpha64")
+	if !strings.Contains(src, "isa \"alpha64\"") {
+		t.Fatal("Source returned wrong text")
+	}
+	if isa.Source("nope") != "" {
+		t.Error("unknown source should be empty")
+	}
+}
+
+// The paper's §V-D validation procedure: run every benchmark calling the
+// interfaces on a rotating basis — each dynamic instruction (or block) uses
+// a different interface than the previous one.
+func TestRotatingInterfaceValidationAllISAs(t *testing.T) {
+	for _, name := range isa.Names() {
+		t.Run(name, func(t *testing.T) {
+			i := isa.MustLoad(name)
+			k := kernels.ByName("crc32")
+			prog, err := kernels.BuildProgram(i, k.Build(64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := i.Spec.NewMachine()
+			emu := sysemu.New(i.Conv)
+			emu.Install(m)
+			prog.LoadInto(m)
+
+			type iface struct {
+				x    *core.Exec
+				mode string
+			}
+			var ifaces []iface
+			for _, bs := range isa.StdBuildsets {
+				sim, err := core.Synthesize(i.Spec, bs, core.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mode := "one"
+				if strings.HasPrefix(bs, "block") {
+					mode = "block"
+				} else if strings.HasPrefix(bs, "step") {
+					mode = "step"
+				}
+				ifaces = append(ifaces, iface{x: sim.NewExec(m), mode: mode})
+			}
+			var rec core.Record
+			var batch core.Batch
+			for n := 0; !m.Halted && n < 1_000_000; n++ {
+				f := ifaces[n%len(ifaces)]
+				m.JournalOn = f.x.Sim().BS.Spec
+				switch f.mode {
+				case "block":
+					f.x.ExecBlock(&batch)
+				case "step":
+					f.x.ExecOneStepwise(&rec)
+				default:
+					f.x.ExecOne(&rec)
+				}
+				m.Journal.Reset()
+			}
+			if !m.Halted || m.ExitCode != 0 {
+				t.Fatalf("rotating run failed: halted=%v exit=%d", m.Halted, m.ExitCode)
+			}
+			got, _ := m.Mem.Load(prog.Symbols["result"], 4)
+			if uint32(got) != k.Ref(64) {
+				t.Errorf("rotating checksum = %#x, want %#x", got, k.Ref(64))
+			}
+		})
+	}
+}
+
+func TestConventionsSane(t *testing.T) {
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		c := i.Conv
+		r0 := i.Spec.Spaces[0]
+		for _, reg := range append([]int{c.SyscallNum, c.Ret, c.Stack}, c.Args...) {
+			if reg < 0 || reg >= r0.Count {
+				t.Errorf("%s: convention register %d out of range", name, reg)
+			}
+		}
+		if c.Link >= 0 && c.Link >= r0.Count {
+			t.Errorf("%s: link register out of range", name)
+		}
+		if c.Link < 0 && i.Spec.Space(c.LinkSpace) == nil {
+			t.Errorf("%s: link space %q missing", name, c.LinkSpace)
+		}
+		if c.StackTop <= c.HeapBase || c.HeapBase <= c.DataBase || c.DataBase <= c.CodeBase {
+			t.Errorf("%s: memory layout out of order", name)
+		}
+	}
+}
+
+// Decode is a proper inverse of encoding: for every instruction, any word
+// matching its mask/value pattern must decode to exactly that instruction
+// (sema guarantees pairwise non-overlap; this exercises the decoder's
+// bucketing on the real ISAs with randomized operand bits).
+func TestDecoderRoundTripProperty(t *testing.T) {
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		sim, err := core.Synthesize(i.Spec, "one_min", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = sim
+		for _, in := range i.Spec.Instrs {
+			for k := 0; k < 32; k++ {
+				word := uint32(in.Value) | uint32(next())&^uint32(in.Mask)
+				got := -1
+				for _, cand := range i.Spec.Instrs {
+					if uint64(word)&cand.Mask == cand.Value {
+						got = cand.ID
+						break
+					}
+				}
+				if got != in.ID {
+					t.Fatalf("%s: word %#x for %s matched instruction %d", name, word, in.Name, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+// Package kernels provides the benchmark workloads used to reproduce the
+// paper's evaluation. Each kernel is written once in a tiny portable
+// intermediate representation and lowered to all three ISAs, so every
+// simulator runs the same computation (the role SPEC CPU2000int plays in
+// the paper — see DESIGN.md §2 for the substitution rationale).
+//
+// Each kernel stores a 32-bit checksum to the `result` symbol and exits
+// with code 0; the matching pure-Go reference function is the validation
+// oracle.
+package kernels
+
+import "fmt"
+
+// Reg is a virtual register. Kernels may use V0..V7; lowering maps them to
+// ISA registers that do not collide with the syscall/stack/link
+// conventions.
+type Reg int
+
+// Virtual registers.
+const (
+	V0 Reg = iota
+	V1
+	V2
+	V3
+	V4
+	V5
+	V6
+	V7
+	numVRegs
+)
+
+// CC is a comparison condition for conditional branches.
+type CC int
+
+// Conditions. Unsigned and signed comparisons are distinct, as on the real
+// machines.
+const (
+	EQ CC = iota
+	NE
+	LTU
+	GEU
+	LTS
+	GES
+)
+
+func (c CC) String() string {
+	return [...]string{"eq", "ne", "ltu", "geu", "lts", "ges"}[c]
+}
+
+// Op is an IR operation.
+type Op int
+
+// IR operations.
+const (
+	OpConst    Op = iota // dst = imm (or address of Sym when Sym != "")
+	OpMov                // dst = a
+	OpAdd                // dst = a + b
+	OpAddImm             // dst = a + imm
+	OpSub                // dst = a - b
+	OpMul                // dst = a * b
+	OpAnd                // dst = a & b
+	OpOr                 // dst = a | b
+	OpXor                // dst = a ^ b
+	OpShlImm             // dst = a << imm
+	OpShrImm             // dst = a >> imm (logical)
+	OpSarImm             // dst = a >> imm (arithmetic, 32-bit)
+	OpMask32             // dst = dst & 0xffffffff (no-op on 32-bit ISAs)
+	OpLoad               // dst = mem[a + imm] (Size bytes, Signed extends)
+	OpStore              // mem[a + imm] = dst... (src in Dst slot)
+	OpLabel              // Sym:
+	OpBr                 // goto Sym
+	OpBrCond             // if a CC b goto Sym
+	OpCall               // call Sym (clobbers the link register)
+	OpRet                // return
+	OpPush               // push Dst on the stack
+	OpPop                // pop into Dst
+	OpPushLink           // save the link register on the stack
+	OpPopLink            // restore the link register
+	OpExit               // exit(Dst & 0xff)
+)
+
+// Ins is one IR instruction.
+type Ins struct {
+	Op     Op
+	Dst    Reg
+	A, B   Reg
+	Imm    int64
+	Sym    string
+	Size   int // load/store size in bytes (1, 2, 4)
+	Signed bool
+	CC     CC
+}
+
+// DataSym is an initialized data-section object.
+type DataSym struct {
+	Name  string
+	Bytes []byte
+	Words []uint32
+	Space int // zero bytes to reserve (used when Bytes/Words empty)
+}
+
+// Prog is a complete kernel program: code plus data. Lowering adds the
+// standard epilogue symbol `result` (a 32-bit cell the kernel's checksum
+// is stored to).
+type Prog struct {
+	Ins  []Ins
+	Data []DataSym
+}
+
+// Builder offers a fluent way to construct IR.
+type Builder struct{ p Prog }
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Prog returns the built program.
+func (b *Builder) Prog() *Prog { return &b.p }
+
+func (b *Builder) add(i Ins) *Builder {
+	b.p.Ins = append(b.p.Ins, i)
+	return b
+}
+
+// Const sets dst to a constant.
+func (b *Builder) Const(dst Reg, v int64) *Builder {
+	return b.add(Ins{Op: OpConst, Dst: dst, Imm: v})
+}
+
+// Addr sets dst to the address of a data symbol.
+func (b *Builder) Addr(dst Reg, sym string) *Builder {
+	return b.add(Ins{Op: OpConst, Dst: dst, Sym: sym})
+}
+
+// Mov copies a register.
+func (b *Builder) Mov(dst, a Reg) *Builder { return b.add(Ins{Op: OpMov, Dst: dst, A: a}) }
+
+// Add emits dst = a + b.
+func (b *Builder) Add(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpAdd, Dst: dst, A: a, B: bb}) }
+
+// AddImm emits dst = a + imm.
+func (b *Builder) AddImm(dst, a Reg, imm int64) *Builder {
+	return b.add(Ins{Op: OpAddImm, Dst: dst, A: a, Imm: imm})
+}
+
+// Sub emits dst = a - b.
+func (b *Builder) Sub(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpSub, Dst: dst, A: a, B: bb}) }
+
+// Mul emits dst = a * b.
+func (b *Builder) Mul(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpMul, Dst: dst, A: a, B: bb}) }
+
+// And emits dst = a & b.
+func (b *Builder) And(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpAnd, Dst: dst, A: a, B: bb}) }
+
+// Or emits dst = a | b.
+func (b *Builder) Or(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpOr, Dst: dst, A: a, B: bb}) }
+
+// Xor emits dst = a ^ b.
+func (b *Builder) Xor(dst, a, bb Reg) *Builder { return b.add(Ins{Op: OpXor, Dst: dst, A: a, B: bb}) }
+
+// ShlImm emits dst = a << imm.
+func (b *Builder) ShlImm(dst, a Reg, imm int64) *Builder {
+	return b.add(Ins{Op: OpShlImm, Dst: dst, A: a, Imm: imm})
+}
+
+// ShrImm emits dst = a >> imm (logical).
+func (b *Builder) ShrImm(dst, a Reg, imm int64) *Builder {
+	return b.add(Ins{Op: OpShrImm, Dst: dst, A: a, Imm: imm})
+}
+
+// Mask32 truncates dst to 32 bits (for cross-ISA checksum agreement).
+func (b *Builder) Mask32(dst Reg) *Builder { return b.add(Ins{Op: OpMask32, Dst: dst}) }
+
+// Load emits dst = mem[a + off].
+func (b *Builder) Load(dst, a Reg, off int64, size int, signed bool) *Builder {
+	return b.add(Ins{Op: OpLoad, Dst: dst, A: a, Imm: off, Size: size, Signed: signed})
+}
+
+// Store emits mem[a + off] = src.
+func (b *Builder) Store(src, a Reg, off int64, size int) *Builder {
+	return b.add(Ins{Op: OpStore, Dst: src, A: a, Imm: off, Size: size})
+}
+
+// Label places a label.
+func (b *Builder) Label(sym string) *Builder { return b.add(Ins{Op: OpLabel, Sym: sym}) }
+
+// Br jumps unconditionally.
+func (b *Builder) Br(sym string) *Builder { return b.add(Ins{Op: OpBr, Sym: sym}) }
+
+// BrCond branches when a CC b holds.
+func (b *Builder) BrCond(cc CC, a, bb Reg, sym string) *Builder {
+	return b.add(Ins{Op: OpBrCond, CC: cc, A: a, B: bb, Sym: sym})
+}
+
+// Call calls a function label.
+func (b *Builder) Call(sym string) *Builder { return b.add(Ins{Op: OpCall, Sym: sym}) }
+
+// Ret returns from a function.
+func (b *Builder) Ret() *Builder { return b.add(Ins{Op: OpRet}) }
+
+// Push saves a register on the stack.
+func (b *Builder) Push(r Reg) *Builder { return b.add(Ins{Op: OpPush, Dst: r}) }
+
+// Pop restores a register from the stack.
+func (b *Builder) Pop(r Reg) *Builder { return b.add(Ins{Op: OpPop, Dst: r}) }
+
+// PushLink saves the link register (required around nested calls).
+func (b *Builder) PushLink() *Builder { return b.add(Ins{Op: OpPushLink}) }
+
+// PopLink restores the link register.
+func (b *Builder) PopLink() *Builder { return b.add(Ins{Op: OpPopLink}) }
+
+// Exit terminates the program with dst & 0xff as the exit code.
+func (b *Builder) Exit(r Reg) *Builder { return b.add(Ins{Op: OpExit, Dst: r}) }
+
+// StoreResult stores the 32-bit checksum in r to the `result` cell and
+// exits 0 — the standard kernel epilogue.
+func (b *Builder) StoreResult(r, scratch Reg) *Builder {
+	b.Mask32(r)
+	b.Addr(scratch, "result")
+	b.Store(r, scratch, 0, 4)
+	b.Const(scratch, 0)
+	return b.Exit(scratch)
+}
+
+// Data adds an initialized data object.
+func (b *Builder) Data(d DataSym) *Builder {
+	b.p.Data = append(b.p.Data, d)
+	return b
+}
+
+func (r Reg) valid() bool { return r >= 0 && r < numVRegs }
+
+// Validate performs basic structural checks on a program: register ranges,
+// label definitions, and size fields.
+func (p *Prog) Validate() error {
+	labels := map[string]bool{}
+	for _, in := range p.Ins {
+		if in.Op == OpLabel {
+			if labels[in.Sym] {
+				return fmt.Errorf("kernels: duplicate label %q", in.Sym)
+			}
+			labels[in.Sym] = true
+		}
+	}
+	for _, d := range p.Data {
+		labels[d.Name] = true
+	}
+	labels["result"] = true
+	for i, in := range p.Ins {
+		switch in.Op {
+		case OpBr, OpBrCond, OpCall:
+			if !labels[in.Sym] {
+				return fmt.Errorf("kernels: ins %d: undefined label %q", i, in.Sym)
+			}
+		case OpLoad, OpStore:
+			if in.Size != 1 && in.Size != 2 && in.Size != 4 {
+				return fmt.Errorf("kernels: ins %d: bad size %d", i, in.Size)
+			}
+		case OpConst:
+			if in.Sym == "" && (in.Imm >= 1<<32 || in.Imm < -(1<<31)) {
+				return fmt.Errorf("kernels: ins %d: constant %d out of 32-bit range", i, in.Imm)
+			}
+		}
+		if !in.Dst.valid() || !in.A.valid() || !in.B.valid() {
+			return fmt.Errorf("kernels: ins %d: virtual register out of range", i)
+		}
+	}
+	return nil
+}

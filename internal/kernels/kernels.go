@@ -1,0 +1,538 @@
+package kernels
+
+// The kernel suite. Each kernel mirrors a workload family from the paper's
+// benchmark mix (SPEC CPU2000int / MediaBench): branchy sieving, tight
+// arithmetic loops, deep recursion, dense matrix arithmetic, bit-serial
+// CRC, byte scanning, pointer chasing, sorting, and hash mixing.
+
+// Kernel pairs an IR builder with its pure-Go reference oracle.
+type Kernel struct {
+	Name string
+	// Build constructs the kernel IR for problem size n.
+	Build func(n int) *Prog
+	// Ref computes the expected 32-bit checksum for problem size n.
+	Ref func(n int) uint32
+	// DefaultN is the problem size used by tests; benchmarks scale it.
+	DefaultN int
+}
+
+// All lists the kernel suite. Six kernels make up the Table II workload
+// mix (mirroring the paper's six SPECint benchmarks); the rest widen
+// validation coverage.
+var All = []Kernel{
+	{Name: "sieve", Build: buildSieve, Ref: refSieve, DefaultN: 500},
+	{Name: "fib_iter", Build: buildFibIter, Ref: refFibIter, DefaultN: 40},
+	{Name: "fib_rec", Build: buildFibRec, Ref: refFibRec, DefaultN: 12},
+	{Name: "matmul", Build: buildMatmul, Ref: refMatmul, DefaultN: 8},
+	{Name: "crc32", Build: buildCRC, Ref: refCRC, DefaultN: 256},
+	{Name: "strsearch", Build: buildStrsearch, Ref: refStrsearch, DefaultN: 512},
+	{Name: "listchase", Build: buildListchase, Ref: refListchase, DefaultN: 256},
+	{Name: "bubblesort", Build: buildBubble, Ref: refBubble, DefaultN: 48},
+	{Name: "hashmix", Build: buildHashmix, Ref: refHashmix, DefaultN: 1000},
+}
+
+// ByName returns a kernel by name, or nil.
+func ByName(name string) *Kernel {
+	for i := range All {
+		if All[i].Name == name {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+// xorshift32 is the deterministic data generator shared by builders and
+// references.
+func xorshift32(x uint32) uint32 {
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	return x
+}
+
+func genWords(n int, seed uint32) []uint32 {
+	out := make([]uint32, n)
+	x := seed
+	for i := range out {
+		x = xorshift32(x)
+		out[i] = x
+	}
+	return out
+}
+
+func genBytes(n int, seed uint32) []byte {
+	out := make([]byte, n)
+	x := seed
+	for i := range out {
+		x = xorshift32(x)
+		out[i] = byte(x >> 8)
+	}
+	return out
+}
+
+// ---- sieve ----
+
+func buildSieve(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "flags", Space: n + 1})
+	b.Const(V0, 0)        // count
+	b.Const(V1, 2)        // i
+	b.Addr(V2, "flags")   // base
+	b.Const(V3, int64(n)) // n
+	b.Const(V7, 0)        // zero
+	b.Label("iloop")
+	b.BrCond(LTU, V3, V1, "done")
+	b.Add(V4, V2, V1)
+	b.Load(V5, V4, 0, 1, false)
+	b.BrCond(NE, V5, V7, "composite")
+	b.AddImm(V0, V0, 1) // prime
+	b.Mul(V6, V1, V1)   // j = i*i
+	b.Label("jloop")
+	b.BrCond(LTU, V3, V6, "composite")
+	b.Add(V4, V2, V6)
+	b.Const(V5, 1)
+	b.Store(V5, V4, 0, 1)
+	b.Add(V6, V6, V1)
+	b.Br("jloop")
+	b.Label("composite")
+	b.AddImm(V1, V1, 1)
+	b.Br("iloop")
+	b.Label("done")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refSieve(n int) uint32 {
+	flags := make([]byte, n+1)
+	count := uint32(0)
+	for i := 2; i <= n; i++ {
+		if flags[i] != 0 {
+			continue
+		}
+		count++
+		for j := i * i; j <= n; j += i {
+			flags[j] = 1
+		}
+	}
+	return count
+}
+
+// ---- fib_iter ----
+
+func buildFibIter(n int) *Prog {
+	b := NewBuilder()
+	b.Const(V0, 0) // a
+	b.Const(V1, 1) // b
+	b.Const(V2, int64(n))
+	b.Const(V4, 0) // zero
+	b.Label("loop")
+	b.Add(V3, V0, V1)
+	b.Mask32(V3)
+	b.Mov(V0, V1)
+	b.Mov(V1, V3)
+	b.AddImm(V2, V2, -1)
+	b.BrCond(NE, V2, V4, "loop")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refFibIter(n int) uint32 {
+	a, bb := uint32(0), uint32(1)
+	for i := 0; i < n; i++ {
+		a, bb = bb, a+bb
+	}
+	return a
+}
+
+// ---- fib_rec ----
+
+func buildFibRec(n int) *Prog {
+	b := NewBuilder()
+	b.Const(V0, int64(n))
+	b.Call("fib")
+	b.StoreResult(V0, V1)
+	b.Label("fib")
+	b.Const(V1, 2)
+	b.BrCond(GEU, V0, V1, "fib_rec_case")
+	b.Ret()
+	b.Label("fib_rec_case")
+	b.PushLink()
+	b.Push(V2)
+	b.Push(V3)
+	b.Mov(V2, V0)
+	b.AddImm(V0, V2, -1)
+	b.Call("fib")
+	b.Mov(V3, V0)
+	b.AddImm(V0, V2, -2)
+	b.Call("fib")
+	b.Add(V0, V0, V3)
+	b.Mask32(V0)
+	b.Pop(V3)
+	b.Pop(V2)
+	b.PopLink()
+	b.Ret()
+	return b.Prog()
+}
+
+func refFibRec(n int) uint32 {
+	var fib func(int) uint32
+	fib = func(k int) uint32 {
+		if k < 2 {
+			return uint32(k)
+		}
+		return fib(k-1) + fib(k-2)
+	}
+	return fib(n)
+}
+
+// ---- matmul ----
+
+func buildMatmul(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "mata", Words: genWords(n*n, 0x1234)})
+	b.Data(DataSym{Name: "matb", Words: genWords(n*n, 0x5678)})
+	b.Data(DataSym{Name: "matc", Space: n * n * 4})
+	b.Const(V6, int64(n))
+	b.Const(V0, 0) // i
+	b.Label("iloop")
+	b.BrCond(GEU, V0, V6, "sum")
+	b.Const(V1, 0) // j
+	b.Label("jloop")
+	b.BrCond(GEU, V1, V6, "inext")
+	b.Const(V2, 0) // k
+	b.Const(V3, 0) // acc
+	b.Label("kloop")
+	b.BrCond(GEU, V2, V6, "kdone")
+	// a = A[i*n+k]
+	b.Mul(V4, V0, V6)
+	b.Add(V4, V4, V2)
+	b.ShlImm(V4, V4, 2)
+	b.Addr(V5, "mata")
+	b.Add(V4, V4, V5)
+	b.Load(V4, V4, 0, 4, false)
+	// b = B[k*n+j]
+	b.Mul(V5, V2, V6)
+	b.Add(V5, V5, V1)
+	b.ShlImm(V5, V5, 2)
+	b.Addr(V7, "matb")
+	b.Add(V5, V5, V7)
+	b.Load(V5, V5, 0, 4, false)
+	b.Mul(V4, V4, V5)
+	b.Add(V3, V3, V4)
+	b.Mask32(V3)
+	b.AddImm(V2, V2, 1)
+	b.Br("kloop")
+	b.Label("kdone")
+	// C[i*n+j] = acc
+	b.Mul(V4, V0, V6)
+	b.Add(V4, V4, V1)
+	b.ShlImm(V4, V4, 2)
+	b.Addr(V5, "matc")
+	b.Add(V4, V4, V5)
+	b.Store(V3, V4, 0, 4)
+	b.AddImm(V1, V1, 1)
+	b.Br("jloop")
+	b.Label("inext")
+	b.AddImm(V0, V0, 1)
+	b.Br("iloop")
+	// checksum = sum(C) rotated
+	b.Label("sum")
+	b.Const(V0, 0) // sum
+	b.Const(V1, 0) // idx
+	b.Mul(V2, V6, V6)
+	b.Addr(V3, "matc")
+	b.Label("sloop")
+	b.BrCond(GEU, V1, V2, "sdone")
+	b.Load(V4, V3, 0, 4, false)
+	b.Add(V0, V0, V4)
+	b.Mask32(V0)
+	b.AddImm(V3, V3, 4)
+	b.AddImm(V1, V1, 1)
+	b.Br("sloop")
+	b.Label("sdone")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refMatmul(n int) uint32 {
+	a := genWords(n*n, 0x1234)
+	bm := genWords(n*n, 0x5678)
+	c := make([]uint32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc uint32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * bm[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	var sum uint32
+	for _, v := range c {
+		sum += v
+	}
+	return sum
+}
+
+// ---- crc32 ----
+
+func buildCRC(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "crcbuf", Bytes: genBytes(n, 0xbeef)})
+	b.Const(V0, -1) // crc = 0xffffffff (Mask32 applies on alpha via loads path)
+	b.Mask32(V0)
+	b.Addr(V1, "crcbuf")
+	b.Addr(V2, "crcbuf")
+	b.AddImm(V2, V2, int64(n)) // end
+	b.Const(V3, 0xEDB88320)
+	b.Const(V7, 1)
+	b.Label("byteloop")
+	b.BrCond(GEU, V1, V2, "done")
+	b.Load(V4, V1, 0, 1, false)
+	b.Xor(V0, V0, V4)
+	b.Const(V5, 8)
+	b.Label("bitloop")
+	b.And(V6, V0, V7)
+	b.ShrImm(V0, V0, 1)
+	b.BrCond(NE, V6, V7, "skip")
+	b.Xor(V0, V0, V3)
+	b.Label("skip")
+	b.AddImm(V5, V5, -1)
+	b.BrCond(GEU, V5, V7, "bitloop")
+	b.AddImm(V1, V1, 1)
+	b.Br("byteloop")
+	b.Label("done")
+	b.Const(V4, -1)
+	b.Mask32(V4)
+	b.Xor(V0, V0, V4)
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refCRC(n int) uint32 {
+	crc := ^uint32(0)
+	for _, by := range genBytes(n, 0xbeef) {
+		crc ^= uint32(by)
+		for k := 0; k < 8; k++ {
+			bit := crc & 1
+			crc >>= 1
+			if bit != 0 {
+				crc ^= 0xEDB88320
+			}
+		}
+	}
+	return ^crc
+}
+
+// ---- strsearch ----
+
+func strsearchText(n int) []byte {
+	text := genBytes(n, 0xfeed)
+	// Plant the pattern at deterministic spots.
+	for i := 10; i+3 < n; i += 61 {
+		text[i], text[i+1], text[i+2] = 'a', 'b', 'c'
+	}
+	return text
+}
+
+func buildStrsearch(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "text", Bytes: strsearchText(n)})
+	b.Const(V0, 0) // count
+	b.Addr(V1, "text")
+	b.Addr(V2, "text")
+	b.AddImm(V2, V2, int64(n-2)) // end
+	b.Const(V3, 'a')
+	b.Const(V4, 'b')
+	b.Const(V5, 'c')
+	b.Label("loop")
+	b.BrCond(GEU, V1, V2, "done")
+	b.Load(V6, V1, 0, 1, false)
+	b.BrCond(NE, V6, V3, "next")
+	b.Load(V6, V1, 1, 1, false)
+	b.BrCond(NE, V6, V4, "next")
+	b.Load(V6, V1, 2, 1, false)
+	b.BrCond(NE, V6, V5, "next")
+	b.AddImm(V0, V0, 1)
+	b.Label("next")
+	b.AddImm(V1, V1, 1)
+	b.Br("loop")
+	b.Label("done")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refStrsearch(n int) uint32 {
+	text := strsearchText(n)
+	count := uint32(0)
+	for i := 0; i+2 < n; i++ {
+		if text[i] == 'a' && text[i+1] == 'b' && text[i+2] == 'c' {
+			count++
+		}
+	}
+	return count
+}
+
+// ---- listchase ----
+// n must be a power of two. Nodes are 8 bytes: [next_ptr(4) | value(4)].
+
+func buildListchase(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "nodes", Space: n * 8})
+	b.Const(V6, int64(n))
+	// Build phase: node[i].next = &nodes[(i*5+3) & (n-1)], value = i*i.
+	b.Const(V0, 0) // i
+	b.Addr(V1, "nodes")
+	b.Label("build")
+	b.BrCond(GEU, V0, V6, "chase")
+	b.ShlImm(V2, V0, 3)
+	b.Add(V2, V2, V1) // &nodes[i]
+	// next index
+	b.Const(V3, 5)
+	b.Mul(V3, V0, V3)
+	b.AddImm(V3, V3, 3)
+	b.Const(V4, int64(n-1))
+	b.And(V3, V3, V4)
+	b.ShlImm(V3, V3, 3)
+	b.Add(V3, V3, V1)
+	b.Store(V3, V2, 0, 4)
+	b.Mul(V4, V0, V0)
+	b.Mask32(V4)
+	b.Store(V4, V2, 4, 4)
+	b.AddImm(V0, V0, 1)
+	b.Br("build")
+	// Chase phase.
+	b.Label("chase")
+	b.Mov(V2, V1) // p = nodes
+	b.Const(V0, 0)
+	b.Mov(V3, V6) // steps
+	b.Const(V7, 0)
+	b.Label("step")
+	b.Load(V4, V2, 4, 4, false)
+	b.Add(V0, V0, V4)
+	b.Mask32(V0)
+	b.Load(V2, V2, 0, 4, false)
+	b.AddImm(V3, V3, -1)
+	b.BrCond(NE, V3, V7, "step")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refListchase(n int) uint32 {
+	next := make([]int, n)
+	val := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		next[i] = (i*5 + 3) & (n - 1)
+		val[i] = uint32(i * i)
+	}
+	var sum uint32
+	p := 0
+	for s := 0; s < n; s++ {
+		sum += val[p]
+		p = next[p]
+	}
+	return sum
+}
+
+// ---- bubblesort ----
+
+func buildBubble(n int) *Prog {
+	b := NewBuilder()
+	b.Data(DataSym{Name: "arr", Words: genWords(n, 0xc0de)})
+	b.Addr(V0, "arr")
+	b.Const(V1, int64(n-1)) // i
+	b.Const(V7, 0)
+	b.Label("outer")
+	b.BrCond(EQ, V1, V7, "sorted")
+	b.Const(V2, 0) // j
+	b.Label("inner")
+	b.BrCond(GEU, V2, V1, "onext")
+	b.ShlImm(V5, V2, 2)
+	b.Add(V5, V5, V0)
+	b.Load(V3, V5, 0, 4, false)
+	b.Load(V4, V5, 4, 4, false)
+	b.BrCond(GEU, V4, V3, "noswap")
+	b.Store(V4, V5, 0, 4)
+	b.Store(V3, V5, 4, 4)
+	b.Label("noswap")
+	b.AddImm(V2, V2, 1)
+	b.Br("inner")
+	b.Label("onext")
+	b.AddImm(V1, V1, -1)
+	b.Br("outer")
+	// checksum = sum((idx+1) * arr[idx] >> 16)
+	b.Label("sorted")
+	b.Const(V1, 0) // idx
+	b.Const(V2, 0) // sum
+	b.Const(V6, int64(n))
+	b.Label("ck")
+	b.BrCond(GEU, V1, V6, "ckdone")
+	b.ShlImm(V5, V1, 2)
+	b.Add(V5, V5, V0)
+	b.Load(V3, V5, 0, 4, false)
+	b.ShrImm(V3, V3, 16)
+	b.AddImm(V4, V1, 1)
+	b.Mul(V3, V3, V4)
+	b.Add(V2, V2, V3)
+	b.Mask32(V2)
+	b.AddImm(V1, V1, 1)
+	b.Br("ck")
+	b.Label("ckdone")
+	b.StoreResult(V2, V1)
+	return b.Prog()
+}
+
+func refBubble(n int) uint32 {
+	arr := genWords(n, 0xc0de)
+	for i := n - 1; i > 0; i-- {
+		for j := 0; j < i; j++ {
+			if arr[j] > arr[j+1] {
+				arr[j], arr[j+1] = arr[j+1], arr[j]
+			}
+		}
+	}
+	var sum uint32
+	for i, v := range arr {
+		sum += (v >> 16) * uint32(i+1)
+	}
+	return sum
+}
+
+// ---- hashmix ----
+
+func buildHashmix(n int) *Prog {
+	b := NewBuilder()
+	b.Const(V0, 0x811c9dc5) // h (FNV offset basis)
+	b.Mask32(V0)
+	b.Const(V1, 0x92d68ca2) // x (xorshift seed)
+	b.Mask32(V1)
+	b.Const(V2, int64(n))
+	b.Const(V4, 0)
+	b.Const(V5, 0x01000193) // FNV prime
+	b.Label("loop")
+	b.ShlImm(V3, V1, 13)
+	b.Xor(V1, V1, V3)
+	b.Mask32(V1)
+	b.ShrImm(V3, V1, 17)
+	b.Xor(V1, V1, V3)
+	b.ShlImm(V3, V1, 5)
+	b.Xor(V1, V1, V3)
+	b.Mask32(V1)
+	b.Xor(V0, V0, V1)
+	b.Mul(V0, V0, V5)
+	b.Mask32(V0)
+	b.AddImm(V2, V2, -1)
+	b.BrCond(NE, V2, V4, "loop")
+	b.StoreResult(V0, V1)
+	return b.Prog()
+}
+
+func refHashmix(n int) uint32 {
+	h := uint32(0x811c9dc5)
+	x := uint32(0x92d68ca2)
+	for i := 0; i < n; i++ {
+		x = xorshift32(x)
+		h = (h ^ x) * 0x01000193
+	}
+	return h
+}

@@ -1,0 +1,163 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/sysemu"
+)
+
+// runKernel executes a kernel program and returns the checksum stored at
+// the `result` symbol plus the exit code.
+func runKernel(t *testing.T, i *isa.ISA, p *Prog, buildset string, opts core.Options) (uint32, int) {
+	t.Helper()
+	prog, err := BuildProgram(i, p)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sim, err := core.Synthesize(i.Spec, buildset, opts)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	x := sim.NewExec(m)
+	x.Run(200_000_000)
+	if !m.Halted {
+		t.Fatalf("%s/%s: kernel did not halt", i.Name, buildset)
+	}
+	res, _ := m.Mem.Load(prog.Symbols["result"], 4)
+	return uint32(res), m.ExitCode
+}
+
+func TestKernelsMatchReferenceOnAllISAs(t *testing.T) {
+	for _, k := range All {
+		for _, name := range isa.Names() {
+			t.Run(k.Name+"/"+name, func(t *testing.T) {
+				i := isa.MustLoad(name)
+				got, code := runKernel(t, i, k.Build(k.DefaultN), "one_all", core.Options{})
+				if code != 0 {
+					t.Fatalf("exit code %d", code)
+				}
+				if want := k.Ref(k.DefaultN); got != want {
+					t.Errorf("checksum = %#x, want %#x", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestKernelsAgreeAcrossInterfaces(t *testing.T) {
+	// Two kernels (one branchy, one memory-heavy) through every interface
+	// on every ISA.
+	for _, kn := range []string{"sieve", "listchase"} {
+		k := ByName(kn)
+		for _, name := range isa.Names() {
+			i := isa.MustLoad(name)
+			want := k.Ref(k.DefaultN)
+			for _, bs := range isa.StdBuildsets {
+				got, code := runKernel(t, i, k.Build(k.DefaultN), bs, core.Options{})
+				if code != 0 || got != want {
+					t.Errorf("%s/%s/%s: checksum %#x (exit %d), want %#x", kn, name, bs, got, code, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelsUnderInterpreter(t *testing.T) {
+	k := ByName("fib_rec")
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		got, _ := runKernel(t, i, k.Build(10), "one_min", core.Options{NoTranslate: true})
+		if want := k.Ref(10); got != want {
+			t.Errorf("%s: checksum %#x, want %#x", name, got, want)
+		}
+	}
+}
+
+func TestKernelScaling(t *testing.T) {
+	// Checksums must track the problem size (guards against kernels that
+	// ignore n).
+	for _, k := range All {
+		small := k.Ref(k.DefaultN)
+		var larger uint32
+		switch k.Name {
+		case "listchase", "strsearch":
+			larger = k.Ref(k.DefaultN * 2) // power-of-two / plant-stride granularity
+		default:
+			larger = k.Ref(k.DefaultN + 7)
+		}
+		if small == larger {
+			t.Errorf("%s: checksum does not depend on n", k.Name)
+		}
+	}
+}
+
+func TestLowerRejectsUnknownISA(t *testing.T) {
+	fake := &isa.ISA{Name: "mips"}
+	if _, err := Lower(fake, ByName("sieve").Build(10)); err == nil {
+		t.Error("expected error for unknown ISA")
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	b := NewBuilder()
+	b.Br("nowhere")
+	if err := b.Prog().Validate(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: %v", err)
+	}
+	b2 := NewBuilder()
+	b2.Label("x").Label("x")
+	if err := b2.Prog().Validate(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("duplicate label: %v", err)
+	}
+	b3 := NewBuilder()
+	b3.Load(V0, V1, 0, 3, false)
+	if err := b3.Prog().Validate(); err == nil || !strings.Contains(err.Error(), "bad size") {
+		t.Errorf("bad size: %v", err)
+	}
+}
+
+func TestLoweredAssemblyIsStable(t *testing.T) {
+	// Lowering is deterministic: same IR, same text.
+	i := isa.MustLoad("alpha64")
+	p := ByName("crc32").Build(16)
+	a, err := Lower(i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Lower(i, ByName("crc32").Build(16))
+	if a != b {
+		t.Error("lowering is not deterministic")
+	}
+	if !strings.Contains(a, "_start:") || !strings.Contains(a, "result: .word 0") {
+		t.Error("missing standard prologue/epilogue")
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	// Exercise the sign-extending load paths on every ISA.
+	// 0xffff reads as -1 in either byte order; 0x80 is -128 as int8.
+	build := func() *Prog {
+		b := NewBuilder()
+		b.Data(DataSym{Name: "d", Bytes: []byte{0xff, 0xff, 0x80, 0x00}})
+		b.Addr(V1, "d")
+		b.Load(V0, V1, 0, 2, true) // -1 as int16
+		b.Load(V2, V1, 2, 1, true) // -128 as int8
+		b.Sub(V0, V0, V2)          // -1 - (-128) = 127
+		b.StoreResult(V0, V1)
+		return b.Prog()
+	}
+	for _, name := range isa.Names() {
+		i := isa.MustLoad(name)
+		got, _ := runKernel(t, i, build(), "one_all", core.Options{})
+		if got != 127 {
+			t.Errorf("%s: signed loads = %d, want 127", name, got)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/isa"
+)
+
+// Lower translates a kernel program into assembly text for the given ISA.
+// Virtual registers map to ISA registers chosen to avoid the syscall,
+// stack, and link conventions; kernels must place function bodies after
+// the main flow's exit (lowering emits straight-line code).
+func Lower(i *isa.ISA, p *Prog) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	var g generator
+	switch i.Name {
+	case "alpha64":
+		g = &alphaGen{}
+	case "arm32":
+		g = &armGen{}
+	case "ppc32":
+		g = &ppcGen{}
+	default:
+		return "", fmt.Errorf("kernels: no code generator for ISA %q", i.Name)
+	}
+	var b strings.Builder
+	b.WriteString(".text\n_start:\n")
+	for idx := range p.Ins {
+		if err := g.ins(&b, &p.Ins[idx]); err != nil {
+			return "", fmt.Errorf("kernels: ins %d: %w", idx, err)
+		}
+	}
+	b.WriteString(".data\n")
+	for _, d := range p.Data {
+		fmt.Fprintf(&b, ".align 4\n%s:\n", d.Name)
+		switch {
+		case len(d.Bytes) > 0:
+			for off := 0; off < len(d.Bytes); off += 16 {
+				end := off + 16
+				if end > len(d.Bytes) {
+					end = len(d.Bytes)
+				}
+				parts := make([]string, 0, 16)
+				for _, by := range d.Bytes[off:end] {
+					parts = append(parts, fmt.Sprintf("%d", by))
+				}
+				fmt.Fprintf(&b, ".byte %s\n", strings.Join(parts, ", "))
+			}
+		case len(d.Words) > 0:
+			for _, w := range d.Words {
+				fmt.Fprintf(&b, ".word %d\n", w)
+			}
+		default:
+			fmt.Fprintf(&b, ".space %d\n", d.Space)
+		}
+	}
+	b.WriteString(".align 4\nresult: .word 0\n")
+	return b.String(), nil
+}
+
+// BuildProgram lowers and assembles a kernel for an ISA.
+func BuildProgram(i *isa.ISA, p *Prog) (*asm.Program, error) {
+	src, err := Lower(i, p)
+	if err != nil {
+		return nil, err
+	}
+	a, err := asm.New(i)
+	if err != nil {
+		return nil, err
+	}
+	return a.Assemble(i.Name+"-kernel.s", src)
+}
+
+type generator interface {
+	ins(b *strings.Builder, in *Ins) error
+}
+
+func emitf(b *strings.Builder, format string, args ...any) {
+	fmt.Fprintf(b, "    "+format+"\n", args...)
+}
+
+// ---- alpha64 ----
+
+type alphaGen struct{}
+
+var alphaV = [numVRegs]int{1, 2, 3, 4, 5, 6, 7, 8}
+
+func (g *alphaGen) r(v Reg) string { return fmt.Sprintf("r%d", alphaV[v]) }
+
+func (g *alphaGen) ins(b *strings.Builder, in *Ins) error {
+	r := g.r
+	switch in.Op {
+	case OpConst:
+		if in.Sym != "" {
+			emitf(b, "ldah %s, ha(%s)(r31)", r(in.Dst), in.Sym)
+			emitf(b, "lda %s, lo(%s)(%s)", r(in.Dst), in.Sym, r(in.Dst))
+			return nil
+		}
+		v := in.Imm
+		switch {
+		case v >= 0 && v <= 255:
+			emitf(b, "addq r31, %d, %s", v, r(in.Dst))
+		case v >= -32768 && v < 32768:
+			emitf(b, "lda %s, %d(r31)", r(in.Dst), v)
+		default:
+			u := uint64(v) & 0xffffffff
+			emitf(b, "ldah %s, ha(%d)(r31)", r(in.Dst), u)
+			emitf(b, "lda %s, lo(%d)(%s)", r(in.Dst), u, r(in.Dst))
+			// ldah/lda sign-extend; re-truncate to the 32-bit value.
+			emitf(b, "sll %s, 32, %s", r(in.Dst), r(in.Dst))
+			emitf(b, "srl %s, 32, %s", r(in.Dst), r(in.Dst))
+		}
+	case OpMov:
+		emitf(b, "bis %s, %s, %s", r(in.A), r(in.A), r(in.Dst))
+	case OpAdd:
+		emitf(b, "addq %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpAddImm:
+		switch {
+		case in.Imm >= 0 && in.Imm <= 255:
+			emitf(b, "addq %s, %d, %s", r(in.A), in.Imm, r(in.Dst))
+		case in.Imm < 0 && in.Imm >= -255:
+			emitf(b, "subq %s, %d, %s", r(in.A), -in.Imm, r(in.Dst))
+		case in.Imm >= -32768 && in.Imm < 32768:
+			emitf(b, "lda %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+		default:
+			return fmt.Errorf("alpha: add immediate %d out of range", in.Imm)
+		}
+	case OpSub:
+		emitf(b, "subq %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpMul:
+		emitf(b, "mulq %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpAnd:
+		emitf(b, "and %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpOr:
+		emitf(b, "bis %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpXor:
+		emitf(b, "xor %s, %s, %s", r(in.A), r(in.B), r(in.Dst))
+	case OpShlImm:
+		emitf(b, "sll %s, %d, %s", r(in.A), in.Imm, r(in.Dst))
+	case OpShrImm:
+		emitf(b, "srl %s, %d, %s", r(in.A), in.Imm, r(in.Dst))
+	case OpSarImm:
+		emitf(b, "sra %s, %d, %s", r(in.A), in.Imm, r(in.Dst))
+	case OpMask32:
+		emitf(b, "sll %s, 32, %s", r(in.Dst), r(in.Dst))
+		emitf(b, "srl %s, 32, %s", r(in.Dst), r(in.Dst))
+	case OpLoad:
+		switch {
+		case in.Size == 4 && in.Signed:
+			emitf(b, "ldl %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+		case in.Size == 4:
+			emitf(b, "ldl %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+			emitf(b, "sll %s, 32, %s", r(in.Dst), r(in.Dst))
+			emitf(b, "srl %s, 32, %s", r(in.Dst), r(in.Dst))
+		case in.Size == 2:
+			emitf(b, "ldwu %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+			if in.Signed {
+				emitf(b, "sll %s, 48, %s", r(in.Dst), r(in.Dst))
+				emitf(b, "sra %s, 48, %s", r(in.Dst), r(in.Dst))
+			}
+		default:
+			emitf(b, "ldbu %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+			if in.Signed {
+				emitf(b, "sll %s, 56, %s", r(in.Dst), r(in.Dst))
+				emitf(b, "sra %s, 56, %s", r(in.Dst), r(in.Dst))
+			}
+		}
+	case OpStore:
+		mn := map[int]string{1: "stb", 2: "stw", 4: "stl"}[in.Size]
+		emitf(b, "%s %s, %d(%s)", mn, r(in.Dst), in.Imm, r(in.A))
+	case OpLabel:
+		fmt.Fprintf(b, "%s:\n", in.Sym)
+	case OpBr:
+		emitf(b, "br r31, %s", in.Sym)
+	case OpBrCond:
+		cmp := map[CC]string{EQ: "cmpeq", NE: "cmpeq", LTU: "cmpult", GEU: "cmpult", LTS: "cmplt", GES: "cmplt"}[in.CC]
+		br := "bne"
+		if in.CC == NE || in.CC == GEU || in.CC == GES {
+			br = "beq"
+		}
+		emitf(b, "%s %s, %s, r9", cmp, r(in.A), r(in.B))
+		emitf(b, "%s r9, %s", br, in.Sym)
+	case OpCall:
+		emitf(b, "bsr r26, %s", in.Sym)
+	case OpRet:
+		emitf(b, "ret r31, (r26)")
+	case OpPush:
+		emitf(b, "subq r30, 8, r30")
+		emitf(b, "stq %s, 0(r30)", r(in.Dst))
+	case OpPop:
+		emitf(b, "ldq %s, 0(r30)", r(in.Dst))
+		emitf(b, "addq r30, 8, r30")
+	case OpPushLink:
+		emitf(b, "subq r30, 8, r30")
+		emitf(b, "stq r26, 0(r30)")
+	case OpPopLink:
+		emitf(b, "ldq r26, 0(r30)")
+		emitf(b, "addq r30, 8, r30")
+	case OpExit:
+		emitf(b, "addq r31, 1, r0")
+		emitf(b, "bis %s, %s, r16", r(in.Dst), r(in.Dst))
+		emitf(b, "callsys")
+	default:
+		return fmt.Errorf("alpha: unsupported op %d", in.Op)
+	}
+	return nil
+}
+
+// ---- arm32 ----
+
+type armGen struct{}
+
+var armV = [numVRegs]int{1, 2, 3, 4, 5, 6, 8, 9}
+
+func (g *armGen) r(v Reg) string { return fmt.Sprintf("r%d", armV[v]) }
+
+// armBytes emits a 32-bit constant by rotated-immediate pieces.
+func armBytes(b *strings.Builder, dst string, v uint32) {
+	emitf(b, "mov %s, #%d, 4", dst, v>>24&0xff)
+	emitf(b, "orr %s, %s, #%d, 8", dst, dst, v>>16&0xff)
+	emitf(b, "orr %s, %s, #%d, 12", dst, dst, v>>8&0xff)
+	emitf(b, "orr %s, %s, #%d, 0", dst, dst, v&0xff)
+}
+
+func (g *armGen) ins(b *strings.Builder, in *Ins) error {
+	r := g.r
+	switch in.Op {
+	case OpConst:
+		if in.Sym != "" {
+			d := r(in.Dst)
+			emitf(b, "mov %s, #byte3(%s), 4", d, in.Sym)
+			emitf(b, "orr %s, %s, #byte2(%s), 8", d, d, in.Sym)
+			emitf(b, "orr %s, %s, #byte1(%s), 12", d, d, in.Sym)
+			emitf(b, "orr %s, %s, #byte0(%s), 0", d, d, in.Sym)
+			return nil
+		}
+		v := uint32(in.Imm)
+		switch {
+		case v <= 255:
+			emitf(b, "mov %s, #%d, 0", r(in.Dst), v)
+		case ^v <= 255:
+			emitf(b, "mvn %s, #%d, 0", r(in.Dst), ^v)
+		default:
+			armBytes(b, r(in.Dst), v)
+		}
+	case OpMov:
+		emitf(b, "mov %s, %s, 0, 0", r(in.Dst), r(in.A))
+	case OpAdd:
+		emitf(b, "add %s, %s, %s, 0, 0", r(in.Dst), r(in.A), r(in.B))
+	case OpAddImm:
+		switch {
+		case in.Imm >= 0 && in.Imm <= 255:
+			emitf(b, "add %s, %s, #%d, 0", r(in.Dst), r(in.A), in.Imm)
+		case in.Imm < 0 && in.Imm >= -255:
+			emitf(b, "sub %s, %s, #%d, 0", r(in.Dst), r(in.A), -in.Imm)
+		default:
+			armBytes(b, "r10", uint32(in.Imm))
+			emitf(b, "add %s, %s, r10, 0, 0", r(in.Dst), r(in.A))
+		}
+	case OpSub:
+		emitf(b, "sub %s, %s, %s, 0, 0", r(in.Dst), r(in.A), r(in.B))
+	case OpMul:
+		emitf(b, "mul %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpAnd:
+		emitf(b, "and %s, %s, %s, 0, 0", r(in.Dst), r(in.A), r(in.B))
+	case OpOr:
+		emitf(b, "orr %s, %s, %s, 0, 0", r(in.Dst), r(in.A), r(in.B))
+	case OpXor:
+		emitf(b, "eor %s, %s, %s, 0, 0", r(in.Dst), r(in.A), r(in.B))
+	case OpShlImm:
+		emitf(b, "mov %s, %s, 0, %d", r(in.Dst), r(in.A), in.Imm)
+	case OpShrImm:
+		emitf(b, "mov %s, %s, 1, %d", r(in.Dst), r(in.A), in.Imm)
+	case OpSarImm:
+		emitf(b, "mov %s, %s, 2, %d", r(in.Dst), r(in.A), in.Imm)
+	case OpMask32:
+		// Registers are 32 bits wide already.
+	case OpLoad:
+		switch {
+		case in.Size == 4:
+			emitf(b, "ldr %s, [%s, #%d]", r(in.Dst), r(in.A), in.Imm)
+		case in.Size == 2 && in.Signed:
+			emitf(b, "ldrsh %s, [%s, #%d]", r(in.Dst), r(in.A), in.Imm)
+		case in.Size == 2:
+			emitf(b, "ldrh %s, [%s, #%d]", r(in.Dst), r(in.A), in.Imm)
+		case in.Signed:
+			emitf(b, "ldrsb %s, [%s, #%d]", r(in.Dst), r(in.A), in.Imm)
+		default:
+			emitf(b, "ldrb %s, [%s, #%d]", r(in.Dst), r(in.A), in.Imm)
+		}
+	case OpStore:
+		mnS := map[int]string{1: "strb", 2: "strh", 4: "str"}[in.Size]
+		emitf(b, "%s %s, [%s, #%d]", mnS, r(in.Dst), r(in.A), in.Imm)
+	case OpLabel:
+		fmt.Fprintf(b, "%s:\n", in.Sym)
+	case OpBr:
+		emitf(b, "b %s", in.Sym)
+	case OpBrCond:
+		emitf(b, "cmp %s, %s, 0, 0", r(in.A), r(in.B))
+		sfx := map[CC]string{EQ: "eq", NE: "ne", LTU: "cc", GEU: "cs", LTS: "lt", GES: "ge"}[in.CC]
+		emitf(b, "b%s %s", sfx, in.Sym)
+	case OpCall:
+		emitf(b, "bl %s", in.Sym)
+	case OpRet:
+		emitf(b, "bx r14")
+	case OpPush:
+		emitf(b, "sub r13, r13, #4, 0")
+		emitf(b, "str %s, [r13, #0]", r(in.Dst))
+	case OpPop:
+		emitf(b, "ldr %s, [r13, #0]", r(in.Dst))
+		emitf(b, "add r13, r13, #4, 0")
+	case OpPushLink:
+		emitf(b, "sub r13, r13, #4, 0")
+		emitf(b, "str r14, [r13, #0]")
+	case OpPopLink:
+		emitf(b, "ldr r14, [r13, #0]")
+		emitf(b, "add r13, r13, #4, 0")
+	case OpExit:
+		emitf(b, "mov r7, #1, 0")
+		emitf(b, "mov r0, %s, 0, 0", r(in.Dst))
+		emitf(b, "swi")
+	default:
+		return fmt.Errorf("arm: unsupported op %d", in.Op)
+	}
+	return nil
+}
+
+// ---- ppc32 ----
+
+type ppcGen struct{}
+
+var ppcV = [numVRegs]int{14, 15, 16, 17, 18, 19, 20, 21}
+
+func (g *ppcGen) r(v Reg) string { return fmt.Sprintf("r%d", ppcV[v]) }
+
+func (g *ppcGen) ins(b *strings.Builder, in *Ins) error {
+	r := g.r
+	switch in.Op {
+	case OpConst:
+		if in.Sym != "" {
+			emitf(b, "addis %s, r0, ha(%s)", r(in.Dst), in.Sym)
+			emitf(b, "addi %s, %s, lo(%s)", r(in.Dst), r(in.Dst), in.Sym)
+			return nil
+		}
+		v := in.Imm
+		if v >= -32768 && v < 32768 {
+			emitf(b, "addi %s, r0, %d", r(in.Dst), v)
+		} else {
+			u := uint64(v) & 0xffffffff
+			emitf(b, "addis %s, r0, ha(%d)", r(in.Dst), u)
+			emitf(b, "addi %s, %s, lo(%d)", r(in.Dst), r(in.Dst), u)
+		}
+	case OpMov:
+		emitf(b, "or %s, %s, %s", r(in.Dst), r(in.A), r(in.A))
+	case OpAdd:
+		emitf(b, "add %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpAddImm:
+		if in.Imm < -32768 || in.Imm >= 32768 {
+			return fmt.Errorf("ppc: add immediate %d out of range", in.Imm)
+		}
+		emitf(b, "addi %s, %s, %d", r(in.Dst), r(in.A), in.Imm)
+	case OpSub:
+		// subf rt, ra, rb computes rb - ra.
+		emitf(b, "subf %s, %s, %s", r(in.Dst), r(in.B), r(in.A))
+	case OpMul:
+		emitf(b, "mullw %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpAnd:
+		emitf(b, "and %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpOr:
+		emitf(b, "or %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpXor:
+		emitf(b, "xor %s, %s, %s", r(in.Dst), r(in.A), r(in.B))
+	case OpShlImm:
+		emitf(b, "rlwinm %s, %s, %d, 0, %d", r(in.Dst), r(in.A), in.Imm, 31-in.Imm)
+	case OpShrImm:
+		emitf(b, "rlwinm %s, %s, %d, %d, 31", r(in.Dst), r(in.A), (32-in.Imm)%32, in.Imm)
+	case OpSarImm:
+		emitf(b, "srawi %s, %s, %d", r(in.Dst), r(in.A), in.Imm)
+	case OpMask32:
+		// Registers are 32 bits wide already.
+	case OpLoad:
+		switch {
+		case in.Size == 4:
+			emitf(b, "lwz %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+		case in.Size == 2 && in.Signed:
+			emitf(b, "lha %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+		case in.Size == 2:
+			emitf(b, "lhz %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+		default:
+			emitf(b, "lbz %s, %d(%s)", r(in.Dst), in.Imm, r(in.A))
+			if in.Signed {
+				emitf(b, "extsb %s, %s", r(in.Dst), r(in.Dst))
+			}
+		}
+	case OpStore:
+		mn := map[int]string{1: "stb", 2: "sth", 4: "stw"}[in.Size]
+		emitf(b, "%s %s, %d(%s)", mn, r(in.Dst), in.Imm, r(in.A))
+	case OpLabel:
+		fmt.Fprintf(b, "%s:\n", in.Sym)
+	case OpBr:
+		emitf(b, "b %s", in.Sym)
+	case OpBrCond:
+		cmp := "cmpw"
+		if in.CC == LTU || in.CC == GEU {
+			cmp = "cmplw"
+		}
+		emitf(b, "%s 0, %s, %s", cmp, r(in.A), r(in.B))
+		switch in.CC {
+		case EQ:
+			emitf(b, "bt 2, %s", in.Sym)
+		case NE:
+			emitf(b, "bf 2, %s", in.Sym)
+		case LTS, LTU:
+			emitf(b, "bt 0, %s", in.Sym)
+		case GES, GEU:
+			emitf(b, "bf 0, %s", in.Sym)
+		}
+	case OpCall:
+		emitf(b, "bl %s", in.Sym)
+	case OpRet:
+		emitf(b, "blr")
+	case OpPush:
+		emitf(b, "stwu %s, -4(r1)", r(in.Dst))
+	case OpPop:
+		emitf(b, "lwz %s, 0(r1)", r(in.Dst))
+		emitf(b, "addi r1, r1, 4")
+	case OpPushLink:
+		emitf(b, "mflr r22")
+		emitf(b, "stwu r22, -4(r1)")
+	case OpPopLink:
+		emitf(b, "lwz r22, 0(r1)")
+		emitf(b, "addi r1, r1, 4")
+		emitf(b, "mtlr r22")
+	case OpExit:
+		emitf(b, "addi r0, r0, 1")
+		emitf(b, "or r3, %s, %s", r(in.Dst), r(in.Dst))
+		emitf(b, "sc")
+	default:
+		return fmt.Errorf("ppc: unsupported op %d", in.Op)
+	}
+	return nil
+}

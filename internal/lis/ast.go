@@ -1,0 +1,244 @@
+package lis
+
+// AST of the embedded action language. The parser builds these nodes;
+// semantic analysis resolves identifier references and annotates nodes in
+// place; the synthesis engine compiles them.
+
+// Stmt is an action-language statement.
+type Stmt interface{ stmtNode() }
+
+// Expr is an action-language expression.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// AssignStmt is `lvalue = expr;`. The left side must name a field, an
+// operand value, or a local introduced by let.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	// Resolved by sema:
+	Ref RefKind
+	Sym any // *Field or *Local
+	RHS Expr
+}
+
+// LetStmt introduces an action-scoped local: `let name = expr;`.
+type LetStmt struct {
+	Pos   Pos
+	Name  string
+	Local *Local // resolved
+	RHS   Expr
+}
+
+// IfStmt is `if expr { } [else { } | else if ...]`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block or *IfStmt or nil
+}
+
+// CallStmt is a statement-position builtin call (store32(...), syscall(), halt(...)).
+type CallStmt struct {
+	Pos     Pos
+	Name    string
+	Builtin *Builtin // resolved
+	Args    []Expr
+}
+
+func (*AssignStmt) stmtNode() {}
+func (*LetStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()     {}
+func (*CallStmt) stmtNode()   {}
+func (*Block) stmtNode()      {}
+
+// RefKind classifies what an identifier resolved to.
+type RefKind int
+
+// Identifier reference kinds.
+const (
+	RefUnresolved RefKind = iota
+	RefField              // a declared or builtin field (incl. operand value fields)
+	RefLocal              // a let-bound local
+	RefEncoding           // a format bitfield of the owning instruction
+	RefConst              // a top-level const
+)
+
+// Local is a let-bound temporary within one action body.
+type Local struct {
+	Name string
+	Slot int // assigned by the compiler
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Pos Pos
+	Val uint64
+}
+
+// IdentExpr references a field, local, encoding field, or const.
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+	Ref  RefKind
+	Sym  any // *Field, *Local, *FmtField, or *Const
+}
+
+// Op is an action-language operator.
+type Op int
+
+// Operators. Arithmetic and comparison are unsigned 64-bit; signed
+// variants are builtins. Division/modulo by zero yields 0; shifts >= 64
+// yield 0.
+const (
+	OpNeg Op = iota // unary -
+	OpNot           // unary !
+	OpInv           // unary ~
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLand
+	OpLor
+)
+
+var opNames = [...]string{
+	OpNeg: "-", OpNot: "!", OpInv: "~", OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpDiv: "/", OpRem: "%", OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<",
+	OpShr: ">>", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">",
+	OpGe: ">=", OpLand: "&&", OpLor: "||",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// UnaryExpr is -x, ~x, or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Op
+	X   Expr
+}
+
+// BinaryExpr is a binary operator application. All arithmetic is unsigned
+// 64-bit; signed variants are builtins.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Op
+	L, R Expr
+}
+
+// CondExpr is `c ? a : b`.
+type CondExpr struct {
+	Pos     Pos
+	C, A, B Expr
+}
+
+// CallExpr is a builtin function application in expression position.
+type CallExpr struct {
+	Pos     Pos
+	Name    string
+	Builtin *Builtin // resolved
+	Args    []Expr
+}
+
+func (*NumExpr) exprNode()    {}
+func (*IdentExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+
+// Position implements Expr.
+func (e *NumExpr) Position() Pos    { return e.Pos }
+func (e *IdentExpr) Position() Pos  { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+func (e *CondExpr) Position() Pos   { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+
+// BuiltinKind distinguishes pure, memory-reading, and effectful builtins.
+type BuiltinKind int
+
+// Builtin kinds.
+const (
+	BuiltinPure  BuiltinKind = iota
+	BuiltinLoad              // reads simulated memory; may fault
+	BuiltinStore             // writes simulated memory; may fault; statement only
+	BuiltinEffect
+)
+
+// Builtin describes one action-language builtin function.
+type Builtin struct {
+	Name  string
+	Arity int
+	Kind  BuiltinKind
+	// Size is the access size in bytes for load/store builtins.
+	Size int
+	// Signed marks sign-extending loads.
+	Signed bool
+}
+
+// Builtins is the table of action-language builtin functions.
+var Builtins = map[string]*Builtin{
+	// width / sign manipulation
+	"sext8":  {Name: "sext8", Arity: 1},
+	"sext16": {Name: "sext16", Arity: 1},
+	"sext32": {Name: "sext32", Arity: 1},
+	"sext":   {Name: "sext", Arity: 2},
+	"trunc":  {Name: "trunc", Arity: 2},
+	"bits":   {Name: "bits", Arity: 3},
+	// signed arithmetic / comparison
+	"asr":   {Name: "asr", Arity: 2},
+	"lts":   {Name: "lts", Arity: 2},
+	"les":   {Name: "les", Arity: 2},
+	"gts":   {Name: "gts", Arity: 2},
+	"ges":   {Name: "ges", Arity: 2},
+	"sdiv":  {Name: "sdiv", Arity: 2},
+	"srem":  {Name: "srem", Arity: 2},
+	"mulhu": {Name: "mulhu", Arity: 2},
+	"mulhs": {Name: "mulhs", Arity: 2},
+	// bit tricks
+	"rotl32": {Name: "rotl32", Arity: 2},
+	"rotr32": {Name: "rotr32", Arity: 2},
+	"rotl64": {Name: "rotl64", Arity: 2},
+	"rotr64": {Name: "rotr64", Arity: 2},
+	"clz32":  {Name: "clz32", Arity: 1},
+	"clz64":  {Name: "clz64", Arity: 1},
+	"ctz32":  {Name: "ctz32", Arity: 1},
+	"ctz64":  {Name: "ctz64", Arity: 1},
+	"popcnt": {Name: "popcnt", Arity: 1},
+	// memory
+	"load8u":  {Name: "load8u", Arity: 1, Kind: BuiltinLoad, Size: 1},
+	"load8s":  {Name: "load8s", Arity: 1, Kind: BuiltinLoad, Size: 1, Signed: true},
+	"load16u": {Name: "load16u", Arity: 1, Kind: BuiltinLoad, Size: 2},
+	"load16s": {Name: "load16s", Arity: 1, Kind: BuiltinLoad, Size: 2, Signed: true},
+	"load32u": {Name: "load32u", Arity: 1, Kind: BuiltinLoad, Size: 4},
+	"load32s": {Name: "load32s", Arity: 1, Kind: BuiltinLoad, Size: 4, Signed: true},
+	"load64":  {Name: "load64", Arity: 1, Kind: BuiltinLoad, Size: 8},
+	"store8":  {Name: "store8", Arity: 2, Kind: BuiltinStore, Size: 1},
+	"store16": {Name: "store16", Arity: 2, Kind: BuiltinStore, Size: 2},
+	"store32": {Name: "store32", Arity: 2, Kind: BuiltinStore, Size: 4},
+	"store64": {Name: "store64", Arity: 2, Kind: BuiltinStore, Size: 8},
+	// effects
+	"syscall": {Name: "syscall", Arity: 0, Kind: BuiltinEffect},
+	"halt":    {Name: "halt", Arity: 1, Kind: BuiltinEffect},
+}

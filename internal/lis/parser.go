@@ -1,0 +1,768 @@
+package lis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parser produces a rawFile of unresolved declarations; Analyze (sema.go)
+// resolves names and builds the Spec. Top-level keywords are contextual
+// (they are ordinary identifiers elsewhere); only `let`, `if`, and `else`
+// are reserved inside action bodies.
+
+type rawFile struct {
+	name      string
+	namePos   Pos
+	word      int
+	endian    string
+	endianPos Pos
+	instrSize int
+	spaces    []rawSpace
+	steps     []rawIdent
+	decodeStp rawIdent
+	fetchStp  rawIdent
+	excStp    rawIdent
+	consts    []rawConst
+	fields    []rawField
+	formats   []rawFormat
+	classes   []rawIdent
+	accessors []rawAccessor
+	opnames   []rawOpName
+	operands  []rawOperand
+	actions   []rawAction
+	buildsets []rawBuildset
+	suffixes  []rawSuffix
+}
+
+type rawSuffix struct {
+	pos   Pos
+	field rawIdent
+	defs  []rawSuffixDef
+}
+
+type rawSuffixDef struct {
+	pos  Pos
+	name string
+	val  uint64
+}
+
+type rawIdent struct {
+	pos  Pos
+	name string
+}
+
+type rawSpace struct {
+	pos          Pos
+	name         string
+	count, width int
+	zero         int
+}
+
+type rawConst struct {
+	pos  Pos
+	name string
+	val  Expr
+}
+
+type rawField struct {
+	pos   Pos
+	name  string
+	width int
+}
+
+type rawFormat struct {
+	pos    Pos
+	name   string
+	fields []*FmtField
+}
+
+type rawAccessor struct {
+	pos   Pos
+	name  string
+	space rawIdent
+}
+
+type rawOpName struct {
+	pos        Pos
+	name       string
+	decodeStep rawIdent // empty name = default decode step
+	accessStep rawIdent
+	isWrite    bool
+	value      rawIdent
+}
+
+type rawOperand struct {
+	pos      Pos
+	owner    rawIdent // instruction or class
+	opname   rawIdent
+	accessor rawIdent
+	idxEnc   rawIdent // encoding field name, or empty
+	idxConst uint64
+	isConst  bool
+}
+
+type rawAction struct {
+	pos      Pos
+	owner    rawIdent // "ALL", class, or instruction
+	step     rawIdent
+	body     *Block
+	override bool
+}
+
+type rawMatch struct {
+	pos   Pos
+	field rawIdent
+	val   uint64
+}
+
+type rawInstr struct {
+	pos     Pos
+	name    string
+	format  rawIdent
+	classes []rawIdent
+	match   []rawMatch
+	asm     string
+}
+
+type rawBuildset struct {
+	pos       Pos
+	name      string
+	mode      BuildsetMode
+	spec      bool
+	unchecked bool
+	visBase   VisibilityBase
+	visSet    bool
+	show      []rawIdent
+	hide      []rawIdent
+	entries   []rawEntry
+	srcLines  int
+}
+
+type rawEntry struct {
+	pos   Pos
+	name  string
+	steps []rawIdent
+}
+
+type parser struct {
+	lx     *lexer
+	tok    token
+	peeked *token
+	errs   *ErrorList
+	file   *rawFile
+	instrs []rawInstr
+	src    string
+}
+
+// Parse parses LIS source. filename is used in diagnostics only.
+// On error it returns an ErrorList (possibly alongside a partial result).
+func Parse(filename, src string) (*Spec, error) {
+	var errs ErrorList
+	p := &parser{lx: newLexer(filename, src, &errs), errs: &errs, file: &rawFile{word: 64, instrSize: 4}, src: src}
+	p.advance()
+	p.parseFile()
+	if len(errs) > 0 {
+		return nil, errs
+	}
+	return analyze(p.file, p.instrs, &errs)
+}
+
+func (p *parser) advance() {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return
+	}
+	p.tok = p.lx.next()
+}
+
+func (p *parser) errorf(pos Pos, format string, args ...any) {
+	// Bound diagnostic volume on badly corrupted input.
+	if len(*p.errs) < 200 {
+		*p.errs = append(*p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k tokKind) token {
+	t := p.tok
+	if t.kind != k {
+		p.errorf(t.pos, "expected %v, found %v", k, describe(t))
+		// Do not consume: let the caller's recovery find a sync point.
+		if k == tokSemi {
+			p.syncToSemi()
+			return t
+		}
+	}
+	p.advance()
+	return t
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("'%s'", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return t.kind.String()
+	}
+}
+
+func (p *parser) ident() rawIdent {
+	t := p.expect(tokIdent)
+	return rawIdent{pos: t.pos, name: t.text}
+}
+
+func (p *parser) number() uint64 {
+	t := p.expect(tokNumber)
+	return t.num
+}
+
+// kw consumes the current token if it is the given contextual keyword.
+func (p *parser) kw(word string) bool {
+	if p.tok.kind == tokIdent && p.tok.text == word {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) {
+	if !p.kw(word) {
+		p.errorf(p.tok.pos, "expected '%s', found %v", word, describe(p.tok))
+		p.syncToSemi()
+	}
+}
+
+// syncToSemi skips tokens until after the next ';' (or a '}' / EOF) to
+// recover from a syntax error.
+func (p *parser) syncToSemi() {
+	depth := 0
+	for {
+		switch p.tok.kind {
+		case tokEOF:
+			return
+		case tokSemi:
+			if depth == 0 {
+				p.advance()
+				return
+			}
+		case tokLBrace:
+			depth++
+		case tokRBrace:
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseFile() {
+	for p.tok.kind != tokEOF {
+		if p.tok.kind != tokIdent {
+			p.errorf(p.tok.pos, "expected declaration, found %v", describe(p.tok))
+			p.syncToSemi()
+			// syncToSemi stops at (without consuming) a '}' so block
+			// parsers can see it; at top level it must not stall us.
+			if p.tok.kind == tokRBrace {
+				p.advance()
+			}
+			continue
+		}
+		switch p.tok.text {
+		case "isa":
+			p.advance()
+			t := p.expect(tokString)
+			p.file.name, p.file.namePos = t.text, t.pos
+			p.expect(tokSemi)
+		case "word":
+			p.advance()
+			p.file.word = int(p.number())
+			p.expect(tokSemi)
+		case "endian":
+			p.advance()
+			t := p.expect(tokIdent)
+			p.file.endian, p.file.endianPos = t.text, t.pos
+			p.expect(tokSemi)
+		case "instrsize":
+			p.advance()
+			p.file.instrSize = int(p.number())
+			p.expect(tokSemi)
+		case "space":
+			p.parseSpace()
+		case "step":
+			p.advance()
+			p.file.steps = append(p.file.steps, p.identList()...)
+			p.expect(tokSemi)
+		case "decodestep":
+			p.advance()
+			p.file.decodeStp = p.ident()
+			p.expect(tokSemi)
+		case "fetchstep":
+			p.advance()
+			p.file.fetchStp = p.ident()
+			p.expect(tokSemi)
+		case "excstep":
+			p.advance()
+			p.file.excStp = p.ident()
+			p.expect(tokSemi)
+		case "const":
+			p.advance()
+			name := p.ident()
+			p.expect(tokAssign)
+			e := p.parseExpr()
+			p.expect(tokSemi)
+			p.file.consts = append(p.file.consts, rawConst{pos: name.pos, name: name.name, val: e})
+		case "field":
+			p.advance()
+			name := p.ident()
+			w := int(p.number())
+			p.expect(tokSemi)
+			p.file.fields = append(p.file.fields, rawField{pos: name.pos, name: name.name, width: w})
+		case "format":
+			p.parseFormat()
+		case "class":
+			p.advance()
+			p.file.classes = append(p.file.classes, p.identList()...)
+			p.expect(tokSemi)
+		case "accessor":
+			p.advance()
+			name := p.ident()
+			p.expectKw("space")
+			sp := p.ident()
+			p.expect(tokSemi)
+			p.file.accessors = append(p.file.accessors, rawAccessor{pos: name.pos, name: name.name, space: sp})
+		case "operandname":
+			p.parseOperandName()
+		case "operand":
+			p.parseOperand()
+		case "action", "override":
+			p.parseAction()
+		case "instr":
+			p.parseInstr()
+		case "buildset":
+			p.parseBuildset()
+		case "asmsuffix":
+			p.parseAsmSuffix()
+		default:
+			p.errorf(p.tok.pos, "unknown declaration '%s'", p.tok.text)
+			p.syncToSemi()
+		}
+	}
+}
+
+func (p *parser) identList() []rawIdent {
+	var out []rawIdent
+	out = append(out, p.ident())
+	for p.tok.kind == tokComma {
+		p.advance()
+		out = append(out, p.ident())
+	}
+	return out
+}
+
+func (p *parser) parseSpace() {
+	p.advance()
+	name := p.ident()
+	s := rawSpace{pos: name.pos, name: name.name, zero: -1}
+	p.expectKw("count")
+	s.count = int(p.number())
+	p.expectKw("width")
+	s.width = int(p.number())
+	if p.kw("zero") {
+		s.zero = int(p.number())
+	}
+	p.expect(tokSemi)
+	p.file.spaces = append(p.file.spaces, s)
+}
+
+func (p *parser) parseFormat() {
+	p.advance()
+	name := p.ident()
+	f := rawFormat{pos: name.pos, name: name.name}
+	p.expect(tokLBrace)
+	for p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		fn := p.ident()
+		p.expect(tokLBracket)
+		hi := int(p.number())
+		p.expect(tokColon)
+		lo := int(p.number())
+		p.expect(tokRBracket)
+		ff := &FmtField{Pos: fn.pos, Name: fn.name, Hi: hi, Lo: lo}
+		for {
+			if p.kw("signed") {
+				ff.Signed = true
+			} else if p.kw("default") {
+				ff.Default = p.number()
+			} else {
+				break
+			}
+		}
+		p.expect(tokSemi)
+		f.fields = append(f.fields, ff)
+	}
+	p.expect(tokRBrace)
+	p.file.formats = append(p.file.formats, f)
+}
+
+func (p *parser) parseOperandName() {
+	p.advance()
+	name := p.ident()
+	o := rawOpName{pos: name.pos, name: name.name}
+	if p.kw("decode") {
+		p.expect(tokLParen)
+		o.decodeStep = p.ident()
+		p.expect(tokRParen)
+	}
+	switch {
+	case p.kw("read"):
+	case p.kw("write"):
+		o.isWrite = true
+	default:
+		p.errorf(p.tok.pos, "expected 'read' or 'write' in operandname, found %v", describe(p.tok))
+		p.syncToSemi()
+		return
+	}
+	p.expect(tokLParen)
+	o.accessStep = p.ident()
+	p.expect(tokRParen)
+	p.expect(tokAssign)
+	o.value = p.ident()
+	p.expect(tokSemi)
+	p.file.opnames = append(p.file.opnames, o)
+}
+
+func (p *parser) parseOperand() {
+	p.advance()
+	owner := p.ident()
+	opname := p.ident()
+	acc := p.ident()
+	o := rawOperand{pos: owner.pos, owner: owner, opname: opname, accessor: acc}
+	p.expect(tokLParen)
+	if p.tok.kind == tokNumber {
+		o.isConst = true
+		o.idxConst = p.number()
+	} else {
+		o.idxEnc = p.ident()
+	}
+	p.expect(tokRParen)
+	p.expect(tokSemi)
+	p.file.operands = append(p.file.operands, o)
+}
+
+func (p *parser) parseAction() {
+	override := false
+	if p.tok.text == "override" {
+		override = true
+		p.advance()
+		p.expectKw("action")
+	} else {
+		p.advance() // "action"
+	}
+	owner := p.ident()
+	p.expect(tokAt)
+	step := p.ident()
+	p.expect(tokAssign)
+	body := p.parseBlock()
+	p.file.actions = append(p.file.actions, rawAction{
+		pos: owner.pos, owner: owner, step: step, body: body, override: override,
+	})
+}
+
+func (p *parser) parseInstr() {
+	p.advance()
+	name := p.ident()
+	in := rawInstr{pos: name.pos, name: name.name}
+	p.expectKw("format")
+	in.format = p.ident()
+	for {
+		switch {
+		case p.kw("class"):
+			in.classes = append(in.classes, p.identList()...)
+		case p.kw("match"):
+			for {
+				f := p.ident()
+				p.expect(tokEq)
+				v := p.number()
+				in.match = append(in.match, rawMatch{pos: f.pos, field: f, val: v})
+				if p.tok.kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case p.kw("asm"):
+			t := p.expect(tokString)
+			in.asm = t.text
+		default:
+			p.expect(tokSemi)
+			p.instrs = append(p.instrs, in)
+			return
+		}
+	}
+}
+
+func (p *parser) parseBuildset() {
+	p.advance()
+	name := p.ident()
+	bs := rawBuildset{pos: name.pos, name: name.name}
+	startLine := name.pos.Line
+	p.expect(tokLBrace)
+	for p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		switch {
+		case p.kw("visibility"):
+			bs.visSet = true
+			switch {
+			case p.kw("min"):
+				bs.visBase = VisMin
+			case p.kw("all"):
+				bs.visBase = VisAll
+			default:
+				p.errorf(p.tok.pos, "expected 'min' or 'all' after visibility")
+			}
+			for {
+				if p.kw("show") {
+					bs.show = append(bs.show, p.identList()...)
+				} else if p.kw("hide") {
+					bs.hide = append(bs.hide, p.identList()...)
+				} else {
+					break
+				}
+			}
+			p.expect(tokSemi)
+		case p.kw("mode"):
+			p.expectKw("block")
+			bs.mode = ModeBlock
+			p.expect(tokSemi)
+		case p.kw("speculation"):
+			switch {
+			case p.kw("on"):
+				bs.spec = true
+			case p.kw("off"):
+				bs.spec = false
+			default:
+				p.errorf(p.tok.pos, "expected 'on' or 'off' after speculation")
+			}
+			p.expect(tokSemi)
+		case p.kw("unchecked"):
+			bs.unchecked = true
+			p.expect(tokSemi)
+		case p.kw("entrypoint"):
+			en := p.ident()
+			p.expect(tokAssign)
+			e := rawEntry{pos: en.pos, name: en.name, steps: p.identList()}
+			p.expect(tokSemi)
+			bs.entries = append(bs.entries, e)
+		default:
+			p.errorf(p.tok.pos, "unexpected %v in buildset", describe(p.tok))
+			p.syncToSemi()
+		}
+	}
+	end := p.tok.pos.Line
+	p.expect(tokRBrace)
+	bs.srcLines = countNonBlankLines(p.src, startLine, end)
+	p.file.buildsets = append(p.file.buildsets, bs)
+}
+
+// countNonBlankLines counts the non-blank, non-comment-only source lines in
+// the inclusive line span [from, to] (Table I's lines-per-buildset metric).
+func countNonBlankLines(src string, from, to int) int {
+	lines := strings.Split(src, "\n")
+	n := 0
+	for i := from; i <= to && i <= len(lines); i++ {
+		t := strings.TrimSpace(lines[i-1])
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (p *parser) parseAsmSuffix() {
+	p.advance()
+	field := p.ident()
+	sx := rawSuffix{pos: field.pos, field: field}
+	p.expect(tokLBrace)
+	for p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		name := p.ident()
+		p.expect(tokAssign)
+		v := p.number()
+		p.expect(tokSemi)
+		sx.defs = append(sx.defs, rawSuffixDef{pos: name.pos, name: name.name, val: v})
+	}
+	p.expect(tokRBrace)
+	p.file.suffixes = append(p.file.suffixes, sx)
+}
+
+// ---- action language ----
+
+func (p *parser) parseBlock() *Block {
+	b := &Block{Pos: p.tok.pos}
+	p.expect(tokLBrace)
+	for p.tok.kind != tokRBrace && p.tok.kind != tokEOF {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(tokRBrace)
+	return b
+}
+
+func (p *parser) parseStmt() Stmt {
+	if p.tok.kind != tokIdent {
+		p.errorf(p.tok.pos, "expected statement, found %v", describe(p.tok))
+		p.syncToSemi()
+		return nil
+	}
+	switch p.tok.text {
+	case "let":
+		pos := p.tok.pos
+		p.advance()
+		name := p.ident()
+		p.expect(tokAssign)
+		rhs := p.parseExpr()
+		p.expect(tokSemi)
+		return &LetStmt{Pos: pos, Name: name.name, RHS: rhs}
+	case "if":
+		return p.parseIf()
+	}
+	name := p.ident()
+	switch p.tok.kind {
+	case tokAssign:
+		p.advance()
+		rhs := p.parseExpr()
+		p.expect(tokSemi)
+		return &AssignStmt{Pos: name.pos, Name: name.name, RHS: rhs}
+	case tokLParen:
+		args := p.parseArgs()
+		p.expect(tokSemi)
+		return &CallStmt{Pos: name.pos, Name: name.name, Args: args}
+	default:
+		p.errorf(p.tok.pos, "expected '=' or '(' after '%s'", name.name)
+		p.syncToSemi()
+		return nil
+	}
+}
+
+func (p *parser) parseIf() Stmt {
+	pos := p.tok.pos
+	p.advance() // "if"
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.tok.kind == tokIdent && p.tok.text == "else" {
+		p.advance()
+		if p.tok.kind == tokIdent && p.tok.text == "if" {
+			st.Else = p.parseIf()
+		} else {
+			st.Else = p.parseBlock()
+		}
+	}
+	return st
+}
+
+func (p *parser) parseArgs() []Expr {
+	p.expect(tokLParen)
+	var args []Expr
+	if p.tok.kind != tokRParen {
+		args = append(args, p.parseExpr())
+		for p.tok.kind == tokComma {
+			p.advance()
+			args = append(args, p.parseExpr())
+		}
+	}
+	p.expect(tokRParen)
+	return args
+}
+
+func (p *parser) parseExpr() Expr { return p.parseTernary() }
+
+func (p *parser) parseTernary() Expr {
+	c := p.parseBinary(0)
+	if p.tok.kind != tokQuestion {
+		return c
+	}
+	pos := p.tok.pos
+	p.advance()
+	a := p.parseExpr()
+	p.expect(tokColon)
+	b := p.parseExpr()
+	return &CondExpr{Pos: pos, C: c, A: a, B: b}
+}
+
+// Binary operator precedence, loosest first.
+var binPrec = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPct: 10,
+}
+
+var binOps = map[tokKind]Op{
+	tokOrOr: OpLor, tokAndAnd: OpLand, tokPipe: OpOr, tokCaret: OpXor,
+	tokAmp: OpAnd, tokEq: OpEq, tokNe: OpNe, tokLt: OpLt, tokLe: OpLe,
+	tokGt: OpGt, tokGe: OpGe, tokShl: OpShl, tokShr: OpShr, tokPlus: OpAdd,
+	tokMinus: OpSub, tokStar: OpMul, tokSlash: OpDiv, tokPct: OpRem,
+}
+
+func (p *parser) parseBinary(min int) Expr {
+	l := p.parseUnary()
+	for {
+		prec, ok := binPrec[p.tok.kind]
+		if !ok || prec < min {
+			return l
+		}
+		op := binOps[p.tok.kind]
+		pos := p.tok.pos
+		p.advance()
+		r := p.parseBinary(prec + 1)
+		l = &BinaryExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() Expr {
+	switch p.tok.kind {
+	case tokMinus, tokTilde, tokBang:
+		op := map[tokKind]Op{tokMinus: OpNeg, tokTilde: OpInv, tokBang: OpNot}[p.tok.kind]
+		pos := p.tok.pos
+		p.advance()
+		return &UnaryExpr{Pos: pos, Op: op, X: p.parseUnary()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() Expr {
+	switch p.tok.kind {
+	case tokNumber:
+		e := &NumExpr{Pos: p.tok.pos, Val: p.tok.num}
+		p.advance()
+		return e
+	case tokIdent:
+		name := p.tok.text
+		pos := p.tok.pos
+		p.advance()
+		if p.tok.kind == tokLParen {
+			return &CallExpr{Pos: pos, Name: name, Args: p.parseArgs()}
+		}
+		return &IdentExpr{Pos: pos, Name: name}
+	case tokLParen:
+		p.advance()
+		e := p.parseExpr()
+		p.expect(tokRParen)
+		return e
+	default:
+		p.errorf(p.tok.pos, "expected expression, found %v", describe(p.tok))
+		p.advance()
+		return &NumExpr{Pos: p.tok.pos}
+	}
+}

@@ -1,0 +1,332 @@
+package lis
+
+import "singlespec/internal/mach"
+
+// This file defines the resolved specification model produced by semantic
+// analysis. The synthesis engine consumes a *Spec; it never re-examines
+// source text.
+
+// Builtin field names. These form the paper's "minimal information" level
+// of informational detail (§V-B "Min": address, instruction encoding, next
+// PC, faults, and simulator context), plus the decode-level opcode and the
+// internal nullify flag used for predication.
+const (
+	FieldPC        = "pc"
+	FieldPhysPC    = "phys_pc"
+	FieldInstrBits = "instr_bits"
+	FieldNextPC    = "next_pc"
+	FieldFault     = "fault"
+	FieldCtx       = "ctx"
+	FieldOpcode    = "opcode"  // instruction id; decode-level information
+	FieldNullify   = "nullify" // predication: suppress remaining steps
+)
+
+// MinFields is the set of builtin fields always present in any interface.
+var MinFields = []string{FieldPC, FieldPhysPC, FieldInstrBits, FieldNextPC, FieldFault, FieldCtx}
+
+// Spec is a fully resolved LIS description.
+type Spec struct {
+	Name      string
+	Word      int // register width in bits (32 or 64)
+	Endian    mach.ByteOrder
+	InstrSize int // instruction size in bytes (fixed-width encodings)
+
+	Spaces []*SpaceDecl
+	Steps  []string // ordered execution steps
+	// DecodeStep is the index into Steps of the step that performs
+	// instruction decode; steps before it run pre-decode (ALL actions only).
+	DecodeStep int
+	// FetchStep is the step at which the engine loads instruction bits
+	// (defaults to the decode step).
+	FetchStep int
+	// ExcStep is the step faults divert to (defaults to the last step).
+	ExcStep int
+
+	Consts    []*Const
+	Fields    []*Field // builtins first, then declared, then auto (operand idx)
+	Formats   []*Format
+	Classes   []*Class
+	Accs      []*Accessor
+	OpNames   []*OperandName
+	Instrs    []*Instr
+	Buildsets []*Buildset
+
+	// AsmSuffix, when non-nil, declares mnemonic-suffix encoding of one
+	// format field (e.g. arm32's condition suffixes: "bne" = "b" with
+	// cond=1). Part of deriving the assembler from the single spec.
+	AsmSuffix *AsmSuffix
+
+	// AllActions[stepIndex] lists the resolved ALL-owner actions per step
+	// (they also appear in every instruction's StepActions; this list lets
+	// the engine run them when no instruction has been decoded yet).
+	AllActions [][]*Action
+
+	fieldByName map[string]*Field
+	spaceByName map[string]*SpaceDecl
+	stepIndex   map[string]int
+	instrByName map[string]*Instr
+	bsByName    map[string]*Buildset
+}
+
+// Field looks up a field by name (nil if absent).
+func (s *Spec) Field(name string) *Field { return s.fieldByName[name] }
+
+// SpaceDecl looks up a register space by name (nil if absent).
+func (s *Spec) Space(name string) *SpaceDecl { return s.spaceByName[name] }
+
+// StepIndex returns the position of a step name, or -1.
+func (s *Spec) StepIndex(name string) int {
+	if i, ok := s.stepIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Instr looks up an instruction by mnemonic (nil if absent).
+func (s *Spec) Instr(name string) *Instr { return s.instrByName[name] }
+
+// Buildset looks up a buildset by name (nil if absent).
+func (s *Spec) Buildset(name string) *Buildset { return s.bsByName[name] }
+
+// SpaceDefs converts the spec's register spaces into machine space
+// definitions.
+func (s *Spec) SpaceDefs() []mach.SpaceDef {
+	defs := make([]mach.SpaceDef, len(s.Spaces))
+	for i, sp := range s.Spaces {
+		defs[i] = mach.SpaceDef{Name: sp.Name, Count: sp.Count, Width: sp.Width, ZeroReg: sp.Zero}
+	}
+	return defs
+}
+
+// NewMachine builds a machine with this spec's register spaces over a fresh
+// memory of the spec's byte order.
+func (s *Spec) NewMachine() *mach.Machine {
+	return mach.NewMachine(mach.NewMemory(s.Endian), s.SpaceDefs())
+}
+
+// SpaceDecl declares an architectural register space.
+type SpaceDecl struct {
+	Pos   Pos
+	Name  string
+	Count int
+	Width int
+	Zero  int // hardwired-zero register index or -1
+	Index int // position in Spec.Spaces
+}
+
+// Const is a top-level named constant.
+type Const struct {
+	Pos  Pos
+	Name string
+	Val  uint64
+}
+
+// Field is an intermediate value an instruction may expose through the
+// interface (the paper's `field` construct).
+type Field struct {
+	Pos     Pos
+	Name    string
+	Width   int
+	Builtin bool
+	Auto    bool // auto-created operand index field
+	Index   int  // position in Spec.Fields
+}
+
+// FmtField is one bitfield of an instruction format.
+type FmtField struct {
+	Pos    Pos
+	Name   string
+	Hi, Lo int
+	Signed bool // immediates: sign-extend when assembled/displayed
+	// Default is the value the assembler encodes when the field is neither
+	// matched nor mentioned in the asm template (e.g. arm32's cond = AL).
+	Default uint64
+}
+
+// Width returns the bitfield width.
+func (f *FmtField) Width() int { return f.Hi - f.Lo + 1 }
+
+// Format is an instruction encoding format.
+type Format struct {
+	Pos    Pos
+	Name   string
+	Fields []*FmtField
+	byName map[string]*FmtField
+}
+
+// Field looks up a format bitfield by name.
+func (f *Format) Field(name string) *FmtField { return f.byName[name] }
+
+// Class groups instructions that share behaviour (operands and actions can
+// be declared at class level).
+type Class struct {
+	Pos  Pos
+	Name string
+}
+
+// Accessor describes how operands reach architectural state (the paper's
+// accessor construct); ours are register-space accessors.
+type Accessor struct {
+	Pos   Pos
+	Name  string
+	Space *SpaceDecl
+}
+
+// OperandName declares a named operand role (the paper's operandname):
+// which step decodes it, which step reads or writes it, and which field
+// carries its value. An index field `<name>_idx` is created automatically
+// (decode-level information).
+type OperandName struct {
+	Pos        Pos
+	Name       string
+	DecodeStep int // step index where the operand identifier is extracted
+	AccessStep int // step index where the value is read (src) or written (dest)
+	IsWrite    bool
+	Value      *Field // carries the operand's value
+	IdxField   *Field // auto field carrying the decoded register index
+}
+
+// OperandBinding attaches an operand role to an instruction (the paper's
+// operand construct): which accessor, and where the register index comes
+// from (an encoding field or a constant).
+type OperandBinding struct {
+	Pos      Pos
+	Op       *OperandName
+	Acc      *Accessor
+	IdxEnc   *FmtField // register index from this encoding field, or nil
+	IdxConst int       // constant register index when IdxEnc is nil
+}
+
+// Action is a resolved semantics snippet for (owner, step).
+type Action struct {
+	Pos      Pos
+	Step     int // step index
+	Body     *Block
+	Override bool
+	// Owner describes provenance for diagnostics: "ALL", class name, or
+	// instruction name.
+	Owner string
+}
+
+// MatchClause is one `encfield == value` term of an instruction's encoding
+// match.
+type MatchClause struct {
+	Pos   Pos
+	Field *FmtField
+	Val   uint64
+}
+
+// Instr is a fully resolved instruction.
+type Instr struct {
+	Pos     Pos
+	Name    string
+	ID      int
+	Format  *Format
+	Classes []*Class
+	Match   []MatchClause
+	Asm     string
+
+	// Mask/Value: an instruction word w encodes this instruction iff
+	// w&Mask == Value.
+	Mask, Value uint64
+
+	Operands []*OperandBinding
+	// StepActions[stepIndex] lists the resolved action bodies to run at
+	// that step, in execution order (ALL, then classes in declaration
+	// order, then the instruction's own action; an override replaces all
+	// earlier ones for that step).
+	StepActions [][]*Action
+
+	// CTI marks instructions whose semantics may assign next_pc (control
+	// transfer); these terminate translated blocks.
+	CTI bool
+	// Barrier marks instructions that must end a translated block for
+	// non-control reasons (syscall, halt) because they can change
+	// arbitrary state.
+	Barrier bool
+}
+
+// BuildsetMode selects the semantic-detail style of the generated
+// interface.
+type BuildsetMode int
+
+// Buildset modes.
+const (
+	// ModeCall generates one call per entrypoint (One when a single
+	// entrypoint covers all steps; Step when there are several).
+	ModeCall BuildsetMode = iota
+	// ModeBlock generates a basic-block-at-a-time interface backed by the
+	// block translator; requires a single entrypoint.
+	ModeBlock
+)
+
+// VisibilityBase is the starting set a buildset's visibility modifies.
+type VisibilityBase int
+
+// Visibility bases.
+const (
+	VisMin VisibilityBase = iota // only builtin minimal fields
+	VisAll                       // every field and operand value
+)
+
+// Buildset is an interface specification: informational detail
+// (visibility), semantic detail (entrypoints), and speculation support.
+type Buildset struct {
+	Pos  Pos
+	Name string
+	Mode BuildsetMode
+	Spec bool // speculation (rollback) support
+	// Unchecked disables interface-completeness diagnostics (used to
+	// reproduce the paper's class of interface bugs in tests).
+	Unchecked bool
+
+	VisBase VisibilityBase
+	Show    []*Field // added to base
+	Hide    []*Field // removed from base
+
+	Entrypoints []*Entrypoint
+
+	// SrcLines is the number of non-blank source lines this buildset
+	// occupied (Table I's "lines per buildset" statistic).
+	SrcLines int
+}
+
+// Visible reports whether field f is part of this buildset's informational
+// detail. Builtin minimal fields are always visible.
+func (b *Buildset) Visible(f *Field) bool {
+	for _, m := range MinFields {
+		if f.Name == m {
+			return true
+		}
+	}
+	for _, h := range b.Hide {
+		if h == f {
+			return false
+		}
+	}
+	for _, s := range b.Show {
+		if s == f {
+			return true
+		}
+	}
+	return b.VisBase == VisAll
+}
+
+// AsmSuffix maps mnemonic suffixes to values of a named encoding field.
+type AsmSuffix struct {
+	Field string
+	Defs  []SuffixDef
+}
+
+// SuffixDef is one suffix-name/field-value pair.
+type SuffixDef struct {
+	Name string
+	Val  uint64
+}
+
+// Entrypoint is one interface call: an ordered subsequence of steps.
+type Entrypoint struct {
+	Pos   Pos
+	Name  string
+	Steps []int // step indices, ascending
+}

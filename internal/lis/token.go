@@ -1,0 +1,398 @@
+// Package lis implements the frontend of the LIS-dialect Architecture
+// Description Language: lexer, parser, AST, and semantic analysis producing
+// a resolved Spec that the synthesis engine (internal/core) consumes.
+//
+// The dialect follows the constructs of Penry (ISPASS 2011): fields,
+// actions, operands/operandnames/accessors, and buildsets with visibility
+// and entrypoint declarations. Instruction semantics are written in a small
+// embedded action language (u64 values, explicit width/sign builtins)
+// instead of the paper's C++ snippets; see DESIGN.md §2.
+package lis
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Error is a diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList accumulates diagnostics.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Err returns the list as an error, or nil if empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	// punctuation
+	tokSemi     // ;
+	tokComma    // ,
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokColon    // :
+	tokQuestion // ?
+	tokAt       // @
+	// operators
+	tokAssign // =
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokPct    // %
+	tokAmp    // &
+	tokPipe   // |
+	tokCaret  // ^
+	tokTilde  // ~
+	tokBang   // !
+	tokShl    // <<
+	tokShr    // >>
+	tokEq     // ==
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokAndAnd // &&
+	tokOrOr   // ||
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokNumber: "number",
+	tokString: "string", tokSemi: "';'", tokComma: "','", tokLBrace: "'{'",
+	tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'", tokLBracket: "'['",
+	tokRBracket: "']'", tokColon: "':'", tokQuestion: "'?'", tokAt: "'@'",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPct: "'%'", tokAmp: "'&'", tokPipe: "'|'",
+	tokCaret: "'^'", tokTilde: "'~'", tokBang: "'!'", tokShl: "'<<'",
+	tokShr: "'>>'", tokEq: "'=='", tokNe: "'!='", tokLt: "'<'",
+	tokLe: "'<='", tokGt: "'>'", tokGe: "'>='", tokAndAnd: "'&&'",
+	tokOrOr: "'||'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	pos  Pos
+	text string // ident text, string contents
+	num  uint64 // number value
+}
+
+type lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+	errs *ErrorList
+}
+
+func newLexer(file, src string, errs *ErrorList) *lexer {
+	return &lexer{src: src, file: file, line: 1, col: 1, errs: errs}
+}
+
+func (lx *lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) errorf(p Pos, format string, args ...any) {
+	*lx.errs = append(*lx.errs, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) nextByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.nextByte()
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.nextByte()
+			}
+		case c == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '*':
+			p := lx.pos()
+			lx.nextByte()
+			lx.nextByte()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.src[lx.off] == '*' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/' {
+					lx.nextByte()
+					lx.nextByte()
+					closed = true
+					break
+				}
+				lx.nextByte()
+			}
+			if !closed {
+				lx.errorf(p, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (lx *lexer) next() token {
+	lx.skipSpaceAndComments()
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: p}
+	}
+	c := lx.nextByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && isIdentCont(lx.src[lx.off]) {
+			lx.nextByte()
+		}
+		return token{kind: tokIdent, pos: p, text: lx.src[start:lx.off]}
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(p, c)
+	case c == '"':
+		return lx.lexString(p)
+	}
+	two := func(second byte, k2, k1 tokKind) token {
+		if lx.peekByte() == second {
+			lx.nextByte()
+			return token{kind: k2, pos: p}
+		}
+		return token{kind: k1, pos: p}
+	}
+	switch c {
+	case ';':
+		return token{kind: tokSemi, pos: p}
+	case ',':
+		return token{kind: tokComma, pos: p}
+	case '{':
+		return token{kind: tokLBrace, pos: p}
+	case '}':
+		return token{kind: tokRBrace, pos: p}
+	case '(':
+		return token{kind: tokLParen, pos: p}
+	case ')':
+		return token{kind: tokRParen, pos: p}
+	case '[':
+		return token{kind: tokLBracket, pos: p}
+	case ']':
+		return token{kind: tokRBracket, pos: p}
+	case ':':
+		return token{kind: tokColon, pos: p}
+	case '?':
+		return token{kind: tokQuestion, pos: p}
+	case '@':
+		return token{kind: tokAt, pos: p}
+	case '+':
+		return token{kind: tokPlus, pos: p}
+	case '-':
+		return token{kind: tokMinus, pos: p}
+	case '*':
+		return token{kind: tokStar, pos: p}
+	case '/':
+		return token{kind: tokSlash, pos: p}
+	case '%':
+		return token{kind: tokPct, pos: p}
+	case '~':
+		return token{kind: tokTilde, pos: p}
+	case '^':
+		return token{kind: tokCaret, pos: p}
+	case '=':
+		return two('=', tokEq, tokAssign)
+	case '!':
+		return two('=', tokNe, tokBang)
+	case '<':
+		if lx.peekByte() == '<' {
+			lx.nextByte()
+			return token{kind: tokShl, pos: p}
+		}
+		return two('=', tokLe, tokLt)
+	case '>':
+		if lx.peekByte() == '>' {
+			lx.nextByte()
+			return token{kind: tokShr, pos: p}
+		}
+		return two('=', tokGe, tokGt)
+	case '&':
+		return two('&', tokAndAnd, tokAmp)
+	case '|':
+		return two('|', tokOrOr, tokPipe)
+	}
+	lx.errorf(p, "unexpected character %q", c)
+	return lx.next()
+}
+
+func (lx *lexer) lexNumber(p Pos, first byte) token {
+	base := uint64(10)
+	var digits []byte
+	if first == '0' && (lx.peekByte() == 'x' || lx.peekByte() == 'X') {
+		lx.nextByte()
+		base = 16
+	} else if first == '0' && (lx.peekByte() == 'b' || lx.peekByte() == 'B') {
+		lx.nextByte()
+		base = 2
+	} else {
+		digits = append(digits, first)
+	}
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if c == '_' {
+			lx.nextByte()
+			continue
+		}
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			goto done
+		}
+		if d >= base {
+			goto done
+		}
+		digits = append(digits, c)
+		lx.nextByte()
+	}
+done:
+	if len(digits) == 0 {
+		lx.errorf(p, "malformed number literal")
+		return token{kind: tokNumber, pos: p}
+	}
+	var v uint64
+	for _, c := range digits {
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			d = uint64(c-'A') + 10
+		}
+		nv := v*base + d
+		if nv < v {
+			lx.errorf(p, "number literal overflows 64 bits")
+			break
+		}
+		v = nv
+	}
+	return token{kind: tokNumber, pos: p, num: v}
+}
+
+func (lx *lexer) lexString(p Pos) token {
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			lx.errorf(p, "unterminated string literal")
+			break
+		}
+		c := lx.nextByte()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			lx.errorf(p, "newline in string literal")
+			break
+		}
+		if c == '\\' {
+			e := lx.nextByte()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '"':
+				b.WriteByte(e)
+			default:
+				lx.errorf(p, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token{kind: tokString, pos: p, text: b.String()}
+}

@@ -1,0 +1,189 @@
+package mach
+
+import "fmt"
+
+// SpaceDef describes one architectural register space (e.g. the integer
+// register file, or a control-register file holding flags).
+type SpaceDef struct {
+	Name    string
+	Count   int
+	Width   int // register width in bits (<= 64)
+	ZeroReg int // index of a hardwired-zero register, or -1
+}
+
+// Space is a live register file inside a Machine.
+type Space struct {
+	Def  SpaceDef
+	Vals []uint64
+}
+
+// Read returns the value of register i (the hardwired zero register always
+// reads as zero).
+func (s *Space) Read(i int) uint64 {
+	if i == s.Def.ZeroReg {
+		return 0
+	}
+	return s.Vals[i]
+}
+
+// Write sets register i; writes to the hardwired zero register are dropped.
+func (s *Space) Write(i int, v uint64) {
+	if i == s.Def.ZeroReg {
+		return
+	}
+	s.Vals[i] = v
+}
+
+// SyscallFn is invoked when simulated code executes the OS-entry
+// instruction. It may mutate the machine (registers, memory, halt state).
+type SyscallFn func(m *Machine)
+
+// LoadHookFn lets a timing simulator observe or override the value returned
+// by a memory load (the mechanism behind timing-directed memory control and
+// speculative functional-first recovery, §II-C/§II-E of the paper).
+type LoadHookFn func(addr uint64, size int, val uint64) uint64
+
+// Machine is one hardware context: architectural registers plus a reference
+// to (possibly shared) memory. Multiple Machines sharing one Memory model a
+// multicore.
+type Machine struct {
+	CtxID  int
+	PC     uint64
+	Mem    *Memory
+	Spaces []*Space
+	byName map[string]*Space
+
+	// Halted and ExitCode are set when the simulated program exits.
+	Halted   bool
+	ExitCode int
+
+	// Syscall handles OS-entry instructions; nil means OS entry raises
+	// FaultIllegal.
+	Syscall SyscallFn
+	// LoadHook, when non-nil, filters every memory load value.
+	LoadHook LoadHookFn
+
+	// Journal records architectural writes for rollback when speculation
+	// support is enabled in the active buildset.
+	Journal Journal
+	// JournalOn is toggled by the synthesized simulator per buildset.
+	JournalOn bool
+
+	// Instret counts retired instructions.
+	Instret uint64
+}
+
+// NewMachine builds a machine with the given register spaces over mem.
+func NewMachine(mem *Memory, defs []SpaceDef) *Machine {
+	m := &Machine{Mem: mem, byName: make(map[string]*Space, len(defs))}
+	for _, d := range defs {
+		s := &Space{Def: d, Vals: make([]uint64, d.Count)}
+		m.Spaces = append(m.Spaces, s)
+		m.byName[d.Name] = s
+	}
+	return m
+}
+
+// Space returns the register space with the given name, or nil.
+func (m *Machine) Space(name string) *Space { return m.byName[name] }
+
+// MustSpace is Space but panics on unknown names (programming error).
+func (m *Machine) MustSpace(name string) *Space {
+	s := m.byName[name]
+	if s == nil {
+		panic(fmt.Sprintf("mach: unknown register space %q", name))
+	}
+	return s
+}
+
+// Halt marks the machine as exited with the given code.
+func (m *Machine) Halt(code int) {
+	m.Halted = true
+	m.ExitCode = code
+}
+
+// LoadValue performs an architectural load, applying the load hook.
+func (m *Machine) LoadValue(addr uint64, size int) (uint64, Fault) {
+	v, f := m.Mem.Load(addr, size)
+	if f == FaultNone && m.LoadHook != nil {
+		v = m.LoadHook(addr, size, v)
+	}
+	return v, f
+}
+
+// StoreValue performs an architectural store, journaling the old bytes when
+// speculation support is active.
+func (m *Machine) StoreValue(addr uint64, val uint64, size int) Fault {
+	if m.JournalOn {
+		old, f := m.Mem.Load(addr, size)
+		if f != FaultNone {
+			return f
+		}
+		m.Journal.logMem(addr, old, size)
+	}
+	return m.Mem.Store(addr, val, size)
+}
+
+// WriteReg performs an architectural register write through space s,
+// journaling the old value when speculation support is active.
+func (m *Machine) WriteReg(s *Space, idx int, val uint64) {
+	if idx == s.Def.ZeroReg {
+		return
+	}
+	if m.JournalOn {
+		m.Journal.logReg(s, idx, s.Vals[idx])
+	}
+	s.Vals[idx] = val
+}
+
+// SetPC moves the architectural PC, journaling when speculation is active.
+func (m *Machine) SetPC(pc uint64) {
+	if m.JournalOn {
+		m.Journal.logPC(m.PC)
+	}
+	m.PC = pc
+}
+
+// Snapshot captures the architectural register state (not memory) for
+// checker-style comparisons (timing-first organization).
+type Snapshot struct {
+	PC     uint64
+	Spaces [][]uint64
+}
+
+// Snapshot copies the current architectural register state.
+func (m *Machine) Snapshot() Snapshot {
+	sn := Snapshot{PC: m.PC, Spaces: make([][]uint64, len(m.Spaces))}
+	for i, s := range m.Spaces {
+		sn.Spaces[i] = append([]uint64(nil), s.Vals...)
+	}
+	return sn
+}
+
+// Restore overwrites the architectural register state from a snapshot.
+func (m *Machine) Restore(sn Snapshot) {
+	m.PC = sn.PC
+	for i, s := range m.Spaces {
+		copy(s.Vals, sn.Spaces[i])
+	}
+}
+
+// Equal reports whether two snapshots are architecturally identical and, if
+// not, a description of the first difference.
+func (sn Snapshot) Equal(o Snapshot, names []string) (bool, string) {
+	if sn.PC != o.PC {
+		return false, fmt.Sprintf("pc: %#x vs %#x", sn.PC, o.PC)
+	}
+	for i := range sn.Spaces {
+		for j := range sn.Spaces[i] {
+			if sn.Spaces[i][j] != o.Spaces[i][j] {
+				name := fmt.Sprintf("space%d", i)
+				if i < len(names) {
+					name = names[i]
+				}
+				return false, fmt.Sprintf("%s[%d]: %#x vs %#x", name, j, sn.Spaces[i][j], o.Spaces[i][j])
+			}
+		}
+	}
+	return true, ""
+}

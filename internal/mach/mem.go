@@ -1,0 +1,211 @@
+// Package mach provides the machine substrate shared by all synthesized
+// functional simulators: sparse byte-addressable memory, architectural
+// register spaces, faults, the speculation undo journal, and the Machine
+// type that ties one hardware context together.
+//
+// The substrate is deliberately independent of any ISA: endianness, register
+// space shapes, and calling conventions are all configured by the ISA layer.
+package mach
+
+import "fmt"
+
+// ByteOrder selects the memory byte order of a simulated machine.
+type ByteOrder int
+
+const (
+	// LittleEndian stores the least-significant byte at the lowest address.
+	LittleEndian ByteOrder = iota
+	// BigEndian stores the most-significant byte at the lowest address.
+	BigEndian
+)
+
+func (o ByteOrder) String() string {
+	if o == BigEndian {
+		return "big"
+	}
+	return "little"
+}
+
+const (
+	pageShift = 16 // 64 KiB pages
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page struct {
+	data [pageSize]byte
+	// gen counts stores into this page. Translated code caches record the
+	// generation of the pages their code came from and re-translate when it
+	// changes (self-modifying code / program reload).
+	gen uint64
+}
+
+// Memory is a sparse, paged, byte-addressable memory. The zero page
+// (addresses below 4096) is never mapped so that null-pointer dereferences
+// in simulated programs fault instead of silently reading zeros.
+//
+// Memory is shared between the hardware contexts (Machines) of a simulated
+// multicore; it is not safe for concurrent use from multiple goroutines
+// without external synchronization.
+type Memory struct {
+	order ByteOrder
+	pages map[uint64]*page
+	// One-entry lookup cache: the vast majority of accesses hit the same
+	// page as the previous access.
+	lastIdx  uint64
+	lastPage *page
+	haveLast bool
+}
+
+// NewMemory returns an empty memory with the given byte order.
+func NewMemory(order ByteOrder) *Memory {
+	return &Memory{order: order, pages: make(map[uint64]*page)}
+}
+
+// Order reports the memory's byte order.
+func (m *Memory) Order() ByteOrder { return m.order }
+
+func (m *Memory) pageFor(addr uint64) *page {
+	idx := addr >> pageShift
+	if m.haveLast && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		p = &page{}
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage, m.haveLast = idx, p, true
+	return p
+}
+
+// Gen returns the store-generation counter of the page containing addr.
+func (m *Memory) Gen(addr uint64) uint64 { return m.pageFor(addr).gen }
+
+// Load reads size bytes (1, 2, 4, or 8) at addr and returns them
+// zero-extended to 64 bits. Accesses to the null page fault.
+func (m *Memory) Load(addr uint64, size int) (uint64, Fault) {
+	if addr < 4096 {
+		return 0, FaultMemory
+	}
+	p := m.pageFor(addr)
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		return m.get(p.data[off:off+uint64(size)], size), FaultNone
+	}
+	// Access straddles a page boundary: assemble byte by byte.
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		buf[i] = m.pageFor(a).data[a&pageMask]
+	}
+	return m.get(buf[:size], size), FaultNone
+}
+
+// Store writes the low size bytes (1, 2, 4, or 8) of val at addr.
+// Accesses to the null page fault.
+func (m *Memory) Store(addr uint64, val uint64, size int) Fault {
+	if addr < 4096 {
+		return FaultMemory
+	}
+	p := m.pageFor(addr)
+	p.gen++
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		m.put(p.data[off:off+uint64(size)], val, size)
+		return FaultNone
+	}
+	var buf [8]byte
+	m.put(buf[:size], val, size)
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		q := m.pageFor(a)
+		q.gen++
+		q.data[a&pageMask] = buf[i]
+	}
+	return FaultNone
+}
+
+func (m *Memory) get(b []byte, size int) uint64 {
+	var v uint64
+	if m.order == LittleEndian {
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return v
+}
+
+func (m *Memory) put(b []byte, v uint64, size int) {
+	if m.order == LittleEndian {
+		for i := 0; i < size; i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	} else {
+		for i := size - 1; i >= 0; i-- {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// WriteBytes copies raw bytes into memory (used by loaders); it bypasses the
+// null-page check so loaders can place data anywhere.
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := m.pageFor(addr)
+		p.gen++
+		off := addr & pageMask
+		n := copy(p.data[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadBytes copies n raw bytes out of memory into a fresh slice.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		a := addr + uint64(i)
+		out[i] = m.pageFor(a).data[a&pageMask]
+	}
+	return out
+}
+
+// MappedPages reports how many pages have been touched; useful in tests.
+func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// Fault identifies an architectural fault raised during instruction
+// execution. FaultNone means no fault.
+type Fault uint8
+
+// Architectural fault codes.
+const (
+	FaultNone    Fault = iota
+	FaultMemory        // access to unmapped/forbidden memory (null page)
+	FaultIllegal       // undecodable or illegal instruction
+	FaultHalt          // simulated program requested exit
+	FaultBreak         // breakpoint/trap instruction
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultMemory:
+		return "memory"
+	case FaultIllegal:
+		return "illegal"
+	case FaultHalt:
+		return "halt"
+	case FaultBreak:
+		return "break"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness uses: geometric means, rate formatting, and aligned
+// markdown tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of positive values (0 if empty or any
+// value is non-positive).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// MIPS converts instructions and nanoseconds into millions of simulated
+// instructions per second.
+func MIPS(instrs uint64, ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(instrs) * 1e3 / ns
+}
+
+// Table renders rows as an aligned markdown table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row (values are stringified with %v; floats get 3
+// significant digits).
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatSig(v, 3)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// FormatSig formats a float with n significant digits.
+func FormatSig(v float64, n int) string {
+	if v == 0 {
+		return "0"
+	}
+	mag := int(math.Floor(math.Log10(math.Abs(v))))
+	dec := n - 1 - mag
+	if dec < 0 {
+		dec = 0
+	}
+	return fmt.Sprintf("%.*f", dec, v)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		b.WriteString("|")
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean = %f", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Error("degenerate cases")
+	}
+}
+
+func TestMIPS(t *testing.T) {
+	// 100 instructions in 10ns/instr = 1000ns total -> 100 MIPS.
+	if m := MIPS(100, 1000); math.Abs(m-100) > 1e-9 {
+		t.Errorf("mips = %f", m)
+	}
+	if MIPS(1, 0) != 0 {
+		t.Error("zero time")
+	}
+}
+
+func TestFormatSig(t *testing.T) {
+	cases := map[float64]string{37.84: "37.8", 9.856: "9.86", 0.12345: "0.123", 1234: "1234", 0: "0"}
+	for v, want := range cases {
+		if got := FormatSig(v, 3); got != want {
+			t.Errorf("FormatSig(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("a", "bb").Row("x", 1.5).Row("yyyy", 2)
+	out := tb.String()
+	if !strings.Contains(out, "| yyyy |") || !strings.Contains(out, "1.50") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,100 @@
+// Package sysemu emulates the operating-system services the simulated
+// user-mode programs rely on. Per the paper (§V-A), OS entry happens by
+// overriding the semantics of the ISA's system-call instruction; the LIS
+// descriptions route that instruction's execute action to the machine's
+// Syscall hook, which this package implements.
+//
+// Everything is deterministic: time is a counter, reads come from a
+// preloaded buffer, and output is captured in memory.
+package sysemu
+
+import (
+	"bytes"
+
+	"singlespec/internal/isa"
+	"singlespec/internal/mach"
+)
+
+// System-call numbers shared by all three ISAs (the number lives in the
+// ISA-specific register named by the convention).
+const (
+	SysExit  = 1
+	SysWrite = 2
+	SysRead  = 3
+	SysBrk   = 4
+	SysTime  = 5
+)
+
+// Emulator is the deterministic OS emulation state for one machine.
+type Emulator struct {
+	Conv isa.Convention
+	// Stdout captures all bytes written by the program.
+	Stdout bytes.Buffer
+	// Stdin provides the bytes returned by reads.
+	Stdin []byte
+
+	brk   uint64
+	ticks uint64
+	// Calls counts invocations per syscall number (for tests/stats).
+	Calls map[int]uint64
+}
+
+// New returns an emulator for the given convention.
+func New(conv isa.Convention) *Emulator {
+	return &Emulator{Conv: conv, brk: conv.HeapBase, Calls: make(map[int]uint64)}
+}
+
+// Install hooks the emulator into a machine and initializes the stack
+// pointer.
+func (e *Emulator) Install(m *mach.Machine) {
+	m.Syscall = e.Handle
+	r := m.Spaces[0]
+	r.Write(e.Conv.Stack, e.Conv.StackTop)
+}
+
+func (e *Emulator) reg(m *mach.Machine, idx int) uint64 { return m.Spaces[0].Read(idx) }
+
+// Handle dispatches one system call on machine m.
+func (e *Emulator) Handle(m *mach.Machine) {
+	num := int(e.reg(m, e.Conv.SyscallNum))
+	e.Calls[num]++
+	ret := uint64(0)
+	switch num {
+	case SysExit:
+		m.Halt(int(e.reg(m, e.Conv.Args[0])))
+		return
+	case SysWrite:
+		// write(fd, buf, len): fd ignored, output captured.
+		buf := e.reg(m, e.Conv.Args[1])
+		n := e.reg(m, e.Conv.Args[2])
+		if n > 1<<20 {
+			ret = ^uint64(0)
+			break
+		}
+		e.Stdout.Write(m.Mem.ReadBytes(buf, int(n)))
+		ret = n
+	case SysRead:
+		buf := e.reg(m, e.Conv.Args[1])
+		n := int(e.reg(m, e.Conv.Args[2]))
+		if n > len(e.Stdin) {
+			n = len(e.Stdin)
+		}
+		if n > 0 {
+			m.Mem.WriteBytes(buf, e.Stdin[:n])
+			e.Stdin = e.Stdin[n:]
+		}
+		ret = uint64(n)
+	case SysBrk:
+		want := e.reg(m, e.Conv.Args[0])
+		if want != 0 {
+			e.brk = want
+		}
+		ret = e.brk
+	case SysTime:
+		e.ticks++
+		ret = e.ticks
+	default:
+		ret = ^uint64(0)
+	}
+	m.WriteReg(m.Spaces[0], e.Conv.Ret, ret)
+}

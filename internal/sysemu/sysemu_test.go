@@ -1,0 +1,99 @@
+package sysemu
+
+import (
+	"testing"
+
+	"singlespec/internal/isa"
+)
+
+func TestSyscalls(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	e := New(i.Conv)
+	m := i.Spec.NewMachine()
+	e.Install(m)
+	r := m.MustSpace("r")
+	if got := r.Read(i.Conv.Stack); got != i.Conv.StackTop {
+		t.Fatalf("stack pointer = %#x", got)
+	}
+
+	// write
+	m.Mem.WriteBytes(0x5000, []byte("hello"))
+	r.Write(i.Conv.SyscallNum, SysWrite)
+	r.Write(i.Conv.Args[0], 1)
+	r.Write(i.Conv.Args[1], 0x5000)
+	r.Write(i.Conv.Args[2], 5)
+	e.Handle(m)
+	if e.Stdout.String() != "hello" || r.Read(i.Conv.Ret) != 5 {
+		t.Errorf("write: %q ret=%d", e.Stdout.String(), r.Read(i.Conv.Ret))
+	}
+
+	// read
+	e.Stdin = []byte("abc")
+	r.Write(i.Conv.SyscallNum, SysRead)
+	r.Write(i.Conv.Args[1], 0x6000)
+	r.Write(i.Conv.Args[2], 10)
+	e.Handle(m)
+	if got := string(m.Mem.ReadBytes(0x6000, 3)); got != "abc" || r.Read(i.Conv.Ret) != 3 {
+		t.Errorf("read: %q", got)
+	}
+
+	// brk
+	r.Write(i.Conv.SyscallNum, SysBrk)
+	r.Write(i.Conv.Args[0], 0)
+	e.Handle(m)
+	if r.Read(i.Conv.Ret) != i.Conv.HeapBase {
+		t.Errorf("brk query = %#x", r.Read(i.Conv.Ret))
+	}
+	r.Write(i.Conv.SyscallNum, SysBrk)
+	r.Write(i.Conv.Args[0], i.Conv.HeapBase+0x1000)
+	e.Handle(m)
+	r.Write(i.Conv.SyscallNum, SysBrk)
+	r.Write(i.Conv.Args[0], 0)
+	e.Handle(m)
+	if r.Read(i.Conv.Ret) != i.Conv.HeapBase+0x1000 {
+		t.Errorf("brk move = %#x", r.Read(i.Conv.Ret))
+	}
+
+	// time is deterministic and monotonic
+	r.Write(i.Conv.SyscallNum, SysTime)
+	e.Handle(m)
+	t1 := r.Read(i.Conv.Ret)
+	r.Write(i.Conv.SyscallNum, SysTime)
+	e.Handle(m)
+	if t2 := r.Read(i.Conv.Ret); t2 != t1+1 {
+		t.Errorf("time: %d then %d", t1, t2)
+	}
+
+	// unknown
+	r.Write(i.Conv.SyscallNum, 999)
+	e.Handle(m)
+	if r.Read(i.Conv.Ret) != ^uint64(0) {
+		t.Error("unknown syscall should return -1")
+	}
+
+	// exit
+	r.Write(i.Conv.SyscallNum, SysExit)
+	r.Write(i.Conv.Args[0], 42)
+	e.Handle(m)
+	if !m.Halted || m.ExitCode != 42 {
+		t.Errorf("exit: %v %d", m.Halted, m.ExitCode)
+	}
+	if e.Calls[SysWrite] != 1 || e.Calls[SysExit] != 1 {
+		t.Errorf("call counts: %v", e.Calls)
+	}
+}
+
+func TestWriteBoundsCheck(t *testing.T) {
+	i := isa.MustLoad("arm32")
+	e := New(i.Conv)
+	m := i.Spec.NewMachine()
+	e.Install(m)
+	r := m.MustSpace("r")
+	r.Write(i.Conv.SyscallNum, SysWrite)
+	r.Write(i.Conv.Args[1], 0x5000)
+	r.Write(i.Conv.Args[2], 1<<30) // implausible length
+	e.Handle(m)
+	if r.Read(i.Conv.Ret) != ^uint64(0) {
+		t.Error("oversized write accepted")
+	}
+}

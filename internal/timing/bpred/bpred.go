@@ -1,0 +1,126 @@
+// Package bpred provides branch direction predictors and a branch target
+// buffer for the timing models.
+package bpred
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, taken bool)
+}
+
+// Static predicts a fixed direction (the classic baseline).
+type Static struct{ Taken bool }
+
+// Predict implements Predictor.
+func (s Static) Predict(pc uint64) bool { return s.Taken }
+
+// Update implements Predictor.
+func (s Static) Update(pc uint64, taken bool) {}
+
+// Bimodal is a table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	table []uint8
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits counters.
+func NewBimodal(bits int) *Bimodal {
+	n := 1 << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}
+}
+
+func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)] >= 2 }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}
+
+// GShare xors global history into the counter index.
+type GShare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+	hmask   uint64
+}
+
+// NewGShare builds a gshare predictor with 2^bits counters and histBits of
+// global history.
+func NewGShare(bits, histBits int) *GShare {
+	n := 1 << bits
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1
+	}
+	return &GShare{table: t, mask: uint64(n - 1), hmask: 1<<histBits - 1}
+}
+
+func (g *GShare) idx(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.idx(pc)] >= 2 }
+
+// Update implements Predictor.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.history = (g.history<<1 | b2u(taken)) & g.hmask
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTB is a direct-mapped branch target buffer.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	mask    uint64
+}
+
+// NewBTB builds a BTB with 2^bits entries.
+func NewBTB(bits int) *BTB {
+	n := 1 << bits
+	return &BTB{tags: make([]uint64, n), targets: make([]uint64, n), mask: uint64(n - 1)}
+}
+
+// Lookup returns the predicted target and whether the entry hit.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & b.mask
+	if b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs a branch target.
+func (b *BTB) Update(pc, target uint64) {
+	i := (pc >> 2) & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+}

@@ -1,0 +1,69 @@
+package bpred
+
+import "testing"
+
+func TestBimodalLearnsLoop(t *testing.T) {
+	p := NewBimodal(8)
+	pc := uint64(0x1000)
+	// A loop branch taken 9 times, not-taken once, repeatedly.
+	misses := 0
+	for iter := 0; iter < 20; iter++ {
+		for i := 0; i < 10; i++ {
+			taken := i != 9
+			if p.Predict(pc) != taken {
+				misses++
+			}
+			p.Update(pc, taken)
+		}
+	}
+	// After warmup, the counter should mispredict only the exits (and the
+	// first iteration after each exit at worst).
+	if misses > 45 {
+		t.Errorf("bimodal misses = %d", misses)
+	}
+}
+
+func TestGShareBeatsBimodalOnAlternating(t *testing.T) {
+	bi := NewBimodal(10)
+	gs := NewGShare(10, 8)
+	pc := uint64(0x2000)
+	biMiss, gsMiss := 0, 0
+	taken := false
+	for i := 0; i < 2000; i++ {
+		taken = !taken // perfectly alternating: history predicts it
+		if bi.Predict(pc) != taken {
+			biMiss++
+		}
+		bi.Update(pc, taken)
+		if gs.Predict(pc) != taken {
+			gsMiss++
+		}
+		gs.Update(pc, taken)
+	}
+	if gsMiss >= biMiss {
+		t.Errorf("gshare (%d misses) should beat bimodal (%d) on alternating pattern", gsMiss, biMiss)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	if (Static{Taken: true}).Predict(0) != true || (Static{}).Predict(0) != false {
+		t.Error("static predictor broken")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(4)
+	if _, hit := b.Lookup(0x100); hit {
+		t.Error("cold BTB hit")
+	}
+	b.Update(0x100, 0x2000)
+	if tgt, hit := b.Lookup(0x100); !hit || tgt != 0x2000 {
+		t.Errorf("lookup = %#x %v", tgt, hit)
+	}
+	// Aliasing entry replaces.
+	alias := uint64(0x100 + 16*4)
+	b.Update(alias, 0x3000)
+	if _, hit := b.Lookup(0x100); hit {
+		t.Error("aliased entry should miss")
+	}
+}

@@ -1,0 +1,178 @@
+// Package cache implements a set-associative, write-back, write-allocate
+// cache hierarchy used by the timing models. Latencies are in cycles.
+package cache
+
+import "fmt"
+
+// Level is anything that can service an access and report its latency.
+type Level interface {
+	Access(addr uint64, write bool) (latency int)
+}
+
+// MainMemory is the bottom of the hierarchy: fixed latency, never misses.
+type MainMemory struct {
+	Latency  int
+	Accesses uint64
+}
+
+// Access implements Level.
+func (m *MainMemory) Access(addr uint64, write bool) int {
+	m.Accesses++
+	return m.Latency
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Sets       int // power of two
+	Ways       int
+	LineBytes  int // power of two
+	HitLatency int
+}
+
+// Stats holds per-cache counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/(hits+misses), or 0 with no traffic.
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is one set-associative level backed by a next level.
+type Cache struct {
+	cfg   Config
+	next  Level
+	sets  [][]line
+	clock uint64
+	Stats Stats
+
+	lineShift uint
+	setMask   uint64
+}
+
+// New builds a cache level. next must not be nil.
+func New(cfg Config, next Level) (*Cache, error) {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: sets must be a power of two, got %d", cfg.Name, cfg.Sets)
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size must be a power of two, got %d", cfg.Name, cfg.LineBytes)
+	}
+	if cfg.Ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways must be positive", cfg.Name)
+	}
+	if next == nil {
+		return nil, fmt.Errorf("cache %s: missing next level", cfg.Name)
+	}
+	c := &Cache{cfg: cfg, next: next, setMask: uint64(cfg.Sets - 1)}
+	for ls := cfg.LineBytes; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	c.sets = make([][]line, cfg.Sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config, next Level) *Cache {
+	c, err := New(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access services a read or write, returning the total latency including
+// lower levels on a miss.
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.clock++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	// The full line address serves as the tag (sets are indexed separately,
+	// so this is equivalent to a conventional tag and simpler to compare).
+	tag := lineAddr
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Stats.Hits++
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return c.cfg.HitLatency
+		}
+	}
+	c.Stats.Misses++
+	lat := c.cfg.HitLatency + c.next.Access(addr, false)
+
+	// Choose a victim (LRU).
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks++
+		lat += c.next.Access(set[victim].tag<<c.lineShift, true)
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return lat
+}
+
+// Flush invalidates every line (writing back dirty ones is accounted but
+// their latency is not returned).
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				c.Stats.Writebacks++
+			}
+			c.sets[si][wi] = line{}
+		}
+	}
+}
+
+// Hierarchy bundles the standard L1I/L1D/shared-L2 configuration used by
+// the timing models.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	Mem          *MainMemory
+}
+
+// DefaultHierarchy builds 16KiB 2-way L1s over a 256KiB 8-way L2 over
+// 100-cycle memory.
+func DefaultHierarchy() *Hierarchy {
+	mem := &MainMemory{Latency: 100}
+	l2 := MustNew(Config{Name: "L2", Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 10}, mem)
+	return &Hierarchy{
+		L1I: MustNew(Config{Name: "L1I", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2),
+		L1D: MustNew(Config{Name: "L1D", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2),
+		L2:  l2,
+		Mem: mem,
+	}
+}

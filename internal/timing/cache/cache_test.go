@@ -1,0 +1,99 @@
+package cache
+
+import "testing"
+
+func TestHitMissBasics(t *testing.T) {
+	mem := &MainMemory{Latency: 100}
+	c := MustNew(Config{Name: "L1", Sets: 4, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
+	if lat := c.Access(0x1000, false); lat != 101 {
+		t.Errorf("cold miss latency = %d", lat)
+	}
+	if lat := c.Access(0x1008, false); lat != 1 {
+		t.Errorf("same-line hit latency = %d", lat)
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	mem := &MainMemory{Latency: 10}
+	c := MustNew(Config{Name: "L1", Sets: 1, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
+	c.Access(0x000, false) // A
+	c.Access(0x100, false) // B
+	c.Access(0x000, false) // A hit, B now LRU
+	c.Access(0x200, false) // C evicts B
+	if lat := c.Access(0x000, false); lat != 1 {
+		t.Error("A should still be resident")
+	}
+	if lat := c.Access(0x100, false); lat == 1 {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestWritebackOfDirtyLines(t *testing.T) {
+	mem := &MainMemory{Latency: 10}
+	c := MustNew(Config{Name: "L1", Sets: 1, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
+	c.Access(0x000, true)  // dirty
+	c.Access(0x100, false) // evicts dirty line -> writeback
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+	if mem.Accesses != 3 { // fill, writeback, fill
+		t.Errorf("memory accesses = %d", mem.Accesses)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	mem := &MainMemory{Latency: 10}
+	c := MustNew(Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
+	c.Access(0x000, true)
+	c.Flush()
+	if lat := c.Access(0x000, false); lat == 1 {
+		t.Error("line survived flush")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("flush writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mem := &MainMemory{Latency: 1}
+	cases := []Config{
+		{Sets: 3, Ways: 1, LineBytes: 16},
+		{Sets: 4, Ways: 0, LineBytes: 16},
+		{Sets: 4, Ways: 1, LineBytes: 17},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg, mem); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{Sets: 4, Ways: 1, LineBytes: 16}, nil); err == nil {
+		t.Error("nil next level accepted")
+	}
+}
+
+func TestHierarchySharing(t *testing.T) {
+	h := DefaultHierarchy()
+	h.L1I.Access(0x4000, false)
+	// L1D miss to the same line must hit in the shared L2.
+	lat := h.L1D.Access(0x4000, false)
+	if lat != h.L1D.Config().HitLatency+h.L2.Config().HitLatency {
+		t.Errorf("L2 sharing latency = %d", lat)
+	}
+	if h.L2.Stats.Hits != 1 {
+		t.Errorf("L2 hits = %d", h.L2.Stats.Hits)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty miss rate")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %f", s.MissRate())
+	}
+}

@@ -1,0 +1,200 @@
+// Package ooo is the dynamically-scheduled core timing model used by the
+// timing-directed organization. It tracks per-register readiness
+// (scoreboard), a reorder buffer, and in-order commit; the driving
+// organization calls the functional simulator's Step interface as each
+// instruction traverses the modeled stages.
+package ooo
+
+import (
+	"singlespec/internal/timing/bpred"
+	"singlespec/internal/timing/cache"
+)
+
+// Config sizes the core.
+type Config struct {
+	ROBSize       int
+	FetchWidth    int
+	CommitWidth   int
+	MulLatency    int
+	BranchPenalty int
+}
+
+// DefaultConfig returns a small two-wide dynamically-scheduled core.
+func DefaultConfig() Config {
+	return Config{ROBSize: 32, FetchWidth: 2, CommitWidth: 2, MulLatency: 3, BranchPenalty: 8}
+}
+
+// InstrInfo is what the timing model needs to know about one instruction —
+// all of it available from a Step/All interface record.
+type InstrInfo struct {
+	PC      uint64
+	Class   int // pipeline.Class* codes
+	Src1    int // register indices; -1 when unused
+	Src2    int
+	Dest    int
+	EA      uint64 // effective address for memory ops
+	Taken   bool   // resolved branch direction
+	Target  uint64
+	Nullify bool
+}
+
+// Times reports the modeled cycle of each stage for one instruction.
+type Times struct {
+	Fetch, Issue, Complete, Commit uint64
+}
+
+// Stats accumulates results.
+type Stats struct {
+	Instrs      uint64
+	Branches    uint64
+	Mispredicts uint64
+	Loads       uint64
+	Stores      uint64
+}
+
+// Model is the core's timing state.
+type Model struct {
+	cfg   Config
+	hier  *cache.Hierarchy
+	bp    bpred.Predictor
+	btb   *bpred.BTB
+	Stats Stats
+
+	regReady   [64]uint64
+	rob        []uint64 // commit cycle per in-flight slot (ring)
+	robHead    int
+	robCount   int
+	nextFetch  uint64
+	fetchCnt   int
+	lastCommit uint64
+	commitCnt  int
+}
+
+// New builds the model over a cache hierarchy and branch predictor.
+func New(cfg Config, hier *cache.Hierarchy, bp bpred.Predictor) *Model {
+	return &Model{cfg: cfg, hier: hier, bp: bp, btb: bpred.NewBTB(10), rob: make([]uint64, cfg.ROBSize)}
+}
+
+// Cycles returns the cycle the last instruction committed.
+func (m *Model) Cycles() uint64 { return m.lastCommit }
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Advance models one instruction and returns its stage times.
+func (m *Model) Advance(in InstrInfo) Times {
+	m.Stats.Instrs++
+	var t Times
+
+	// Fetch: stalls on the ROB being full; FetchWidth instructions share a
+	// fetch cycle.
+	t.Fetch = m.nextFetch + uint64(m.hier.L1I.Access(in.PC, false)-1)
+	if m.robCount == m.cfg.ROBSize {
+		oldest := m.rob[m.robHead]
+		m.robHead = (m.robHead + 1) % m.cfg.ROBSize
+		m.robCount--
+		t.Fetch = maxU(t.Fetch, oldest)
+	}
+	if t.Fetch > m.nextFetch {
+		m.nextFetch = t.Fetch
+		m.fetchCnt = 1
+	} else {
+		m.fetchCnt++
+		if m.fetchCnt >= m.cfg.FetchWidth {
+			m.nextFetch = t.Fetch + 1
+			m.fetchCnt = 0
+		}
+	}
+
+	if in.Nullify {
+		t.Issue = t.Fetch + 1
+		t.Complete = t.Issue
+		t.Commit = m.commit(t.Complete)
+		m.pushROB(t.Commit)
+		return t
+	}
+
+	// Issue: wait for source operands (dynamic scheduling: independent
+	// instructions behind a stalled one still issue — modeled by the
+	// per-register ready times rather than a global stall).
+	t.Issue = t.Fetch + 1
+	if in.Src1 >= 0 {
+		t.Issue = maxU(t.Issue, m.regReady[in.Src1&63])
+	}
+	if in.Src2 >= 0 {
+		t.Issue = maxU(t.Issue, m.regReady[in.Src2&63])
+	}
+
+	lat := uint64(1)
+	switch in.Class {
+	case 2: // load
+		m.Stats.Loads++
+		lat = uint64(m.hier.L1D.Access(in.EA, false))
+	case 3: // store
+		m.Stats.Stores++
+		lat = uint64(m.hier.L1D.Access(in.EA, true))
+	case 1: // alu
+		// Multiplies would take cfg.MulLatency; with class-level info the
+		// model approximates. (Opcode-level modeling would simply read the
+		// record's opcode field.)
+	case 4, 5: // branch/jump
+		m.Stats.Branches++
+		pred := m.bp.Predict(in.PC)
+		target, hit := m.btb.Lookup(in.PC)
+		misp := pred != in.Taken || (in.Taken && (!hit || target != in.Target))
+		if misp {
+			m.Stats.Mispredicts++
+			// Flush: fetch resumes after resolution plus the penalty.
+			m.nextFetch = t.Issue + lat + uint64(m.cfg.BranchPenalty)
+		}
+		m.bp.Update(in.PC, in.Taken)
+		if in.Taken {
+			m.btb.Update(in.PC, in.Target)
+		}
+	}
+	t.Complete = t.Issue + lat
+	if in.Dest >= 0 {
+		m.regReady[in.Dest&63] = t.Complete
+	}
+	t.Commit = m.commit(t.Complete)
+	m.pushROB(t.Commit)
+	return t
+}
+
+// commit retires an instruction in order, CommitWidth per cycle.
+func (m *Model) commit(complete uint64) uint64 {
+	cand := maxU(complete+1, m.lastCommit)
+	if cand == m.lastCommit && m.commitCnt >= m.cfg.CommitWidth {
+		cand++
+	}
+	if cand > m.lastCommit {
+		m.lastCommit = cand
+		m.commitCnt = 1
+	} else {
+		m.commitCnt++
+	}
+	return cand
+}
+
+func (m *Model) pushROB(commit uint64) {
+	slot := (m.robHead + m.robCount) % m.cfg.ROBSize
+	if m.robCount < m.cfg.ROBSize {
+		m.rob[slot] = commit
+		m.robCount++
+	} else {
+		m.robHead = (m.robHead + 1) % m.cfg.ROBSize
+		m.rob[slot] = commit
+	}
+}
+
+// IPC returns retired instructions per cycle so far.
+func (m *Model) IPC() float64 {
+	if m.lastCommit == 0 {
+		return 0
+	}
+	return float64(m.Stats.Instrs) / float64(m.lastCommit)
+}

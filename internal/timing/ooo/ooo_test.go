@@ -1,0 +1,92 @@
+package ooo
+
+import (
+	"testing"
+
+	"singlespec/internal/timing/bpred"
+	"singlespec/internal/timing/cache"
+)
+
+func model() *Model {
+	return New(DefaultConfig(), cache.DefaultHierarchy(), bpred.Static{})
+}
+
+func TestIndependentInstructionsOverlap(t *testing.T) {
+	m := model()
+	// Warm the icache.
+	m.Advance(InstrInfo{PC: 0x1000, Class: 1, Src1: -1, Src2: -1, Dest: 1})
+	base := m.Cycles()
+	for k := 0; k < 10; k++ {
+		m.Advance(InstrInfo{PC: 0x1004, Class: 1, Src1: -1, Src2: -1, Dest: 2 + k%4})
+	}
+	perInstr := float64(m.Cycles()-base) / 10
+	if perInstr > 1.01 {
+		t.Errorf("independent ALU ops cost %.2f cycles each; want ~0.5-1 (2-wide)", perInstr)
+	}
+}
+
+func TestDependencyChainsSerialize(t *testing.T) {
+	mi := model()
+	md := model()
+	// Independent: dest rotates; dependent: each uses the previous dest.
+	for k := 0; k < 100; k++ {
+		mi.Advance(InstrInfo{PC: 0x1000, Class: 1, Src1: -1, Src2: -1, Dest: k % 8})
+		md.Advance(InstrInfo{PC: 0x1000, Class: 1, Src1: 1, Src2: -1, Dest: 1})
+	}
+	if md.Cycles() <= mi.Cycles() {
+		t.Errorf("dependent chain (%d cycles) should cost more than independent (%d)", md.Cycles(), mi.Cycles())
+	}
+}
+
+func TestLoadLatencyDelaysDependents(t *testing.T) {
+	m := model()
+	m.Advance(InstrInfo{PC: 0x1000, Class: 2, Src1: -1, Src2: -1, Dest: 1, EA: 0x9000}) // cold miss
+	tt := m.Advance(InstrInfo{PC: 0x1004, Class: 1, Src1: 1, Src2: -1, Dest: 2})
+	if tt.Issue < 100 {
+		t.Errorf("dependent issued at %d, before the load's miss resolved", tt.Issue)
+	}
+}
+
+func TestMispredictStallsFetch(t *testing.T) {
+	m := model()
+	// Static not-taken predictor: a taken branch always mispredicts.
+	m.Advance(InstrInfo{PC: 0x1000, Class: 4, Src1: -1, Src2: -1, Dest: -1, Taken: true, Target: 0x2000})
+	before := m.nextFetch
+	if before < uint64(DefaultConfig().BranchPenalty) {
+		t.Errorf("fetch not stalled after mispredict: nextFetch = %d", before)
+	}
+	if m.Stats.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d", m.Stats.Mispredicts)
+	}
+}
+
+func TestCommitIsInOrderAndBounded(t *testing.T) {
+	m := model()
+	last := uint64(0)
+	perCycle := map[uint64]int{}
+	for k := 0; k < 200; k++ {
+		tt := m.Advance(InstrInfo{PC: 0x1000 + uint64(k%8)*4, Class: 1, Src1: -1, Src2: -1, Dest: k % 8})
+		if tt.Commit < last {
+			t.Fatalf("commit went backwards: %d after %d", tt.Commit, last)
+		}
+		last = tt.Commit
+		perCycle[tt.Commit]++
+		if perCycle[tt.Commit] > DefaultConfig().CommitWidth {
+			t.Fatalf("more than CommitWidth commits in cycle %d", tt.Commit)
+		}
+	}
+	if m.IPC() <= 0 || m.IPC() > float64(DefaultConfig().CommitWidth) {
+		t.Errorf("IPC = %f", m.IPC())
+	}
+}
+
+func TestNullifiedStillCommits(t *testing.T) {
+	m := model()
+	tt := m.Advance(InstrInfo{PC: 0x1000, Nullify: true, Src1: -1, Src2: -1, Dest: -1})
+	if tt.Commit == 0 {
+		t.Error("nullified instruction did not commit")
+	}
+	if m.Stats.Instrs != 1 {
+		t.Error("nullified instruction not counted")
+	}
+}

@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/timing/bpred"
+	"singlespec/internal/timing/cache"
+)
+
+func decodeSim(t *testing.T) *core.Sim {
+	t.Helper()
+	i := isa.MustLoad("alpha64")
+	s, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newModel(t *testing.T, sim *core.Sim) *Model {
+	t.Helper()
+	m, err := New(DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// rec builds a synthetic record against the layout.
+func rec(sim *core.Sim, class uint64, pc, ea uint64, taken bool, target uint64, src1, dest uint64) *core.Record {
+	r := &core.Record{PC: pc, PhysPC: pc, Vals: make([]uint64, sim.Layout.NumSlots())}
+	r.Vals[sim.Layout.MustSlot("instr_class")] = class
+	r.Vals[sim.Layout.MustSlot("effective_addr")] = ea
+	if taken {
+		r.Vals[sim.Layout.MustSlot("branch_taken")] = 1
+	}
+	r.Vals[sim.Layout.MustSlot("branch_target")] = target
+	r.Vals[sim.Layout.MustSlot("src1_idx")] = src1
+	r.Vals[sim.Layout.MustSlot("src2_idx")] = src1
+	r.Vals[sim.Layout.MustSlot("dest1_idx")] = dest
+	return r
+}
+
+func TestRejectsMinDetailInterface(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	minSim, err := core.Synthesize(i.Spec, "one_min", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig(), minSim.Layout, cache.DefaultHierarchy(), bpred.Static{}); err == nil {
+		t.Fatal("a Min-detail interface must be rejected: the model needs decode information")
+	}
+}
+
+func TestBaseCPIIsOneAfterWarmup(t *testing.T) {
+	sim := decodeSim(t)
+	m := newModel(t, sim)
+	r := rec(sim, ClassALU, 0x1000, 0, false, 0, 1, 2)
+	m.Consume(r) // cold icache
+	c0 := m.Stats.Cycles
+	for k := 0; k < 10; k++ {
+		m.Consume(r)
+	}
+	if got := m.Stats.Cycles - c0; got != 10 {
+		t.Errorf("10 warm ALU ops took %d cycles", got)
+	}
+}
+
+func TestLoadUseHazard(t *testing.T) {
+	sim := decodeSim(t)
+	m := newModel(t, sim)
+	ld := rec(sim, ClassLoad, 0x1000, 0x8000, false, 0, 1, 5)
+	use := rec(sim, ClassALU, 0x1004, 0, false, 0, 5, 6)
+	noUse := rec(sim, ClassALU, 0x1004, 0, false, 0, 7, 6)
+	m.Consume(ld)
+	m.Consume(use) // hazard
+	hazard := m.Stats.Cycles
+	m.Consume(ld)
+	m.Consume(noUse) // no hazard
+	noHazard := m.Stats.Cycles - hazard
+	if hazardCost := int64(hazard) - int64(noHazard); hazardCost <= 0 {
+		t.Errorf("load-use hazard added no cycles (with=%d, without=%d)", hazard, noHazard)
+	}
+}
+
+func TestBranchTraining(t *testing.T) {
+	sim := decodeSim(t)
+	m := newModel(t, sim)
+	br := rec(sim, ClassBranch, 0x2000, 0, true, 0x3000, 1, 0)
+	for k := 0; k < 50; k++ {
+		m.Consume(br)
+	}
+	if m.Stats.Mispredicts > 3 {
+		t.Errorf("steady taken branch mispredicted %d times", m.Stats.Mispredicts)
+	}
+	if m.Stats.Branches != 50 {
+		t.Errorf("branches = %d", m.Stats.Branches)
+	}
+}
+
+func TestNullifiedInstructionCheap(t *testing.T) {
+	sim := decodeSim(t)
+	m := newModel(t, sim)
+	n := rec(sim, ClassLoad, 0x1000, 0x8000, false, 0, 1, 2)
+	n.Nullified = true
+	m.Consume(n) // must not touch the dcache
+	if m.Stats.Loads != 0 {
+		t.Error("nullified load accessed the cache")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Instrs: 10, Cycles: 20}
+	if s.IPC() != 0.5 || s.CPI() != 2 {
+		t.Errorf("IPC/CPI = %f/%f", s.IPC(), s.CPI())
+	}
+	var z Stats
+	if z.IPC() != 0 || z.CPI() != 0 {
+		t.Error("zero stats")
+	}
+}

@@ -1,0 +1,5 @@
+package trace
+
+import "singlespec/internal/mach"
+
+func fault(b byte) mach.Fault { return mach.Fault(b) }

@@ -1,0 +1,150 @@
+// Package trace serializes the instruction stream of a functional-first
+// simulator so it can be "written to storage and then fed to the timing
+// simulator or multiple timing simulators" (§II-B). The format is a simple
+// self-describing binary stream: a header naming the visible fields, then
+// one record per instruction.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"singlespec/internal/core"
+)
+
+const magic = 0x53535452 // "SSTR"
+
+// Writer streams records.
+type Writer struct {
+	w     *bufio.Writer
+	nVals int
+}
+
+// NewWriter writes a stream header for the given interface layout.
+func NewWriter(w io.Writer, layout *core.Layout) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	names := layout.FieldNames()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(magic)); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(n))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(n); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw, nVals: len(names)}, nil
+}
+
+// Write appends one record.
+func (t *Writer) Write(rec *core.Record) error {
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], rec.PC)
+	binary.LittleEndian.PutUint64(hdr[8:], rec.PhysPC)
+	binary.LittleEndian.PutUint64(hdr[16:], rec.NextPC)
+	binary.LittleEndian.PutUint32(hdr[24:], rec.InstrBits)
+	binary.LittleEndian.PutUint16(hdr[28:], rec.InstrID)
+	hdr[30] = byte(rec.Fault)
+	if rec.Nullified {
+		hdr[31] = 1
+	}
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(rec.Vals) != t.nVals {
+		return fmt.Errorf("trace: record has %d values, stream header declared %d", len(rec.Vals), t.nVals)
+	}
+	var buf [8]byte
+	for _, v := range rec.Vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := t.w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader replays a stream.
+type Reader struct {
+	r      *bufio.Reader
+	Fields []string
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m, n uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible field count %d", n)
+	}
+	rd := &Reader{r: br}
+	for i := 0; i < int(n); i++ {
+		var l uint16
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, err
+		}
+		name := make([]byte, l)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		rd.Fields = append(rd.Fields, string(name))
+	}
+	return rd, nil
+}
+
+// Slot finds a field's value index in replayed records.
+func (r *Reader) Slot(name string) (int, bool) {
+	for i, f := range r.Fields {
+		if f == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Read fills rec with the next record; io.EOF ends the stream.
+func (r *Reader) Read(rec *core.Record) error {
+	var hdr [32]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return err
+	}
+	rec.PC = binary.LittleEndian.Uint64(hdr[0:])
+	rec.PhysPC = binary.LittleEndian.Uint64(hdr[8:])
+	rec.NextPC = binary.LittleEndian.Uint64(hdr[16:])
+	rec.InstrBits = binary.LittleEndian.Uint32(hdr[24:])
+	rec.InstrID = binary.LittleEndian.Uint16(hdr[28:])
+	rec.Fault = fault(hdr[30])
+	rec.Nullified = hdr[31] != 0
+	if cap(rec.Vals) < len(r.Fields) {
+		rec.Vals = make([]uint64, len(r.Fields))
+	} else {
+		rec.Vals = rec.Vals[:len(r.Fields)]
+	}
+	var buf [8]byte
+	for i := range rec.Vals {
+		if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+			return err
+		}
+		rec.Vals[i] = binary.LittleEndian.Uint64(buf[:])
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/mach"
+	"singlespec/internal/sysemu"
+)
+
+func TestRoundTripStream(t *testing.T) {
+	i := isa.MustLoad("alpha64")
+	sim, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record a short real run.
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	// addq r31,1,r0 ; addq r31,7,r16 ; callsys (exit 7)
+	m.Mem.Store(i.Conv.CodeBase+0, uint64(0x10<<26|31<<21|1<<13|1<<12|0x20<<5|0), 4)
+	m.Mem.Store(i.Conv.CodeBase+4, uint64(0x10<<26|31<<21|7<<13|1<<12|0x20<<5|16), 4)
+	m.Mem.Store(i.Conv.CodeBase+8, uint64(0x83), 4)
+	m.PC = i.Conv.CodeBase
+	x := sim.NewExec(m)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, sim.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []core.Record
+	var rec core.Record
+	for !m.Halted {
+		x.ExecOne(&rec)
+		if err := w.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		cp := rec
+		cp.Vals = append([]uint64(nil), rec.Vals...)
+		recs = append(recs, cp)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fields) != sim.Layout.NumSlots() {
+		t.Fatalf("fields = %d", len(r.Fields))
+	}
+	if _, ok := r.Slot("effective_addr"); !ok {
+		t.Error("missing effective_addr in stream header")
+	}
+	var got core.Record
+	for idx := 0; ; idx++ {
+		err := r.Read(&got)
+		if err == io.EOF {
+			if idx != len(recs) {
+				t.Fatalf("replayed %d records, wrote %d", idx, len(recs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := recs[idx]
+		if got.PC != want.PC || got.InstrID != want.InstrID || got.Fault != want.Fault {
+			t.Fatalf("record %d header mismatch", idx)
+		}
+		for vi := range want.Vals {
+			if got.Vals[vi] != want.Vals[vi] {
+				t.Fatalf("record %d val %d: %#x vs %#x", idx, vi, got.Vals[vi], want.Vals[vi])
+			}
+		}
+	}
+	if recs[len(recs)-1].Fault != mach.FaultHalt {
+		t.Error("last record should carry the halt fault")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("bad magic accepted")
+	}
+}

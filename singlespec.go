@@ -1,0 +1,138 @@
+// Package singlespec is a reproduction of Penry's single-specification
+// principle for functional-to-timing simulator interface design (ISPASS
+// 2011): write one extremely detailed instruction-set specification in an
+// Architecture Description Language and *derive* every lower-detail
+// functional-simulator interface from it.
+//
+// The public surface bundles the engine's pieces:
+//
+//   - ParseSpec compiles a LIS-dialect ADL description into a Spec.
+//   - LoadISA returns one of the three bundled instruction sets (alpha64,
+//     arm32, ppc32), each with twelve standard derived interfaces.
+//   - Synthesize specializes a Spec for one buildset (interface
+//     description), producing a Sim whose Block / One / Step entry points
+//     a timing simulator drives.
+//   - NewAssembler derives an assembler and disassembler from the same
+//     specification.
+//   - The Run* functions execute the classic decoupled simulator
+//     organizations (functional-first, timing-directed, timing-first,
+//     speculative functional-first, sampling) end to end.
+//
+// A minimal session:
+//
+//	i, _ := singlespec.LoadISA("alpha64")
+//	sim, _ := singlespec.Synthesize(i.Spec, "one_all", singlespec.Options{})
+//	a, _ := singlespec.NewAssembler(i)
+//	prog, _ := a.Assemble("demo.s", src)
+//	m := i.Spec.NewMachine()
+//	prog.LoadInto(m)
+//	x := sim.NewExec(m)
+//	var rec singlespec.Record
+//	for x.ExecOne(&rec) {
+//	    // rec carries the interface's informational detail
+//	}
+package singlespec
+
+import (
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/lis"
+	"singlespec/internal/mach"
+	"singlespec/internal/orgs"
+	"singlespec/internal/sysemu"
+)
+
+// Core model types.
+type (
+	// Spec is a resolved LIS instruction-set specification.
+	Spec = lis.Spec
+	// Buildset is an interface description: visibility (informational
+	// detail) plus entrypoints (semantic detail) plus speculation support.
+	Buildset = lis.Buildset
+	// Sim is a functional simulator synthesized for one buildset.
+	Sim = core.Sim
+	// Exec is an execution context of a Sim bound to a Machine.
+	Exec = core.Exec
+	// Record is the dynamic instruction record published through the
+	// interface.
+	Record = core.Record
+	// Batch is the block-interface result unit.
+	Batch = core.Batch
+	// Layout maps visible fields to record slots.
+	Layout = core.Layout
+	// Options tunes synthesis (ablations, cache sizes).
+	Options = core.Options
+	// Machine is one simulated hardware context.
+	Machine = mach.Machine
+	// Fault is an architectural fault code.
+	Fault = mach.Fault
+	// ISA is a bundled instruction set: spec plus ABI conventions.
+	ISA = isa.ISA
+	// Assembler assembles and disassembles using the spec's templates.
+	Assembler = asm.Assembler
+	// Program is an assembled, loadable program.
+	Program = asm.Program
+	// OSEmulator provides deterministic user-mode OS services.
+	OSEmulator = sysemu.Emulator
+	// OrgResult summarizes one organization run.
+	OrgResult = orgs.Result
+)
+
+// ParseSpec compiles LIS source into a resolved specification.
+func ParseSpec(filename, src string) (*Spec, error) { return lis.Parse(filename, src) }
+
+// LoadISA returns a bundled instruction set by name ("alpha64", "arm32",
+// "ppc32").
+func LoadISA(name string) (*ISA, error) { return isa.Load(name) }
+
+// ISANames lists the bundled instruction sets.
+func ISANames() []string { return isa.Names() }
+
+// ISASource returns the raw LIS description of a bundled ISA so callers
+// can append their own buildset descriptions and re-parse — the paper's
+// interface-tailoring workflow (a new interface is ~a dozen lines).
+func ISASource(name string) string { return isa.Source(name) }
+
+// ISAConvention returns the ABI convention of a bundled ISA.
+func ISAConvention(name string) isa.Convention { return isa.Conv(name) }
+
+// StandardBuildsets lists the twelve standard derived interfaces.
+func StandardBuildsets() []string { return append([]string(nil), isa.StdBuildsets...) }
+
+// Synthesize derives a functional simulator for one buildset of a spec —
+// the single-specification principle's synthesis step.
+func Synthesize(spec *Spec, buildset string, opts Options) (*Sim, error) {
+	return core.Synthesize(spec, buildset, opts)
+}
+
+// NewAssembler derives an assembler from an ISA's specification.
+func NewAssembler(i *ISA) (*Assembler, error) { return asm.New(i) }
+
+// NewOSEmulator builds the deterministic OS emulator for an ISA.
+func NewOSEmulator(i *ISA) *OSEmulator { return sysemu.New(i.Conv) }
+
+// Simulator organizations (the paper's Figure 1), re-exported from
+// internal/orgs.
+var (
+	// RunIntegrated is the single-simulator baseline.
+	RunIntegrated = orgs.RunIntegrated
+	// RunFunctionalFirst streams records into an in-order pipeline model.
+	RunFunctionalFirst = orgs.RunFunctionalFirst
+	// RunBlockFunctionalFirst is functional-first over the Block interface.
+	RunBlockFunctionalFirst = orgs.RunBlockFunctionalFirst
+	// RunTraceDriven serializes the stream to storage and replays it.
+	RunTraceDriven = orgs.RunTraceDriven
+	// RunTimingDirected drives the Step interface from a dynamically
+	// scheduled core model.
+	RunTimingDirected = orgs.RunTimingDirected
+	// RunTimingFirst checks a (possibly buggy) timing simulator against a
+	// minimal functional simulator and repairs mismatches.
+	RunTimingFirst = orgs.RunTimingFirst
+	// RunSpecFunctionalFirst runs ahead speculatively and rolls back on
+	// detected divergence.
+	RunSpecFunctionalFirst = orgs.RunSpecFunctionalFirst
+	// RunSampled alternates detailed Step/All windows with Block/Min
+	// fast-forwarding (SMARTS-style sampling).
+	RunSampled = orgs.RunSampled
+)

@@ -1,0 +1,102 @@
+package singlespec_test
+
+import (
+	"strings"
+	"testing"
+
+	"singlespec"
+)
+
+const demo = `
+.text
+_start:
+    addq r31, 3, r1
+    addq r31, 4, r2
+    mulq r1, r2, r3
+    addq r31, 1, r0
+    bis  r3, r3, r16
+    callsys
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	i, err := singlespec.LoadISA("alpha64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := singlespec.NewAssembler(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble("demo.s", demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := singlespec.Synthesize(i.Spec, "one_all", singlespec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := i.Spec.NewMachine()
+	emu := singlespec.NewOSEmulator(i)
+	emu.Install(m)
+	prog.LoadInto(m)
+	x := sim.NewExec(m)
+	var rec singlespec.Record
+	for n := 0; n < 100 && !m.Halted; n++ {
+		x.ExecOne(&rec)
+	}
+	if !m.Halted || m.ExitCode != 12 {
+		t.Fatalf("halted=%v exit=%d, want exit 12", m.Halted, m.ExitCode)
+	}
+}
+
+func TestFacadeCustomSpec(t *testing.T) {
+	src := singlespec.ISASource("arm32") + `
+buildset tiny {
+  visibility min show shifter_out;
+  entrypoint go = translate_pc, fetch, decode, opread, execute, memory, writeback, exception;
+}
+`
+	spec, err := singlespec.ParseSpec("custom.lis", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := singlespec.Synthesize(spec, "tiny", singlespec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.Layout.Slot("shifter_out"); !ok {
+		t.Error("tailored field missing from layout")
+	}
+	if sim.Layout.NumSlots() != 1 {
+		t.Errorf("layout slots = %d, want 1", sim.Layout.NumSlots())
+	}
+}
+
+func TestFacadeLists(t *testing.T) {
+	if len(singlespec.ISANames()) != 3 || len(singlespec.StandardBuildsets()) != 12 {
+		t.Error("bundled inventory wrong")
+	}
+	conv := singlespec.ISAConvention("ppc32")
+	if conv.Stack != 1 {
+		t.Errorf("ppc32 stack reg = %d", conv.Stack)
+	}
+}
+
+func TestFacadeOrganizations(t *testing.T) {
+	i, _ := singlespec.LoadISA("alpha64")
+	a, _ := singlespec.NewAssembler(i)
+	prog, err := a.Assemble("demo.s", demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := singlespec.RunFunctionalFirst(i, prog, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Halted || r.ExitCode != 12 {
+		t.Fatalf("org run: halted=%v exit=%d", r.Halted, r.ExitCode)
+	}
+	if !strings.Contains(r.Org, "functional-first") {
+		t.Errorf("org = %q", r.Org)
+	}
+}
