@@ -13,7 +13,9 @@ package singlespec
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"singlespec/internal/core"
 	"singlespec/internal/expt"
@@ -142,6 +144,26 @@ func BenchmarkAblationBlockRecords(b *testing.B) {
 	b.Run("forced", func(b *testing.B) {
 		benchCell(b, "alpha64", "block_min", core.Options{ForceRecords: true})
 	})
+}
+
+// BenchmarkParallelEngine measures the experiment engine's worker-pool
+// scaling: the full 36-cell Table II sweep at quick settings, serial versus
+// one worker per host core. The reported tables are identical in both
+// configurations; only wall-clock time should differ.
+func BenchmarkParallelEngine(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				cfg := expt.Config{
+					Scale: 1, MinDur: time.Millisecond,
+					Workers: workers, Metric: expt.MetricWork,
+				}
+				if _, _, err := expt.TableII(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSynthesis measures how long deriving a simulator from the

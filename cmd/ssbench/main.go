@@ -1,18 +1,23 @@
 // ssbench regenerates the paper's evaluation artifacts as markdown:
 // Table I (description characteristics), Table II (simulation speed per
 // interface), Table III (costs of detail), the headline speedup, and the
-// design ablations.
+// design ablations. Measurement cells fan out across a worker pool; output
+// is identical for any worker count (and byte-identical under -metric work,
+// which reports deterministic engine work units instead of wall-clock
+// MIPS).
 //
 // Usage:
 //
 //	ssbench                  # everything, quick settings
 //	ssbench -table 2 -scale 4 -dur 500ms
+//	ssbench -table 2 -parallel 1 -metric work   # serial, deterministic
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"singlespec/internal/expt"
@@ -23,7 +28,15 @@ func main() {
 	scale := flag.Int("scale", 2, "workload scale factor")
 	dur := flag.Duration("dur", 200*time.Millisecond, "minimum measurement time per cell")
 	ablate := flag.Bool("ablations", true, "include design ablations")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "measurement worker count")
+	metricName := flag.String("metric", "mips", "table metric: mips (wall-clock) or work (deterministic work units)")
 	flag.Parse()
+
+	metric, err := expt.ParseMetric(*metricName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric}
 
 	if *table == 0 || *table == 1 {
 		t1, err := expt.TableI()
@@ -35,16 +48,20 @@ func main() {
 		fmt.Println(t1)
 	}
 	if *table == 0 || *table == 2 || *table == 3 {
-		fmt.Println("## Table II — Simulation speed (MIPS, geometric mean over the kernel mix)")
+		if metric == expt.MetricWork {
+			fmt.Println("## Table II — Deterministic work units per instruction (geometric mean over the kernel mix)")
+		} else {
+			fmt.Println("## Table II — Simulation speed (MIPS, geometric mean over the kernel mix)")
+		}
 		fmt.Println()
-		cells, t2, err := expt.TableII(*scale, *dur)
+		cells, t2, err := expt.TableII(cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(t2)
 		fmt.Println("### Headline: lowest-detail vs. highest-detail interface")
 		fmt.Println()
-		fmt.Println(expt.Headline(cells))
+		fmt.Println(expt.Headline(cells, metric))
 		if *table == 0 || *table == 3 {
 			fmt.Println("## Table III — Costs of detail (base + increments)")
 			fmt.Println()
@@ -54,7 +71,7 @@ func main() {
 	if *ablate && *table == 0 {
 		fmt.Println("## Ablations (footnote 5 and DESIGN.md §6)")
 		fmt.Println()
-		ta, err := expt.Ablations(*scale, *dur)
+		ta, err := expt.Ablations(cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,9 +11,12 @@ import (
 // encoding (operand decode folds to constants, the fall-through next PC is
 // a constant), and cached until the code page changes.
 
+// xblock is immutable once buildBlock returns, so — like units — blocks may
+// be published in the Sim's shared cache and executed concurrently. A block
+// never crosses a 64 KiB page boundary, so one page-generation (or one
+// whole-block bits comparison on a shared-cache hit) validates all of it.
 type xblock struct {
 	startPC uint64
-	gen     uint64
 	units   []*unit
 }
 
@@ -86,26 +89,52 @@ func (b *Batch) next() *Record {
 }
 
 // transBlock returns the translated block starting at pc, translating on a
-// miss. nil means the first instruction cannot be fetched or decoded.
+// miss. nil means the first instruction cannot be fetched or decoded. Like
+// transUnit, it consults the private generation-validated cache first, then
+// the Sim's shared cache (validating every unit's bits against this
+// machine's memory), and only then builds a fresh block.
 func (x *Exec) transBlock(pc uint64) *xblock {
 	if x.bcache == nil {
-		x.bcache = make(map[uint64]*xblock)
+		x.bcache = make(map[uint64]bentry)
 	}
-	if blk, ok := x.bcache[pc]; ok {
-		if blk.gen == x.M.Mem.Gen(pc) {
-			return blk
+	gen := x.M.Mem.Gen(pc)
+	if e, ok := x.bcache[pc]; ok {
+		if e.gen == gen {
+			return e.b
 		}
 		delete(x.bcache, pc)
 	}
-	blk := x.buildBlock(pc)
+	blk := x.sim.shared.lookupBlock(pc)
+	if blk != nil && !x.blockValid(blk) {
+		blk = nil
+	}
 	if blk == nil {
-		return nil
+		blk = x.buildBlock(pc)
+		if blk == nil {
+			return nil
+		}
+		x.sim.shared.insertBlock(pc, blk)
 	}
 	if len(x.bcache) >= x.sim.Opts.CacheCap {
-		x.bcache = make(map[uint64]*xblock)
+		x.bcache = make(map[uint64]bentry)
 	}
-	x.bcache[pc] = blk
+	x.bcache[pc] = bentry{b: blk, gen: gen}
 	return blk
+}
+
+// blockValid reports whether every instruction of a shared-cache block
+// matches the bits currently in this machine's memory. Blocks are built
+// from many instructions, so the single-word check transUnit uses is not
+// enough: two program images can agree at the block's start and diverge
+// later.
+func (x *Exec) blockValid(blk *xblock) bool {
+	for _, u := range blk.units {
+		v, f := x.M.Mem.Load(u.pc, x.sim.Spec.InstrSize)
+		if f != mach.FaultNone || uint32(v) != u.bits {
+			return false
+		}
+	}
+	return true
 }
 
 // buildBlock decodes instructions from pc until a control-transfer or
@@ -113,7 +142,7 @@ func (x *Exec) transBlock(pc uint64) *xblock {
 // length limit.
 func (x *Exec) buildBlock(pc uint64) *xblock {
 	s := x.sim
-	blk := &xblock{startPC: pc, gen: x.M.Mem.Gen(pc)}
+	blk := &xblock{startPC: pc}
 	cur := pc
 	pageEnd := (pc | 0xffff) + 1 // 64 KiB pages (mach page size)
 	for len(blk.units) < s.Opts.MaxBlockLen {

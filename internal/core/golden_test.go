@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+)
+
+// Golden-file tests for EmitSpecialized — the emitter behind `lisc -emit`.
+// Specialization regressions (field placement, dead-code elimination,
+// record inlining) show up as textual diffs against the checked-in goldens.
+// Regenerate with:
+//
+//	go test ./internal/core/ -run TestEmitSpecializedGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden emit files")
+
+// goldenCases covers one Block/Min, one One/Decode, and one Step/All
+// buildset per ISA, each emitting a representative ALU instruction.
+var goldenCases = []struct {
+	isa      string
+	buildset string
+	instr    string
+}{
+	{"alpha64", "block_min", "ADDQ"},
+	{"alpha64", "one_decode", "ADDQ"},
+	{"alpha64", "step_all", "ADDQ"},
+	{"arm32", "block_min", "ADD"},
+	{"arm32", "one_decode", "ADD"},
+	{"arm32", "step_all", "ADD"},
+	{"ppc32", "block_min", "ADD"},
+	{"ppc32", "one_decode", "ADD"},
+	{"ppc32", "step_all", "ADD"},
+}
+
+func TestEmitSpecializedGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		name := fmt.Sprintf("%s/%s", tc.isa, tc.buildset)
+		t.Run(name, func(t *testing.T) {
+			i, err := isa.Load(tc.isa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := core.Synthesize(i.Spec, tc.buildset, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sim.EmitSpecialized(tc.instr)
+			if got == "" {
+				t.Fatalf("EmitSpecialized(%q) returned nothing", tc.instr)
+			}
+			path := filepath.Join("testdata", "emit", tc.isa+"_"+tc.buildset+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("emit output for %s/%s/%s changed; run with -update if intentional.\n--- got\n%s\n--- want\n%s",
+					tc.isa, tc.buildset, tc.instr, got, want)
+			}
+		})
+	}
+}

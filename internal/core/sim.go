@@ -55,6 +55,12 @@ type Sim struct {
 	hasDecode []bool
 	lastEp    int
 	instrSize uint64
+
+	// shared is the second-level translation cache: translated units and
+	// blocks published across all Execs of this Sim (see transcache.go).
+	// It is the only mutable state reachable from a Sim after Synthesize,
+	// which is what makes one Sim safely shareable across goroutines.
+	shared *sharedCache
 }
 
 // undecoded marks a record whose instruction has not been decoded (yet) or
@@ -84,13 +90,15 @@ type unit struct {
 	epHi   []int32
 	work   uint32
 
-	// Translated-mode extras.
+	// Translated-mode extras. A unit is immutable once translate returns,
+	// so it may be published in the Sim's shared cache and executed
+	// concurrently; validity against a particular machine's memory is
+	// established by the caller (bits comparison or page generation).
 	pc     uint64
 	physPC uint64
 	bits   uint32
 	id     uint16
 	fall   uint64 // pc + instruction size
-	gen    uint64 // code-page generation at translation time
 }
 
 // Synthesize specializes spec for the named buildset and returns the
@@ -120,6 +128,7 @@ func Synthesize(spec *lis.Spec, buildset string, opts Options) (s *Sim, err erro
 	s = &Sim{
 		Spec: spec, BS: bs, Layout: buildLayout(spec, bs), Opts: opts,
 		instrSize: uint64(spec.InstrSize),
+		shared:    newSharedCache(opts.CacheCap),
 	}
 	// Frame plan: every non-builtin field gets a private slot.
 	s.fslot = make([]int, len(spec.Fields))
@@ -446,10 +455,29 @@ type Exec struct {
 	fr     []uint64
 	spaces []*mach.Space
 
-	ucache map[uint64]*unit
-	bcache map[uint64]*xblock
+	// First-level translation caches, private to this Exec (and therefore
+	// to its goroutine: an Exec, like its Machine, is confined to one
+	// goroutine at a time). Entries pair a translated product with the
+	// code-page generation of this machine's memory at validation time, so
+	// self-modifying code invalidates locally without touching the shared
+	// cache.
+	ucache map[uint64]uentry
+	bcache map[uint64]bentry
 
 	work uint64
+}
+
+// uentry is a first-level unit-cache entry: a translated unit plus the
+// page generation under which it was last validated for this machine.
+type uentry struct {
+	u   *unit
+	gen uint64
+}
+
+// bentry is the block-cache analogue of uentry.
+type bentry struct {
+	b   *xblock
+	gen uint64
 }
 
 // NewExec binds the simulator to a machine. The machine's journal is
@@ -462,8 +490,8 @@ func (s *Sim) NewExec(m *mach.Machine) *Exec {
 		x.spaces[i] = m.MustSpace(sp.Name)
 	}
 	if !s.Opts.NoTranslate {
-		x.ucache = make(map[uint64]*unit)
-		x.bcache = make(map[uint64]*xblock)
+		x.ucache = make(map[uint64]uentry)
+		x.bcache = make(map[uint64]bentry)
 	}
 	return x
 }
@@ -663,11 +691,14 @@ func (x *Exec) execOneTranslated(rec *Record) bool {
 }
 
 // transUnit returns the translated unit at pc, translating on miss. nil
-// means the instruction cannot be fetched or decoded.
+// means the instruction cannot be fetched or decoded. The lookup order is
+// first-level (private, generation-validated), then the Sim's shared cache
+// (bits-validated), then a fresh translation published to both levels.
 func (x *Exec) transUnit(pc uint64) *unit {
-	if u, ok := x.ucache[pc]; ok {
-		if u != nil && u.gen == x.M.Mem.Gen(pc) {
-			return u
+	gen := x.M.Mem.Gen(pc)
+	if e, ok := x.ucache[pc]; ok {
+		if e.gen == gen {
+			return e.u
 		}
 		delete(x.ucache, pc)
 	}
@@ -676,17 +707,20 @@ func (x *Exec) transUnit(pc uint64) *unit {
 		return nil
 	}
 	bits := uint32(v)
-	id := x.sim.dec.decode(bits)
-	if id < 0 {
-		return nil
+	u := x.sim.shared.lookupUnit(pc, bits)
+	if u == nil {
+		id := x.sim.dec.decode(bits)
+		if id < 0 {
+			return nil
+		}
+		in := x.sim.Spec.Instrs[id]
+		u = x.sim.translate(in, pc, bits)
+		x.sim.shared.insertUnit(pc, u)
 	}
-	in := x.sim.Spec.Instrs[id]
-	u := x.sim.translate(in, pc, bits)
 	if len(x.ucache) >= x.sim.Opts.CacheCap {
-		x.ucache = make(map[uint64]*unit)
+		x.ucache = make(map[uint64]uentry)
 	}
-	u.gen = x.M.Mem.Gen(pc)
-	x.ucache[pc] = u
+	x.ucache[pc] = uentry{u: u, gen: gen}
 	return u
 }
 

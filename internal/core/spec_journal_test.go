@@ -1,0 +1,219 @@
+package core_test
+
+import (
+	"testing"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/mach"
+	"singlespec/internal/sysemu"
+)
+
+// Speculation-journal tests on a real ISA (arm32, whose ADDS/SUBS write the
+// NZCV flags in the separate `c` space): a Mark taken before a speculative
+// span must roll back register writes, flag side effects, and memory stores
+// exactly — including a multi-block span whose middle block stores into the
+// code page, bumping its generation and invalidating the translation cache
+// mid-speculation.
+
+// specProg is laid out as four basic blocks so ExecBlock stops at each `b`:
+// blk1 computes and sets flags, blk2 stores to data, blk3 stores into the
+// code page (translation invalidation) and sets flags again, blk4 exits.
+const specProg = `
+.text
+_start:
+    mov r1, #1, 0
+    mov r2, #2, 0
+    adds r3, r1, r2, 0, 0
+    b blk2
+blk2:
+    mov r4, #byte2(cell), 8
+    orr r4, r4, #byte1(cell), 12
+    orr r4, r4, #byte0(cell), 0
+    str r3, [r4, #0]
+    b blk3
+blk3:
+    mov r6, #1, 8
+    orr r6, r6, #255, 12
+    str r3, [r6, #0]
+    subs r5, r3, r3, 0, 0
+    b blk4
+blk4:
+    mov r7, #1, 0
+    mov r0, #0, 0
+    swi
+
+.data
+cell: .word 0
+`
+
+// codeScratch is the address blk3 stores to: inside the code page (the
+// 64 KiB page at 0x10000) but past the program text.
+const codeScratch = 0x1ff00
+
+func buildSpecMachine(t *testing.T, i *isa.ISA, sim *core.Sim, prog *asm.Program) (*mach.Machine, *core.Exec) {
+	t.Helper()
+	m := i.Spec.NewMachine()
+	emu := sysemu.New(i.Conv)
+	emu.Install(m)
+	prog.LoadInto(m)
+	return m, sim.NewExec(m)
+}
+
+func assembleSpecProg(t *testing.T, i *isa.ISA) *asm.Program {
+	t.Helper()
+	a, err := asm.New(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble("spec.s", specProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func loadWord(t *testing.T, m *mach.Machine, addr uint64) uint64 {
+	t.Helper()
+	v, f := m.Mem.Load(addr, 4)
+	if f != mach.FaultNone {
+		t.Fatalf("load %#x faulted", addr)
+	}
+	return v
+}
+
+// TestJournalMultiBlockRollback speculates across two blocks — a data store,
+// then a code-page store (translation-cache invalidation) plus a flag
+// write — rolls everything back, verifies the pre-speculation state is
+// restored exactly, and then re-executes to completion, matching an
+// undisturbed reference run on the same shared sim.
+func TestJournalMultiBlockRollback(t *testing.T) {
+	i := isa.MustLoad("arm32")
+	prog := assembleSpecProg(t, i)
+	sim, err := core.Synthesize(i.Spec, "block_all_spec", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.BS.Spec {
+		t.Fatal("block_all_spec should enable speculation")
+	}
+	var spaceNames []string
+	for _, sp := range i.Spec.Spaces {
+		spaceNames = append(spaceNames, sp.Name)
+	}
+
+	// Reference: run to completion with no speculation detour.
+	mRef, xRef := buildSpecMachine(t, i, sim, prog)
+	xRef.Run(1 << 20)
+	if !mRef.Halted || mRef.ExitCode != 0 {
+		t.Fatalf("reference run failed: halted=%v exit=%d", mRef.Halted, mRef.ExitCode)
+	}
+	refSnap := mRef.Snapshot()
+
+	m, x := buildSpecMachine(t, i, sim, prog)
+	if !m.JournalOn {
+		t.Fatal("NewExec should enable the journal for a speculative buildset")
+	}
+	cellAddr := prog.Symbols["cell"]
+
+	var batch core.Batch
+	if !x.ExecBlock(&batch) {
+		t.Fatalf("blk1 failed: %+v", batch)
+	}
+	preSnap := m.Snapshot()
+	preFlags := m.MustSpace("c").Vals[0]
+	preCell := loadWord(t, m, cellAddr)
+	preCode := loadWord(t, m, codeScratch)
+	preJournal := m.Journal.Len()
+
+	mark := m.Journal.Mark()
+	if !x.ExecBlock(&batch) { // blk2: journaled data store
+		t.Fatalf("blk2 failed: %+v", batch)
+	}
+	if got := loadWord(t, m, cellAddr); got != 3 {
+		t.Fatalf("speculative data store missing: cell = %d, want 3", got)
+	}
+	if !x.ExecBlock(&batch) { // blk3: code-page store + flag write
+		t.Fatalf("blk3 failed: %+v", batch)
+	}
+	if got := loadWord(t, m, codeScratch); got != 3 {
+		t.Fatalf("speculative code-page store missing: %d, want 3", got)
+	}
+	if m.Journal.Len() <= preJournal {
+		t.Fatal("speculative span journaled nothing")
+	}
+
+	// Undo the whole span. The synthesized sims advance PC directly (it is
+	// not journaled); the speculation driver restores it from its own mark.
+	m.Journal.Rollback(m, mark)
+	m.PC = preSnap.PC
+
+	if eq, why := m.Snapshot().Equal(preSnap, spaceNames); !eq {
+		t.Errorf("register state not restored: %s", why)
+	}
+	if got := m.MustSpace("c").Vals[0]; got != preFlags {
+		t.Errorf("flags not restored: %#x, want %#x", got, preFlags)
+	}
+	if got := loadWord(t, m, cellAddr); got != preCell {
+		t.Errorf("data store not rolled back: cell = %d, want %d", got, preCell)
+	}
+	if got := loadWord(t, m, codeScratch); got != preCode {
+		t.Errorf("code-page store not rolled back: %d, want %d", got, preCode)
+	}
+
+	// Resume after rollback: the re-executed program must reach the same
+	// final state as the undisturbed reference run, retranslating the
+	// invalidated code page along the way.
+	x.Run(1 << 20)
+	if !m.Halted || m.ExitCode != 0 {
+		t.Fatalf("resumed run failed: halted=%v exit=%d", m.Halted, m.ExitCode)
+	}
+	if eq, why := m.Snapshot().Equal(refSnap, spaceNames); !eq {
+		t.Errorf("resumed run diverged from reference: %s", why)
+	}
+	if got := loadWord(t, m, cellAddr); got != loadWord(t, mRef, cellAddr) {
+		t.Errorf("resumed cell = %d, reference = %d", got, loadWord(t, mRef, cellAddr))
+	}
+}
+
+// TestJournalSingleInstrRollback rolls back one flag-setting instruction
+// under the One interface with speculation, checking the register, the
+// flags word, and the journal length bookkeeping.
+func TestJournalSingleInstrRollback(t *testing.T) {
+	i := isa.MustLoad("arm32")
+	prog := assembleSpecProg(t, i)
+	sim, err := core.Synthesize(i.Spec, "one_all_spec", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spaceNames []string
+	for _, sp := range i.Spec.Spaces {
+		spaceNames = append(spaceNames, sp.Name)
+	}
+	m, x := buildSpecMachine(t, i, sim, prog)
+
+	var rec core.Record
+	x.ExecOne(&rec) // mov r1, #1
+	x.ExecOne(&rec) // mov r2, #2
+	pre := m.Snapshot()
+	preFlags := m.MustSpace("c").Vals[0]
+
+	mark := m.Journal.Mark()
+	x.ExecOne(&rec) // adds r3, r1, r2 — writes r3 and the flags
+	if got := m.MustSpace("r").Vals[3]; got != 3 {
+		t.Fatalf("adds did not execute: r3 = %d", got)
+	}
+	m.Journal.Rollback(m, mark)
+	m.PC = pre.PC
+
+	if eq, why := m.Snapshot().Equal(pre, spaceNames); !eq {
+		t.Errorf("state not restored: %s", why)
+	}
+	if got := m.MustSpace("c").Vals[0]; got != preFlags {
+		t.Errorf("flags not restored: %#x, want %#x", got, preFlags)
+	}
+	if m.Journal.Len() != int(mark) {
+		t.Errorf("journal not truncated to mark: %d vs %d", m.Journal.Len(), mark)
+	}
+}

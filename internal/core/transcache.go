@@ -1,0 +1,110 @@
+package core
+
+import "sync"
+
+// The shared translation cache makes one synthesized Sim safely shareable
+// across goroutines. Translation (compiling an instruction specialized for a
+// fixed PC and encoding) is pure with respect to the Sim — it reads only the
+// immutable spec/buildset products built by Synthesize — so translated units
+// can be published once and executed concurrently by any number of Execs.
+//
+// Concurrency design (the mach.Mem contract, see internal/mach):
+//
+//   - Sim and everything reachable from it after Synthesize returns is
+//     read-only during execution; the shared cache is the only mutable state
+//     hanging off a Sim and it is guarded here.
+//   - Each Exec (and its Machine/Memory) is confined to one goroutine. The
+//     per-Exec first-level caches therefore need no locks and keep the hot
+//     path identical to the serial engine: a map probe plus a page-generation
+//     check.
+//   - The shared cache is a second level consulted only on first-level
+//     misses. Entries are keyed by PC and validated against the instruction
+//     bits the caller just fetched from its own memory, so Execs running
+//     different program images through one Sim can never observe each
+//     other's translations as their own.
+//
+// The cache is sharded to keep contention negligible when many workers warm
+// up the same Sim at once: each shard has its own RWMutex, and lookups take
+// only a read lock.
+
+const cacheShards = 64
+
+// shardOf maps a PC to a shard with a Fibonacci hash of its word address
+// (low bits of instruction PCs are almost always zero).
+func shardOf(pc uint64) int {
+	return int((pc >> 2) * 0x9e3779b97f4a7c15 >> 58)
+}
+
+type unitShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*unit
+}
+
+type blockShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*xblock
+}
+
+// sharedCache is the per-Sim second-level translation cache.
+type sharedCache struct {
+	units    [cacheShards]unitShard
+	blocks   [cacheShards]blockShard
+	shardCap int
+}
+
+func newSharedCache(cap int) *sharedCache {
+	sc := &sharedCache{shardCap: cap / cacheShards}
+	if sc.shardCap < 1 {
+		sc.shardCap = 1
+	}
+	return sc
+}
+
+// lookupUnit returns the published unit for (pc, bits), or nil. The bits
+// comparison is the validity check: a unit translated from a different
+// program image (or from code since overwritten) never matches.
+func (sc *sharedCache) lookupUnit(pc uint64, bits uint32) *unit {
+	sh := &sc.units[shardOf(pc)]
+	sh.mu.RLock()
+	u := sh.m[pc]
+	sh.mu.RUnlock()
+	if u != nil && u.bits == bits {
+		return u
+	}
+	return nil
+}
+
+// insertUnit publishes a freshly translated unit. When a shard fills, it is
+// flushed wholesale (the same bulk-eviction policy the per-Exec caches use).
+func (sc *sharedCache) insertUnit(pc uint64, u *unit) {
+	sh := &sc.units[shardOf(pc)]
+	sh.mu.Lock()
+	if sh.m == nil || len(sh.m) >= sc.shardCap {
+		sh.m = make(map[uint64]*unit)
+	}
+	sh.m[pc] = u
+	sh.mu.Unlock()
+}
+
+// lookupBlock returns the published block starting at pc, or nil. The
+// caller must validate every unit's bits against its own memory before
+// executing it (blocks span many instructions, so a single-bits check is
+// not sufficient).
+func (sc *sharedCache) lookupBlock(pc uint64) *xblock {
+	sh := &sc.blocks[shardOf(pc)]
+	sh.mu.RLock()
+	blk := sh.m[pc]
+	sh.mu.RUnlock()
+	return blk
+}
+
+// insertBlock publishes a freshly translated block.
+func (sc *sharedCache) insertBlock(pc uint64, blk *xblock) {
+	sh := &sc.blocks[shardOf(pc)]
+	sh.mu.Lock()
+	if sh.m == nil || len(sh.m) >= sc.shardCap {
+		sh.m = make(map[uint64]*xblock)
+	}
+	sh.m[pc] = blk
+	sh.mu.Unlock()
+}

@@ -1,0 +1,234 @@
+package expt
+
+// The parallel experiment engine: the paper's evaluation sweeps
+// {ISA × interface} cells over a kernel mix, and every cell is independent
+// of every other, so the sweep fans out across a worker pool. What the
+// workers share — loaded ISAs, resolved lis.Specs, assembled Programs — is
+// read-only by construction; every mutable machine (Machine, Memory,
+// Emulator, Exec) is created on the worker that uses it, per the
+// concurrency contract documented in internal/mach. Results are collected
+// by job index, never by completion order, so the rendered tables are
+// identical for any worker count.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/stats"
+)
+
+// Metric selects which per-cell number the rendered tables report.
+type Metric int
+
+const (
+	// MetricMIPS reports wall-clock simulation speed (the paper's Table II
+	// metric). It varies run to run with host conditions.
+	MetricMIPS Metric = iota
+	// MetricWork reports deterministic engine work units per instruction:
+	// the hardware-independent cross-check of the same trends, whose
+	// tables are byte-identical regardless of worker count or host load.
+	MetricWork
+)
+
+// ParseMetric parses a -metric flag value.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "mips":
+		return MetricMIPS, nil
+	case "work":
+		return MetricWork, nil
+	}
+	return 0, fmt.Errorf("expt: unknown metric %q (want mips or work)", s)
+}
+
+func (m Metric) String() string {
+	if m == MetricWork {
+		return "work"
+	}
+	return "mips"
+}
+
+// value returns the cell number this metric reports.
+func (m Metric) value(c Cell) float64 {
+	if m == MetricWork {
+		return c.WorkPerInstr
+	}
+	return c.MIPS
+}
+
+// Config configures an experiment-engine run.
+type Config struct {
+	// Scale multiplies kernel problem sizes (see Mix).
+	Scale int
+	// MinDur is the minimum measurement time per (cell, kernel).
+	MinDur time.Duration
+	// Workers is the worker-pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Metric selects the table values (wall-clock MIPS or deterministic
+	// work units).
+	Metric Metric
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// cellJob is one {ISA × buildset × options} measurement to schedule.
+type cellJob struct {
+	progs    *Programs
+	buildset string
+	opts     core.Options
+}
+
+// runCells fans jobs out across a worker pool and collects results by job
+// index. On failure the error reported is the one from the lowest-indexed
+// failing job, again independent of scheduling.
+func runCells(jobs []cellJob, workers int, minDur time.Duration) ([]Cell, error) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				j := jobs[idx]
+				c, err := MeasureCell(j.progs, j.buildset, j.opts, minDur)
+				if err != nil {
+					errs[idx] = fmt.Errorf("%s/%s: %w", j.progs.ISA.Name, j.buildset, err)
+					continue
+				}
+				results[idx] = c
+			}
+		}()
+	}
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// buildAllMixes loads every ISA and assembles its kernel mix, one goroutine
+// per ISA. The results are shared read-only by all measurement workers.
+func buildAllMixes(scale int) ([]*Programs, error) {
+	names := isa.Names()
+	out := make([]*Programs, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for k, name := range names {
+		wg.Add(1)
+		go func(k int, name string) {
+			defer wg.Done()
+			i, err := isa.Load(name)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			out[k], errs[k] = BuildMix(i, scale)
+		}(k, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TableII measures all twelve interfaces on all three ISAs across cfg's
+// worker pool. The returned cells are ordered ISA-major, buildset-minor
+// (Table II order) regardless of worker count.
+func TableII(cfg Config) ([]Cell, *stats.Table, error) {
+	mixes, err := buildAllMixes(cfg.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	var jobs []cellJob
+	for _, progs := range mixes {
+		for _, bs := range isa.StdBuildsets {
+			jobs = append(jobs, cellJob{progs: progs, buildset: bs})
+		}
+	}
+	cells, err := runCells(jobs, cfg.workers(), cfg.MinDur)
+	if err != nil {
+		return nil, nil, err
+	}
+	byBS := map[string]map[string]Cell{}
+	for _, c := range cells {
+		if byBS[c.Buildset] == nil {
+			byBS[c.Buildset] = map[string]Cell{}
+		}
+		byBS[c.Buildset][c.ISA] = c
+	}
+	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
+	for _, bs := range isa.StdBuildsets {
+		sem, info, spec := rowLabel(bs)
+		t.Row(sem, info, spec,
+			cfg.Metric.value(byBS[bs]["alpha64"]),
+			cfg.Metric.value(byBS[bs]["arm32"]),
+			cfg.Metric.value(byBS[bs]["ppc32"]))
+	}
+	return cells, t, nil
+}
+
+// Ablations measures the design-choice ablations DESIGN.md calls out —
+// translated vs. interpreted base cost (paper footnote 5), DCE on/off,
+// forced per-instruction block records — across cfg's worker pool.
+func Ablations(cfg Config) (*stats.Table, error) {
+	type variant struct {
+		label string
+		bs    string
+		opts  core.Options
+	}
+	variants := []variant{
+		{"One/Min translated (ns/instr)", "one_min", core.Options{}},
+		{"One/Min interpreted (ns/instr)", "one_min", core.Options{NoTranslate: true}},
+		{"One/Min no-DCE (ns/instr)", "one_min", core.Options{NoDCE: true}},
+		{"Block/Min per-instr records (ns/instr)", "block_min", core.Options{ForceRecords: true}},
+	}
+	mixes, err := buildAllMixes(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []cellJob
+	for _, progs := range mixes {
+		for _, v := range variants {
+			jobs = append(jobs, cellJob{progs: progs, buildset: v.bs, opts: v.opts})
+		}
+	}
+	cells, err := runCells(jobs, cfg.workers(), cfg.MinDur)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Configuration", "alpha64", "arm32", "ppc32")
+	for vi, v := range variants {
+		row := []any{v.label}
+		for mi := range mixes {
+			row = append(row, cells[mi*len(variants)+vi].NsPerInstr)
+		}
+		t.Row(row...)
+	}
+	return t, nil
+}

@@ -258,40 +258,6 @@ func TableI() (*stats.Table, error) {
 	return t, nil
 }
 
-// TableII measures all twelve interfaces on all three ISAs.
-func TableII(scale int, minDur time.Duration) ([]Cell, *stats.Table, error) {
-	var cells []Cell
-	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
-	byBS := map[string]map[string]Cell{}
-	for _, name := range isa.Names() {
-		i, err := isa.Load(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		progs, err := BuildMix(i, scale)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, bs := range isa.StdBuildsets {
-			c, err := MeasureCell(progs, bs, core.Options{}, minDur)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s: %w", name, bs, err)
-			}
-			cells = append(cells, c)
-			if byBS[bs] == nil {
-				byBS[bs] = map[string]Cell{}
-			}
-			byBS[bs][name] = c
-		}
-	}
-	for _, bs := range isa.StdBuildsets {
-		sem, info, spec := rowLabel(bs)
-		t.Row(sem, info, spec,
-			byBS[bs]["alpha64"].MIPS, byBS[bs]["arm32"].MIPS, byBS[bs]["ppc32"].MIPS)
-	}
-	return cells, t, nil
-}
-
 // find returns the cell for (isa, buildset).
 func find(cells []Cell, isaName, bs string) Cell {
 	for _, c := range cells {
@@ -347,56 +313,28 @@ func TableIII(cells []Cell) *stats.Table {
 }
 
 // Headline computes the paper's headline ratio: fastest (Block/Min) over
-// slowest (Step/All/Yes) interface, per ISA.
-func Headline(cells []Cell) *stats.Table {
-	t := stats.NewTable("ISA", "Block/Min (MIPS)", "Step/All/Yes (MIPS)", "Speedup")
+// slowest (Step/All/Yes) interface, per ISA, in the given metric. Under
+// MetricWork the ratio is slow/fast work units (higher work = slower), so
+// both metrics report "how much faster is the lowest-detail interface".
+func Headline(cells []Cell, metric Metric) *stats.Table {
+	unit := "MIPS"
+	if metric == MetricWork {
+		unit = "work/instr"
+	}
+	t := stats.NewTable("ISA", "Block/Min ("+unit+")", "Step/All/Yes ("+unit+")", "Speedup")
 	for _, name := range isa.Names() {
 		fast := find(cells, name, "block_min")
 		slow := find(cells, name, "step_all_spec")
+		fv, sv := metric.value(fast), metric.value(slow)
 		ratio := 0.0
-		if slow.MIPS > 0 {
-			ratio = fast.MIPS / slow.MIPS
+		switch {
+		case metric == MetricWork && fv > 0:
+			ratio = sv / fv
+		case metric == MetricMIPS && sv > 0:
+			ratio = fv / sv
 		}
-		t.Row(name, fast.MIPS, slow.MIPS, fmt.Sprintf("%.1fx", ratio))
+		t.Row(name, fv, sv, fmt.Sprintf("%.1fx", ratio))
 	}
 	return t
 }
 
-// Ablations measures the design-choice ablations DESIGN.md calls out:
-// translated vs. interpreted base cost (paper footnote 5) and DCE on/off.
-func Ablations(scale int, minDur time.Duration) (*stats.Table, error) {
-	t := stats.NewTable("Configuration", "alpha64", "arm32", "ppc32")
-	type variant struct {
-		label string
-		bs    string
-		opts  core.Options
-	}
-	variants := []variant{
-		{"One/Min translated (ns/instr)", "one_min", core.Options{}},
-		{"One/Min interpreted (ns/instr)", "one_min", core.Options{NoTranslate: true}},
-		{"One/Min no-DCE (ns/instr)", "one_min", core.Options{NoDCE: true}},
-		{"Block/Min per-instr records (ns/instr)", "block_min", core.Options{ForceRecords: true}},
-	}
-	rows := map[string][]any{}
-	for _, name := range isa.Names() {
-		i, err := isa.Load(name)
-		if err != nil {
-			return nil, err
-		}
-		progs, err := BuildMix(i, scale)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range variants {
-			c, err := MeasureCell(progs, v.bs, v.opts, minDur)
-			if err != nil {
-				return nil, err
-			}
-			rows[v.label] = append(rows[v.label], c.NsPerInstr)
-		}
-	}
-	for _, v := range variants {
-		t.Row(append([]any{v.label}, rows[v.label]...)...)
-	}
-	return t, nil
-}

@@ -61,7 +61,7 @@ func TestTablesIIandIIIGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measurement test")
 	}
-	cells, tab, err := TableII(1, time.Millisecond)
+	cells, tab, err := TableII(Config{Scale: 1, MinDur: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestTablesIIandIIIGenerate(t *testing.T) {
 	if !contains(t3, "Base cost") || !contains(t3, "block-call") {
 		t.Errorf("Table III malformed:\n%s", t3)
 	}
-	h := Headline(cells).String()
+	h := Headline(cells, MetricMIPS).String()
 	if !contains(h, "x") {
 		t.Errorf("headline malformed:\n%s", h)
 	}
@@ -86,7 +86,7 @@ func TestAblationsGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measurement test")
 	}
-	tab, err := Ablations(1, time.Millisecond)
+	tab, err := Ablations(Config{Scale: 1, MinDur: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,19 +117,38 @@ func Source(name string) string { return sources[name] }
 // Conv returns the ABI convention for a bundled ISA name.
 func Conv(name string) Convention { return conventions[name] }
 
+// The load cache uses a per-name once so that concurrent Load calls for
+// different ISAs parse in parallel, concurrent calls for the same ISA parse
+// exactly once, and no caller ever holds a lock across a parse. The
+// resulting *ISA (including its Spec) is read-only after Load returns and
+// safe to share across goroutines.
 var (
 	cacheMu sync.Mutex
-	cache   = map[string]*ISA{}
+	cache   = map[string]*isaEntry{}
 )
 
+type isaEntry struct {
+	once sync.Once
+	isa  *ISA
+	err  error
+}
+
 // Load parses an embedded ISA description together with its twelve
-// standard buildsets and returns the resolved ISA. Results are cached.
+// standard buildsets and returns the resolved ISA. Results are cached;
+// Load is safe for concurrent use.
 func Load(name string) (*ISA, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if isa, ok := cache[name]; ok {
-		return isa, nil
+	e, ok := cache[name]
+	if !ok {
+		e = &isaEntry{}
+		cache[name] = e
 	}
+	cacheMu.Unlock()
+	e.once.Do(func() { e.isa, e.err = load(name) })
+	return e.isa, e.err
+}
+
+func load(name string) (*ISA, error) {
 	src, ok := sources[name]
 	if !ok {
 		return nil, fmt.Errorf("isa: unknown instruction set %q (have %v)", name, Names())
@@ -139,13 +158,11 @@ func Load(name string) (*ISA, error) {
 	if err != nil {
 		return nil, fmt.Errorf("isa %s: %w", name, err)
 	}
-	isa := &ISA{
+	return &ISA{
 		Name: name, Spec: spec, Conv: conventions[name],
 		DescLines:     countCodeLines(src),
 		BuildsetLines: countCodeLines(bs),
-	}
-	cache[name] = isa
-	return isa, nil
+	}, nil
 }
 
 // MustLoad is Load for tests and tools where the ISA is known to exist.

@@ -5,6 +5,23 @@
 //
 // The substrate is deliberately independent of any ISA: endianness, register
 // space shapes, and calling conventions are all configured by the ISA layer.
+//
+// # Concurrency contract
+//
+// The mutable machine state — Memory, Space, Machine, Journal — is NOT safe
+// for concurrent use. Even a plain Load mutates Memory (the one-entry page
+// lookup cache, lazy page allocation), so read-only sharing is not an
+// option either: a Memory and everything attached to it belong to exactly
+// one goroutine at a time.
+//
+// Parallel simulation therefore isolates per worker by construction: each
+// worker owns its own Machine (with its own Memory, Spaces, and Journal)
+// and its own core.Exec and sysemu.Emulator. What IS safe to share across
+// workers is everything upstream of the machine: a loaded isa.ISA, its
+// lis.Spec, an asm.Program, and a synthesized core.Sim (whose shared
+// translation cache is internally synchronized). This contract is exercised
+// under the race detector by TestSharedSimParallelDeterminism in
+// internal/expt.
 package mach
 
 import "fmt"
@@ -46,7 +63,8 @@ type page struct {
 //
 // Memory is shared between the hardware contexts (Machines) of a simulated
 // multicore; it is not safe for concurrent use from multiple goroutines
-// without external synchronization.
+// without external synchronization (see the package-level concurrency
+// contract — even Load mutates the lookup cache below).
 type Memory struct {
 	order ByteOrder
 	pages map[uint64]*page
