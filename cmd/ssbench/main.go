@@ -11,6 +11,8 @@
 //	ssbench                  # everything, quick settings
 //	ssbench -table 2 -scale 4 -dur 500ms
 //	ssbench -table 2 -parallel 1 -metric work   # serial, deterministic
+//	ssbench -faults 42       # deterministic fault-injection campaign
+//	ssbench -cell-timeout 30s -table 2          # watchdogged sweep
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"singlespec/internal/expt"
+	"singlespec/internal/faultinj"
 )
 
 func main() {
@@ -30,13 +33,23 @@ func main() {
 	ablate := flag.Bool("ablations", true, "include design ablations")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "measurement worker count")
 	metricName := flag.String("metric", "mips", "table metric: mips (wall-clock) or work (deterministic work units)")
+	faultSeed := flag.Int64("faults", -1, "run a fault-injection campaign with this seed instead of the tables (>= 0 enables)")
+	faultEvents := flag.Int("fault-events", 4, "fault events attempted per campaign cell")
+	faultClasses := flag.String("fault-classes", "all", "comma-separated fault classes (load,fetch,squash,syscall,codegen) or all")
+	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock watchdog per measurement cell (0 disables); hung cells are marked errored instead of stalling the sweep")
 	flag.Parse()
+
+	if *faultSeed >= 0 {
+		runFaultCampaign(uint64(*faultSeed), *faultEvents, *faultClasses, *parallel)
+		return
+	}
 
 	metric, err := expt.ParseMetric(*metricName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric}
+	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
+		CellTimeout: *cellTimeout}
 
 	if *table == 0 || *table == 1 {
 		t1, err := expt.TableI()
@@ -59,6 +72,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(t2)
+		reportCellErrors(cells)
 		fmt.Println("### Headline: lowest-detail vs. highest-detail interface")
 		fmt.Println()
 		fmt.Println(expt.Headline(cells, metric))
@@ -76,6 +90,43 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(ta)
+	}
+	if sawCellErrors {
+		os.Exit(1)
+	}
+}
+
+// sawCellErrors records that a sweep rendered with error-marked cells, so
+// the process can exit nonzero after printing every table it was asked for
+// (the degraded-table contract: tables always render to completion).
+var sawCellErrors bool
+
+// reportCellErrors prints the typed error behind every ERR:-marked cell.
+func reportCellErrors(cells []expt.Cell) {
+	for _, ce := range expt.CellErrors(cells) {
+		sawCellErrors = true
+		fmt.Fprintf(os.Stderr, "ssbench: cell error: %v\n", ce)
+	}
+}
+
+// runFaultCampaign runs the deterministic fault-injection campaign and
+// exits nonzero if any cell diverged or errored.
+func runFaultCampaign(seed uint64, events int, classSpec string, workers int) {
+	classes, err := faultinj.ParseClasses(classSpec)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := faultinj.Run(faultinj.Config{
+		Seed: seed, Events: events, Workers: workers, Classes: classes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("## Fault-injection campaign")
+	fmt.Println()
+	fmt.Print(rep)
+	if n := len(rep.Failures()); n > 0 {
+		fatal(fmt.Errorf("%d campaign cell(s) failed", n))
 	}
 }
 

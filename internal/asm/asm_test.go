@@ -6,6 +6,7 @@ import (
 
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/sysemu"
 )
 
@@ -296,7 +297,7 @@ _start:
     mov r0, r2, 0, 0
     swi
 `
-	i := isa.MustLoad("arm32")
+	i := isatest.Load(t, "arm32")
 	a, _ := New(i)
 	prog, err := a.Assemble("p.s", src)
 	if err != nil {
@@ -311,7 +312,7 @@ _start:
 }
 
 func TestAssemblerErrors(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	a, _ := New(i)
 	cases := []struct {
 		src, want string
@@ -334,7 +335,7 @@ func TestAssemblerErrors(t *testing.T) {
 }
 
 func TestDirectives(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	a, _ := New(i)
 	prog, err := a.Assemble("d.s", `
 .equ MAGIC, 0x1234
@@ -373,7 +374,7 @@ end:
 }
 
 func TestBigEndianDirectives(t *testing.T) {
-	i := isa.MustLoad("ppc32")
+	i := isatest.Load(t, "ppc32")
 	a, _ := New(i)
 	prog, err := a.Assemble("d.s", ".data\nw: .word 0x11223344\n")
 	if err != nil {
@@ -386,7 +387,7 @@ func TestBigEndianDirectives(t *testing.T) {
 }
 
 func TestForwardReferences(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	a, _ := New(i)
 	prog, err := a.Assemble("f.s", `
 _start:
@@ -407,7 +408,7 @@ fwd:
 }
 
 func TestAlphaByteManipulation(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	a, _ := New(i)
 	prog, err := a.Assemble("b.s", `
 _start:
@@ -460,7 +461,7 @@ _start:
 }
 
 func TestARMPostIndexedAddressing(t *testing.T) {
-	i := isa.MustLoad("arm32")
+	i := isatest.Load(t, "arm32")
 	a, _ := New(i)
 	prog, err := a.Assemble("p.s", `
 _start:
@@ -491,7 +492,7 @@ buf: .word 11, 31
 }
 
 func TestPPCImmediateSubtractAndHighMultiply(t *testing.T) {
-	i := isa.MustLoad("ppc32")
+	i := isatest.Load(t, "ppc32")
 	a, _ := New(i)
 	prog, err := a.Assemble("s.s", `
 _start:
@@ -514,7 +515,7 @@ _start:
 }
 
 func TestDisassembleUnknownWord(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	a, _ := New(i)
 	if dis := a.Disassemble(7<<26, 0x1000); !strings.HasPrefix(dis, ".word") {
 		t.Errorf("unknown word disassembled to %q", dis)

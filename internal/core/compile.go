@@ -34,6 +34,15 @@ type compiler struct {
 	work int // closure nodes emitted (deterministic work-unit accounting)
 }
 
+// errf reports a compile error by panicking with a *lis.Error. This is the
+// compiler's internal error protocol: compilation recurses deeply through
+// expression trees, and threading an error return through every emit helper
+// would dominate the code. Synthesize's deferred recover converts exactly
+// this panic type back into a returned error at the API boundary (any other
+// panic value is re-raised), so no *lis.Error panic ever escapes the
+// package. New code inside the compiler should call errf rather than
+// returning errors; code outside the compile path must not rely on this
+// protocol.
 func (c *compiler) errf(pos lis.Pos, format string, args ...any) {
 	panic(&lis.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }

@@ -114,6 +114,9 @@ func Synthesize(spec *lis.Spec, buildset string, opts Options) (s *Sim, err erro
 	if opts.CacheCap <= 0 {
 		opts.CacheCap = 1 << 16
 	}
+	// Compile errors arrive as *lis.Error panics from compiler.errf (see
+	// the comment there); this recover is the other half of that protocol,
+	// turning them into ordinary returned errors at the API boundary.
 	defer func() {
 		if r := recover(); r != nil {
 			if le, ok := r.(*lis.Error); ok {
@@ -423,6 +426,13 @@ func buildDecoder(spec *lis.Spec) *decoder {
 	}
 	return d
 }
+
+// Decodes reports whether bits decode to some instruction of the spec.
+// Fault-injection harnesses use it to find corrupted encodings that are
+// guaranteed to divert to the pre-decode fault path (FaultIllegal through
+// the ALL-actions faultUnit) rather than silently executing as a different
+// valid instruction.
+func (s *Sim) Decodes(bits uint32) bool { return s.dec.decode(bits) >= 0 }
 
 // decode returns the instruction ID for an encoding, or -1.
 func (d *decoder) decode(bits uint32) int {

@@ -6,6 +6,7 @@ import (
 	"singlespec/internal/asm"
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/mach"
 	"singlespec/internal/sysemu"
 )
@@ -89,7 +90,7 @@ func loadWord(t *testing.T, m *mach.Machine, addr uint64) uint64 {
 // restored exactly, and then re-executes to completion, matching an
 // undisturbed reference run on the same shared sim.
 func TestJournalMultiBlockRollback(t *testing.T) {
-	i := isa.MustLoad("arm32")
+	i := isatest.Load(t, "arm32")
 	prog := assembleSpecProg(t, i)
 	sim, err := core.Synthesize(i.Spec, "block_all_spec", core.Options{})
 	if err != nil {
@@ -181,7 +182,7 @@ func TestJournalMultiBlockRollback(t *testing.T) {
 // under the One interface with speculation, checking the register, the
 // flags word, and the journal length bookkeeping.
 func TestJournalSingleInstrRollback(t *testing.T) {
-	i := isa.MustLoad("arm32")
+	i := isatest.Load(t, "arm32")
 	prog := assembleSpecProg(t, i)
 	sim, err := core.Synthesize(i.Spec, "one_all_spec", core.Options{})
 	if err != nil {

@@ -71,6 +71,19 @@ type Config struct {
 	// Metric selects the table values (wall-clock MIPS or deterministic
 	// work units).
 	Metric Metric
+	// CellTimeout is the wall-clock watchdog per cell attempt: a cell still
+	// running past it is marked errored (after one retry) instead of
+	// stalling the sweep. <= 0 disables the watchdog. The watchdog is
+	// cooperative (see RunLimited), so it catches runaway simulated
+	// programs, not arbitrary host-code hangs.
+	CellTimeout time.Duration
+	// MaxCellInstr caps simulated instructions per cell (cumulative over
+	// the cell's kernels and repeat runs); 0 means unlimited. Budget
+	// violations are deterministic and are not retried.
+	MaxCellInstr uint64
+	// testHook, when non-nil, runs at the start of every cell attempt.
+	// Tests inject panics and hangs through it to exercise containment.
+	testHook func(isaName, buildset string, attempt int)
 }
 
 func (c Config) workers() int {
@@ -88,9 +101,12 @@ type cellJob struct {
 }
 
 // runCells fans jobs out across a worker pool and collects results by job
-// index. On failure the error reported is the one from the lowest-indexed
-// failing job, again independent of scheduling.
-func runCells(jobs []cellJob, workers int, minDur time.Duration) ([]Cell, error) {
+// index, so the rendered tables are identical for any worker count. Every
+// cell runs guarded: a panicking, hung, or failing cell is returned with
+// its Err set while all other cells' results stay intact — the sweep never
+// aborts partway.
+func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
+	workers := cfg.workers()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -98,7 +114,6 @@ func runCells(jobs []cellJob, workers int, minDur time.Duration) ([]Cell, error)
 		workers = 1
 	}
 	results := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -106,13 +121,7 @@ func runCells(jobs []cellJob, workers int, minDur time.Duration) ([]Cell, error)
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
-				j := jobs[idx]
-				c, err := MeasureCell(j.progs, j.buildset, j.opts, minDur)
-				if err != nil {
-					errs[idx] = fmt.Errorf("%s/%s: %w", j.progs.ISA.Name, j.buildset, err)
-					continue
-				}
-				results[idx] = c
+				results[idx] = runCellGuarded(jobs[idx], cfg, minDur)
 			}
 		}()
 	}
@@ -121,12 +130,7 @@ func runCells(jobs []cellJob, workers int, minDur time.Duration) ([]Cell, error)
 	}
 	close(idxCh)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return results
 }
 
 // buildAllMixes loads every ISA and assembles its kernel mix, one goroutine
@@ -159,7 +163,9 @@ func buildAllMixes(scale int) ([]*Programs, error) {
 
 // TableII measures all twelve interfaces on all three ISAs across cfg's
 // worker pool. The returned cells are ordered ISA-major, buildset-minor
-// (Table II order) regardless of worker count.
+// (Table II order) regardless of worker count. Failed cells render as
+// "ERR:<kind>" markers in the table (the degraded-rendering contract: the
+// table is always complete); inspect them via CellErrors.
 func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 	mixes, err := buildAllMixes(cfg.Scale)
 	if err != nil {
@@ -171,10 +177,7 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 			jobs = append(jobs, cellJob{progs: progs, buildset: bs})
 		}
 	}
-	cells, err := runCells(jobs, cfg.workers(), cfg.MinDur)
-	if err != nil {
-		return nil, nil, err
-	}
+	cells := runCells(jobs, cfg, cfg.MinDur)
 	byBS := map[string]map[string]Cell{}
 	for _, c := range cells {
 		if byBS[c.Buildset] == nil {
@@ -182,13 +185,19 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 		}
 		byBS[c.Buildset][c.ISA] = c
 	}
+	val := func(c Cell) any {
+		if c.Err != nil {
+			return errMark(c.Err)
+		}
+		return cfg.Metric.value(c)
+	}
 	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
 	for _, bs := range isa.StdBuildsets {
 		sem, info, spec := rowLabel(bs)
 		t.Row(sem, info, spec,
-			cfg.Metric.value(byBS[bs]["alpha64"]),
-			cfg.Metric.value(byBS[bs]["arm32"]),
-			cfg.Metric.value(byBS[bs]["ppc32"]))
+			val(byBS[bs]["alpha64"]),
+			val(byBS[bs]["arm32"]),
+			val(byBS[bs]["ppc32"]))
 	}
 	return cells, t, nil
 }
@@ -218,15 +227,17 @@ func Ablations(cfg Config) (*stats.Table, error) {
 			jobs = append(jobs, cellJob{progs: progs, buildset: v.bs, opts: v.opts})
 		}
 	}
-	cells, err := runCells(jobs, cfg.workers(), cfg.MinDur)
-	if err != nil {
-		return nil, err
-	}
+	cells := runCells(jobs, cfg, cfg.MinDur)
 	t := stats.NewTable("Configuration", "alpha64", "arm32", "ppc32")
 	for vi, v := range variants {
 		row := []any{v.label}
 		for mi := range mixes {
-			row = append(row, cells[mi*len(variants)+vi].NsPerInstr)
+			c := cells[mi*len(variants)+vi]
+			if c.Err != nil {
+				row = append(row, errMark(c.Err))
+			} else {
+				row = append(row, c.NsPerInstr)
+			}
 		}
 		t.Row(row...)
 	}

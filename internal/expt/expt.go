@@ -122,23 +122,9 @@ func (r *Runner) reset() {
 }
 
 // Run executes the program once, returning retired instructions and the
-// work units accumulated by this run.
+// work units accumulated by this run. It is RunLimited without bounds.
 func (r *Runner) Run() (instrs, work uint64, err error) {
-	if r.runs > 0 {
-		r.reset()
-	}
-	r.runs++
-	r.x.Run(1 << 62)
-	if !r.m.Halted {
-		return 0, 0, fmt.Errorf("expt: %s/%s did not halt", r.i.Name, r.sim.BS.Name)
-	}
-	if r.m.ExitCode != 0 {
-		return 0, 0, fmt.Errorf("expt: %s/%s exited %d", r.i.Name, r.sim.BS.Name, r.m.ExitCode)
-	}
-	w := r.x.Work()
-	dw := w - r.prevW
-	r.prevW = w
-	return r.m.Instret, dw, nil
+	return r.RunLimited(Limits{})
 }
 
 // Cell is one measured (ISA, interface) speed.
@@ -154,33 +140,64 @@ type Cell struct {
 	// WorkPerInstr is the deterministic engine work-unit count per
 	// instruction (hardware-independent cross-check of the same trends).
 	WorkPerInstr float64
+	// Err is set when the cell's measurement failed under the guarded
+	// engine (see CellError); the metric fields are then zero.
+	Err *CellError
 }
 
 // MeasureCell times one (ISA, interface) pair over the mix. Each kernel
 // runs repeatedly until minDur has elapsed (one warmup run first).
 func MeasureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration) (Cell, error) {
+	return measureCell(p, buildset, opts, minDur, Limits{})
+}
+
+// measureCell is MeasureCell bounded by lim: the instruction budget is
+// cumulative over the cell's kernels and repeat runs, and the deadline both
+// cuts off further repeat runs (gracefully, keeping the measurements made)
+// and interrupts a run that overstays it (as an error).
+func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits) (Cell, error) {
 	sim, err := core.Synthesize(p.ISA.Spec, buildset, opts)
 	if err != nil {
 		return Cell{}, err
+	}
+	var used uint64
+	runOnce := func(runner *Runner) (uint64, uint64, error) {
+		rl := lim
+		if lim.MaxInstr > 0 {
+			if used >= lim.MaxInstr {
+				return 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
+					p.ISA.Name, buildset, errBudget, used)
+			}
+			rl.MaxInstr = lim.MaxInstr - used
+		}
+		in, wk, err := runner.RunLimited(rl)
+		used += in
+		return in, wk, err
 	}
 	var mipsVals, nsVals, workVals []float64
 	for idx, prog := range p.Progs {
 		runner := NewRunner(sim, p.ISA, prog)
 		// Warmup (also validates, and fills the translation caches).
-		if _, _, err := runner.Run(); err != nil {
+		if _, _, err := runOnce(runner); err != nil {
 			return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
 		}
 		var instrs, work uint64
 		var elapsed time.Duration
-		for elapsed < minDur {
+		for {
 			start := time.Now()
-			in, wk, err := runner.Run()
+			in, wk, err := runOnce(runner)
 			if err != nil {
-				return Cell{}, err
+				return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
 			}
 			elapsed += time.Since(start)
 			instrs += in
 			work += wk
+			if elapsed >= minDur {
+				break
+			}
+			if !lim.Deadline.IsZero() && !time.Now().Before(lim.Deadline) {
+				break // keep what we measured; the watchdog is about hangs
+			}
 		}
 		ns := float64(elapsed.Nanoseconds()) / float64(instrs)
 		mipsVals = append(mipsVals, 1e3/ns)
@@ -337,4 +354,3 @@ func Headline(cells []Cell, metric Metric) *stats.Table {
 	}
 	return t
 }
-

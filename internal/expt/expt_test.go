@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"singlespec/internal/core"
-	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 )
 
 func TestTableI(t *testing.T) {
@@ -22,7 +22,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestMeasureCellQuick(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	progs, err := BuildMix(i, 1)
 	if err != nil {
 		t.Fatal(err)

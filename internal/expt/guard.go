@@ -1,0 +1,196 @@
+package expt
+
+// Crash containment for the sweep engine: every cell measurement runs
+// guarded, so a panic, hang, or runaway program in one {ISA × interface}
+// cell is converted into a typed *CellError on that cell while every other
+// cell's result stays intact. The engine then renders the full table with
+// the failing cells marked instead of aborting the sweep.
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// CellErrorKind classifies why a sweep cell failed.
+type CellErrorKind int
+
+const (
+	// CellFailed is a measurement error from the cell itself (synthesis
+	// failure, nonzero exit, stuck machine). Deterministic: not retried.
+	CellFailed CellErrorKind = iota
+	// CellPanic is a recovered panic in the cell's worker.
+	CellPanic
+	// CellTimeout is a wall-clock watchdog expiry.
+	CellTimeout
+	// CellBudget is an exceeded per-cell instruction budget. Deterministic:
+	// not retried.
+	CellBudget
+)
+
+func (k CellErrorKind) String() string {
+	switch k {
+	case CellPanic:
+		return "panic"
+	case CellTimeout:
+		return "timeout"
+	case CellBudget:
+		return "budget"
+	default:
+		return "failed"
+	}
+}
+
+// CellError reports the failure of one sweep cell. It satisfies error and
+// unwraps to the underlying cause, so errors.Is sees through it.
+type CellError struct {
+	ISA      string
+	Buildset string
+	Kind     CellErrorKind
+	Err      error
+	// Stack is the recovered goroutine stack for CellPanic, nil otherwise.
+	Stack []byte
+	// Attempts counts how many times the cell was tried (at most 2: the
+	// watchdog grants transient kinds one bounded retry).
+	Attempts int
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("expt: cell %s/%s %s after %d attempt(s): %v",
+		e.ISA, e.Buildset, e.Kind, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Sentinel causes the limited runner reports; runCellOnce maps them to
+// CellError kinds.
+var (
+	errDeadline = errors.New("cell deadline exceeded")
+	errBudget   = errors.New("cell instruction budget exceeded")
+)
+
+// Limits bounds one cell measurement. The zero value means unbounded.
+type Limits struct {
+	// MaxInstr caps simulated instructions (cumulative across the cell's
+	// runs); 0 means unlimited.
+	MaxInstr uint64
+	// Deadline is the wall-clock cutoff; the zero time means none.
+	Deadline time.Time
+}
+
+// runChunk is the instruction granularity between watchdog checks. Go
+// cannot preempt a runaway simulation loop from outside, so the watchdog is
+// cooperative: RunLimited executes at most this many instructions per
+// engine call and checks its limits in between. Large enough that the
+// checks vanish in the noise, small enough that a hung cell is caught
+// within a fraction of a second.
+const runChunk = 1 << 20
+
+// RunLimited executes the program once, like Run, but checks lim between
+// execution chunks: a deadline or instruction-budget violation surfaces as
+// an error instead of a hang. A machine that stops retiring instructions
+// without halting (a fault loop) is also reported rather than spun on.
+func (r *Runner) RunLimited(lim Limits) (instrs, work uint64, err error) {
+	if r.runs > 0 {
+		r.reset()
+	}
+	r.runs++
+	for !r.m.Halted {
+		chunk := uint64(runChunk)
+		if lim.MaxInstr > 0 {
+			if r.m.Instret >= lim.MaxInstr {
+				return 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
+					r.i.Name, r.sim.BS.Name, errBudget, r.m.Instret)
+			}
+			if rem := lim.MaxInstr - r.m.Instret; rem < chunk {
+				chunk = rem
+			}
+		}
+		n := r.x.Run(chunk)
+		if n == 0 && !r.m.Halted {
+			return 0, 0, fmt.Errorf("expt: %s/%s stuck at pc %#x (no instructions retiring)",
+				r.i.Name, r.sim.BS.Name, r.m.PC)
+		}
+		if !lim.Deadline.IsZero() && !r.m.Halted && time.Now().After(lim.Deadline) {
+			return 0, 0, fmt.Errorf("expt: %s/%s: %w", r.i.Name, r.sim.BS.Name, errDeadline)
+		}
+	}
+	if r.m.ExitCode != 0 {
+		return 0, 0, fmt.Errorf("expt: %s/%s exited %d", r.i.Name, r.sim.BS.Name, r.m.ExitCode)
+	}
+	w := r.x.Work()
+	dw := w - r.prevW
+	r.prevW = w
+	return r.m.Instret, dw, nil
+}
+
+// runCellGuarded measures one cell under cfg's watchdog, converting panics
+// and limit violations into a typed *CellError instead of letting them
+// escape the worker. Transient kinds (panic, timeout) get exactly one
+// retry; deterministic failures (measurement error, budget) are reported
+// immediately since retrying reproduces them.
+func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
+	var last *CellError
+	for attempt := 1; attempt <= 2; attempt++ {
+		c, cerr := runCellOnce(j, cfg, minDur, attempt)
+		if cerr == nil {
+			return c
+		}
+		cerr.Attempts = attempt
+		last = cerr
+		if cerr.Kind == CellFailed || cerr.Kind == CellBudget {
+			break
+		}
+	}
+	return Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset, Err: last}
+}
+
+// runCellOnce is one guarded measurement attempt.
+func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int) (c Cell, cerr *CellError) {
+	defer func() {
+		if r := recover(); r != nil {
+			cerr = &CellError{
+				ISA: j.progs.ISA.Name, Buildset: j.buildset, Kind: CellPanic,
+				Err:   fmt.Errorf("panic: %v", r),
+				Stack: debug.Stack(),
+			}
+		}
+	}()
+	if cfg.testHook != nil {
+		cfg.testHook(j.progs.ISA.Name, j.buildset, attempt)
+	}
+	lim := Limits{MaxInstr: cfg.MaxCellInstr}
+	if cfg.CellTimeout > 0 {
+		lim.Deadline = time.Now().Add(cfg.CellTimeout)
+	}
+	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim)
+	if err != nil {
+		kind := CellFailed
+		switch {
+		case errors.Is(err, errDeadline):
+			kind = CellTimeout
+		case errors.Is(err, errBudget):
+			kind = CellBudget
+		}
+		return Cell{}, &CellError{
+			ISA: j.progs.ISA.Name, Buildset: j.buildset, Kind: kind, Err: err,
+		}
+	}
+	return cell, nil
+}
+
+// CellErrors collects the errors of failed cells in cell order, for callers
+// that rendered a degraded table and want to report why.
+func CellErrors(cells []Cell) []*CellError {
+	var out []*CellError
+	for _, c := range cells {
+		if c.Err != nil {
+			out = append(out, c.Err)
+		}
+	}
+	return out
+}
+
+// errMark is the marker rendered into a table for a failed cell.
+func errMark(e *CellError) string { return "ERR:" + e.Kind.String() }

@@ -1,0 +1,195 @@
+package expt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
+)
+
+func mustSynth(t *testing.T, i *isa.ISA, bs string) *core.Sim {
+	t.Helper()
+	sim, err := core.Synthesize(i.Spec, bs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// testMix assembles the alpha64 scale-1 mix once per test that needs it.
+func testMix(t *testing.T) *Programs {
+	t.Helper()
+	i := isatest.Load(t, "alpha64")
+	progs, err := BuildMix(i, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+// TestSweepSurvivesPanickingCell injects a panic into one cell of a sweep
+// and checks the containment contract: the panicking cell is marked with a
+// typed error (after its one retry), every other cell's measurement is
+// intact, and nothing escapes the worker pool.
+func TestSweepSurvivesPanickingCell(t *testing.T) {
+	progs := testMix(t)
+	buildsets := []string{"one_min", "block_min", "one_all"}
+	var jobs []cellJob
+	for _, bs := range buildsets {
+		jobs = append(jobs, cellJob{progs: progs, buildset: bs})
+	}
+	cfg := Config{
+		Workers: 3,
+		testHook: func(isaName, buildset string, attempt int) {
+			if buildset == "block_min" {
+				panic("injected cell failure")
+			}
+		},
+	}
+	cells := runCells(jobs, cfg, 0)
+	for idx, c := range cells {
+		bs := buildsets[idx]
+		if bs == "block_min" {
+			if c.Err == nil {
+				t.Fatal("panicking cell reported no error")
+			}
+			if c.Err.Kind != CellPanic {
+				t.Errorf("kind = %v, want panic", c.Err.Kind)
+			}
+			if c.Err.Attempts != 2 {
+				t.Errorf("attempts = %d, want 2 (one retry)", c.Err.Attempts)
+			}
+			if !strings.Contains(c.Err.Error(), "injected cell failure") {
+				t.Errorf("error %q lost the panic value", c.Err.Error())
+			}
+			if len(c.Err.Stack) == 0 {
+				t.Error("panic stack not captured")
+			}
+			if c.ISA != "alpha64" || c.Buildset != "block_min" {
+				t.Errorf("errored cell mislabeled: %s/%s", c.ISA, c.Buildset)
+			}
+			continue
+		}
+		if c.Err != nil {
+			t.Errorf("healthy cell %s errored: %v", bs, c.Err)
+		}
+		if c.WorkPerInstr <= 0 {
+			t.Errorf("healthy cell %s has no measurement", bs)
+		}
+	}
+	if errs := CellErrors(cells); len(errs) != 1 || errs[0].Buildset != "block_min" {
+		t.Errorf("CellErrors = %v", errs)
+	}
+}
+
+// TestCellRetryRecoversTransientPanic panics only on the first attempt: the
+// bounded retry must produce a clean measurement.
+func TestCellRetryRecoversTransientPanic(t *testing.T) {
+	progs := testMix(t)
+	cfg := Config{
+		testHook: func(isaName, buildset string, attempt int) {
+			if attempt == 1 {
+				panic("transient")
+			}
+		},
+	}
+	cells := runCells([]cellJob{{progs: progs, buildset: "one_min"}}, cfg, 0)
+	if cells[0].Err != nil {
+		t.Fatalf("retry did not recover: %v", cells[0].Err)
+	}
+	if cells[0].WorkPerInstr <= 0 {
+		t.Error("recovered cell has no measurement")
+	}
+}
+
+// TestCellInstructionBudget gives a cell a budget far below what the mix
+// needs; the violation must be typed CellBudget and must not be retried
+// (it is deterministic).
+func TestCellInstructionBudget(t *testing.T) {
+	progs := testMix(t)
+	cfg := Config{MaxCellInstr: 100}
+	cells := runCells([]cellJob{{progs: progs, buildset: "one_min"}}, cfg, 0)
+	ce := cells[0].Err
+	if ce == nil {
+		t.Fatal("budget violation not reported")
+	}
+	if ce.Kind != CellBudget {
+		t.Errorf("kind = %v, want budget", ce.Kind)
+	}
+	if ce.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (deterministic failures are not retried)", ce.Attempts)
+	}
+	if !errors.Is(ce, errBudget) {
+		t.Error("CellError does not unwrap to the budget sentinel")
+	}
+}
+
+// TestRunLimitedDeadline runs an endless program under a short deadline:
+// the cooperative watchdog must interrupt it between chunks instead of
+// hanging the caller.
+func TestRunLimitedDeadline(t *testing.T) {
+	i := isatest.Load(t, "alpha64")
+	a, err := asm.New(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble("spin.s", `
+.text
+_start:
+    br r31, _start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := mustSynth(t, i, "one_min")
+	r := NewRunner(sim, i, prog)
+	start := time.Now()
+	_, _, err = r.RunLimited(Limits{Deadline: time.Now().Add(50 * time.Millisecond)})
+	if !errors.Is(err, errDeadline) {
+		t.Fatalf("err = %v, want deadline sentinel", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Errorf("watchdog took %v to fire", time.Since(start))
+	}
+}
+
+// TestRunLimitedBudgetIsDeterministic runs the same endless program twice
+// under the same instruction budget and checks the interruption point is
+// identical — budgets, unlike deadlines, are part of the deterministic
+// contract.
+func TestRunLimitedBudgetIsDeterministic(t *testing.T) {
+	i := isatest.Load(t, "alpha64")
+	a, err := asm.New(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := a.Assemble("spin.s", `
+.text
+_start:
+    br r31, _start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := mustSynth(t, i, "one_min")
+	retired := func() uint64 {
+		r := NewRunner(sim, i, prog)
+		_, _, err := r.RunLimited(Limits{MaxInstr: 12345})
+		if !errors.Is(err, errBudget) {
+			t.Fatalf("err = %v, want budget sentinel", err)
+		}
+		return r.m.Instret
+	}
+	a1, a2 := retired(), retired()
+	if a1 != a2 {
+		t.Errorf("budget interruption nondeterministic: %d vs %d retired", a1, a2)
+	}
+	if a1 < 12345 {
+		t.Errorf("budget tripped early: %d retired, budget 12345", a1)
+	}
+}

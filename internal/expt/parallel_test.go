@@ -9,6 +9,7 @@ import (
 	"singlespec/internal/asm"
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/kernels"
 	"singlespec/internal/mach"
 	"singlespec/internal/sysemu"
@@ -101,7 +102,7 @@ func (o outcome) diff(ref outcome, spaceNames []string) string {
 // architectural state, captured stdout, and work-unit counts.
 func TestSharedSimParallelDeterminism(t *testing.T) {
 	const workers = 8
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 
 	k := kernels.ByName("crc32")
 	crcProg, err := kernels.BuildProgram(i, k.Build(256))

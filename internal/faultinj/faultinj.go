@@ -1,0 +1,95 @@
+package faultinj
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class identifies one family of injected faults. Each class targets a
+// different seam of the simulator and carries its own recovery protocol and
+// invariant (see inject.go).
+type Class int
+
+const (
+	// ClassLoad flips one bit in a loaded value through mach.LoadHook (a
+	// transient data fault), then rolls the corrupted instruction back via
+	// the speculation journal and re-executes it cleanly. Runs under a
+	// speculation buildset.
+	ClassLoad Class = iota
+	// ClassFetch corrupts instruction bits in code memory so decode fails,
+	// checks the faultUnit path (FaultIllegal, halt with exit 128+fault, no
+	// retirement), restores the original bits, and resumes.
+	ClassFetch
+	// ClassSquash executes a short wrong-path window speculatively and then
+	// squashes it with Journal.Rollback — the mid-run mis-speculation case;
+	// the rollback must be architecturally invisible.
+	ClassSquash
+	// ClassSyscall injects OS-level failures (short reads/writes, denied
+	// calls, brk exhaustion) through sysemu's FaultHook against a program
+	// written to retry; final output must be unchanged.
+	ClassSyscall
+	// ClassCodeGen stores to mapped code pages mid-run (same value, so the
+	// program is unchanged) to bump the page store-generation counters and
+	// force translation-cache invalidation storms; the run must be
+	// architecturally identical to an undisturbed one, instret included.
+	ClassCodeGen
+)
+
+// AllClasses returns every fault class, in campaign order.
+func AllClasses() []Class {
+	return []Class{ClassLoad, ClassFetch, ClassSquash, ClassSyscall, ClassCodeGen}
+}
+
+func (c Class) String() string {
+	switch c {
+	case ClassLoad:
+		return "load"
+	case ClassFetch:
+		return "fetch"
+	case ClassSquash:
+		return "squash"
+	case ClassSyscall:
+		return "syscall"
+	case ClassCodeGen:
+		return "codegen"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// buildset returns the interface each class runs under: rollback-based
+// classes need the speculation journal, the fetch and syscall classes want
+// full information (fault fields in records), and the code-generation class
+// stresses the block translator.
+func (c Class) buildset() string {
+	switch c {
+	case ClassLoad, ClassSquash:
+		return "one_all_spec"
+	case ClassCodeGen:
+		return "block_min"
+	default:
+		return "one_all"
+	}
+}
+
+// ParseClasses parses a comma-separated class list ("load,fetch") or "all".
+func ParseClasses(s string) ([]Class, error) {
+	if s == "" || s == "all" {
+		return AllClasses(), nil
+	}
+	var out []Class
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for _, c := range AllClasses() {
+			if c.String() == part {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faultinj: unknown fault class %q (want load, fetch, squash, syscall, codegen, or all)", part)
+		}
+	}
+	return out, nil
+}

@@ -165,14 +165,8 @@ func load(name string) (*ISA, error) {
 	}, nil
 }
 
-// MustLoad is Load for tests and tools where the ISA is known to exist.
-func MustLoad(name string) *ISA {
-	isa, err := Load(name)
-	if err != nil {
-		panic(err)
-	}
-	return isa
-}
+// Load never panics: unknown names and description errors come back as
+// returned errors. Tests use isatest.Load for must-semantics.
 
 // StandardBuildsetText generates the paper's twelve interface descriptions.
 // A new interface is "about a dozen lines" (§V-A, Table I): this function

@@ -6,6 +6,7 @@ import (
 
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/kernels"
 	"singlespec/internal/sysemu"
 )
@@ -37,7 +38,7 @@ func TestTableIShape(t *testing.T) {
 	// buildset should cost ~a dozen lines or less (the paper's headline
 	// development-effort claim).
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		if i.DescLines < 150 {
 			t.Errorf("%s: suspiciously small description (%d lines)", name, i.DescLines)
 		}
@@ -57,7 +58,7 @@ func TestDecodeFieldsExist(t *testing.T) {
 	// Every field named in the Decode visibility list must exist, so the
 	// decode-level interfaces really carry what timing models expect.
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		sim, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +95,7 @@ func TestSourceRoundTrip(t *testing.T) {
 func TestRotatingInterfaceValidationAllISAs(t *testing.T) {
 	for _, name := range isa.Names() {
 		t.Run(name, func(t *testing.T) {
-			i := isa.MustLoad(name)
+			i := isatest.Load(t, name)
 			k := kernels.ByName("crc32")
 			prog, err := kernels.BuildProgram(i, k.Build(64))
 			if err != nil {
@@ -151,7 +152,7 @@ func TestRotatingInterfaceValidationAllISAs(t *testing.T) {
 
 func TestConventionsSane(t *testing.T) {
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		c := i.Conv
 		r0 := i.Spec.Spaces[0]
 		for _, reg := range append([]int{c.SyscallNum, c.Ret, c.Stack}, c.Args...) {
@@ -184,7 +185,7 @@ func TestDecoderRoundTripProperty(t *testing.T) {
 		return x
 	}
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		sim, err := core.Synthesize(i.Spec, "one_min", core.Options{})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,21 @@
+// Package isatest provides the test-only must-load helper for the bundled
+// instruction sets. It exists so that the isa package itself carries no
+// panicking load path: production code handles isa.Load errors, tests fail
+// through the testing API.
+package isatest
+
+import (
+	"testing"
+
+	"singlespec/internal/isa"
+)
+
+// Load returns the named bundled ISA, failing the test on error.
+func Load(tb testing.TB, name string) *isa.ISA {
+	tb.Helper()
+	i, err := isa.Load(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return i
+}

@@ -7,6 +7,7 @@ import (
 
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/kernels"
 	"singlespec/internal/sysemu"
 )
@@ -312,7 +313,7 @@ func TestSeededCrossISADifferential(t *testing.T) {
 			t.Fatalf("seed %#08x: oracle: %v", seed, err)
 		}
 		for _, name := range isa.Names() {
-			i := isa.MustLoad(name)
+			i := isatest.Load(t, name)
 			got := runRotating(t, i, p, seedIdx)
 			if got != want {
 				t.Errorf("seed %#08x on %s: checksum %#08x, oracle %#08x (replay: add seed to diffSeeds)",

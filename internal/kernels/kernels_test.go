@@ -6,6 +6,7 @@ import (
 
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/sysemu"
 )
 
@@ -38,7 +39,7 @@ func TestKernelsMatchReferenceOnAllISAs(t *testing.T) {
 	for _, k := range All {
 		for _, name := range isa.Names() {
 			t.Run(k.Name+"/"+name, func(t *testing.T) {
-				i := isa.MustLoad(name)
+				i := isatest.Load(t, name)
 				got, code := runKernel(t, i, k.Build(k.DefaultN), "one_all", core.Options{})
 				if code != 0 {
 					t.Fatalf("exit code %d", code)
@@ -57,7 +58,7 @@ func TestKernelsAgreeAcrossInterfaces(t *testing.T) {
 	for _, kn := range []string{"sieve", "listchase"} {
 		k := ByName(kn)
 		for _, name := range isa.Names() {
-			i := isa.MustLoad(name)
+			i := isatest.Load(t, name)
 			want := k.Ref(k.DefaultN)
 			for _, bs := range isa.StdBuildsets {
 				got, code := runKernel(t, i, k.Build(k.DefaultN), bs, core.Options{})
@@ -72,7 +73,7 @@ func TestKernelsAgreeAcrossInterfaces(t *testing.T) {
 func TestKernelsUnderInterpreter(t *testing.T) {
 	k := ByName("fib_rec")
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		got, _ := runKernel(t, i, k.Build(10), "one_min", core.Options{NoTranslate: true})
 		if want := k.Ref(10); got != want {
 			t.Errorf("%s: checksum %#x, want %#x", name, got, want)
@@ -125,7 +126,7 @@ func TestValidateCatchesBadPrograms(t *testing.T) {
 
 func TestLoweredAssemblyIsStable(t *testing.T) {
 	// Lowering is deterministic: same IR, same text.
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	p := ByName("crc32").Build(16)
 	a, err := Lower(i, p)
 	if err != nil {
@@ -154,7 +155,7 @@ func TestSignedLoads(t *testing.T) {
 		return b.Prog()
 	}
 	for _, name := range isa.Names() {
-		i := isa.MustLoad(name)
+		i := isatest.Load(t, name)
 		got, _ := runKernel(t, i, build(), "one_all", core.Options{})
 		if got != 127 {
 			t.Errorf("%s: signed loads = %d, want 127", name, got)

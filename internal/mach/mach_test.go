@@ -1,6 +1,7 @@
 package mach
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -187,6 +188,94 @@ func TestJournalCommitRebase(t *testing.T) {
 	if r.Read(2) != 2 {
 		t.Errorf("r2 = %d, want 2 (committed value)", r.Read(2))
 	}
+}
+
+// TestJournalCommitThenRollbackSuffix drives the Commit/Rollback interplay
+// the speculative engine depends on: after committing a prefix of the
+// journal and rebasing the surviving marks, a rollback must restore exactly
+// the uncommitted suffix — registers, memory, and PC all return to their
+// values at the rebased mark, while the committed writes stay permanent.
+func TestJournalCommitThenRollbackSuffix(t *testing.T) {
+	m := NewMachine(NewMemory(LittleEndian), testDefs())
+	r := m.MustSpace("r")
+	c := m.MustSpace("c")
+	m.JournalOn = true
+	m.PC = 0x1000
+	r.Vals[1] = 10
+	c.Vals[0] = 1
+	m.Mem.Store(0x40000, 0x11, 1)
+	m.Mem.Store(0x40008, 0x22, 1)
+
+	// Committed prefix: a register write, a memory write, and a PC move.
+	base := m.Journal.Mark()
+	m.WriteReg(r, 1, 20)
+	m.StoreValue(0x40000, 0x33, 1)
+	m.SetPC(0x1004)
+
+	// Mark taken mid-stream, before the writes that will stay speculative.
+	spec := m.Journal.Mark()
+	m.WriteReg(r, 1, 30)
+	m.WriteReg(c, 0, 2)
+	m.StoreValue(0x40000, 0x44, 1)
+	m.StoreValue(0x40008, 0x55, 1)
+	m.SetPC(0x1008)
+
+	// Retire the prefix: Commit(spec) makes entries [base, spec) permanent,
+	// and every surviving mark rebases by subtracting the committed mark.
+	m.Journal.Commit(spec)
+	rebased := Mark(int(spec) - int(spec))
+	if int(spec)-int(base) != 3 {
+		t.Fatalf("prefix journaled %d entries, want 3 (reg, mem, pc)", int(spec)-int(base))
+	}
+	if m.Journal.Len() != 5 {
+		t.Fatalf("journal len after commit = %d, want the 5 suffix entries", m.Journal.Len())
+	}
+
+	m.Journal.Rollback(m, rebased)
+
+	// The speculative suffix is gone...
+	if got := r.Read(1); got != 20 {
+		t.Errorf("r1 = %d, want 20 (committed value, suffix undone)", got)
+	}
+	if got := c.Read(0); got != 1 {
+		t.Errorf("c0 = %d, want 1", got)
+	}
+	if v, _ := m.Mem.Load(0x40000, 1); v != 0x33 {
+		t.Errorf("mem[0x40000] = %#x, want 0x33 (committed store)", v)
+	}
+	if v, _ := m.Mem.Load(0x40008, 1); v != 0x22 {
+		t.Errorf("mem[0x40008] = %#x, want 0x22 (original value)", v)
+	}
+	if m.PC != 0x1004 {
+		t.Errorf("pc = %#x, want 0x1004 (committed move)", m.PC)
+	}
+	// ...and the journal is empty: nothing committed can roll back further.
+	if m.Journal.Len() != 0 {
+		t.Errorf("journal len after rollback = %d", m.Journal.Len())
+	}
+	m.Journal.Rollback(m, 0) // must be a no-op
+	if got := r.Read(1); got != 20 || m.PC != 0x1004 {
+		t.Error("rollback of empty journal disturbed committed state")
+	}
+}
+
+func TestSpaceLookupError(t *testing.T) {
+	m := NewMachine(NewMemory(LittleEndian), testDefs())
+	s, err := m.Space("r")
+	if err != nil || s == nil {
+		t.Fatalf("Space(r) = %v, %v", s, err)
+	}
+	_, err = m.Space("nope")
+	var use *UnknownSpaceError
+	if !errors.As(err, &use) || use.Name != "nope" {
+		t.Fatalf("Space(nope) error = %v, want *UnknownSpaceError{nope}", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSpace on unknown name did not panic")
+		}
+	}()
+	m.MustSpace("nope")
 }
 
 func TestJournalNestedMarks(t *testing.T) {

@@ -84,14 +84,35 @@ func NewMachine(mem *Memory, defs []SpaceDef) *Machine {
 	return m
 }
 
-// Space returns the register space with the given name, or nil.
-func (m *Machine) Space(name string) *Space { return m.byName[name] }
+// UnknownSpaceError reports a lookup of a register space the machine does
+// not have (for example, a machine built from a different spec than the
+// simulator driving it).
+type UnknownSpaceError struct {
+	Name string
+}
 
-// MustSpace is Space but panics on unknown names (programming error).
+func (e *UnknownSpaceError) Error() string {
+	return fmt.Sprintf("mach: unknown register space %q", e.Name)
+}
+
+// Space returns the register space with the given name. Unknown names
+// return a *UnknownSpaceError instead of panicking, so callers handed a
+// machine from outside (user code, a different spec) can fail gracefully.
+func (m *Machine) Space(name string) (*Space, error) {
+	s := m.byName[name]
+	if s == nil {
+		return nil, &UnknownSpaceError{Name: name}
+	}
+	return s, nil
+}
+
+// MustSpace is Space for statically-known names (tests, examples, and
+// tools addressing the spec they themselves loaded); it panics on unknown
+// names. Code receiving machines from callers should use Space instead.
 func (m *Machine) MustSpace(name string) *Space {
 	s := m.byName[name]
 	if s == nil {
-		panic(fmt.Sprintf("mach: unknown register space %q", name))
+		panic((&UnknownSpaceError{Name: name}).Error())
 	}
 	return s
 }

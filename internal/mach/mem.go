@@ -24,7 +24,10 @@
 // internal/expt.
 package mach
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ByteOrder selects the memory byte order of a simulated machine.
 type ByteOrder int
@@ -197,6 +200,21 @@ func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 
 // MappedPages reports how many pages have been touched; useful in tests.
 func (m *Memory) MappedPages() int { return len(m.pages) }
+
+// PageBases returns the base addresses of all mapped pages in ascending
+// order. Differential checkers use it to walk exactly the memory a run
+// touched without forcing page allocation elsewhere.
+func (m *Memory) PageBases() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		out = append(out, idx<<pageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageSize returns the memory page granularity in bytes.
+func PageSize() int { return pageSize }
 
 // Fault identifies an architectural fault raised during instruction
 // execution. FaultNone means no fault.

@@ -81,7 +81,11 @@ func RunIntegrated(i *isa.ISA, prog *asm.Program, budget uint64) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +113,11 @@ func RunFunctionalFirst(i *isa.ISA, prog *asm.Program, budget uint64) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +145,11 @@ func RunBlockFunctionalFirst(i *isa.ISA, prog *asm.Program, budget uint64) (*Res
 	if err != nil {
 		return nil, err
 	}
-	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +232,11 @@ func RunTimingDirected(i *isa.ISA, prog *asm.Program, budget uint64) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	model := ooo.New(ooo.DefaultConfig(), cache.DefaultHierarchy(), bpred.NewGShare(12, 8))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model := ooo.New(ooo.DefaultConfig(), hier, bpred.NewGShare(12, 8))
 	var rec core.Record
 	pc := e.m.PC
 	n := uint64(0)
@@ -283,7 +299,11 @@ func RunTimingFirst(i *isa.ISA, prog *asm.Program, budget uint64, bug BugFn) (*R
 	eC := newEnv(i, prog)
 	xT := timingSim.NewExec(eT.m)
 	xC := checkSim.NewExec(eC.m)
-	model, err := pipeline.New(pipeline.DefaultConfig(), timingSim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), timingSim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +363,11 @@ func RunSpecFunctionalFirst(i *isa.ISA, prog *asm.Program, budget uint64, window
 	if err != nil {
 		return nil, err
 	}
-	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +460,11 @@ func RunSampled(i *isa.ISA, prog *asm.Program, budget, detailed, fastfwd uint64)
 		return nil, err
 	}
 	ffExec := ffSim.NewExec(e.m)
-	model := ooo.New(ooo.DefaultConfig(), cache.DefaultHierarchy(), bpred.NewGShare(12, 8))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model := ooo.New(ooo.DefaultConfig(), hier, bpred.NewGShare(12, 8))
 	r := &Result{Org: "sampled"}
 	var rec core.Record
 	for !e.m.Halted && e.m.Instret < budget {
@@ -518,7 +546,11 @@ func RunTraceDriven(i *isa.ISA, prog *asm.Program, budget uint64) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(12))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	model, err := pipeline.New(pipeline.DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(12))
 	if err != nil {
 		return nil, err
 	}

@@ -6,13 +6,14 @@ import (
 	"singlespec/internal/asm"
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/kernels"
 	"singlespec/internal/mach"
 )
 
 func kernelProgram(t *testing.T, isaName, kernel string) (*isa.ISA, *asm.Program, uint32) {
 	t.Helper()
-	i := isa.MustLoad(isaName)
+	i := isatest.Load(t, isaName)
 	k := kernels.ByName(kernel)
 	prog, err := kernels.BuildProgram(i, k.Build(k.DefaultN))
 	if err != nil {

@@ -25,6 +25,21 @@ const (
 	SysTime  = 5
 )
 
+// SyscallFault selects a failure the emulator injects into one system
+// call. The zero value injects nothing.
+type SyscallFault int
+
+const (
+	// SysFaultNone leaves the call untouched.
+	SysFaultNone SyscallFault = iota
+	// SysFaultShort halves the byte count a read or write transfers —
+	// the classic short-I/O result robust programs must retry.
+	SysFaultShort
+	// SysFaultDeny fails the call outright: read/write return the error
+	// value, brk refuses to move (heap exhaustion).
+	SysFaultDeny
+)
+
 // Emulator is the deterministic OS emulation state for one machine.
 type Emulator struct {
 	Conv isa.Convention
@@ -32,6 +47,13 @@ type Emulator struct {
 	Stdout bytes.Buffer
 	// Stdin provides the bytes returned by reads.
 	Stdin []byte
+
+	// FaultHook, when non-nil, is consulted once per system call (with the
+	// call number) and the returned fault is applied to that call only.
+	// This is the seam fault-injection campaigns drive; it never affects
+	// SysExit or SysTime, so fault schedules cannot lose an exit. Leave nil
+	// in production use.
+	FaultHook func(num int) SyscallFault
 
 	brk   uint64
 	ticks uint64
@@ -58,6 +80,10 @@ func (e *Emulator) reg(m *mach.Machine, idx int) uint64 { return m.Spaces[0].Rea
 func (e *Emulator) Handle(m *mach.Machine) {
 	num := int(e.reg(m, e.Conv.SyscallNum))
 	e.Calls[num]++
+	fault := SysFaultNone
+	if e.FaultHook != nil {
+		fault = e.FaultHook(num)
+	}
 	ret := uint64(0)
 	switch num {
 	case SysExit:
@@ -67,15 +93,25 @@ func (e *Emulator) Handle(m *mach.Machine) {
 		// write(fd, buf, len): fd ignored, output captured.
 		buf := e.reg(m, e.Conv.Args[1])
 		n := e.reg(m, e.Conv.Args[2])
-		if n > 1<<20 {
+		if n > 1<<20 || fault == SysFaultDeny {
 			ret = ^uint64(0)
 			break
+		}
+		if fault == SysFaultShort {
+			n /= 2
 		}
 		e.Stdout.Write(m.Mem.ReadBytes(buf, int(n)))
 		ret = n
 	case SysRead:
 		buf := e.reg(m, e.Conv.Args[1])
 		n := int(e.reg(m, e.Conv.Args[2]))
+		if fault == SysFaultDeny {
+			ret = ^uint64(0)
+			break
+		}
+		if fault == SysFaultShort {
+			n /= 2
+		}
 		if n > len(e.Stdin) {
 			n = len(e.Stdin)
 		}
@@ -86,7 +122,9 @@ func (e *Emulator) Handle(m *mach.Machine) {
 		ret = uint64(n)
 	case SysBrk:
 		want := e.reg(m, e.Conv.Args[0])
-		if want != 0 {
+		// Any injected fault turns the call into a refusal: the break
+		// stays where it was (the caller sees exhaustion).
+		if want != 0 && fault == SysFaultNone {
 			e.brk = want
 		}
 		ret = e.brk

@@ -3,11 +3,11 @@ package sysemu
 import (
 	"testing"
 
-	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 )
 
 func TestSyscalls(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	e := New(i.Conv)
 	m := i.Spec.NewMachine()
 	e.Install(m)
@@ -84,7 +84,7 @@ func TestSyscalls(t *testing.T) {
 }
 
 func TestWriteBoundsCheck(t *testing.T) {
-	i := isa.MustLoad("arm32")
+	i := isatest.Load(t, "arm32")
 	e := New(i.Conv)
 	m := i.Spec.NewMachine()
 	e.Install(m)

@@ -90,15 +90,6 @@ func New(cfg Config, next Level) (*Cache, error) {
 	return c, nil
 }
 
-// MustNew is New for static configurations.
-func MustNew(cfg Config, next Level) *Cache {
-	c, err := New(cfg, next)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
@@ -166,13 +157,19 @@ type Hierarchy struct {
 
 // DefaultHierarchy builds 16KiB 2-way L1s over a 256KiB 8-way L2 over
 // 100-cycle memory.
-func DefaultHierarchy() *Hierarchy {
+func DefaultHierarchy() (*Hierarchy, error) {
 	mem := &MainMemory{Latency: 100}
-	l2 := MustNew(Config{Name: "L2", Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 10}, mem)
-	return &Hierarchy{
-		L1I: MustNew(Config{Name: "L1I", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2),
-		L1D: MustNew(Config{Name: "L1D", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2),
-		L2:  l2,
-		Mem: mem,
+	l2, err := New(Config{Name: "L2", Sets: 512, Ways: 8, LineBytes: 64, HitLatency: 10}, mem)
+	if err != nil {
+		return nil, err
 	}
+	l1i, err := New(Config{Name: "L1I", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(Config{Name: "L1D", Sets: 128, Ways: 2, LineBytes: 64, HitLatency: 1}, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Mem: mem}, nil
 }

@@ -2,9 +2,18 @@ package cache
 
 import "testing"
 
+func mustNew(t *testing.T, cfg Config, next Level) *Cache {
+	t.Helper()
+	c, err := New(cfg, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestHitMissBasics(t *testing.T) {
 	mem := &MainMemory{Latency: 100}
-	c := MustNew(Config{Name: "L1", Sets: 4, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
+	c := mustNew(t, Config{Name: "L1", Sets: 4, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
 	if lat := c.Access(0x1000, false); lat != 101 {
 		t.Errorf("cold miss latency = %d", lat)
 	}
@@ -18,7 +27,7 @@ func TestHitMissBasics(t *testing.T) {
 
 func TestLRUReplacement(t *testing.T) {
 	mem := &MainMemory{Latency: 10}
-	c := MustNew(Config{Name: "L1", Sets: 1, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
+	c := mustNew(t, Config{Name: "L1", Sets: 1, Ways: 2, LineBytes: 16, HitLatency: 1}, mem)
 	c.Access(0x000, false) // A
 	c.Access(0x100, false) // B
 	c.Access(0x000, false) // A hit, B now LRU
@@ -33,7 +42,7 @@ func TestLRUReplacement(t *testing.T) {
 
 func TestWritebackOfDirtyLines(t *testing.T) {
 	mem := &MainMemory{Latency: 10}
-	c := MustNew(Config{Name: "L1", Sets: 1, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
+	c := mustNew(t, Config{Name: "L1", Sets: 1, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
 	c.Access(0x000, true)  // dirty
 	c.Access(0x100, false) // evicts dirty line -> writeback
 	if c.Stats.Writebacks != 1 {
@@ -46,7 +55,7 @@ func TestWritebackOfDirtyLines(t *testing.T) {
 
 func TestFlush(t *testing.T) {
 	mem := &MainMemory{Latency: 10}
-	c := MustNew(Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
+	c := mustNew(t, Config{Name: "L1", Sets: 2, Ways: 1, LineBytes: 16, HitLatency: 1}, mem)
 	c.Access(0x000, true)
 	c.Flush()
 	if lat := c.Access(0x000, false); lat == 1 {
@@ -75,7 +84,10 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestHierarchySharing(t *testing.T) {
-	h := DefaultHierarchy()
+	h, err := DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.L1I.Access(0x4000, false)
 	// L1D miss to the same line must hit in the shared L2.
 	lat := h.L1D.Access(0x4000, false)

@@ -7,12 +7,17 @@ import (
 	"singlespec/internal/timing/cache"
 )
 
-func model() *Model {
-	return New(DefaultConfig(), cache.DefaultHierarchy(), bpred.Static{})
+func model(t *testing.T) *Model {
+	t.Helper()
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(DefaultConfig(), hier, bpred.Static{})
 }
 
 func TestIndependentInstructionsOverlap(t *testing.T) {
-	m := model()
+	m := model(t)
 	// Warm the icache.
 	m.Advance(InstrInfo{PC: 0x1000, Class: 1, Src1: -1, Src2: -1, Dest: 1})
 	base := m.Cycles()
@@ -26,8 +31,8 @@ func TestIndependentInstructionsOverlap(t *testing.T) {
 }
 
 func TestDependencyChainsSerialize(t *testing.T) {
-	mi := model()
-	md := model()
+	mi := model(t)
+	md := model(t)
 	// Independent: dest rotates; dependent: each uses the previous dest.
 	for k := 0; k < 100; k++ {
 		mi.Advance(InstrInfo{PC: 0x1000, Class: 1, Src1: -1, Src2: -1, Dest: k % 8})
@@ -39,7 +44,7 @@ func TestDependencyChainsSerialize(t *testing.T) {
 }
 
 func TestLoadLatencyDelaysDependents(t *testing.T) {
-	m := model()
+	m := model(t)
 	m.Advance(InstrInfo{PC: 0x1000, Class: 2, Src1: -1, Src2: -1, Dest: 1, EA: 0x9000}) // cold miss
 	tt := m.Advance(InstrInfo{PC: 0x1004, Class: 1, Src1: 1, Src2: -1, Dest: 2})
 	if tt.Issue < 100 {
@@ -48,7 +53,7 @@ func TestLoadLatencyDelaysDependents(t *testing.T) {
 }
 
 func TestMispredictStallsFetch(t *testing.T) {
-	m := model()
+	m := model(t)
 	// Static not-taken predictor: a taken branch always mispredicts.
 	m.Advance(InstrInfo{PC: 0x1000, Class: 4, Src1: -1, Src2: -1, Dest: -1, Taken: true, Target: 0x2000})
 	before := m.nextFetch
@@ -61,7 +66,7 @@ func TestMispredictStallsFetch(t *testing.T) {
 }
 
 func TestCommitIsInOrderAndBounded(t *testing.T) {
-	m := model()
+	m := model(t)
 	last := uint64(0)
 	perCycle := map[uint64]int{}
 	for k := 0; k < 200; k++ {
@@ -81,7 +86,7 @@ func TestCommitIsInOrderAndBounded(t *testing.T) {
 }
 
 func TestNullifiedStillCommits(t *testing.T) {
-	m := model()
+	m := model(t)
 	tt := m.Advance(InstrInfo{PC: 0x1000, Nullify: true, Src1: -1, Src2: -1, Dest: -1})
 	if tt.Commit == 0 {
 		t.Error("nullified instruction did not commit")

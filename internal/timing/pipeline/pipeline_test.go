@@ -4,14 +4,14 @@ import (
 	"testing"
 
 	"singlespec/internal/core"
-	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/timing/bpred"
 	"singlespec/internal/timing/cache"
 )
 
 func decodeSim(t *testing.T) *core.Sim {
 	t.Helper()
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	s, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -21,7 +21,11 @@ func decodeSim(t *testing.T) *core.Sim {
 
 func newModel(t *testing.T, sim *core.Sim) *Model {
 	t.Helper()
-	m, err := New(DefaultConfig(), sim.Layout, cache.DefaultHierarchy(), bpred.NewBimodal(10))
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(), sim.Layout, hier, bpred.NewBimodal(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,12 +48,16 @@ func rec(sim *core.Sim, class uint64, pc, ea uint64, taken bool, target uint64, 
 }
 
 func TestRejectsMinDetailInterface(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	minSim, err := core.Synthesize(i.Spec, "one_min", core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(DefaultConfig(), minSim.Layout, cache.DefaultHierarchy(), bpred.Static{}); err == nil {
+	hier, err := cache.DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig(), minSim.Layout, hier, bpred.Static{}); err == nil {
 		t.Fatal("a Min-detail interface must be rejected: the model needs decode information")
 	}
 }

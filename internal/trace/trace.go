@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"singlespec/internal/core"
+	"singlespec/internal/mach"
 )
 
 const magic = 0x53535452 // "SSTR"
@@ -78,20 +79,50 @@ func (t *Writer) Flush() error { return t.w.Flush() }
 type Reader struct {
 	r      *bufio.Reader
 	Fields []string
+	// recs counts records successfully returned by Read; truncation errors
+	// report it so the caller knows where a damaged stream broke off.
+	recs uint64
 }
 
-// NewReader validates the header and returns a reader.
+// maxFieldName bounds header field-name lengths. The real field names are
+// LIS identifiers a few characters long; anything near the uint16 ceiling is
+// a corrupt or adversarial header, and rejecting it early keeps a damaged
+// stream from provoking large allocations.
+const maxFieldName = 256
+
+// validFieldName reports whether a header field name looks like the LIS
+// identifier a writer would have produced.
+func validFieldName(name []byte) bool {
+	if len(name) == 0 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9':
+		case c == '_':
+		default:
+			return false
+		}
+	}
+	return name[0] < '0' || name[0] > '9'
+}
+
+// NewReader validates the header and returns a reader. A stream that ends
+// inside the header yields io.ErrUnexpectedEOF (wrapped with context), never
+// a bare io.EOF: only a complete header is a valid prefix.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	var m, n uint32
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading magic: %w", noEOF(err))
 	}
 	if m != magic {
 		return nil, fmt.Errorf("trace: bad magic %#x", m)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("trace: reading field count: %w", noEOF(err))
 	}
 	if n > 1<<16 {
 		return nil, fmt.Errorf("trace: implausible field count %d", n)
@@ -100,15 +131,32 @@ func NewReader(r io.Reader) (*Reader, error) {
 	for i := 0; i < int(n); i++ {
 		var l uint16
 		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: reading length of field %d/%d: %w", i, n, noEOF(err))
+		}
+		if l == 0 || l > maxFieldName {
+			return nil, fmt.Errorf("trace: field %d/%d has implausible name length %d", i, n, l)
 		}
 		name := make([]byte, l)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: reading name of field %d/%d: %w", i, n, noEOF(err))
+		}
+		if !validFieldName(name) {
+			return nil, fmt.Errorf("trace: field %d/%d has malformed name %q", i, n, name)
 		}
 		rd.Fields = append(rd.Fields, string(name))
 	}
 	return rd, nil
+}
+
+// noEOF converts io.EOF into io.ErrUnexpectedEOF. io.ReadFull and
+// binary.Read return a bare io.EOF when the stream ends exactly at the read
+// boundary, but inside a header or record that position is still truncation,
+// not a clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 // Slot finds a field's value index in replayed records.
@@ -121,18 +169,24 @@ func (r *Reader) Slot(name string) (int, bool) {
 	return 0, false
 }
 
-// Read fills rec with the next record; io.EOF ends the stream.
+// Read fills rec with the next record. A clean end of stream — no bytes
+// after the previous record — returns io.EOF; a stream that ends partway
+// through a record returns an error wrapping io.ErrUnexpectedEOF that names
+// the index of the truncated record.
 func (r *Reader) Read(rec *core.Record) error {
 	var hdr [32]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		return err
+		if err == io.EOF {
+			return io.EOF // clean record boundary
+		}
+		return fmt.Errorf("trace: record %d truncated mid-header: %w", r.recs, err)
 	}
 	rec.PC = binary.LittleEndian.Uint64(hdr[0:])
 	rec.PhysPC = binary.LittleEndian.Uint64(hdr[8:])
 	rec.NextPC = binary.LittleEndian.Uint64(hdr[16:])
 	rec.InstrBits = binary.LittleEndian.Uint32(hdr[24:])
 	rec.InstrID = binary.LittleEndian.Uint16(hdr[28:])
-	rec.Fault = fault(hdr[30])
+	rec.Fault = mach.Fault(hdr[30])
 	rec.Nullified = hdr[31] != 0
 	if cap(rec.Vals) < len(r.Fields) {
 		rec.Vals = make([]uint64, len(r.Fields))
@@ -142,9 +196,11 @@ func (r *Reader) Read(rec *core.Record) error {
 	var buf [8]byte
 	for i := range rec.Vals {
 		if _, err := io.ReadFull(r.r, buf[:]); err != nil {
-			return err
+			return fmt.Errorf("trace: record %d truncated in value %d/%d: %w",
+				r.recs, i, len(rec.Vals), noEOF(err))
 		}
 		rec.Vals[i] = binary.LittleEndian.Uint64(buf[:])
 	}
+	r.recs++
 	return nil
 }

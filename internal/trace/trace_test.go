@@ -6,13 +6,13 @@ import (
 	"testing"
 
 	"singlespec/internal/core"
-	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
 	"singlespec/internal/mach"
 	"singlespec/internal/sysemu"
 )
 
 func TestRoundTripStream(t *testing.T) {
-	i := isa.MustLoad("alpha64")
+	i := isatest.Load(t, "alpha64")
 	sim, err := core.Synthesize(i.Spec, "one_decode", core.Options{})
 	if err != nil {
 		t.Fatal(err)
