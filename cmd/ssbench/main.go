@@ -13,17 +13,23 @@
 //	ssbench -table 2 -parallel 1 -metric work   # serial, deterministic
 //	ssbench -faults 42       # deterministic fault-injection campaign
 //	ssbench -cell-timeout 30s -table 2          # watchdogged sweep
+//	ssbench -metric work -metrics-out metrics.json   # counters + manifest
+//	ssbench -pprof localhost:6060               # live profiling endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"singlespec/internal/expt"
 	"singlespec/internal/faultinj"
+	"singlespec/internal/obs"
 )
 
 func main() {
@@ -37,10 +43,51 @@ func main() {
 	faultEvents := flag.Int("fault-events", 4, "fault events attempted per campaign cell")
 	faultClasses := flag.String("fault-classes", "all", "comma-separated fault classes (load,fetch,squash,syscall,codegen) or all")
 	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock watchdog per measurement cell (0 disables); hung cells are marked errored instead of stalling the sweep")
+	metricsOut := flag.String("metrics-out", "", "write a JSON run manifest + metrics snapshot to this file (see EXPERIMENTS.md)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ssbench: pprof:", err)
+			}
+		}()
+	}
+
+	var reg *obs.Registry
+	var man *obs.Manifest
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		man = obs.NewManifest("ssbench")
+		man.Flags = map[string]string{
+			"table":        strconv.Itoa(*table),
+			"scale":        strconv.Itoa(*scale),
+			"dur":          dur.String(),
+			"ablations":    strconv.FormatBool(*ablate),
+			"parallel":     strconv.Itoa(*parallel),
+			"metric":       *metricName,
+			"faults":       strconv.FormatInt(*faultSeed, 10),
+			"fault-events": strconv.Itoa(*faultEvents),
+			"cell-timeout": cellTimeout.String(),
+		}
+	}
+	// writeManifest flushes the manifest before any exit path; the snapshot
+	// is taken here, after all instrumented work has quiesced.
+	writeManifest := func() {
+		if man == nil {
+			return
+		}
+		man.Metrics = reg.Snapshot()
+		if err := man.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ssbench:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *faultSeed >= 0 {
-		runFaultCampaign(uint64(*faultSeed), *faultEvents, *faultClasses, *parallel)
+		runFaultCampaign(uint64(*faultSeed), *faultEvents, *faultClasses, *parallel, reg, man, writeManifest)
 		return
 	}
 
@@ -49,7 +96,7 @@ func main() {
 		fatal(err)
 	}
 	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
-		CellTimeout: *cellTimeout}
+		CellTimeout: *cellTimeout, Obs: reg}
 
 	if *table == 0 || *table == 1 {
 		t1, err := expt.TableI()
@@ -71,6 +118,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if man != nil {
+			man.Cells = append(man.Cells, expt.Outcomes(cells)...)
+		}
 		fmt.Println(t2)
 		reportCellErrors(cells)
 		fmt.Println("### Headline: lowest-detail vs. highest-detail interface")
@@ -91,6 +141,7 @@ func main() {
 		}
 		fmt.Println(ta)
 	}
+	writeManifest()
 	if sawCellErrors {
 		os.Exit(1)
 	}
@@ -110,14 +161,17 @@ func reportCellErrors(cells []expt.Cell) {
 }
 
 // runFaultCampaign runs the deterministic fault-injection campaign and
-// exits nonzero if any cell diverged or errored.
-func runFaultCampaign(seed uint64, events int, classSpec string, workers int) {
+// exits nonzero if any cell diverged or errored. The manifest (when
+// requested) is written before any exit, so failed campaigns still leave
+// their metrics behind.
+func runFaultCampaign(seed uint64, events int, classSpec string, workers int,
+	reg *obs.Registry, man *obs.Manifest, writeManifest func()) {
 	classes, err := faultinj.ParseClasses(classSpec)
 	if err != nil {
 		fatal(err)
 	}
 	rep, err := faultinj.Run(faultinj.Config{
-		Seed: seed, Events: events, Workers: workers, Classes: classes,
+		Seed: seed, Events: events, Workers: workers, Classes: classes, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -125,6 +179,10 @@ func runFaultCampaign(seed uint64, events int, classSpec string, workers int) {
 	fmt.Println("## Fault-injection campaign")
 	fmt.Println()
 	fmt.Print(rep)
+	if man != nil {
+		man.Cells = append(man.Cells, rep.Outcomes()...)
+	}
+	writeManifest()
 	if n := len(rep.Failures()); n > 0 {
 		fatal(fmt.Errorf("%d campaign cell(s) failed", n))
 	}

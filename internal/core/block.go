@@ -100,22 +100,29 @@ func (x *Exec) transBlock(pc uint64) *xblock {
 	gen := x.M.Mem.Gen(pc)
 	if e, ok := x.bcache[pc]; ok {
 		if e.gen == gen {
+			x.stats.BlockL1Hits++
 			return e.b
 		}
+		x.stats.BlockL1GenEvictions++
 		delete(x.bcache, pc)
 	}
 	blk := x.sim.shared.lookupBlock(pc)
 	if blk != nil && !x.blockValid(blk) {
+		x.stats.BlockSharedStale++
 		blk = nil
 	}
-	if blk == nil {
+	if blk != nil {
+		x.stats.BlockSharedHits++
+	} else {
 		blk = x.buildBlock(pc)
 		if blk == nil {
 			return nil
 		}
+		x.stats.BlockBuilds++
 		x.sim.shared.insertBlock(pc, blk)
 	}
 	if len(x.bcache) >= x.sim.Opts.CacheCap {
+		x.stats.BlockL1Flushes++
 		x.bcache = make(map[uint64]bentry)
 	}
 	x.bcache[pc] = bentry{b: blk, gen: gen}

@@ -324,6 +324,74 @@ func TestBackwardBranchLoop(t *testing.T) {
 	}
 }
 
+// TestExecStatsCounts pins the translation-cache counter semantics the obs
+// layer exports: a first Exec translates every distinct PC once and then
+// hits its private first-level cache; a second Exec on the same Sim finds
+// everything in the shared cache and translates nothing.
+func TestExecStatsCounts(t *testing.T) {
+	// The countdown loop touches 4 distinct PCs over 15 executed
+	// instructions (14 retired + the halting HLT).
+	prog := []uint32{
+		encALU(opSUB, 1, 2, 1), // r1 = r1 - r2
+		encBR(opBEQ, 1, 1),     // if r1 == 0 -> skip the backward jump
+		encBR(opBEQ, 15, -3),   // always taken (r15==0): back to start
+		encALU(opHLT, 15, 0, 0),
+	}
+	run := func(s *Sim) ExecStats {
+		m := loadProgram(s.Spec, prog)
+		m.MustSpace("r").Vals[1] = 5
+		m.MustSpace("r").Vals[2] = 1
+		x := s.NewExec(m)
+		x.Run(1000)
+		if !m.Halted {
+			t.Fatal("loop did not terminate")
+		}
+		return x.Stats()
+	}
+
+	s := synth(t, "one_all", Options{})
+	st1 := run(s)
+	if st1.UnitTranslations != 4 || st1.UnitSharedHits != 0 {
+		t.Errorf("first exec: translations=%d sharedHits=%d, want 4/0",
+			st1.UnitTranslations, st1.UnitSharedHits)
+	}
+	if st1.UnitL1Hits != 11 { // 15 lookups - 4 cold misses
+		t.Errorf("first exec: l1Hits=%d, want 11", st1.UnitL1Hits)
+	}
+
+	st2 := run(s)
+	if st2.UnitTranslations != 0 || st2.UnitSharedHits != 4 || st2.UnitL1Hits != 11 {
+		t.Errorf("second exec: translations=%d sharedHits=%d l1Hits=%d, want 0/4/11",
+			st2.UnitTranslations, st2.UnitSharedHits, st2.UnitL1Hits)
+	}
+
+	scs := s.SharedCacheStats()
+	if scs.UnitInsertions != 4 {
+		t.Errorf("shared insertions = %d, want 4", scs.UnitInsertions)
+	}
+
+	var merged ExecStats
+	merged.Merge(st1)
+	merged.Merge(st2)
+	if merged.UnitTranslations != 4 || merged.UnitSharedHits != 4 || merged.UnitL1Hits != 22 {
+		t.Errorf("merge: %+v", merged)
+	}
+
+	// The block interface counts builds and shared reuse the same way.
+	sb := synth(t, "block_min", Options{})
+	b1 := run(sb)
+	if b1.BlockBuilds == 0 || b1.BlockSharedHits != 0 {
+		t.Errorf("first block exec: %+v", b1)
+	}
+	b2 := run(sb)
+	if b2.BlockBuilds != 0 || b2.BlockSharedHits == 0 {
+		t.Errorf("second block exec should reuse shared blocks: %+v", b2)
+	}
+	if bscs := sb.SharedCacheStats(); bscs.BlockInsertions != b1.BlockBuilds {
+		t.Errorf("block insertions %d != builds %d", bscs.BlockInsertions, b1.BlockBuilds)
+	}
+}
+
 func TestRecordInformationalDetail(t *testing.T) {
 	sAll := synth(t, "one_all", Options{})
 	sMin := synth(t, "one_min", Options{})

@@ -474,8 +474,48 @@ type Exec struct {
 	ucache map[uint64]uentry
 	bcache map[uint64]bentry
 
-	work uint64
+	work  uint64
+	stats ExecStats
 }
+
+// ExecStats counts the translation-cache events of one Exec. The fields
+// are plain integers — an Exec is confined to one goroutine — and they
+// are bumped on paths that already probe a map, so the counting is always
+// on. The experiment engine drains them per cell into its obs registry.
+type ExecStats struct {
+	// Unit (per-instruction translation) cache events.
+	UnitL1Hits         uint64 // first-level hits (generation still valid)
+	UnitL1GenEvictions uint64 // entries dropped on a page-generation mismatch
+	UnitL1Flushes      uint64 // wholesale first-level flushes at capacity
+	UnitSharedHits     uint64 // second-level (shared, bits-validated) hits
+	UnitTranslations   uint64 // fresh translations published to the shared cache
+
+	// Block cache events (the Block interface's translated basic blocks).
+	BlockL1Hits         uint64
+	BlockL1GenEvictions uint64
+	BlockL1Flushes      uint64
+	BlockSharedHits     uint64
+	BlockSharedStale    uint64 // shared blocks rejected by per-unit bits validation
+	BlockBuilds         uint64 // fresh blocks built and published
+}
+
+// Merge adds o's counts into s, field by field.
+func (s *ExecStats) Merge(o ExecStats) {
+	s.UnitL1Hits += o.UnitL1Hits
+	s.UnitL1GenEvictions += o.UnitL1GenEvictions
+	s.UnitL1Flushes += o.UnitL1Flushes
+	s.UnitSharedHits += o.UnitSharedHits
+	s.UnitTranslations += o.UnitTranslations
+	s.BlockL1Hits += o.BlockL1Hits
+	s.BlockL1GenEvictions += o.BlockL1GenEvictions
+	s.BlockL1Flushes += o.BlockL1Flushes
+	s.BlockSharedHits += o.BlockSharedHits
+	s.BlockSharedStale += o.BlockSharedStale
+	s.BlockBuilds += o.BlockBuilds
+}
+
+// Stats returns the Exec's accumulated translation-cache counts.
+func (x *Exec) Stats() ExecStats { return x.stats }
 
 // uentry is a first-level unit-cache entry: a translated unit plus the
 // page generation under which it was last validated for this machine.
@@ -708,8 +748,10 @@ func (x *Exec) transUnit(pc uint64) *unit {
 	gen := x.M.Mem.Gen(pc)
 	if e, ok := x.ucache[pc]; ok {
 		if e.gen == gen {
+			x.stats.UnitL1Hits++
 			return e.u
 		}
+		x.stats.UnitL1GenEvictions++
 		delete(x.ucache, pc)
 	}
 	v, f := x.M.Mem.Load(pc, x.sim.Spec.InstrSize)
@@ -725,9 +767,13 @@ func (x *Exec) transUnit(pc uint64) *unit {
 		}
 		in := x.sim.Spec.Instrs[id]
 		u = x.sim.translate(in, pc, bits)
+		x.stats.UnitTranslations++
 		x.sim.shared.insertUnit(pc, u)
+	} else {
+		x.stats.UnitSharedHits++
 	}
 	if len(x.ucache) >= x.sim.Opts.CacheCap {
+		x.stats.UnitL1Flushes++
 		x.ucache = make(map[uint64]uentry)
 	}
 	x.ucache[pc] = uentry{u: u, gen: gen}

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The shared translation cache makes one synthesized Sim safely shareable
 // across goroutines. Translation (compiling an instruction specialized for a
@@ -50,6 +53,36 @@ type sharedCache struct {
 	units    [cacheShards]unitShard
 	blocks   [cacheShards]blockShard
 	shardCap int
+
+	// Mutation counters. Atomics because inserts come from any Exec's
+	// goroutine; they sit on the translation (miss) path only, so the
+	// atomic adds never touch the hot lookup path.
+	unitInserts  atomic.Uint64
+	unitFlushes  atomic.Uint64
+	blockInserts atomic.Uint64
+	blockFlushes atomic.Uint64
+}
+
+// SharedCacheStats counts mutations of one Sim's shared translation cache.
+// Lookup traffic is counted per Exec (see ExecStats); these are the
+// publish-side events: insertions and the wholesale shard flushes the
+// bulk-eviction policy performs at capacity.
+type SharedCacheStats struct {
+	UnitInsertions    uint64
+	UnitShardFlushes  uint64
+	BlockInsertions   uint64
+	BlockShardFlushes uint64
+}
+
+// SharedCacheStats returns the Sim's shared-cache mutation counts. Safe
+// to call concurrently with execution; each field is read atomically.
+func (s *Sim) SharedCacheStats() SharedCacheStats {
+	return SharedCacheStats{
+		UnitInsertions:    s.shared.unitInserts.Load(),
+		UnitShardFlushes:  s.shared.unitFlushes.Load(),
+		BlockInsertions:   s.shared.blockInserts.Load(),
+		BlockShardFlushes: s.shared.blockFlushes.Load(),
+	}
 }
 
 func newSharedCache(cap int) *sharedCache {
@@ -80,10 +113,14 @@ func (sc *sharedCache) insertUnit(pc uint64, u *unit) {
 	sh := &sc.units[shardOf(pc)]
 	sh.mu.Lock()
 	if sh.m == nil || len(sh.m) >= sc.shardCap {
+		if len(sh.m) > 0 {
+			sc.unitFlushes.Add(1)
+		}
 		sh.m = make(map[uint64]*unit)
 	}
 	sh.m[pc] = u
 	sh.mu.Unlock()
+	sc.unitInserts.Add(1)
 }
 
 // lookupBlock returns the published block starting at pc, or nil. The
@@ -103,8 +140,12 @@ func (sc *sharedCache) insertBlock(pc uint64, blk *xblock) {
 	sh := &sc.blocks[shardOf(pc)]
 	sh.mu.Lock()
 	if sh.m == nil || len(sh.m) >= sc.shardCap {
+		if len(sh.m) > 0 {
+			sc.blockFlushes.Add(1)
+		}
 		sh.m = make(map[uint64]*xblock)
 	}
 	sh.m[pc] = blk
 	sh.mu.Unlock()
+	sc.blockInserts.Add(1)
 }

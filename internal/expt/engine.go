@@ -18,7 +18,9 @@ import (
 
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
+	"singlespec/internal/obs"
 	"singlespec/internal/stats"
+	"singlespec/internal/sysemu"
 )
 
 // Metric selects which per-cell number the rendered tables report.
@@ -81,6 +83,14 @@ type Config struct {
 	// the cell's kernels and repeat runs); 0 means unlimited. Budget
 	// violations are deterministic and are not retried.
 	MaxCellInstr uint64
+	// Obs, when non-nil, receives the sweep's aggregate counters and
+	// histograms: translation-cache traffic, syscall activity, watchdog
+	// checks, and per-cell outcomes. Aggregation is commutative atomic
+	// addition over per-cell deltas, so the totals are identical for any
+	// Workers value; under MetricWork the deltas themselves are
+	// deterministic, making the exported snapshot byte-identical across
+	// worker counts and hosts. Nil disables instrumentation at zero cost.
+	Obs *obs.Registry
 	// testHook, when non-nil, runs at the start of every cell attempt.
 	// Tests inject panics and hangs through it to exercise containment.
 	testHook func(isaName, buildset string, attempt int)
@@ -114,23 +124,106 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 		workers = 1
 	}
 	results := make([]Cell, len(jobs))
-	idxCh := make(chan int)
+	// Buffered so every job is queued up front: a worker's pickup delay is
+	// then real queue wait, which the manifest reports per cell.
+	start := time.Now()
+	idxCh := make(chan int, len(jobs))
+	for i := range jobs {
+		idxCh <- i
+	}
+	close(idxCh)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
-				results[idx] = runCellGuarded(jobs[idx], cfg, minDur)
+				wait := time.Since(start)
+				c := runCellGuarded(jobs[idx], cfg, minDur)
+				c.QueueWait = wait
+				results[idx] = c
 			}
 		}()
 	}
-	for i := range jobs {
-		idxCh <- i
-	}
-	close(idxCh)
 	wg.Wait()
+	recordCells(cfg.Obs, results)
 	return results
+}
+
+// workPerInstrBuckets bounds the per-cell work-units-per-instruction
+// histogram: interfaces in this engine land between a few units (Block/Min)
+// and a few hundred (Step/All/Yes).
+var workPerInstrBuckets = []uint64{4, 8, 16, 32, 64, 128, 256, 512}
+
+// recordCells merges every cell's deterministic counters into reg. Called
+// once per sweep, after the worker pool has quiesced, so a snapshot taken
+// after the sweep is exact.
+func recordCells(reg *obs.Registry, cells []Cell) {
+	if reg == nil {
+		return
+	}
+	add := func(name string, v uint64) { reg.Counter(name).Add(v) }
+	for _, c := range cells {
+		if c.Err != nil {
+			reg.Counter("expt.cell.err." + c.Err.Kind.String()).Inc()
+		} else {
+			reg.Counter("expt.cell.ok").Inc()
+		}
+		if c.Attempts > 1 {
+			add("expt.cell.retries", uint64(c.Attempts-1))
+		}
+		add("expt.instret", c.Instret)
+		add("expt.work_units", c.WorkUnits)
+		add("expt.watchdog.checks", c.Stats.WatchdogChecks)
+		if c.Err == nil && c.Instret > 0 {
+			reg.Histogram("expt.cell.work_per_instr", workPerInstrBuckets).
+				Observe(c.WorkUnits / c.Instret)
+		}
+		cs := c.Stats.Cache
+		add("core.transcache.unit.l1_hit", cs.UnitL1Hits)
+		add("core.transcache.unit.l1_gen_evict", cs.UnitL1GenEvictions)
+		add("core.transcache.unit.l1_flush", cs.UnitL1Flushes)
+		add("core.transcache.unit.shared_hit", cs.UnitSharedHits)
+		add("core.transcache.unit.translations", cs.UnitTranslations)
+		add("core.transcache.block.l1_hit", cs.BlockL1Hits)
+		add("core.transcache.block.l1_gen_evict", cs.BlockL1GenEvictions)
+		add("core.transcache.block.l1_flush", cs.BlockL1Flushes)
+		add("core.transcache.block.shared_hit", cs.BlockSharedHits)
+		add("core.transcache.block.shared_stale", cs.BlockSharedStale)
+		add("core.transcache.block.builds", cs.BlockBuilds)
+		sh := c.Stats.Shared
+		add("core.transcache.unit.shared_insert", sh.UnitInsertions)
+		add("core.transcache.unit.shared_shard_flush", sh.UnitShardFlushes)
+		add("core.transcache.block.shared_insert", sh.BlockInsertions)
+		add("core.transcache.block.shared_shard_flush", sh.BlockShardFlushes)
+		for num, n := range c.Stats.Syscalls {
+			add("sysemu.calls."+sysemu.CallName(num), n)
+		}
+		add("sysemu.denials", c.Stats.SyscallDenials)
+		add("sysemu.short_io", c.Stats.SyscallShorts)
+	}
+}
+
+// Outcomes converts sweep cells into manifest cell outcomes.
+func Outcomes(cells []Cell) []obs.CellOutcome {
+	out := make([]obs.CellOutcome, 0, len(cells))
+	for _, c := range cells {
+		status := "ok"
+		if c.Err != nil {
+			status = c.Err.Kind.String()
+		}
+		out = append(out, obs.CellOutcome{
+			ISA:         c.ISA,
+			Buildset:    c.Buildset,
+			Status:      status,
+			Attempts:    c.Attempts,
+			Instret:     c.Instret,
+			WorkUnits:   c.WorkUnits,
+			WallMS:      float64(c.Wall.Microseconds()) / 1e3,
+			QueueWaitMS: float64(c.QueueWait.Microseconds()) / 1e3,
+		})
+	}
+	return out
 }
 
 // buildAllMixes loads every ISA and assembles its kernel mix, one goroutine
@@ -199,6 +292,13 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 			val(byBS[bs]["arm32"]),
 			val(byBS[bs]["ppc32"]))
 	}
+	// Summary row: per-ISA geometric mean over the ok interfaces. ERR
+	// cells are skipped in cellGeoMean — their zero metrics would violate
+	// GeoMean's positive-input contract and wipe the row.
+	t.Row("geomean", "ok cells", "",
+		cellGeoMean(cells, "alpha64", cfg.Metric),
+		cellGeoMean(cells, "arm32", cfg.Metric),
+		cellGeoMean(cells, "ppc32", cfg.Metric))
 	return cells, t, nil
 }
 

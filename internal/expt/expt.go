@@ -95,6 +95,9 @@ type Runner struct {
 	x     *core.Exec
 	runs  int
 	prevW uint64
+	// checks counts cooperative watchdog checks (one per execution chunk
+	// RunLimited dispatched); deterministic for a fixed instruction stream.
+	checks uint64
 }
 
 // NewRunner binds a simulator, ISA, and program.
@@ -143,23 +146,79 @@ type Cell struct {
 	// Err is set when the cell's measurement failed under the guarded
 	// engine (see CellError); the metric fields are then zero.
 	Err *CellError
+
+	// Instret and WorkUnits are the cell's raw totals over every run,
+	// warmup included — the quantities the obs layer exports. Under
+	// MetricWork's fixed run schedule they are deterministic.
+	Instret   uint64
+	WorkUnits uint64
+	// Attempts counts guarded measurement attempts (1 normally, 2 when the
+	// watchdog granted a retry).
+	Attempts int
+	// Wall is the cell's total wall-clock measurement time across
+	// attempts; QueueWait is how long the job sat in the sweep queue
+	// before a worker picked it up. Both are host observations, excluded
+	// from the determinism contract.
+	Wall      time.Duration
+	QueueWait time.Duration
+	// Stats aggregates the cell's engine counters; deterministic under
+	// MetricWork.
+	Stats CellStats
+}
+
+// CellStats aggregates one cell's engine counters across its kernels and
+// runs: translation-cache traffic, shared-cache mutations, cooperative
+// watchdog checks, and OS-emulation activity.
+type CellStats struct {
+	Cache  core.ExecStats
+	Shared core.SharedCacheStats
+	// WatchdogChecks counts the cooperative limit checks RunLimited makes
+	// at execution-chunk boundaries (the watchdog granularity).
+	WatchdogChecks uint64
+	// Syscalls counts emulated system calls by number; Denials and Shorts
+	// mirror the emulator's failure counters.
+	Syscalls       map[int]uint64
+	SyscallDenials uint64
+	SyscallShorts  uint64
+}
+
+// merge folds one runner's drained counters into the cell totals.
+func (s *CellStats) merge(r *Runner) {
+	s.Cache.Merge(r.x.Stats())
+	s.WatchdogChecks += r.checks
+	if len(r.emu.Calls) > 0 && s.Syscalls == nil {
+		s.Syscalls = map[int]uint64{}
+	}
+	for num, n := range r.emu.Calls {
+		s.Syscalls[num] += n
+	}
+	s.SyscallDenials += r.emu.Denials
+	s.SyscallShorts += r.emu.Shorts
 }
 
 // MeasureCell times one (ISA, interface) pair over the mix. Each kernel
 // runs repeatedly until minDur has elapsed (one warmup run first).
 func MeasureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration) (Cell, error) {
-	return measureCell(p, buildset, opts, minDur, Limits{})
+	return measureCell(p, buildset, opts, minDur, Limits{}, false)
 }
 
 // measureCell is MeasureCell bounded by lim: the instruction budget is
 // cumulative over the cell's kernels and repeat runs, and the deadline both
 // cuts off further repeat runs (gracefully, keeping the measurements made)
 // and interrupts a run that overstays it (as an error).
-func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits) (Cell, error) {
+//
+// det selects the deterministic schedule the work metric reports under:
+// one warmup run plus exactly one measured run per kernel, regardless of
+// wall clock. Every engine counter then depends only on the instruction
+// stream, which is what makes -metrics-out byte-identical across -parallel
+// values and hosts (the wall-clock repeat loop would tie run counts — and
+// so counter totals — to host speed).
+func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits, det bool) (Cell, error) {
 	sim, err := core.Synthesize(p.ISA.Spec, buildset, opts)
 	if err != nil {
 		return Cell{}, err
 	}
+	cell := Cell{ISA: p.ISA.Name, Buildset: buildset}
 	var used uint64
 	runOnce := func(runner *Runner) (uint64, uint64, error) {
 		rl := lim
@@ -172,6 +231,8 @@ func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Du
 		}
 		in, wk, err := runner.RunLimited(rl)
 		used += in
+		cell.Instret += in
+		cell.WorkUnits += wk
 		return in, wk, err
 	}
 	var mipsVals, nsVals, workVals []float64
@@ -192,6 +253,9 @@ func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Du
 			elapsed += time.Since(start)
 			instrs += in
 			work += wk
+			if det {
+				break // fixed schedule: counters stay host-independent
+			}
 			if elapsed >= minDur {
 				break
 			}
@@ -199,17 +263,38 @@ func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Du
 				break // keep what we measured; the watchdog is about hangs
 			}
 		}
+		cell.Stats.merge(runner)
+		if elapsed <= 0 {
+			// Timer granularity floor: keeps the geomean inputs positive.
+			elapsed = time.Nanosecond
+		}
 		ns := float64(elapsed.Nanoseconds()) / float64(instrs)
 		mipsVals = append(mipsVals, 1e3/ns)
 		nsVals = append(nsVals, ns)
 		workVals = append(workVals, float64(work)/float64(instrs))
 	}
-	return Cell{
-		ISA: p.ISA.Name, Buildset: buildset,
-		MIPS:         stats.GeoMean(mipsVals),
-		NsPerInstr:   stats.GeoMean(nsVals),
-		WorkPerInstr: stats.GeoMean(workVals),
-	}, nil
+	cell.Stats.Shared = sim.SharedCacheStats()
+	cell.MIPS = stats.GeoMean(mipsVals)
+	cell.NsPerInstr = stats.GeoMean(nsVals)
+	cell.WorkPerInstr = stats.GeoMean(workVals)
+	return cell, nil
+}
+
+// cellGeoMean returns the geometric mean of the metric over the ok cells
+// of one ISA. Error cells are skipped explicitly: their metric fields are
+// zero, and stats.GeoMean's contract requires positive inputs — feeding an
+// ERR cell through would have zeroed (now: panicked) the whole summary.
+func cellGeoMean(cells []Cell, isaName string, m Metric) float64 {
+	var vals []float64
+	for _, c := range cells {
+		if c.ISA != isaName || c.Err != nil {
+			continue
+		}
+		if v := m.value(c); v > 0 {
+			vals = append(vals, v)
+		}
+	}
+	return stats.GeoMean(vals)
 }
 
 // rowLabel renders a buildset name in the paper's Table II row style.

@@ -108,6 +108,7 @@ func (r *Runner) RunLimited(lim Limits) (instrs, work uint64, err error) {
 			}
 		}
 		n := r.x.Run(chunk)
+		r.checks++
 		if n == 0 && !r.m.Halted {
 			return 0, 0, fmt.Errorf("expt: %s/%s stuck at pc %#x (no instructions retiring)",
 				r.i.Name, r.sim.BS.Name, r.m.PC)
@@ -131,10 +132,13 @@ func (r *Runner) RunLimited(lim Limits) (instrs, work uint64, err error) {
 // retry; deterministic failures (measurement error, budget) are reported
 // immediately since retrying reproduces them.
 func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
+	start := time.Now()
 	var last *CellError
 	for attempt := 1; attempt <= 2; attempt++ {
 		c, cerr := runCellOnce(j, cfg, minDur, attempt)
 		if cerr == nil {
+			c.Attempts = attempt
+			c.Wall = time.Since(start)
 			return c
 		}
 		cerr.Attempts = attempt
@@ -143,7 +147,8 @@ func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
 			break
 		}
 	}
-	return Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset, Err: last}
+	return Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset, Err: last,
+		Attempts: last.Attempts, Wall: time.Since(start)}
 }
 
 // runCellOnce is one guarded measurement attempt.
@@ -164,7 +169,7 @@ func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int) (c Ce
 	if cfg.CellTimeout > 0 {
 		lim.Deadline = time.Now().Add(cfg.CellTimeout)
 	}
-	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim)
+	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork)
 	if err != nil {
 		kind := CellFailed
 		switch {

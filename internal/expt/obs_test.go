@@ -1,0 +1,79 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa/isatest"
+	"singlespec/internal/sysemu"
+)
+
+// The cross-worker determinism of the metrics snapshot and manifest cell
+// outcomes is asserted by TestEngineWorkerCountDeterminism in
+// parallel_test.go, which runs the full TableII sweep at 1 and 4 workers.
+
+// TestSummaryGeoMeanSkipsErrCells is the regression test for the
+// GeoMean-zeroing bug: one ERR cell (zero metrics) in a summary aggregate
+// used to zero the whole row. cellGeoMean must skip error cells and
+// aggregate only the ok ones.
+func TestSummaryGeoMeanSkipsErrCells(t *testing.T) {
+	cells := []Cell{
+		{ISA: "alpha64", Buildset: "one_min", WorkPerInstr: 2, MIPS: 2},
+		{ISA: "alpha64", Buildset: "one_all", WorkPerInstr: 8, MIPS: 8},
+		{ISA: "alpha64", Buildset: "step_all", Err: &CellError{
+			ISA: "alpha64", Buildset: "step_all", Kind: CellPanic}},
+		{ISA: "arm32", Buildset: "one_min", WorkPerInstr: 5, MIPS: 5},
+	}
+	// geomean(2, 8) = 4; the ERR cell (metric 0) and the other ISA's cell
+	// must not participate.
+	if g := cellGeoMean(cells, "alpha64", MetricWork); g != 4 {
+		t.Errorf("cellGeoMean = %v, want 4 (ERR cell must be skipped)", g)
+	}
+	if g := cellGeoMean(cells, "alpha64", MetricMIPS); g != 4 {
+		t.Errorf("cellGeoMean mips = %v, want 4", g)
+	}
+	// An ISA whose every cell errored aggregates to 0, not a panic.
+	if g := cellGeoMean(cells, "ppc32", MetricWork); g != 0 {
+		t.Errorf("all-ERR ISA should aggregate to 0, got %v", g)
+	}
+}
+
+// TestMeasureCellStats checks a measured cell carries its engine counters:
+// translated interfaces must report cache traffic, every cell must report
+// retired instructions, work, syscalls, and watchdog checks.
+func TestMeasureCellStats(t *testing.T) {
+	i := isatest.Load(t, "alpha64")
+	progs, err := BuildMix(i, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := MeasureCell(progs, "block_min", core.Options{}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Instret == 0 || cell.WorkUnits == 0 {
+		t.Errorf("raw totals missing: instret=%d work=%d", cell.Instret, cell.WorkUnits)
+	}
+	st := cell.Stats
+	if st.Cache.BlockBuilds == 0 {
+		t.Error("block interface should build blocks")
+	}
+	if st.Cache.BlockL1Hits == 0 {
+		t.Error("repeat runs should hit the first-level block cache")
+	}
+	if st.Shared.BlockInsertions != st.Cache.BlockBuilds {
+		t.Errorf("every built block should be published: built %d, inserted %d",
+			st.Cache.BlockBuilds, st.Shared.BlockInsertions)
+	}
+	if st.WatchdogChecks == 0 {
+		t.Error("watchdog checks not counted")
+	}
+	if st.Syscalls[sysemu.SysExit] == 0 { // every kernel run exits
+		t.Errorf("syscall counts missing: %v", st.Syscalls)
+	}
+	if st.SyscallDenials != 0 || st.SyscallShorts != 0 {
+		t.Errorf("clean run should have no syscall faults: %d/%d",
+			st.SyscallDenials, st.SyscallShorts)
+	}
+}

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"singlespec/internal/isa/isatest"
 	"singlespec/internal/kernels"
 	"singlespec/internal/mach"
+	"singlespec/internal/obs"
 	"singlespec/internal/sysemu"
 )
 
@@ -164,27 +167,53 @@ func TestSharedSimParallelDeterminism(t *testing.T) {
 	}
 }
 
-// TestEngineWorkerCountDeterminism asserts the engine's rendered tables are
+// TestEngineWorkerCountDeterminism asserts the engine's rendered tables,
+// its exported metrics snapshot, and the manifest cell outcomes are all
 // byte-identical for any worker count under the deterministic work metric.
+// Three properties make the metrics half hold — the work metric runs a
+// fixed schedule (warmup + one measured run per kernel), each cell owns
+// its Sim and runs on exactly one worker, and registry aggregation is
+// commutative addition over per-cell deltas. Wall-clock fields (wall_ms,
+// queue_wait_ms) are host observations outside the contract and are
+// zeroed before comparison.
 func TestEngineWorkerCountDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measurement test")
 	}
-	run := func(workers int) (cells []Cell, table, headline string) {
-		cfg := Config{Scale: 1, MinDur: time.Millisecond, Workers: workers, Metric: MetricWork}
+	run := func(workers int) (cells []Cell, table, headline string, snap, outcomes []byte) {
+		reg := obs.NewRegistry()
+		cfg := Config{Scale: 1, MinDur: time.Millisecond, Workers: workers, Metric: MetricWork, Obs: reg}
 		cells, tab, err := TableII(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return cells, tab.String(), Headline(cells, MetricWork).String()
+		snap, err = reg.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := Outcomes(cells)
+		for i := range outs {
+			outs[i].WallMS, outs[i].QueueWaitMS = 0, 0
+		}
+		oj, err := json.Marshal(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells, tab.String(), Headline(cells, MetricWork).String(), snap, oj
 	}
-	serialCells, serialTab, serialHead := run(1)
-	parCells, parTab, parHead := run(4)
+	serialCells, serialTab, serialHead, serialSnap, serialOut := run(1)
+	parCells, parTab, parHead, parSnap, parOut := run(4)
 	if serialTab != parTab {
 		t.Errorf("Table II differs between 1 and 4 workers:\n--- serial\n%s--- parallel\n%s", serialTab, parTab)
 	}
 	if serialHead != parHead {
 		t.Errorf("headline differs between 1 and 4 workers:\n--- serial\n%s--- parallel\n%s", serialHead, parHead)
+	}
+	if !bytes.Equal(serialSnap, parSnap) {
+		t.Errorf("metrics snapshot differs between 1 and 4 workers:\n--- serial\n%s\n--- parallel\n%s", serialSnap, parSnap)
+	}
+	if !bytes.Equal(serialOut, parOut) {
+		t.Errorf("cell outcomes differ between 1 and 4 workers:\n--- serial\n%s\n--- parallel\n%s", serialOut, parOut)
 	}
 	for idx := range serialCells {
 		s, p := serialCells[idx], parCells[idx]
@@ -195,5 +224,24 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 			t.Errorf("cell %d (%s/%s) work/instr differs: %v vs %v",
 				idx, s.ISA, s.Buildset, s.WorkPerInstr, p.WorkPerInstr)
 		}
+	}
+	// Sanity: the snapshot actually carries the instrumented counter
+	// families (the same names EXPERIMENTS.md documents and CI validates).
+	var snap obs.Snapshot
+	if err := json.Unmarshal(serialSnap, &snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"core.transcache.unit.l1_hit", "core.transcache.unit.translations",
+		"core.transcache.block.builds", "core.transcache.unit.shared_insert",
+		"expt.cell.ok", "expt.instret", "expt.watchdog.checks",
+		"sysemu.calls.exit",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q missing or zero in snapshot", name)
+		}
+	}
+	if snap.Histograms["expt.cell.work_per_instr"].Count == 0 {
+		t.Error("work_per_instr histogram is empty")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"singlespec/internal/core"
 	"singlespec/internal/isa"
 	"singlespec/internal/kernels"
+	"singlespec/internal/obs"
 )
 
 // Config configures one campaign. The zero value (plus a seed) is a usable
@@ -35,6 +36,11 @@ type Config struct {
 	// MaxInstr bounds every individual run (default 20M instructions); a
 	// cell that exceeds it is reported as errored, not hung.
 	MaxInstr uint64
+	// Obs, when non-nil, receives the campaign's per-class outcome
+	// counters (planned/injected/recovered/faults/divergences/errors)
+	// after the run. The report is deterministic, so the counters are
+	// byte-identical across worker counts. Nil disables at zero cost.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -155,7 +161,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	close(idxCh)
 	wg.Wait()
-	return &Report{Seed: cfg.Seed, Results: results}, nil
+	rep := &Report{Seed: cfg.Seed, Results: results}
+	rep.record(cfg.Obs)
+	return rep, nil
 }
 
 // runCell executes one cell under a recover barrier: a panicking cell is

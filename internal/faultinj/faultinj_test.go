@@ -3,6 +3,8 @@ package faultinj
 import (
 	"strings"
 	"testing"
+
+	"singlespec/internal/obs"
 )
 
 // quickCfg is a small single-kernel campaign config used by most tests.
@@ -236,6 +238,46 @@ func TestParseClasses(t *testing.T) {
 	for _, c := range AllClasses() {
 		if got, err := ParseClasses(c.String()); err != nil || len(got) != 1 || got[0] != c {
 			t.Errorf("round trip failed for %s", c)
+		}
+	}
+}
+
+// TestCampaignObsCounters checks a campaign's obs export: the per-class
+// counters must add up to exactly the report's own totals, and the
+// manifest outcomes must mirror the cells one-to-one.
+func TestCampaignObsCounters(t *testing.T) {
+	cfg := quickCfg(42)
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	wantInjected := map[string]uint64{}
+	wantRecovered := map[string]uint64{}
+	for _, res := range rep.Results {
+		wantInjected[res.Class.String()] += uint64(res.Injected)
+		wantRecovered[res.Class.String()] += uint64(res.Recovered)
+	}
+	for cl, want := range wantInjected {
+		if got := snap.Counters["faultinj."+cl+".injected"]; got != want {
+			t.Errorf("%s injected counter = %d, want %d", cl, got, want)
+		}
+		if got := snap.Counters["faultinj."+cl+".recovered"]; got != wantRecovered[cl] {
+			t.Errorf("%s recovered counter = %d, want %d", cl, got, wantRecovered[cl])
+		}
+	}
+	outs := rep.Outcomes()
+	if len(outs) != len(rep.Results) {
+		t.Fatalf("%d outcomes for %d results", len(outs), len(rep.Results))
+	}
+	for i, o := range outs {
+		if o.Status != "ok" {
+			t.Errorf("outcome %d status %q (clean campaign)", i, o.Status)
+		}
+		if !strings.Contains(o.Buildset, "/"+rep.Results[i].Kernel) {
+			t.Errorf("outcome %d buildset %q missing kernel", i, o.Buildset)
 		}
 	}
 }

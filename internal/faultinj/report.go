@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"singlespec/internal/obs"
 	"singlespec/internal/stats"
 )
 
@@ -22,6 +23,52 @@ func (r *Report) Failures() []Result {
 		if !res.OK() {
 			out = append(out, res)
 		}
+	}
+	return out
+}
+
+// record merges the campaign's outcome counters into reg, one counter
+// family per fault class. Results are deterministic per seed, so the
+// counters inherit the report's byte-identity across worker counts.
+func (r *Report) record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, res := range r.Results {
+		p := "faultinj." + res.Class.String() + "."
+		reg.Counter(p + "planned").Add(uint64(res.Planned))
+		reg.Counter(p + "injected").Add(uint64(res.Injected))
+		reg.Counter(p + "recovered").Add(uint64(res.Recovered))
+		reg.Counter(p + "faults").Add(uint64(res.Faults))
+		if res.Divergence != nil {
+			reg.Counter(p + "divergences").Inc()
+		}
+		if res.Err != nil {
+			reg.Counter(p + "errors").Inc()
+		}
+	}
+}
+
+// Outcomes converts the campaign's results into manifest cell outcomes
+// (status "ok", "diverged", or "error"; the kernel rides in the buildset
+// field alongside the interface name).
+func (r *Report) Outcomes() []obs.CellOutcome {
+	out := make([]obs.CellOutcome, 0, len(r.Results))
+	for _, res := range r.Results {
+		status := "ok"
+		switch {
+		case res.Err != nil:
+			status = "error"
+		case res.Divergence != nil:
+			status = "diverged"
+		}
+		out = append(out, obs.CellOutcome{
+			ISA:      res.ISA,
+			Buildset: res.Buildset + "/" + res.Class.String() + "/" + res.Kernel,
+			Status:   status,
+			Attempts: 1,
+			Instret:  res.RefInstret,
+		})
 	}
 	return out
 }

@@ -9,16 +9,22 @@ import (
 	"strings"
 )
 
-// GeoMean returns the geometric mean of positive values (0 if empty or any
-// value is non-positive).
+// GeoMean returns the geometric mean of vals, or 0 for an empty slice.
+//
+// Contract: every value must be positive. The geometric mean is undefined
+// at or below zero, and the old behavior — silently returning 0 — let a
+// single zeroed ERR cell wipe out a whole summary row without a trace.
+// Callers aggregating over sweep cells must filter error cells first (see
+// expt's cellGeoMean); a non-positive or NaN value here is a caller bug
+// and panics so corrupted aggregates fail loudly instead of rendering 0.
 func GeoMean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
 	sum := 0.0
 	for _, v := range vals {
-		if v <= 0 {
-			return 0
+		if !(v > 0) {
+			panic(fmt.Sprintf("stats: GeoMean given non-positive value %v (filter error cells before aggregating)", v))
 		}
 		sum += math.Log(v)
 	}
@@ -61,12 +67,26 @@ func (t *Table) Row(cells ...any) *Table {
 	return t
 }
 
-// FormatSig formats a float with n significant digits.
+// FormatSig formats a float with n significant digits. Non-finite values
+// render as "NaN"/"Inf"/"-Inf" explicitly — feeding them through the
+// magnitude computation (math.Log10 then int conversion) produced garbage
+// strings. Extreme magnitudes (subnormals, values beyond int64 range)
+// switch to scientific notation instead of emitting hundreds of digits.
 func FormatSig(v float64, n int) string {
-	if v == 0 {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == 0:
 		return "0"
 	}
 	mag := int(math.Floor(math.Log10(math.Abs(v))))
+	if mag < -9 || mag > 18 {
+		return fmt.Sprintf("%.*e", n-1, v)
+	}
 	dec := n - 1 - mag
 	if dec < 0 {
 		dec = 0
@@ -74,15 +94,25 @@ func FormatSig(v float64, n int) string {
 	return fmt.Sprintf("%.*f", dec, v)
 }
 
-// String renders the table.
+// String renders the table. The column count is the widest of the header
+// and every row: a row with more cells than the header widens the table
+// (extra columns get empty headers) instead of silently truncating — the
+// old loop iterated the header only and dropped the surplus cells, so a
+// miscounted Row call corrupted the rendered data with no visible sign.
 func (t *Table) String() string {
-	width := make([]int, len(t.header))
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
 	for i, h := range t.header {
 		width[i] = len(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -90,7 +120,7 @@ func (t *Table) String() string {
 	var b strings.Builder
 	line := func(cells []string) {
 		b.WriteString("|")
-		for i := range t.header {
+		for i := 0; i < ncol; i++ {
 			c := ""
 			if i < len(cells) {
 				c = cells[i]
@@ -100,7 +130,7 @@ func (t *Table) String() string {
 		b.WriteString("\n")
 	}
 	line(t.header)
-	sep := make([]string, len(t.header))
+	sep := make([]string, ncol)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", width[i])
 	}

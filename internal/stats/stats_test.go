@@ -10,8 +10,25 @@ func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
 		t.Errorf("geomean = %f", g)
 	}
-	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
-		t.Error("degenerate cases")
+	if GeoMean(nil) != 0 {
+		t.Error("empty slice should be 0")
+	}
+}
+
+// TestGeoMeanContract is the regression test for the silent-zeroing bug: a
+// non-positive value (a zeroed ERR cell leaking into an aggregate) used to
+// silently return 0 and wipe the whole summary. It now panics so the
+// corruption is loud; callers filter error cells first.
+func TestGeoMeanContract(t *testing.T) {
+	for _, vals := range [][]float64{{1, 0}, {-2, 4}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeoMean(%v) should panic", vals)
+				}
+			}()
+			GeoMean(vals)
+		}()
 	}
 }
 
@@ -25,11 +42,30 @@ func TestMIPS(t *testing.T) {
 	}
 }
 
+// TestFormatSig covers the regression for NaN/±Inf (which used to go
+// through int(math.Floor(math.Log10(...))) and render garbage) plus zero,
+// subnormals, and large magnitudes.
 func TestFormatSig(t *testing.T) {
-	cases := map[float64]string{37.84: "37.8", 9.856: "9.86", 0.12345: "0.123", 1234: "1234", 0: "0"}
-	for v, want := range cases {
-		if got := FormatSig(v, 3); got != want {
-			t.Errorf("FormatSig(%v) = %q, want %q", v, got, want)
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{37.84, "37.8"},
+		{9.856, "9.86"},
+		{0.12345, "0.123"},
+		{1234, "1234"},
+		{0, "0"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "Inf"},
+		{math.Inf(-1), "-Inf"},
+		{-37.84, "-37.8"},
+		{5e-320, "5.00e-320"},         // subnormal: scientific, not 300+ zeros
+		{1.5e21, "1.50e+21"},          // beyond int64 magnitude
+		{1e18, "1000000000000000000"}, // largest magnitude kept in plain notation
+	}
+	for _, c := range cases {
+		if got := FormatSig(c.v, 3); got != c.want {
+			t.Errorf("FormatSig(%v) = %q, want %q", c.v, got, c.want)
 		}
 	}
 }
@@ -43,5 +79,24 @@ func TestTable(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
 		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+// TestTableWideRow is the regression test for silent cell truncation: a
+// row with more cells than the header used to render only the header's
+// columns, dropping the surplus data. The table now widens instead.
+func TestTableWideRow(t *testing.T) {
+	tb := NewTable("a", "b").Row("1", "2", "extra", "more")
+	out := tb.String()
+	for _, want := range []string{"extra", "more"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("widened table dropped %q:\n%s", want, out)
+		}
+	}
+	// Every line must have the widened column count.
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if got := strings.Count(ln, "|"); got != 5 {
+			t.Errorf("line %q has %d separators, want 5", ln, got)
+		}
 	}
 }

@@ -59,6 +59,31 @@ type Emulator struct {
 	ticks uint64
 	// Calls counts invocations per syscall number (for tests/stats).
 	Calls map[int]uint64
+	// Denials counts calls completed with the error return: injected
+	// denials, oversized writes, and unknown call numbers. Shorts counts
+	// short-I/O faults applied to a read or write. Both feed the obs
+	// layer's sysemu counters.
+	Denials uint64
+	Shorts  uint64
+}
+
+// CallName returns the symbolic name of a syscall number ("exit",
+// "write", ...), or "unknown" for numbers outside the emulated set. The
+// obs layer uses it to label per-call counters.
+func CallName(num int) string {
+	switch num {
+	case SysExit:
+		return "exit"
+	case SysWrite:
+		return "write"
+	case SysRead:
+		return "read"
+	case SysBrk:
+		return "brk"
+	case SysTime:
+		return "time"
+	}
+	return "unknown"
 }
 
 // New returns an emulator for the given convention.
@@ -94,10 +119,12 @@ func (e *Emulator) Handle(m *mach.Machine) {
 		buf := e.reg(m, e.Conv.Args[1])
 		n := e.reg(m, e.Conv.Args[2])
 		if n > 1<<20 || fault == SysFaultDeny {
+			e.Denials++
 			ret = ^uint64(0)
 			break
 		}
 		if fault == SysFaultShort {
+			e.Shorts++
 			n /= 2
 		}
 		e.Stdout.Write(m.Mem.ReadBytes(buf, int(n)))
@@ -106,10 +133,12 @@ func (e *Emulator) Handle(m *mach.Machine) {
 		buf := e.reg(m, e.Conv.Args[1])
 		n := int(e.reg(m, e.Conv.Args[2]))
 		if fault == SysFaultDeny {
+			e.Denials++
 			ret = ^uint64(0)
 			break
 		}
 		if fault == SysFaultShort {
+			e.Shorts++
 			n /= 2
 		}
 		if n > len(e.Stdin) {
@@ -126,12 +155,15 @@ func (e *Emulator) Handle(m *mach.Machine) {
 		// stays where it was (the caller sees exhaustion).
 		if want != 0 && fault == SysFaultNone {
 			e.brk = want
+		} else if want != 0 {
+			e.Denials++
 		}
 		ret = e.brk
 	case SysTime:
 		e.ticks++
 		ret = e.ticks
 	default:
+		e.Denials++
 		ret = ^uint64(0)
 	}
 	m.WriteReg(m.Spaces[0], e.Conv.Ret, ret)

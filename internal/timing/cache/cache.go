@@ -2,7 +2,11 @@
 // cache hierarchy used by the timing models. Latencies are in cycles.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"singlespec/internal/obs"
+)
 
 // Level is anything that can service an access and report its latency.
 type Level interface {
@@ -148,6 +152,19 @@ func (c *Cache) Flush() {
 	}
 }
 
+// Record merges the level's counters into reg under
+// "timing.cache.<name>.*" names. Counters are cumulative, so record once,
+// after the modeled run has finished.
+func (c *Cache) Record(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	p := "timing.cache." + c.cfg.Name + "."
+	reg.Counter(p + "hits").Add(c.Stats.Hits)
+	reg.Counter(p + "misses").Add(c.Stats.Misses)
+	reg.Counter(p + "writebacks").Add(c.Stats.Writebacks)
+}
+
 // Hierarchy bundles the standard L1I/L1D/shared-L2 configuration used by
 // the timing models.
 type Hierarchy struct {
@@ -172,4 +189,19 @@ func DefaultHierarchy() (*Hierarchy, error) {
 		return nil, err
 	}
 	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Mem: mem}, nil
+}
+
+// Record merges every level's counters (and main-memory accesses) into
+// reg, so timing runs export through the same obs snapshot as the
+// functional engine. Record once, after the modeled run has finished.
+func (h *Hierarchy) Record(reg *obs.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	h.L1I.Record(reg)
+	h.L1D.Record(reg)
+	h.L2.Record(reg)
+	if h.Mem != nil {
+		reg.Counter("timing.cache.mem.accesses").Add(h.Mem.Accesses)
+	}
 }

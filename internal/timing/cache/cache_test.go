@@ -1,6 +1,10 @@
 package cache
 
-import "testing"
+import (
+	"testing"
+
+	"singlespec/internal/obs"
+)
 
 func mustNew(t *testing.T, cfg Config, next Level) *Cache {
 	t.Helper()
@@ -97,6 +101,46 @@ func TestHierarchySharing(t *testing.T) {
 	if h.L2.Stats.Hits != 1 {
 		t.Errorf("L2 hits = %d", h.L2.Stats.Hits)
 	}
+}
+
+// TestRecord checks the obs export mirrors Stats exactly, level by level,
+// and that recording into a nil registry is a safe no-op.
+func TestRecord(t *testing.T) {
+	h, err := DefaultHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.L1I.Access(0x4000, false)
+	h.L1I.Access(0x4000, false)
+	h.L1D.Access(0x4000, true)
+	h.L1D.Access(0x8000, false)
+
+	reg := obs.NewRegistry()
+	h.Record(reg)
+	snap := reg.Snapshot()
+	want := map[string]uint64{
+		"timing.cache.L1I.hits":       h.L1I.Stats.Hits,
+		"timing.cache.L1I.misses":     h.L1I.Stats.Misses,
+		"timing.cache.L1D.hits":       h.L1D.Stats.Hits,
+		"timing.cache.L1D.misses":     h.L1D.Stats.Misses,
+		"timing.cache.L1D.writebacks": h.L1D.Stats.Writebacks,
+		"timing.cache.L2.hits":        h.L2.Stats.Hits,
+		"timing.cache.L2.misses":      h.L2.Stats.Misses,
+		"timing.cache.mem.accesses":   h.Mem.Accesses,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if snap.Counters["timing.cache.L1I.hits"] != 1 || snap.Counters["timing.cache.L2.hits"] != 1 {
+		t.Errorf("expected one L1I hit and one L2 hit: %v", snap.Counters)
+	}
+
+	// Nil registry and nil hierarchy are no-ops, not panics.
+	h.Record(nil)
+	var nilH *Hierarchy
+	nilH.Record(reg)
 }
 
 func TestMissRate(t *testing.T) {
