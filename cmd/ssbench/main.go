@@ -14,7 +14,14 @@
 //	ssbench -faults 42       # deterministic fault-injection campaign
 //	ssbench -cell-timeout 30s -table 2          # watchdogged sweep
 //	ssbench -metric work -metrics-out metrics.json   # counters + manifest
+//	ssbench -resume-dir run1 -table 2           # durable sweep (journal)
+//	ssbench -resume-dir run1 -resume -table 2   # continue a killed sweep
 //	ssbench -pprof localhost:6060               # live profiling endpoint
+//
+// A durable sweep interrupted by SIGINT/SIGTERM winds down cleanly (cells
+// stop at the next watchdog check, the journal and manifest are flushed)
+// and exits 130/143; rerunning with -resume reloads the completed cells
+// and computes only the rest.
 package main
 
 import (
@@ -23,13 +30,22 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"singlespec/internal/expt"
 	"singlespec/internal/faultinj"
 	"singlespec/internal/obs"
+)
+
+// Exit codes for a signal-interrupted run, per shell convention (128+N).
+const (
+	exitSIGINT  = 130
+	exitSIGTERM = 143
 )
 
 func main() {
@@ -44,8 +60,31 @@ func main() {
 	faultClasses := flag.String("fault-classes", "all", "comma-separated fault classes (load,fetch,squash,syscall,codegen) or all")
 	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock watchdog per measurement cell (0 disables); hung cells are marked errored instead of stalling the sweep")
 	metricsOut := flag.String("metrics-out", "", "write a JSON run manifest + metrics snapshot to this file (see EXPERIMENTS.md)")
+	resumeDir := flag.String("resume-dir", "", "directory holding the durable run journal; enables resumable sweeps (see EXPERIMENTS.md)")
+	resume := flag.Bool("resume", false, "continue the journal in -resume-dir: completed cells are reloaded, only the rest are computed")
+	ckptEvery := flag.Uint64("ckpt-every", 0, "capture an in-cell machine checkpoint every N simulated instructions (0 disables); transient cell retries then resume from the last checkpoint instead of rerunning the cell")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
+
+	// Signal handling: the first SIGINT/SIGTERM asks the sweep to wind down
+	// (running cells stop at the next cooperative watchdog check, then the
+	// journal and manifest are flushed and the process exits 130/143); a
+	// second signal falls back to default disposition and kills immediately.
+	interrupt := make(chan struct{})
+	var sigExit atomic.Int32
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		if s == syscall.SIGTERM {
+			sigExit.Store(exitSIGTERM)
+		} else {
+			sigExit.Store(exitSIGINT)
+		}
+		fmt.Fprintln(os.Stderr, "ssbench: signal received, winding down (signal again to kill)")
+		close(interrupt)
+		signal.Stop(sigCh)
+	}()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -71,6 +110,9 @@ func main() {
 			"faults":       strconv.FormatInt(*faultSeed, 10),
 			"fault-events": strconv.Itoa(*faultEvents),
 			"cell-timeout": cellTimeout.String(),
+			"resume-dir":   *resumeDir,
+			"resume":       strconv.FormatBool(*resume),
+			"ckpt-every":   strconv.FormatUint(*ckptEvery, 10),
 		}
 	}
 	// writeManifest flushes the manifest before any exit path; the snapshot
@@ -79,6 +121,7 @@ func main() {
 		if man == nil {
 			return
 		}
+		man.Interrupted = sigExit.Load() != 0
 		man.Metrics = reg.Snapshot()
 		if err := man.WriteFile(*metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ssbench:", err)
@@ -87,6 +130,9 @@ func main() {
 	}
 
 	if *faultSeed >= 0 {
+		if *resumeDir != "" {
+			fatal(fmt.Errorf("-resume-dir applies to table sweeps, not fault campaigns"))
+		}
 		runFaultCampaign(uint64(*faultSeed), *faultEvents, *faultClasses, *parallel, reg, man, writeManifest)
 		return
 	}
@@ -96,7 +142,29 @@ func main() {
 		fatal(err)
 	}
 	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
-		CellTimeout: *cellTimeout, Obs: reg}
+		CellTimeout: *cellTimeout, Obs: reg, CkptEvery: *ckptEvery, Interrupt: interrupt}
+
+	// Durability: the run journal records each completed cell as it
+	// finishes; a rerun with -resume reloads them. The fingerprint refuses
+	// resuming under a configuration that would produce different cells.
+	var journal *expt.RunJournal
+	if *resumeDir != "" {
+		fp := expt.Fingerprint(fmt.Sprintf("table=%d,ablations=%t", *table, *ablate), cfg)
+		runID := fmt.Sprintf("%s-%d", time.Now().UTC().Format("20060102T150405Z"), os.Getpid())
+		journal, err = expt.OpenJournal(*resumeDir, runID, fp, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		cfg.Journal = journal
+		if man != nil {
+			man.RunID = runID
+			man.ParentRunID = journal.ParentRunID()
+		}
+	}
+	// allCells accumulates every sweep cell for the manifest's resume
+	// lineage counts.
+	var allCells []expt.Cell
 
 	if *table == 0 || *table == 1 {
 		t1, err := expt.TableI()
@@ -118,6 +186,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		allCells = append(allCells, cells...)
 		if man != nil {
 			man.Cells = append(man.Cells, expt.Outcomes(cells)...)
 		}
@@ -135,13 +204,28 @@ func main() {
 	if *ablate && *table == 0 {
 		fmt.Println("## Ablations (footnote 5 and DESIGN.md §6)")
 		fmt.Println()
-		ta, err := expt.Ablations(cfg)
+		aCells, ta, err := expt.Ablations(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		allCells = append(allCells, aCells...)
+		if man != nil {
+			man.Cells = append(man.Cells, expt.Outcomes(aCells)...)
+		}
 		fmt.Println(ta)
+		reportCellErrors(aCells)
+	}
+	if man != nil {
+		man.CellsRestored, man.CellsComputed = expt.SweepCounts(allCells)
+	}
+	if journal != nil {
+		journal.Close()
 	}
 	writeManifest()
+	if code := sigExit.Load(); code != 0 {
+		fmt.Fprintln(os.Stderr, "ssbench: interrupted; journal and manifest flushed, rerun with -resume to continue")
+		os.Exit(int(code))
+	}
 	if sawCellErrors {
 		os.Exit(1)
 	}

@@ -1,0 +1,72 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"singlespec/internal/checkpoint"
+	"singlespec/internal/mach"
+)
+
+// fuzzSeed builds a small but fully-populated checkpoint without spinning
+// up a real simulator (fuzz seeds must be cheap: the corpus is re-encoded
+// on every process start).
+func fuzzSeed() []byte {
+	st := &checkpoint.State{
+		PC:          0x1000,
+		Instret:     12345,
+		JournalMark: 2,
+		ExitCode:    0,
+		Order:       mach.LittleEndian,
+		Spaces: []checkpoint.SpaceState{
+			{Name: "r", Vals: []uint64{0, 1, 0xdeadbeef}},
+			{Name: "c", Vals: []uint64{7}},
+		},
+		Pages: []checkpoint.PageState{
+			{Base: 0x10000, Gen: 3, Data: bytes.Repeat([]byte{0xab}, mach.PageSize())},
+			{Base: 0x20000, Gen: 1, Data: make([]byte, mach.PageSize())},
+		},
+		Meta: map[string][]byte{"run": []byte("seed")},
+	}
+	return checkpoint.Encode(st)
+}
+
+// FuzzRestore feeds arbitrary bytes to the checkpoint reader. Whatever the
+// input — valid, truncated, bit-flipped, or hostile garbage claiming huge
+// section lengths — Read must return a *State or an error, never panic or
+// over-allocate, and any state it does accept must survive a re-encode
+// round trip.
+func FuzzRestore(f *testing.F) {
+	valid := fuzzSeed()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x4b, 0x43, 0x53, 0x53}) // magic only
+	f.Add(valid[:8])                      // magic + version only
+	f.Add(valid[:len(valid)/2])           // truncated mid-section
+	f.Add(valid[:len(valid)-1])           // truncated inside the trailer
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x04
+	f.Add(flipped) // bit-flipped payload
+	skew := append([]byte(nil), valid...)
+	skew[4] = checkpoint.Version + 9
+	f.Add(skew) // version skew
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := checkpoint.Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: it passed magic, version, CRCs, and the SHA-256
+		// trailer. Re-encoding must reproduce a decodable state — the
+		// format is canonical, so decode ∘ encode must be identity on the
+		// decoded representation.
+		st2, err := checkpoint.Decode(checkpoint.Encode(st))
+		if err != nil {
+			t.Fatalf("accepted state failed re-encode round trip: %v", err)
+		}
+		if st2.PC != st.PC || st2.Instret != st.Instret ||
+			len(st2.Spaces) != len(st.Spaces) || len(st2.Pages) != len(st.Pages) {
+			t.Fatalf("round trip changed state: %+v vs %+v", st2, st)
+		}
+	})
+}

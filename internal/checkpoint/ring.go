@@ -1,0 +1,213 @@
+package checkpoint
+
+// The generation ring is the durability layer: checkpoints land on disk
+// through the classic torn-write-proof sequence (write to a temp file,
+// fsync, rename into place, fsync the directory), and a bounded number of
+// prior generations is retained so a generation damaged after landing —
+// bit rot, a torn copy, a version skew after an upgrade — still leaves an
+// older good one to fall back to. Restore walks newest to oldest,
+// validating each candidate in full, and reports every generation it had
+// to skip along with the typed reason, so callers can surface the fallback
+// in their run manifests instead of diverging silently.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	genPrefix = "ckpt-"
+	genSuffix = ".ssck"
+	tmpName   = ".ckpt-tmp"
+)
+
+// Ring persists checkpoint generations under one directory, keeping at
+// most Max of them. It is single-writer: one Ring (and one process) owns a
+// directory at a time.
+type Ring struct {
+	dir string
+	max int
+}
+
+// NewRing opens (creating if needed) a generation ring holding up to max
+// generations. max must be at least 1; two or more is what makes fallback
+// possible.
+func NewRing(dir string, max int) (*Ring, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("checkpoint: ring needs max >= 1, got %d", max)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A temp file left behind by a crash mid-Save is garbage by contract
+	// (it never got renamed into place); clear it so it cannot accumulate.
+	os.Remove(filepath.Join(dir, tmpName))
+	return &Ring{dir: dir, max: max}, nil
+}
+
+// Dir returns the ring's directory.
+func (r *Ring) Dir() string { return r.dir }
+
+// Generations returns the paths of all on-disk generations, oldest first.
+func (r *Ring) Generations() ([]string, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, err
+	}
+	type gen struct {
+		seq  uint64
+		path string
+	}
+	var gens []gen
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, genPrefix), genSuffix)
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			continue // not a generation file; leave it alone
+		}
+		gens = append(gens, gen{seq: seq, path: filepath.Join(r.dir, name)})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].seq < gens[j].seq })
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.path
+	}
+	return out, nil
+}
+
+// Save atomically persists st as the newest generation and prunes the ring
+// back to its bound. The write is torn-write-proof: the bytes are complete
+// and fsynced in a temp file before the rename makes them visible, and the
+// directory is fsynced so the rename itself survives power loss. A crash
+// at any point leaves either the old set of generations or the old set
+// plus one complete new generation — never a partial file under a
+// generation name.
+func (r *Ring) Save(st *State) (string, error) {
+	gens, err := r.Generations()
+	if err != nil {
+		return "", err
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		last := gens[len(gens)-1]
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(last), genPrefix), genSuffix)
+		seq, _ := strconv.ParseUint(seqStr, 10, 64)
+		next = seq + 1
+	}
+	tmp := filepath.Join(r.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if err := Write(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	final := filepath.Join(r.dir, fmt.Sprintf("%s%08d%s", genPrefix, next, genSuffix))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(r.dir)
+	// Prune oldest generations beyond the bound.
+	gens = append(gens, final)
+	for len(gens) > r.max {
+		os.Remove(gens[0])
+		gens = gens[1:]
+	}
+	syncDir(r.dir)
+	return final, nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename or remove is
+// durable. Errors are ignored: some filesystems reject directory fsync,
+// and the fallback ring tolerates a lost tail generation by design.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// SkippedGeneration records one generation Restore rejected and why.
+type SkippedGeneration struct {
+	Path string
+	Err  error
+}
+
+// RestoreReport describes how a Restore concluded: which generation was
+// used and which newer ones had to be skipped. Callers surface the skips
+// in their run manifests — a fallback is an event worth recording.
+type RestoreReport struct {
+	// Path is the generation restored; empty when none validated.
+	Path string
+	// Skipped lists rejected generations, newest first, with typed errors.
+	Skipped []SkippedGeneration
+}
+
+// NoGoodGenerationError reports that no on-disk generation validated.
+type NoGoodGenerationError struct {
+	Dir     string
+	Skipped []SkippedGeneration
+}
+
+func (e *NoGoodGenerationError) Error() string {
+	if len(e.Skipped) == 0 {
+		return fmt.Sprintf("checkpoint: no generations in %s", e.Dir)
+	}
+	return fmt.Sprintf("checkpoint: all %d generation(s) in %s failed validation (newest: %v)",
+		len(e.Skipped), e.Dir, e.Skipped[0].Err)
+}
+
+// Restore loads the newest generation that passes full validation, falling
+// back through older generations when the newest is truncated, bit-flipped,
+// or version-skewed. The report lists every skipped generation; when no
+// generation validates the error is a *NoGoodGenerationError carrying the
+// same detail.
+func (r *Ring) Restore() (*State, *RestoreReport, error) {
+	gens, err := r.Generations()
+	if err != nil {
+		return nil, &RestoreReport{}, err
+	}
+	rep := &RestoreReport{}
+	for i := len(gens) - 1; i >= 0; i-- {
+		st, err := LoadFile(gens[i])
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, SkippedGeneration{Path: gens[i], Err: err})
+			continue
+		}
+		rep.Path = gens[i]
+		return st, rep, nil
+	}
+	return nil, rep, &NoGoodGenerationError{Dir: r.dir, Skipped: rep.Skipped}
+}
+
+// LoadFile reads and fully validates one checkpoint file.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -550,6 +550,21 @@ func (s *Sim) NewExec(m *mach.Machine) *Exec {
 // executions plus record publish costs).
 func (x *Exec) Work() uint64 { return x.work }
 
+// FlushLocal drops the Exec's first-level translation caches. Callers that
+// rewrite machine memory behind the Exec's back — checkpoint restore — use
+// it to guarantee no stale translation survives, independent of the
+// page-generation arithmetic that normally invalidates entries. The shared
+// second-level cache needs no flush: its entries are bits-validated on
+// every hit.
+func (x *Exec) FlushLocal() {
+	if x.ucache != nil {
+		x.ucache = make(map[uint64]uentry)
+	}
+	if x.bcache != nil {
+		x.bcache = make(map[uint64]bentry)
+	}
+}
+
 // Sim returns the simulator this context executes.
 func (x *Exec) Sim() *Sim { return x.sim }
 

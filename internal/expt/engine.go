@@ -83,6 +83,23 @@ type Config struct {
 	// the cell's kernels and repeat runs); 0 means unlimited. Budget
 	// violations are deterministic and are not retried.
 	MaxCellInstr uint64
+	// Journal, when non-nil, makes the sweep durable: each cell that
+	// completes with a deterministic outcome (ok, failed, budget) is
+	// appended to the journal, and cells already present in it are reloaded
+	// instead of recomputed — the resume path. Transient outcomes (panic,
+	// timeout, interrupted) are never journaled, so a resumed run computes
+	// them fresh.
+	Journal *RunJournal
+	// CkptEvery, when > 0, captures an in-cell machine checkpoint roughly
+	// every that many retired instructions; the guarded retry of a
+	// transient cell failure then resumes from the last checkpoint instead
+	// of re-running the cell from zero.
+	CkptEvery uint64
+	// Interrupt, when non-nil, winds the sweep down once the channel is
+	// closed: running cells stop at the next watchdog check and unstarted
+	// cells are marked interrupted without running. Interrupted cells are
+	// not journaled; a resumed run computes them.
+	Interrupt <-chan struct{}
 	// Obs, when non-nil, receives the sweep's aggregate counters and
 	// histograms: translation-cache traffic, syscall activity, watchdog
 	// checks, and per-cell outcomes. Aggregation is commutative atomic
@@ -94,6 +111,9 @@ type Config struct {
 	// testHook, when non-nil, runs at the start of every cell attempt.
 	// Tests inject panics and hangs through it to exercise containment.
 	testHook func(isaName, buildset string, attempt int)
+	// testChunkHook, when non-nil, runs at every RunLimited chunk boundary.
+	// Tests inject mid-run panics through it to exercise checkpoint resume.
+	testChunkHook func(r *Runner)
 }
 
 func (c Config) workers() int {
@@ -108,6 +128,26 @@ type cellJob struct {
 	progs    *Programs
 	buildset string
 	opts     core.Options
+}
+
+// key is the job's stable identity in the run journal. Options are part of
+// it: the ablation sweep measures the same (ISA, buildset) under several
+// option sets and each is its own cell.
+func (j cellJob) key() string {
+	return fmt.Sprintf("%s/%s/%+v", j.progs.ISA.Name, j.buildset, j.opts)
+}
+
+// interrupted reports whether ch (which may be nil) has been closed.
+func interrupted(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // runCells fans jobs out across a worker pool and collects results by job
@@ -138,16 +178,60 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
+				j := jobs[idx]
+				// Resume: a cell the journal already holds is reloaded, not
+				// recomputed.
+				if cfg.Journal != nil {
+					if c, ok := cfg.Journal.Lookup(j.key()); ok {
+						results[idx] = c
+						continue
+					}
+				}
+				// Shutdown: unstarted cells are marked, not run.
+				if interrupted(cfg.Interrupt) {
+					results[idx] = Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset,
+						Err: &CellError{ISA: j.progs.ISA.Name, Buildset: j.buildset,
+							Kind: CellInterrupted, Err: errInterrupted}}
+					continue
+				}
 				wait := time.Since(start)
-				c := runCellGuarded(jobs[idx], cfg, minDur)
+				c := runCellGuarded(j, cfg, minDur)
 				c.QueueWait = wait
 				results[idx] = c
+				if cfg.Journal != nil && deterministicOutcome(c) {
+					// Journal errors must not fail the sweep; the cell's
+					// result stands either way, only durability is lost.
+					_ = cfg.Journal.Record(j.key(), c)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	recordCells(cfg.Obs, results)
 	return results
+}
+
+// deterministicOutcome reports whether a cell's result is safe to journal:
+// ok cells and deterministic failures reproduce identically on a resumed
+// run, while panics, timeouts, and interrupts must be recomputed.
+func deterministicOutcome(c Cell) bool {
+	if c.Err == nil {
+		return true
+	}
+	return c.Err.Kind == CellFailed || c.Err.Kind == CellBudget
+}
+
+// SweepCounts summarizes a sweep's resume lineage: how many cells were
+// reloaded from the journal versus computed (or attempted) by this process.
+func SweepCounts(cells []Cell) (restored, computed int) {
+	for _, c := range cells {
+		if c.Restored {
+			restored++
+		} else {
+			computed++
+		}
+	}
+	return restored, computed
 }
 
 // workPerInstrBuckets bounds the per-cell work-units-per-instruction
@@ -221,6 +305,7 @@ func Outcomes(cells []Cell) []obs.CellOutcome {
 			WorkUnits:   c.WorkUnits,
 			WallMS:      float64(c.Wall.Microseconds()) / 1e3,
 			QueueWaitMS: float64(c.QueueWait.Microseconds()) / 1e3,
+			Restored:    c.Restored,
 		})
 	}
 	return out
@@ -304,8 +389,10 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 
 // Ablations measures the design-choice ablations DESIGN.md calls out —
 // translated vs. interpreted base cost (paper footnote 5), DCE on/off,
-// forced per-instruction block records — across cfg's worker pool.
-func Ablations(cfg Config) (*stats.Table, error) {
+// forced per-instruction block records — across cfg's worker pool. Like
+// TableII it returns the raw cells alongside the rendered table, so
+// callers can fold them into run manifests and resume-lineage counts.
+func Ablations(cfg Config) ([]Cell, *stats.Table, error) {
 	type variant struct {
 		label string
 		bs    string
@@ -319,7 +406,7 @@ func Ablations(cfg Config) (*stats.Table, error) {
 	}
 	mixes, err := buildAllMixes(cfg.Scale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var jobs []cellJob
 	for _, progs := range mixes {
@@ -341,5 +428,5 @@ func Ablations(cfg Config) (*stats.Table, error) {
 		}
 		t.Row(row...)
 	}
-	return t, nil
+	return cells, t, nil
 }

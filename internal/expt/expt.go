@@ -98,6 +98,12 @@ type Runner struct {
 	// checks counts cooperative watchdog checks (one per execution chunk
 	// RunLimited dispatched); deterministic for a fixed instruction stream.
 	checks uint64
+	// resumed marks the runner as primed with a mid-run checkpoint (see
+	// restoreFrom): the next RunLimited call continues that run instead of
+	// resetting, and resumeWork is the work the run had already accumulated
+	// before the restore point.
+	resumed    bool
+	resumeWork uint64
 }
 
 // NewRunner binds a simulator, ISA, and program.
@@ -164,6 +170,9 @@ type Cell struct {
 	// Stats aggregates the cell's engine counters; deterministic under
 	// MetricWork.
 	Stats CellStats
+	// Restored marks a cell reloaded from a resume journal rather than
+	// computed by this process.
+	Restored bool
 }
 
 // CellStats aggregates one cell's engine counters across its kernels and
@@ -199,7 +208,41 @@ func (s *CellStats) merge(r *Runner) {
 // MeasureCell times one (ISA, interface) pair over the mix. Each kernel
 // runs repeatedly until minDur has elapsed (one warmup run first).
 func MeasureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration) (Cell, error) {
-	return measureCell(p, buildset, opts, minDur, Limits{}, false)
+	return measureCell(p, buildset, opts, minDur, Limits{}, false, nil)
+}
+
+// cellProgress is the durable-within-process state of one cell
+// measurement, owned by runCellGuarded and threaded through every attempt.
+// measureCell commits into it at run and kernel boundaries, so when an
+// attempt dies mid-cell the retry skips the finished kernels, replays the
+// committed per-kernel accumulators, and — when an in-cell checkpoint was
+// captured — resumes the in-flight run from that checkpoint instead of
+// from zero.
+type cellProgress struct {
+	// kernelsDone counts fully completed kernels (their geomean inputs and
+	// stats are committed below).
+	kernelsDone int
+	// used is the cell-wide instruction total (budget accounting).
+	used uint64
+	// instret/workUnits are the cell's raw totals, committed at run ends.
+	instret, workUnits uint64
+	// mips/ns/work are the per-kernel geomean inputs, committed at kernel
+	// ends.
+	mips, ns, work []float64
+	// stats holds the committed kernels' counters.
+	stats CellStats
+	// Current-kernel state: whether its warmup completed, and the measured
+	// runs committed so far.
+	warmupDone bool
+	curInstrs  uint64
+	curWork    uint64
+	curElapsed time.Duration
+	// ckpt is the last in-cell checkpoint of the in-flight run, in the
+	// serialized binary format (so restoring it exercises the same
+	// validation path as an on-disk checkpoint); ckptKernel is the kernel
+	// it belongs to (-1 when none).
+	ckpt       []byte
+	ckptKernel int
 }
 
 // measureCell is MeasureCell bounded by lim: the instruction budget is
@@ -213,70 +256,114 @@ func MeasureCell(p *Programs, buildset string, opts core.Options, minDur time.Du
 // stream, which is what makes -metrics-out byte-identical across -parallel
 // values and hosts (the wall-clock repeat loop would tie run counts — and
 // so counter totals — to host speed).
-func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits, det bool) (Cell, error) {
+//
+// cp, when non-nil, carries committed progress from a previous attempt of
+// the same cell and receives this attempt's progress; nil measures from
+// scratch with no checkpointing.
+func measureCell(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits, det bool, cp *cellProgress) (Cell, error) {
 	sim, err := core.Synthesize(p.ISA.Spec, buildset, opts)
 	if err != nil {
 		return Cell{}, err
 	}
+	if cp == nil {
+		cp = &cellProgress{ckptKernel: -1}
+		lim.ckptEvery = 0
+	}
 	cell := Cell{ISA: p.ISA.Name, Buildset: buildset}
-	var used uint64
 	runOnce := func(runner *Runner) (uint64, uint64, error) {
 		rl := lim
 		if lim.MaxInstr > 0 {
-			if used >= lim.MaxInstr {
+			if cp.used >= lim.MaxInstr {
 				return 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
-					p.ISA.Name, buildset, errBudget, used)
+					p.ISA.Name, buildset, errBudget, cp.used)
 			}
-			rl.MaxInstr = lim.MaxInstr - used
+			rl.MaxInstr = lim.MaxInstr - cp.used
 		}
 		in, wk, err := runner.RunLimited(rl)
-		used += in
-		cell.Instret += in
-		cell.WorkUnits += wk
+		cp.used += in
+		cp.instret += in
+		cp.workUnits += wk
+		if err == nil {
+			// A completed run supersedes any mid-run checkpoint. On error
+			// the checkpoint stays: it is the retry's resume point.
+			cp.ckpt, cp.ckptKernel = nil, -1
+		}
 		return in, wk, err
 	}
-	var mipsVals, nsVals, workVals []float64
 	for idx, prog := range p.Progs {
-		runner := NewRunner(sim, p.ISA, prog)
-		// Warmup (also validates, and fills the translation caches).
-		if _, _, err := runOnce(runner); err != nil {
-			return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
+		if idx < cp.kernelsDone {
+			continue // committed by a previous attempt
 		}
-		var instrs, work uint64
-		var elapsed time.Duration
+		runner := NewRunner(sim, p.ISA, prog)
+		if lim.ckptEvery > 0 {
+			idx := idx
+			lim.ckptSink = func(rc *runCheckpoint) {
+				if b, err := rc.encode(); err == nil {
+					cp.ckpt, cp.ckptKernel = b, idx
+				}
+			}
+		}
+		if cp.ckpt != nil && cp.ckptKernel == idx {
+			// A previous attempt died mid-run in this kernel: resume its
+			// in-flight run from the last checkpoint. The restore validates
+			// the serialized bytes in full; damage means we fall back to
+			// running this kernel's remaining runs from scratch.
+			if rc, err := decodeRunCheckpoint(cp.ckpt); err == nil {
+				if err := runner.restoreFrom(rc); err != nil {
+					runner = NewRunner(sim, p.ISA, prog)
+				}
+			}
+			cp.ckpt, cp.ckptKernel = nil, -1
+		}
+		// Warmup (also validates, and fills the translation caches). A
+		// runner resumed mid-warmup finishes that warmup here; one resumed
+		// mid-measured-run has warmupDone set and skips straight down.
+		if !cp.warmupDone {
+			if _, _, err := runOnce(runner); err != nil {
+				return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
+			}
+			cp.warmupDone = true
+		}
 		for {
 			start := time.Now()
 			in, wk, err := runOnce(runner)
 			if err != nil {
 				return Cell{}, fmt.Errorf("%s: %w", p.Names[idx], err)
 			}
-			elapsed += time.Since(start)
-			instrs += in
-			work += wk
+			cp.curElapsed += time.Since(start)
+			cp.curInstrs += in
+			cp.curWork += wk
 			if det {
 				break // fixed schedule: counters stay host-independent
 			}
-			if elapsed >= minDur {
+			if cp.curElapsed >= minDur {
 				break
 			}
 			if !lim.Deadline.IsZero() && !time.Now().Before(lim.Deadline) {
 				break // keep what we measured; the watchdog is about hangs
 			}
 		}
-		cell.Stats.merge(runner)
+		cp.stats.merge(runner)
+		elapsed := cp.curElapsed
 		if elapsed <= 0 {
 			// Timer granularity floor: keeps the geomean inputs positive.
 			elapsed = time.Nanosecond
 		}
-		ns := float64(elapsed.Nanoseconds()) / float64(instrs)
-		mipsVals = append(mipsVals, 1e3/ns)
-		nsVals = append(nsVals, ns)
-		workVals = append(workVals, float64(work)/float64(instrs))
+		ns := float64(elapsed.Nanoseconds()) / float64(cp.curInstrs)
+		cp.mips = append(cp.mips, 1e3/ns)
+		cp.ns = append(cp.ns, ns)
+		cp.work = append(cp.work, float64(cp.curWork)/float64(cp.curInstrs))
+		// Kernel boundary: commit and clear the current-kernel state.
+		cp.kernelsDone = idx + 1
+		cp.warmupDone = false
+		cp.curInstrs, cp.curWork, cp.curElapsed = 0, 0, 0
 	}
+	cell.Instret, cell.WorkUnits = cp.instret, cp.workUnits
+	cell.Stats = cp.stats
 	cell.Stats.Shared = sim.SharedCacheStats()
-	cell.MIPS = stats.GeoMean(mipsVals)
-	cell.NsPerInstr = stats.GeoMean(nsVals)
-	cell.WorkPerInstr = stats.GeoMean(workVals)
+	cell.MIPS = stats.GeoMean(cp.mips)
+	cell.NsPerInstr = stats.GeoMean(cp.ns)
+	cell.WorkPerInstr = stats.GeoMean(cp.work)
 	return cell, nil
 }
 

@@ -86,9 +86,12 @@ func TestAblationsGenerate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("measurement test")
 	}
-	tab, err := Ablations(Config{Scale: 1, MinDur: time.Millisecond})
+	cells, tab, err := Ablations(Config{Scale: 1, MinDur: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(cells) != 12 {
+		t.Errorf("ablations returned %d cells, want 12", len(cells))
 	}
 	if !contains(tab.String(), "interpreted") {
 		t.Errorf("ablations malformed:\n%s", tab)

@@ -7,10 +7,14 @@ package expt
 // the failing cells marked instead of aborting the sweep.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime/debug"
 	"time"
+
+	"singlespec/internal/checkpoint"
+	"singlespec/internal/sysemu"
 )
 
 // CellErrorKind classifies why a sweep cell failed.
@@ -27,6 +31,10 @@ const (
 	// CellBudget is an exceeded per-cell instruction budget. Deterministic:
 	// not retried.
 	CellBudget
+	// CellInterrupted is a cell cut short (or never started) because the
+	// sweep received a shutdown signal. Not retried in this process; a
+	// resumed run computes it fresh.
+	CellInterrupted
 )
 
 func (k CellErrorKind) String() string {
@@ -37,6 +45,8 @@ func (k CellErrorKind) String() string {
 		return "timeout"
 	case CellBudget:
 		return "budget"
+	case CellInterrupted:
+		return "interrupted"
 	default:
 		return "failed"
 	}
@@ -66,8 +76,9 @@ func (e *CellError) Unwrap() error { return e.Err }
 // Sentinel causes the limited runner reports; runCellOnce maps them to
 // CellError kinds.
 var (
-	errDeadline = errors.New("cell deadline exceeded")
-	errBudget   = errors.New("cell instruction budget exceeded")
+	errDeadline    = errors.New("cell deadline exceeded")
+	errBudget      = errors.New("cell instruction budget exceeded")
+	errInterrupted = errors.New("sweep interrupted")
 )
 
 // Limits bounds one cell measurement. The zero value means unbounded.
@@ -77,6 +88,19 @@ type Limits struct {
 	MaxInstr uint64
 	// Deadline is the wall-clock cutoff; the zero time means none.
 	Deadline time.Time
+
+	// interrupt, when non-nil, aborts the run (as errInterrupted) at the
+	// next chunk boundary once the channel is closed. Internal wiring from
+	// Config.Interrupt.
+	interrupt <-chan struct{}
+	// ckptEvery > 0 captures an in-cell resume checkpoint roughly every
+	// that many retired instructions (at chunk boundaries) and hands it to
+	// ckptSink. Internal wiring from Config.CkptEvery.
+	ckptEvery uint64
+	ckptSink  func(rc *runCheckpoint)
+	// chunkHook, when non-nil, runs at every chunk boundary (after any
+	// checkpoint capture). Tests inject mid-run panics through it.
+	chunkHook func(r *Runner)
 }
 
 // runChunk is the instruction granularity between watchdog checks. Go
@@ -91,13 +115,39 @@ const runChunk = 1 << 20
 // execution chunks: a deadline or instruction-budget violation surfaces as
 // an error instead of a hang. A machine that stops retiring instructions
 // without halting (a fault loop) is also reported rather than spun on.
+//
+// When the runner was primed by restoreFrom, the first RunLimited call
+// continues the restored in-flight run instead of resetting: the machine
+// already holds the mid-run state, so the call returns that run's full
+// totals (restored portion included) exactly as the uninterrupted run
+// would have.
 func (r *Runner) RunLimited(lim Limits) (instrs, work uint64, err error) {
-	if r.runs > 0 {
-		r.reset()
+	if r.resumed {
+		r.resumed = false
+	} else {
+		if r.runs > 0 {
+			r.reset()
+		}
+		r.runs++
 	}
-	r.runs++
+	nextCkpt := uint64(0)
+	if lim.ckptEvery > 0 {
+		nextCkpt = r.m.Instret + lim.ckptEvery
+	}
 	for !r.m.Halted {
+		if lim.interrupt != nil {
+			select {
+			case <-lim.interrupt:
+				return 0, 0, fmt.Errorf("expt: %s/%s: %w", r.i.Name, r.sim.BS.Name, errInterrupted)
+			default:
+			}
+		}
 		chunk := uint64(runChunk)
+		if lim.ckptEvery > 0 && lim.ckptEvery < chunk {
+			// The checkpoint cadence needs chunk boundaries at least that
+			// fine; the watchdog check is cheap at this granularity too.
+			chunk = lim.ckptEvery
+		}
 		if lim.MaxInstr > 0 {
 			if r.m.Instret >= lim.MaxInstr {
 				return 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
@@ -116,26 +166,132 @@ func (r *Runner) RunLimited(lim Limits) (instrs, work uint64, err error) {
 		if !lim.Deadline.IsZero() && !r.m.Halted && time.Now().After(lim.Deadline) {
 			return 0, 0, fmt.Errorf("expt: %s/%s: %w", r.i.Name, r.sim.BS.Name, errDeadline)
 		}
+		if nextCkpt > 0 && lim.ckptSink != nil && r.m.Instret >= nextCkpt && !r.m.Halted {
+			nextCkpt = r.m.Instret + lim.ckptEvery
+			lim.ckptSink(r.captureCheckpoint())
+		}
+		if lim.chunkHook != nil {
+			lim.chunkHook(r)
+		}
 	}
 	if r.m.ExitCode != 0 {
 		return 0, 0, fmt.Errorf("expt: %s/%s exited %d", r.i.Name, r.sim.BS.Name, r.m.ExitCode)
 	}
 	w := r.x.Work()
-	dw := w - r.prevW
+	dw := w - r.prevW + r.resumeWork
 	r.prevW = w
+	r.resumeWork = 0
 	return r.m.Instret, dw, nil
+}
+
+// runCheckpoint is an in-cell resume point: the complete mid-run state of
+// a Runner (machine, OS emulation, run bookkeeping), captured at a chunk
+// boundary. The guarded retry path restores from it so a transient failure
+// re-executes only the instructions since the last checkpoint instead of
+// the whole cell — and the serialized form goes through the full
+// checkpoint binary format, so every retry also validates it end to end.
+type runCheckpoint struct {
+	// runs is the Runner.runs value of the in-flight run (1 = warmup).
+	runs uint64
+	// checks is the cooperative-watchdog check count at capture.
+	checks uint64
+	// workThisRun is the work the in-flight run had accumulated by the
+	// capture point; credited back on restore so the completed run reports
+	// its full work total.
+	workThisRun uint64
+	state       *checkpoint.State
+	emu         sysemu.State
+}
+
+// captureCheckpoint snapshots the runner mid-run.
+func (r *Runner) captureCheckpoint() *runCheckpoint {
+	return &runCheckpoint{
+		runs:        uint64(r.runs),
+		checks:      r.checks,
+		workThisRun: r.x.Work() - r.prevW + r.resumeWork,
+		state:       checkpoint.Capture(r.m),
+		emu:         r.emu.State(),
+	}
+}
+
+// restoreFrom primes a fresh runner with a mid-run checkpoint: the next
+// RunLimited call continues the restored run. The translation caches start
+// cold (they are derived state, rebuilt on demand); the architectural
+// outcome and the run's instruction/work totals are exact.
+func (r *Runner) restoreFrom(rc *runCheckpoint) error {
+	if err := checkpoint.Apply(rc.state, r.m); err != nil {
+		return err
+	}
+	r.emu.SetState(rc.emu)
+	r.x.FlushLocal()
+	r.runs = int(rc.runs)
+	r.checks = rc.checks
+	r.prevW = r.x.Work()
+	r.resumeWork = rc.workThisRun
+	r.resumed = true
+	return nil
+}
+
+// ckptMeta is the runner bookkeeping serialized alongside the machine
+// state when a runCheckpoint goes through the binary format.
+type ckptMeta struct {
+	Runs        uint64       `json:"runs"`
+	Checks      uint64       `json:"checks"`
+	WorkThisRun uint64       `json:"work_this_run"`
+	Emu         sysemu.State `json:"emu"`
+}
+
+// encode serializes the checkpoint through the versioned binary format
+// (the runner bookkeeping rides in the meta section).
+func (rc *runCheckpoint) encode() ([]byte, error) {
+	meta, err := json.Marshal(ckptMeta{
+		Runs: rc.runs, Checks: rc.checks, WorkThisRun: rc.workThisRun, Emu: rc.emu,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := *rc.state
+	st.Meta = map[string][]byte{"expt.runner": meta}
+	return checkpoint.Encode(&st), nil
+}
+
+// decodeRunCheckpoint validates and decodes an encoded runCheckpoint.
+func decodeRunCheckpoint(b []byte) (*runCheckpoint, error) {
+	st, err := checkpoint.Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	raw, ok := st.Meta["expt.runner"]
+	if !ok {
+		return nil, fmt.Errorf("expt: checkpoint has no runner metadata")
+	}
+	var m ckptMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("expt: checkpoint runner metadata: %w", err)
+	}
+	return &runCheckpoint{
+		runs: m.Runs, checks: m.Checks, workThisRun: m.WorkThisRun,
+		state: st, emu: m.Emu,
+	}, nil
 }
 
 // runCellGuarded measures one cell under cfg's watchdog, converting panics
 // and limit violations into a typed *CellError instead of letting them
 // escape the worker. Transient kinds (panic, timeout) get exactly one
-// retry; deterministic failures (measurement error, budget) are reported
-// immediately since retrying reproduces them.
+// retry; deterministic failures (measurement error, budget) and interrupts
+// are reported immediately since retrying reproduces them (or the process
+// is shutting down).
+//
+// The cell's progress — completed kernels, committed run totals, and the
+// last in-cell checkpoint — survives the failed attempt in cp, so the
+// retry resumes from the last checkpoint instead of re-running the cell
+// from zero.
 func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
 	start := time.Now()
 	var last *CellError
+	cp := &cellProgress{ckptKernel: -1}
 	for attempt := 1; attempt <= 2; attempt++ {
-		c, cerr := runCellOnce(j, cfg, minDur, attempt)
+		c, cerr := runCellOnce(j, cfg, minDur, attempt, cp)
 		if cerr == nil {
 			c.Attempts = attempt
 			c.Wall = time.Since(start)
@@ -143,7 +299,7 @@ func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
 		}
 		cerr.Attempts = attempt
 		last = cerr
-		if cerr.Kind == CellFailed || cerr.Kind == CellBudget {
+		if cerr.Kind == CellFailed || cerr.Kind == CellBudget || cerr.Kind == CellInterrupted {
 			break
 		}
 	}
@@ -152,7 +308,7 @@ func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
 }
 
 // runCellOnce is one guarded measurement attempt.
-func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int) (c Cell, cerr *CellError) {
+func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int, cp *cellProgress) (c Cell, cerr *CellError) {
 	defer func() {
 		if r := recover(); r != nil {
 			cerr = &CellError{
@@ -165,11 +321,12 @@ func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int) (c Ce
 	if cfg.testHook != nil {
 		cfg.testHook(j.progs.ISA.Name, j.buildset, attempt)
 	}
-	lim := Limits{MaxInstr: cfg.MaxCellInstr}
+	lim := Limits{MaxInstr: cfg.MaxCellInstr, interrupt: cfg.Interrupt,
+		ckptEvery: cfg.CkptEvery, chunkHook: cfg.testChunkHook}
 	if cfg.CellTimeout > 0 {
 		lim.Deadline = time.Now().Add(cfg.CellTimeout)
 	}
-	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork)
+	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork, cp)
 	if err != nil {
 		kind := CellFailed
 		switch {
@@ -177,6 +334,8 @@ func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int) (c Ce
 			kind = CellTimeout
 		case errors.Is(err, errBudget):
 			kind = CellBudget
+		case errors.Is(err, errInterrupted):
+			kind = CellInterrupted
 		}
 		return Cell{}, &CellError{
 			ISA: j.progs.ISA.Name, Buildset: j.buildset, Kind: kind, Err: err,

@@ -78,5 +78,20 @@ func (j *Journal) Commit(mark Mark) {
 	j.entries = j.entries[:n]
 }
 
-// Reset empties the journal.
-func (j *Journal) Reset() { j.entries = j.entries[:0] }
+// journalShrinkCap is the entry capacity above which Reset releases the
+// backing array instead of retaining it. One speculative burst can grow the
+// journal to millions of entries (~48 bytes each); without the shrink a
+// week-long resumable run would hold its peak-size buffer forever. Below
+// the threshold the array is kept, so steady-state runs still allocate
+// nothing per Reset.
+const journalShrinkCap = 1 << 15
+
+// Reset empties the journal, releasing an oversized backing array (see
+// journalShrinkCap) so long-lived machines do not retain peak-size buffers.
+func (j *Journal) Reset() {
+	if cap(j.entries) > journalShrinkCap {
+		j.entries = nil
+		return
+	}
+	j.entries = j.entries[:0]
+}

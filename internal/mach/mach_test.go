@@ -350,3 +350,119 @@ func TestFaultStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalCommitAfterPartialRollback interleaves the two journal
+// truncation operations the way the speculative engine (and the in-cell
+// checkpoint restore path) does: speculate, roll part of it back, then
+// commit a prefix of what survived. The surviving suffix must still roll
+// back exactly, proving a checkpoint taken at the committed mark is
+// consistent with journal state.
+func TestJournalCommitAfterPartialRollback(t *testing.T) {
+	m := NewMachine(NewMemory(LittleEndian), testDefs())
+	r := m.MustSpace("r")
+	m.JournalOn = true
+	r.Vals[1] = 1
+
+	m.WriteReg(r, 1, 2) // entry 0: will be committed
+	mid := m.Journal.Mark()
+	m.WriteReg(r, 1, 3) // entry 1: survives the partial rollback
+	spec := m.Journal.Mark()
+	m.WriteReg(r, 1, 4) // entry 2: rolled back first
+	m.StoreValue(0x40000, 0x99, 1)
+
+	m.Journal.Rollback(m, spec)
+	if got := r.Read(1); got != 3 {
+		t.Fatalf("r1 after partial rollback = %d, want 3", got)
+	}
+	if m.Journal.Len() != 2 {
+		t.Fatalf("journal len after partial rollback = %d, want 2", m.Journal.Len())
+	}
+
+	// Commit the prefix below mid; the surviving mark rebases to zero.
+	m.Journal.Commit(mid)
+	if m.Journal.Len() != 1 {
+		t.Fatalf("journal len after commit = %d, want 1", m.Journal.Len())
+	}
+	m.Journal.Rollback(m, 0)
+	if got := r.Read(1); got != 2 {
+		t.Errorf("r1 after final rollback = %d, want 2 (committed value)", got)
+	}
+	if v, _ := m.Mem.Load(0x40000, 1); v != 0 {
+		t.Errorf("mem[0x40000] = %#x, want 0 (speculative store undone)", v)
+	}
+}
+
+// TestJournalResetShrinksOversizedBuffer is the regression test for the
+// Reset capacity bound: a speculative burst past journalShrinkCap must not
+// leave its peak-size backing array live for the rest of a long run, while
+// modest journals keep their storage.
+func TestJournalResetShrinksOversizedBuffer(t *testing.T) {
+	m := NewMachine(NewMemory(LittleEndian), testDefs())
+	r := m.MustSpace("r")
+	m.JournalOn = true
+
+	// Modest use: Reset must retain capacity (no per-reset allocation).
+	for i := 0; i < 100; i++ {
+		m.WriteReg(r, 1, uint64(i))
+	}
+	m.Journal.Reset()
+	if c := cap(m.Journal.entries); c == 0 {
+		t.Fatal("modest journal lost its backing array on Reset")
+	}
+
+	// Oversized burst: Reset must release the array.
+	for i := 0; i <= journalShrinkCap; i++ {
+		m.WriteReg(r, 1, uint64(i))
+	}
+	if c := cap(m.Journal.entries); c <= journalShrinkCap {
+		t.Fatalf("burst did not exceed shrink cap: cap %d", c)
+	}
+	m.Journal.Reset()
+	if c := cap(m.Journal.entries); c > journalShrinkCap {
+		t.Errorf("Reset retained oversized buffer: cap %d > %d", c, journalShrinkCap)
+	}
+	// The journal must still work after shrinking.
+	mark := m.Journal.Mark()
+	m.WriteReg(r, 1, 7)
+	m.WriteReg(r, 1, 8)
+	m.Journal.Rollback(m, mark)
+	if got := r.Read(1); got != uint64(journalShrinkCap) {
+		t.Errorf("r1 after post-shrink rollback = %d, want %d", got, journalShrinkCap)
+	}
+}
+
+// TestPageImageRoundTrip exercises the checkpoint accessors: PageImage
+// copies a page's bytes and generation, and SetPageImage restores them with
+// a strictly-increasing generation bump so cached translations revalidate.
+func TestPageImageRoundTrip(t *testing.T) {
+	m := NewMemory(LittleEndian)
+	m.Store(0x40000, 0xdeadbeef, 4)
+	m.Store(0x4fff8, 0x1122334455667788, 8)
+	data, gen := m.PageImage(0x40000)
+	if len(data) != PageSize() {
+		t.Fatalf("page image size %d, want %d", len(data), PageSize())
+	}
+	if gen == 0 {
+		t.Fatal("stored page has zero generation")
+	}
+	// Mutate, then restore the image; contents must match the snapshot.
+	m.Store(0x40000, 0, 4)
+	m.SetPageImage(0x40000, data, gen)
+	if v, _ := m.Load(0x40000, 4); v != 0xdeadbeef {
+		t.Errorf("restored load = %#x", v)
+	}
+	if v, _ := m.Load(0x4fff8, 8); v != 0x1122334455667788 {
+		t.Errorf("restored load = %#x", v)
+	}
+	if g := m.Gen(0x40000); g <= gen {
+		t.Errorf("restore did not advance generation: %d <= %d", g, gen)
+	}
+	// Short data zero-fills the rest of the page.
+	m.SetPageImage(0x40000, []byte{0xff}, 0)
+	if v, _ := m.Load(0x40000, 1); v != 0xff {
+		t.Errorf("short image first byte = %#x", v)
+	}
+	if v, _ := m.Load(0x40001, 8); v != 0 {
+		t.Errorf("short image tail not zeroed: %#x", v)
+	}
+}
