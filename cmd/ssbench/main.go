@@ -60,6 +60,7 @@ func main() {
 	faultClasses := flag.String("fault-classes", "all", "comma-separated fault classes (load,fetch,squash,syscall,codegen) or all")
 	cellTimeout := flag.Duration("cell-timeout", 0, "wall-clock watchdog per measurement cell (0 disables); hung cells are marked errored instead of stalling the sweep")
 	metricsOut := flag.String("metrics-out", "", "write a JSON run manifest + metrics snapshot to this file (see EXPERIMENTS.md)")
+	benchOut := flag.String("bench-out", "", "write the Table II speed grid as JSON (schema "+expt.BenchSchema+") to this file; see RESULTS.md")
 	resumeDir := flag.String("resume-dir", "", "directory holding the durable run journal; enables resumable sweeps (see EXPERIMENTS.md)")
 	resume := flag.Bool("resume", false, "continue the journal in -resume-dir: completed cells are reloaded, only the rest are computed")
 	ckptEvery := flag.Uint64("ckpt-every", 0, "capture an in-cell machine checkpoint every N simulated instructions (0 disables); transient cell retries then resume from the last checkpoint instead of rerunning the cell")
@@ -189,6 +190,11 @@ func main() {
 		allCells = append(allCells, cells...)
 		if man != nil {
 			man.Cells = append(man.Cells, expt.Outcomes(cells)...)
+		}
+		if *benchOut != "" {
+			if err := expt.WriteBenchJSON(*benchOut, cfg, cells); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Println(t2)
 		reportCellErrors(cells)

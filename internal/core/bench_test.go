@@ -67,6 +67,121 @@ func benchBuildset(b *testing.B, bs string, opts Options) {
 	b.ReportMetric(float64(n)/float64(b.N), "instrs/op")
 }
 
+// benchBranchProgram is a dispatch-dominated workload: two single-branch
+// basic blocks ping-ponging forever. Every retired instruction is a block
+// (or unit) dispatch, so the benchmark isolates the lookup/chaining cost
+// the hot path pays before any instruction semantics run.
+func benchBranchProgram() []uint32 {
+	return []uint32{
+		encBR(opBEQ, 15, 1),  // @0: always taken -> @8
+		encALU(opHLT, 15, 0, 0),
+		encBR(opBEQ, 15, -3), // @8: always taken -> @0
+	}
+}
+
+func benchDispatch(b *testing.B, bs string) {
+	spec, err := lis.Parse("toy.lis", toySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Synthesize(spec, bs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := loadProgram(spec, benchBranchProgram())
+	x := s.NewExec(m)
+	b.ResetTimer()
+	var n uint64
+	for n < uint64(b.N) {
+		chunk := uint64(b.N) - n
+		if chunk > 65536 {
+			chunk = 65536
+		}
+		n += x.Run(chunk)
+	}
+	b.StopTimer()
+	if m.Halted {
+		b.Fatal("dispatch loop halted early")
+	}
+}
+
+// BenchmarkDispatchBlock measures per-block dispatch on the Block/Min
+// interface: each block is one branch, so block lookup (and, post-chaining,
+// the chain follow) dominates.
+func BenchmarkDispatchBlock(b *testing.B) { benchDispatch(b, "block_min") }
+
+// BenchmarkDispatchOne measures per-instruction translated dispatch on the
+// One/Min interface over the same branch ping-pong.
+func BenchmarkDispatchOne(b *testing.B) { benchDispatch(b, "one_min") }
+
+// BenchmarkFlushLocal measures the cost of dropping the Exec's first-level
+// translation caches (the checkpoint-restore path).
+func BenchmarkFlushLocal(b *testing.B) {
+	spec, err := lis.Parse("toy.lis", toySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Synthesize(spec, "one_min", Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := loadProgram(spec, benchProgram())
+	x := s.NewExec(m)
+	x.Run(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		x.FlushLocal()
+	}
+}
+
+// BenchmarkTransUnitSharedHit measures the first-level-miss path of unit
+// translation: flush the private cache, then re-resolve one PC through the
+// shared cache. This is the path the transUnit double page walk sat on.
+func BenchmarkTransUnitSharedHit(b *testing.B) {
+	spec, err := lis.Parse("toy.lis", toySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Synthesize(spec, "one_min", Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := loadProgram(spec, benchProgram())
+	x := s.NewExec(m)
+	x.Run(64) // warm the shared cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		x.FlushLocal()
+		if x.transUnit(codeBase) == nil {
+			b.Fatal("transUnit returned nil")
+		}
+	}
+}
+
+// BenchmarkPublish measures one record publication at full informational
+// detail (the per-instruction store cost of the paper's §V-E analysis).
+func BenchmarkPublish(b *testing.B) {
+	spec, err := lis.Parse("toy.lis", toySrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Synthesize(spec, "one_all", Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := loadProgram(spec, benchProgram())
+	x := s.NewExec(m)
+	var rec Record
+	x.ExecOne(&rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		x.publish(&rec)
+	}
+}
+
 func BenchmarkToyOneAll(b *testing.B)       { benchBuildset(b, "one_all", Options{}) }
 func BenchmarkToyOneDecode(b *testing.B)    { benchBuildset(b, "one_decode", Options{}) }
 func BenchmarkToyOneMin(b *testing.B)       { benchBuildset(b, "one_min", Options{}) }

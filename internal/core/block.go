@@ -25,29 +25,73 @@ type xblock struct {
 // information beyond the minimal set (or ForceRecords is set); at minimal
 // detail only the block summary is produced. It reports false when the
 // machine halted or faulted.
+//
+// Dispatch is chained: after a block retires, its table slot remembers the
+// observed successor (see bslot), so a stable control edge — a loop
+// back-branch, a fall-through, a direct call — resolves the next block with
+// one epoch compare instead of a table probe plus page-generation walk.
+// Links sever automatically when the code-store epoch moves (any store to a
+// code page, including rollback of speculative stores) and when FlushLocal
+// bumps the table stamp.
 func (x *Exec) ExecBlock(batch *Batch) bool {
 	batch.Reset()
 	m := x.M
 	pc := m.PC
 	batch.StartPC = pc
-	blk := x.transBlock(pc)
-	if blk == nil {
-		// Fetch fault or undecodable first instruction: let the dynamic
-		// path raise it and publish a record if detail requires.
-		rec := batch.next()
-		x.execOneDynamic(rec)
-		if rec.Fault == mach.FaultNone {
-			batch.N++
-		} else {
-			batch.Fault = rec.Fault
+	var blk *xblock
+	var slot int32
+	t := &x.btab
+	if last := x.lastB; last >= 0 {
+		ls := &t.slots[last]
+		if ls.stamp == t.stamp && ls.next != nil && ls.nextPC == pc &&
+			ls.nextEpoch == m.Mem.CodeGen() {
+			blk = ls.next
+			slot = int32(ls.nextSlot)
+			x.stats.BlockChainFollows++
 		}
-		if !x.sim.emitBlockRecords() {
-			batch.Recs = batch.Recs[:0]
-		}
-		batch.Halted = m.Halted
-		return batch.Fault == mach.FaultNone && !m.Halted
 	}
-	emit := x.sim.emitBlockRecords()
+	if blk == nil {
+		blk, slot = x.transBlock(pc)
+		if blk == nil {
+			// Fetch fault or undecodable first instruction: let the dynamic
+			// path raise it and publish a record if detail requires.
+			x.lastB = -1
+			rec := batch.next()
+			x.execOneDynamic(rec)
+			if rec.Fault == mach.FaultNone {
+				batch.N++
+			} else {
+				batch.Fault = rec.Fault
+			}
+			if !x.sim.emitRecs {
+				batch.Recs = batch.Recs[:0]
+			}
+			batch.Halted = m.Halted
+			return batch.Fault == mach.FaultNone && !m.Halted
+		}
+		// Link the previous block's slot to this one. The link records the
+		// epoch blk was just validated under; a follow re-checks it, so a
+		// link can never outlive the code it points at. A stale slot (its
+		// block was evicted since) still gets the link: follow validity is
+		// self-contained in (nextPC, nextEpoch, stamp), independent of
+		// which block the slot currently caches.
+		if last := x.lastB; last >= 0 {
+			ls := &t.slots[last]
+			if ls.stamp == t.stamp {
+				ls.next = blk
+				ls.nextPC = pc
+				ls.nextEpoch = m.Mem.CodeGen()
+				ls.nextSlot = uint32(slot)
+				x.stats.BlockChainLinks++
+			}
+		}
+	}
+	emit := x.sim.emitRecs
+	// The architectural PC and retired-instruction counter are updated once
+	// at block exit (nothing observes them mid-block: instruction semantics
+	// read the working fields, and budget/watchdog checks run between
+	// ExecBlock calls); n counts retired instructions locally.
+	n := 0
 	for _, u := range blk.units {
 		x.pc = u.pc
 		x.physPC = u.physPC
@@ -56,7 +100,19 @@ func (x *Exec) ExecBlock(batch *Batch) bool {
 		x.instrID = u.id
 		x.fault = mach.FaultNone
 		x.nullify = false
-		x.runSegs(u, 0, int32(len(u.segs)))
+		// Inline segment dispatch: fault and nullify were just cleared, so
+		// the runSegs entry checks cannot fire, and the common path is one
+		// closure call plus one combined check per segment. A fault or
+		// nullification mid-unit (rare) resumes through runSegs, which
+		// handles exception diversion exactly as before.
+		segs := u.segs
+		for i := range segs {
+			segs[i].run(x)
+			if x.fault != mach.FaultNone || x.nullify {
+				x.runSegs(u, int32(i+1), int32(len(segs)))
+				break
+			}
+		}
 		x.work += uint64(u.work)
 		if emit {
 			x.publish(batch.next())
@@ -64,17 +120,21 @@ func (x *Exec) ExecBlock(batch *Batch) bool {
 		if x.fault != mach.FaultNone {
 			batch.Fault = x.fault
 			batch.Halted = m.Halted
+			batch.N = n
+			// Faulting (halting) instructions do not retire: the PC stays
+			// at the faulting instruction.
+			m.PC = u.pc
+			m.Instret += uint64(n)
+			x.lastB = -1
 			return false
 		}
-		m.PC = x.nextPC
-		m.Instret++
-		batch.N++
+		n++
 	}
+	m.PC = x.nextPC
+	m.Instret += uint64(n)
+	batch.N = n
+	x.lastB = slot
 	return true
-}
-
-func (s *Sim) emitBlockRecords() bool {
-	return s.Layout.NumSlots() > 0 || s.Opts.ForceRecords
 }
 
 // next returns the next record slot of the batch, reusing capacity (and
@@ -88,23 +148,36 @@ func (b *Batch) next() *Record {
 	return &b.Recs[len(b.Recs)-1]
 }
 
-// transBlock returns the translated block starting at pc, translating on a
-// miss. nil means the first instruction cannot be fetched or decoded. Like
-// transUnit, it consults the private generation-validated cache first, then
-// the Sim's shared cache (validating every unit's bits against this
+// transBlock returns the translated block starting at pc (and the table
+// slot now caching it), translating on a miss. A nil block means the first
+// instruction cannot be fetched or decoded. Like transUnit, it consults the
+// private direct-map table first (epoch compare, then page generation),
+// then the Sim's shared cache (validating every unit's bits against this
 // machine's memory), and only then builds a fresh block.
-func (x *Exec) transBlock(pc uint64) *xblock {
-	if x.bcache == nil {
-		x.bcache = make(map[uint64]bentry)
+func (x *Exec) transBlock(pc uint64) (*xblock, int32) {
+	t := &x.btab
+	if t.slots == nil {
+		t.init(x.sim.Opts.CacheCap)
 	}
-	gen := x.M.Mem.Gen(pc)
-	if e, ok := x.bcache[pc]; ok {
-		if e.gen == gen {
+	mem := x.M.Mem
+	i := t.idx(pc)
+	s := &t.slots[i]
+	if s.stamp == t.stamp && s.pc == pc {
+		cg := mem.CodeGen()
+		if s.epoch == cg {
 			x.stats.BlockL1Hits++
-			return e.b
+			return s.b, int32(i)
+		}
+		// The epoch moved, but a block never crosses a page boundary, so
+		// an unchanged generation of its one page revalidates all of it.
+		if s.gen == mem.Gen(pc) {
+			s.epoch = cg
+			x.stats.BlockL1Hits++
+			return s.b, int32(i)
 		}
 		x.stats.BlockL1GenEvictions++
-		delete(x.bcache, pc)
+	} else if s.stamp == t.stamp && s.b != nil {
+		x.stats.BlockL1Conflicts++
 	}
 	blk := x.sim.shared.lookupBlock(pc)
 	if blk != nil && !x.blockValid(blk) {
@@ -116,17 +189,16 @@ func (x *Exec) transBlock(pc uint64) *xblock {
 	} else {
 		blk = x.buildBlock(pc)
 		if blk == nil {
-			return nil
+			return nil, -1
 		}
 		x.stats.BlockBuilds++
 		x.sim.shared.insertBlock(pc, blk)
 	}
-	if len(x.bcache) >= x.sim.Opts.CacheCap {
-		x.stats.BlockL1Flushes++
-		x.bcache = make(map[uint64]bentry)
-	}
-	x.bcache[pc] = bentry{b: blk, gen: gen}
-	return blk
+	// Mark the block's (single) page as code before capturing generation
+	// and epoch: every later store to it must advance both.
+	mem.MarkCode(pc)
+	*s = bslot{pc: pc, gen: mem.Gen(pc), epoch: mem.CodeGen(), stamp: t.stamp, b: blk}
+	return blk, int32(i)
 }
 
 // blockValid reports whether every instruction of a shared-cache block

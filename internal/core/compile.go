@@ -121,14 +121,64 @@ func (c *compiler) compileExpr(e lis.Expr) value {
 }
 
 func (c *compiler) compileBinary(e *lis.BinaryExpr) value {
-	l := c.compileExpr(e.L)
-	r := c.compileExpr(e.R)
+	return c.binaryVal(e, c.compileExpr(e.L), c.compileExpr(e.R))
+}
+
+// binaryVal builds the closure for a binary expression from its already
+// compiled operands (compileStmt compiles if-condition operands itself so
+// it can fuse the comparison into the branch closure).
+func (c *compiler) binaryVal(e *lis.BinaryExpr, l, r value) value {
 	if l.isC && r.isC {
 		return constVal(lis.EvalBinaryOp(e.Op, l.c, r.c))
 	}
+	c.work++
+	// One constant side is common after translation folds PCs and encoding
+	// fields; skipping its closure saves an indirect call per evaluation.
+	if r.isC {
+		k := r.c
+		lf := l.force()
+		switch e.Op {
+		case lis.OpAdd:
+			return value{fn: func(x *Exec) uint64 { return lf(x) + k }}
+		case lis.OpSub:
+			return value{fn: func(x *Exec) uint64 { return lf(x) - k }}
+		case lis.OpAnd:
+			return value{fn: func(x *Exec) uint64 { return lf(x) & k }}
+		case lis.OpOr:
+			return value{fn: func(x *Exec) uint64 { return lf(x) | k }}
+		case lis.OpXor:
+			return value{fn: func(x *Exec) uint64 { return lf(x) ^ k }}
+		case lis.OpEq:
+			return value{fn: func(x *Exec) uint64 { return b2u(lf(x) == k) }}
+		case lis.OpNe:
+			return value{fn: func(x *Exec) uint64 { return b2u(lf(x) != k) }}
+		case lis.OpLt:
+			return value{fn: func(x *Exec) uint64 { return b2u(lf(x) < k) }}
+		}
+	} else if l.isC {
+		k := l.c
+		rf := r.force()
+		switch e.Op {
+		case lis.OpAdd:
+			return value{fn: func(x *Exec) uint64 { return k + rf(x) }}
+		case lis.OpSub:
+			return value{fn: func(x *Exec) uint64 { return k - rf(x) }}
+		case lis.OpAnd:
+			return value{fn: func(x *Exec) uint64 { return k & rf(x) }}
+		case lis.OpOr:
+			return value{fn: func(x *Exec) uint64 { return k | rf(x) }}
+		case lis.OpXor:
+			return value{fn: func(x *Exec) uint64 { return k ^ rf(x) }}
+		case lis.OpEq:
+			return value{fn: func(x *Exec) uint64 { return b2u(k == rf(x)) }}
+		case lis.OpNe:
+			return value{fn: func(x *Exec) uint64 { return b2u(k != rf(x)) }}
+		case lis.OpLt:
+			return value{fn: func(x *Exec) uint64 { return b2u(k < rf(x)) }}
+		}
+	}
 	lf := l.force()
 	rf := r.force()
-	c.work++
 	// Specialize the hottest operators; fall back to the shared evaluator.
 	switch e.Op {
 	case lis.OpAdd:
@@ -176,6 +226,101 @@ func (c *compiler) compileBinary(e *lis.BinaryExpr) value {
 	}
 	op := e.Op
 	return value{fn: func(x *Exec) uint64 { return lis.EvalBinaryOp(op, lf(x), rf(x)) }}
+}
+
+// fuseCondThen builds an if-then closure with a comparison (or conjunction)
+// condition evaluated inline, eliminating the condition closure's indirect
+// call. Semantics match the generic cond-then pair exactly: both comparison
+// operands are always evaluated (their effects must fire), and && / ||
+// short-circuit the same way the standalone condition closures do. Returns
+// nil for condition operators that are not worth fusing.
+func fuseCondThen(op lis.Op, l, r value, tf stepFn) stepFn {
+	switch op {
+	case lis.OpEq:
+		if r.isC {
+			k, lf := r.c, l.force()
+			return func(x *Exec) {
+				if lf(x) == k {
+					tf(x)
+				}
+			}
+		}
+		if l.isC {
+			k, rf := l.c, r.force()
+			return func(x *Exec) {
+				if rf(x) == k {
+					tf(x)
+				}
+			}
+		}
+		lf, rf := l.force(), r.force()
+		return func(x *Exec) {
+			if lf(x) == rf(x) {
+				tf(x)
+			}
+		}
+	case lis.OpNe:
+		if r.isC {
+			k, lf := r.c, l.force()
+			return func(x *Exec) {
+				if lf(x) != k {
+					tf(x)
+				}
+			}
+		}
+		if l.isC {
+			k, rf := l.c, r.force()
+			return func(x *Exec) {
+				if rf(x) != k {
+					tf(x)
+				}
+			}
+		}
+		lf, rf := l.force(), r.force()
+		return func(x *Exec) {
+			if lf(x) != rf(x) {
+				tf(x)
+			}
+		}
+	case lis.OpLt:
+		if r.isC {
+			k, lf := r.c, l.force()
+			return func(x *Exec) {
+				if lf(x) < k {
+					tf(x)
+				}
+			}
+		}
+		if l.isC {
+			k, rf := l.c, r.force()
+			return func(x *Exec) {
+				if k < rf(x) {
+					tf(x)
+				}
+			}
+		}
+		lf, rf := l.force(), r.force()
+		return func(x *Exec) {
+			if lf(x) < rf(x) {
+				tf(x)
+			}
+		}
+	case lis.OpLand:
+		lf, rf := l.force(), r.force()
+		return func(x *Exec) {
+			if lf(x) != 0 && rf(x) != 0 {
+				tf(x)
+			}
+		}
+	case lis.OpLor:
+		lf, rf := l.force(), r.force()
+		return func(x *Exec) {
+			if lf(x) != 0 || rf(x) != 0 {
+				tf(x)
+			}
+		}
+	}
+	return nil
 }
 
 func (c *compiler) compileIdent(e *lis.IdentExpr) value {
@@ -254,6 +399,23 @@ func (c *compiler) readField(f *lis.Field, pos lis.Pos) value {
 func (c *compiler) assignField(f *lis.Field, v value, pos lis.Pos) stepFn {
 	c.work++
 	if f.Builtin {
+		if v.isC {
+			// Constant RHS (translated branch targets, fixed fault codes):
+			// store the value directly, no closure call.
+			k := v.c
+			switch f.Name {
+			case lis.FieldPhysPC:
+				return func(x *Exec) { x.physPC = k }
+			case lis.FieldNextPC:
+				return func(x *Exec) { x.nextPC = k }
+			case lis.FieldFault:
+				kf := mach.Fault(k)
+				return func(x *Exec) { x.fault = kf }
+			case lis.FieldNullify:
+				kb := k != 0
+				return func(x *Exec) { x.nullify = kb }
+			}
+		}
 		vf := v.force()
 		switch f.Name {
 		case lis.FieldPhysPC:
@@ -277,7 +439,11 @@ func (c *compiler) assignField(f *lis.Field, v value, pos lis.Pos) stepFn {
 		vf := v.fn
 		return func(x *Exec) { x.fr[slot] = vf(x) & mask }
 	}
-	vf := v.force()
+	if v.isC {
+		k := v.c
+		return func(x *Exec) { x.fr[slot] = k }
+	}
+	vf := v.fn
 	return func(x *Exec) { x.fr[slot] = vf(x) }
 }
 
@@ -444,7 +610,12 @@ func fuse(stmts []cstmt) (stepFn, bool) {
 		}
 	}
 	if !anyMidFault {
-		// No statement before the last can fault: plain sequencing.
+		// No statement before the last can fault: plain sequencing. Pairs
+		// are the most common fusion; give them a loop-free closure.
+		if len(stmts) == 2 {
+			f0, f1 := stmts[0].run, stmts[1].run
+			return func(x *Exec) { f0(x); f1(x) }, canFault
+		}
 		fns := make([]stepFn, len(stmts))
 		for i, s := range stmts {
 			fns[i] = s.run
@@ -454,6 +625,17 @@ func fuse(stmts []cstmt) (stepFn, bool) {
 				f(x)
 			}
 		}, canFault
+	}
+	if len(stmts) == 2 {
+		// First statement can fault; the second must not run after a fault.
+		f0, f1 := stmts[0].run, stmts[1].run
+		return func(x *Exec) {
+			f0(x)
+			if x.fault != mach.FaultNone {
+				return
+			}
+			f1(x)
+		}, true
 	}
 	type guarded struct {
 		run   stepFn
@@ -499,7 +681,19 @@ func (c *compiler) compileStmt(st lis.Stmt) cstmt {
 		c.work++
 		return cstmt{run: func(x *Exec) { x.fr[slot] = vf(x) }, canFault: exprHasEffect(st.RHS)}
 	case *lis.IfStmt:
-		cond := c.compileExpr(st.Cond)
+		// Condition operands are compiled here (not through compileBinary)
+		// so a comparison condition can fuse into the branch closure below,
+		// saving an indirect call per evaluation. Work accounting is
+		// unchanged: binaryVal charges the same node compileBinary would.
+		var cond, bl, br value
+		be, isBin := st.Cond.(*lis.BinaryExpr)
+		if isBin {
+			bl = c.compileExpr(be.L)
+			br = c.compileExpr(be.R)
+			cond = c.binaryVal(be, bl, br)
+		} else {
+			cond = c.compileExpr(st.Cond)
+		}
 		thenFn, thenF := c.compileBlock(st.Then)
 		var elseFn stepFn
 		elseF := false
@@ -521,6 +715,11 @@ func (c *compiler) compileStmt(st lis.Stmt) cstmt {
 				return cstmt{run: func(x *Exec) { cfn(x) }, canFault: cf}
 			}
 			tf := thenFn
+			if isBin {
+				if fs := fuseCondThen(be.Op, bl, br, tf); fs != nil {
+					return cstmt{run: fs, canFault: cf}
+				}
+			}
 			return cstmt{run: func(x *Exec) {
 				if cfn(x) != 0 {
 					tf(x)
@@ -609,6 +808,17 @@ func (c *compiler) compileOp(op iop) cstmt {
 			if k == zero {
 				v = constVal(0)
 				c.work--
+			} else if f := b.Op.Value; !f.Builtin {
+				// Fused read+assign (translated mode hoists the index to a
+				// constant): one closure, no intermediate value call. Work
+				// accounting matches the unfused pair exactly.
+				c.work++
+				slot := c.sim.fslot[f.Index]
+				if f.Width < 64 {
+					mask := uint64(1)<<uint(f.Width) - 1
+					return cstmt{run: func(x *Exec) { x.fr[slot] = x.spaces[spIdx].Vals[k] & mask }}
+				}
+				return cstmt{run: func(x *Exec) { x.fr[slot] = x.spaces[spIdx].Vals[k] }}
 			} else {
 				v = value{fn: func(x *Exec) uint64 { return x.spaces[spIdx].Vals[k] }}
 			}

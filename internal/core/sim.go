@@ -55,6 +55,10 @@ type Sim struct {
 	hasDecode []bool
 	lastEp    int
 	instrSize uint64
+	// emitRecs caches whether Block execution publishes per-instruction
+	// records (visible fields beyond the minimal set, or ForceRecords), so
+	// the dispatch loop does not recompute it per block.
+	emitRecs bool
 
 	// shared is the second-level translation cache: translated units and
 	// blocks published across all Execs of this Sim (see transcache.go).
@@ -151,6 +155,7 @@ func Synthesize(spec *lis.Spec, buildset string, opts Options) (s *Sim, err erro
 		s.pubFr = append(s.pubFr, s.fslot[f.Index])
 	}
 	s.pubWork = uint32(len(s.pubFr)) + 4
+	s.emitRecs = s.Layout.NumSlots() > 0 || opts.ForceRecords
 
 	// Entrypoint maps.
 	s.epOf = make([]int, len(spec.Steps))
@@ -467,12 +472,29 @@ type Exec struct {
 
 	// First-level translation caches, private to this Exec (and therefore
 	// to its goroutine: an Exec, like its Machine, is confined to one
-	// goroutine at a time). Entries pair a translated product with the
-	// code-page generation of this machine's memory at validation time, so
-	// self-modifying code invalidates locally without touching the shared
-	// cache.
-	ucache map[uint64]uentry
-	bcache map[uint64]bentry
+	// goroutine at a time). They are direct-mapped open-addressed tables
+	// (see l1cache.go): entries pair a translated product with the page
+	// generation and code-store epoch of this machine's memory at
+	// validation time, so self-modifying code invalidates locally without
+	// touching the shared cache. Tables are allocated lazily on first use
+	// so a One-interface Exec never pays for a block table and vice versa.
+	utab utab
+	btab btab
+
+	// lastB is the block-table slot of the most recently retired block, or
+	// -1 when the previous dispatch cannot anchor a chain link (cold start,
+	// fault, dynamic fallback, flush). ExecBlock uses it to follow and to
+	// install block->block chain links.
+	lastB int32
+
+	// noTrans mirrors Options.NoTranslate (the interpreted-One ablation).
+	noTrans bool
+
+	// varena backs Record.Vals allocations in publish: values are carved
+	// from one chunk so steady-state publication does not allocate per
+	// record. Records own their sub-slices; the arena is append-only and
+	// replaced wholesale when exhausted.
+	varena []uint64
 
 	work  uint64
 	stats ExecStats
@@ -484,64 +506,60 @@ type Exec struct {
 // on. The experiment engine drains them per cell into its obs registry.
 type ExecStats struct {
 	// Unit (per-instruction translation) cache events.
-	UnitL1Hits         uint64 // first-level hits (generation still valid)
+	UnitL1Hits         uint64 // first-level hits (epoch or generation still valid)
 	UnitL1GenEvictions uint64 // entries dropped on a page-generation mismatch
-	UnitL1Flushes      uint64 // wholesale first-level flushes at capacity
+	UnitL1Conflicts    uint64 // entries evicted by a different PC mapping to the slot
+	UnitL1Flushes      uint64 // wholesale first-level flushes (FlushLocal stamp bumps)
 	UnitSharedHits     uint64 // second-level (shared, bits-validated) hits
 	UnitTranslations   uint64 // fresh translations published to the shared cache
 
 	// Block cache events (the Block interface's translated basic blocks).
 	BlockL1Hits         uint64
 	BlockL1GenEvictions uint64
+	BlockL1Conflicts    uint64
 	BlockL1Flushes      uint64
 	BlockSharedHits     uint64
 	BlockSharedStale    uint64 // shared blocks rejected by per-unit bits validation
 	BlockBuilds         uint64 // fresh blocks built and published
+
+	// Block chaining events: links installed between a retired block's
+	// table slot and its observed successor, and dispatches resolved by
+	// following such a link (skipping the table lookup entirely).
+	BlockChainLinks   uint64
+	BlockChainFollows uint64
 }
 
 // Merge adds o's counts into s, field by field.
 func (s *ExecStats) Merge(o ExecStats) {
 	s.UnitL1Hits += o.UnitL1Hits
 	s.UnitL1GenEvictions += o.UnitL1GenEvictions
+	s.UnitL1Conflicts += o.UnitL1Conflicts
 	s.UnitL1Flushes += o.UnitL1Flushes
 	s.UnitSharedHits += o.UnitSharedHits
 	s.UnitTranslations += o.UnitTranslations
 	s.BlockL1Hits += o.BlockL1Hits
 	s.BlockL1GenEvictions += o.BlockL1GenEvictions
+	s.BlockL1Conflicts += o.BlockL1Conflicts
 	s.BlockL1Flushes += o.BlockL1Flushes
 	s.BlockSharedHits += o.BlockSharedHits
 	s.BlockSharedStale += o.BlockSharedStale
 	s.BlockBuilds += o.BlockBuilds
+	s.BlockChainLinks += o.BlockChainLinks
+	s.BlockChainFollows += o.BlockChainFollows
 }
 
 // Stats returns the Exec's accumulated translation-cache counts.
 func (x *Exec) Stats() ExecStats { return x.stats }
 
-// uentry is a first-level unit-cache entry: a translated unit plus the
-// page generation under which it was last validated for this machine.
-type uentry struct {
-	u   *unit
-	gen uint64
-}
-
-// bentry is the block-cache analogue of uentry.
-type bentry struct {
-	b   *xblock
-	gen uint64
-}
-
 // NewExec binds the simulator to a machine. The machine's journal is
 // enabled iff the buildset declares speculation support.
 func (s *Sim) NewExec(m *mach.Machine) *Exec {
 	m.JournalOn = s.BS.Spec
-	x := &Exec{M: m, sim: s, fr: make([]uint64, s.frameSize)}
+	x := &Exec{M: m, sim: s, fr: make([]uint64, s.frameSize), lastB: -1,
+		noTrans: s.Opts.NoTranslate}
 	x.spaces = make([]*mach.Space, len(s.Spec.Spaces))
 	for i, sp := range s.Spec.Spaces {
 		x.spaces[i] = m.MustSpace(sp.Name)
-	}
-	if !s.Opts.NoTranslate {
-		x.ucache = make(map[uint64]uentry)
-		x.bcache = make(map[uint64]bentry)
 	}
 	return x
 }
@@ -556,12 +574,19 @@ func (x *Exec) Work() uint64 { return x.work }
 // page-generation arithmetic that normally invalidates entries. The shared
 // second-level cache needs no flush: its entries are bits-validated on
 // every hit.
+//
+// The flush is O(1) and allocation-free: bumping the table stamps
+// invalidates every slot (including all chain links, which live in block
+// slots) without touching the slot storage.
 func (x *Exec) FlushLocal() {
-	if x.ucache != nil {
-		x.ucache = make(map[uint64]uentry)
+	x.utab.stamp++
+	x.btab.stamp++
+	x.lastB = -1
+	if x.utab.slots != nil {
+		x.stats.UnitL1Flushes++
 	}
-	if x.bcache != nil {
-		x.bcache = make(map[uint64]bentry)
+	if x.btab.slots != nil {
+		x.stats.BlockL1Flushes++
 	}
 }
 
@@ -600,8 +625,15 @@ func (x *Exec) publish(rec *Record) {
 	rec.Fault = x.fault
 	rec.Nullified = x.nullify
 	pub := x.sim.pubFr
+	if len(pub) == 0 {
+		// Min-visibility buildsets publish only the fixed header; skip the
+		// value loop (and any Vals storage management) entirely.
+		rec.Vals = rec.Vals[:0]
+		x.work += uint64(x.sim.pubWork)
+		return
+	}
 	if cap(rec.Vals) < len(pub) {
-		rec.Vals = make([]uint64, len(pub))
+		rec.Vals = x.arenaVals(len(pub))
 	} else {
 		rec.Vals = rec.Vals[:len(pub)]
 	}
@@ -609,6 +641,24 @@ func (x *Exec) publish(rec *Record) {
 		rec.Vals[i] = x.fr[fs]
 	}
 	x.work += uint64(x.sim.pubWork)
+}
+
+// arenaVals carves an n-slot value buffer out of the Exec's arena, so
+// records that must grow their Vals do not pay one allocation each. The
+// returned slice is full-length and capacity-clipped: appends by a consumer
+// can never bleed into a neighbouring record's values.
+func (x *Exec) arenaVals(n int) []uint64 {
+	const arenaChunk = 4096
+	if len(x.varena)+n > cap(x.varena) {
+		c := arenaChunk
+		if n > c {
+			c = n
+		}
+		x.varena = make([]uint64, 0, c)
+	}
+	lo := len(x.varena)
+	x.varena = x.varena[:lo+n]
+	return x.varena[lo : lo+n : lo+n]
 }
 
 // importRec loads the working state from a record at a Step-interface call
@@ -680,7 +730,7 @@ func (x *Exec) initInstr(pc uint64) {
 // (call-per-instruction) interface, publishing into rec. It reports false
 // when the machine has halted (or a fault stopped execution).
 func (x *Exec) ExecOne(rec *Record) bool {
-	if x.ucache != nil {
+	if !x.noTrans {
 		return x.execOneTranslated(rec)
 	}
 	return x.execOneDynamic(rec)
@@ -748,7 +798,22 @@ func (x *Exec) execOneTranslated(rec *Record) bool {
 			ps.run(x)
 		}
 	}
-	x.runSegs(u, 0, int32(len(u.segs)))
+	if x.fault == mach.FaultNone && !x.nullify {
+		// Inline segment dispatch (see ExecBlock): the runSegs entry checks
+		// cannot fire, so the common path is one closure call plus one
+		// combined check per segment; a mid-unit fault or nullification
+		// (rare) resumes through runSegs for exception diversion.
+		segs := u.segs
+		for i := range segs {
+			segs[i].run(x)
+			if x.fault != mach.FaultNone || x.nullify {
+				x.runSegs(u, int32(i+1), int32(len(segs)))
+				break
+			}
+		}
+	} else {
+		x.runSegs(u, 0, int32(len(u.segs)))
+	}
 	x.work += uint64(u.work)
 	x.publish(rec)
 	x.commit()
@@ -757,19 +822,35 @@ func (x *Exec) execOneTranslated(rec *Record) bool {
 
 // transUnit returns the translated unit at pc, translating on miss. nil
 // means the instruction cannot be fetched or decoded. The lookup order is
-// first-level (private, generation-validated), then the Sim's shared cache
-// (bits-validated), then a fresh translation published to both levels.
+// first-level (private direct-map table, epoch/generation-validated), then
+// the Sim's shared cache (bits-validated), then a fresh translation
+// published to both levels.
 func (x *Exec) transUnit(pc uint64) *unit {
-	gen := x.M.Mem.Gen(pc)
-	if e, ok := x.ucache[pc]; ok {
-		if e.gen == gen {
+	t := &x.utab
+	if t.slots == nil {
+		t.init(x.sim.Opts.CacheCap)
+	}
+	mem := x.M.Mem
+	s := &t.slots[t.idx(pc)]
+	if s.stamp == t.stamp && s.pc == pc {
+		// Epoch first: no store has touched any code page, so the cached
+		// unit is valid without even walking to pc's page.
+		cg := mem.CodeGen()
+		if s.epoch == cg {
 			x.stats.UnitL1Hits++
-			return e.u
+			return s.u
+		}
+		if s.gen == mem.Gen(pc) {
+			s.epoch = cg
+			x.stats.UnitL1Hits++
+			return s.u
 		}
 		x.stats.UnitL1GenEvictions++
-		delete(x.ucache, pc)
+	} else if s.stamp == t.stamp && s.u != nil {
+		x.stats.UnitL1Conflicts++
 	}
-	v, f := x.M.Mem.Load(pc, x.sim.Spec.InstrSize)
+	size := x.sim.Spec.InstrSize
+	v, gen, f := mem.LoadGen(pc, size)
 	if f != mach.FaultNone {
 		return nil
 	}
@@ -787,11 +868,16 @@ func (x *Exec) transUnit(pc uint64) *unit {
 	} else {
 		x.stats.UnitSharedHits++
 	}
-	if len(x.ucache) >= x.sim.Opts.CacheCap {
-		x.stats.UnitL1Flushes++
-		x.ucache = make(map[uint64]uentry)
+	if pc&uint64(mach.PageSize()-1)+uint64(size) > uint64(mach.PageSize()) {
+		// A fetch straddling a page boundary is validated by a single
+		// page generation, which cannot witness stores to the second
+		// page; leave it uncached rather than risk staleness.
+		return u
 	}
-	x.ucache[pc] = uentry{u: u, gen: gen}
+	// Mark pc's page as code BEFORE capturing the epoch, so every later
+	// store to it is guaranteed to advance the epoch this slot records.
+	mem.MarkCode(pc)
+	*s = uslot{pc: pc, gen: gen, epoch: mem.CodeGen(), stamp: t.stamp, u: u}
 	return u
 }
 

@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteBenchJSON(t *testing.T) {
+	cells := []Cell{
+		{ISA: "toy", Buildset: "block_min", MIPS: 42.5, NsPerInstr: 23.5,
+			WorkPerInstr: 9, Instret: 1000, WorkUnits: 9000},
+		{ISA: "toy", Buildset: "one_all",
+			Err: &CellError{Kind: CellPanic, Err: errors.New("boom")}},
+	}
+	cfg := Config{Scale: 3, Metric: MetricWork}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchJSON(path, cfg, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("bench json missing trailing newline")
+	}
+	var got BenchOut
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if got.Schema != BenchSchema {
+		t.Errorf("schema %q, want %q", got.Schema, BenchSchema)
+	}
+	if got.Metric != "work" || got.Scale != 3 {
+		t.Errorf("metric/scale = %q/%d, want work/3", got.Metric, got.Scale)
+	}
+	if got.Go == "" {
+		t.Error("go provenance missing")
+	}
+	if len(got.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(got.Cells))
+	}
+	c0 := got.Cells[0]
+	if c0.ISA != "toy" || c0.Buildset != "block_min" || c0.WorkPerInstr != 9 ||
+		c0.Instret != 1000 || c0.WorkUnits != 9000 || c0.MIPS != 42.5 || c0.Error != "" {
+		t.Errorf("cell 0 mismatch: %+v", c0)
+	}
+	if got.Cells[1].Error == "" {
+		t.Error("errored cell lost its error string")
+	}
+	// The schema contract: the keys CI's comparison script reads must be
+	// present in the raw JSON under exactly these names.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	cell0 := raw["cells"].([]any)[0].(map[string]any)
+	for _, key := range []string{"isa", "buildset", "mips", "ns_per_instr",
+		"work_per_instr", "instret", "work_units"} {
+		if _, ok := cell0[key]; !ok {
+			t.Errorf("schema key %q missing from cell", key)
+		}
+	}
+}

@@ -266,15 +266,19 @@ func recordCells(reg *obs.Registry, cells []Cell) {
 		cs := c.Stats.Cache
 		add("core.transcache.unit.l1_hit", cs.UnitL1Hits)
 		add("core.transcache.unit.l1_gen_evict", cs.UnitL1GenEvictions)
+		add("core.transcache.unit.l1_conflict", cs.UnitL1Conflicts)
 		add("core.transcache.unit.l1_flush", cs.UnitL1Flushes)
 		add("core.transcache.unit.shared_hit", cs.UnitSharedHits)
 		add("core.transcache.unit.translations", cs.UnitTranslations)
 		add("core.transcache.block.l1_hit", cs.BlockL1Hits)
 		add("core.transcache.block.l1_gen_evict", cs.BlockL1GenEvictions)
+		add("core.transcache.block.l1_conflict", cs.BlockL1Conflicts)
 		add("core.transcache.block.l1_flush", cs.BlockL1Flushes)
 		add("core.transcache.block.shared_hit", cs.BlockSharedHits)
 		add("core.transcache.block.shared_stale", cs.BlockSharedStale)
 		add("core.transcache.block.builds", cs.BlockBuilds)
+		add("core.transcache.block.chain_link", cs.BlockChainLinks)
+		add("core.transcache.block.chain_follow", cs.BlockChainFollows)
 		sh := c.Stats.Shared
 		add("core.transcache.unit.shared_insert", sh.UnitInsertions)
 		add("core.transcache.unit.shared_shard_flush", sh.UnitShardFlushes)

@@ -234,6 +234,7 @@ func TestEngineWorkerCountDeterminism(t *testing.T) {
 	for _, name := range []string{
 		"core.transcache.unit.l1_hit", "core.transcache.unit.translations",
 		"core.transcache.block.builds", "core.transcache.unit.shared_insert",
+		"core.transcache.block.chain_link", "core.transcache.block.chain_follow",
 		"expt.cell.ok", "expt.instret", "expt.watchdog.checks",
 		"sysemu.calls.exit",
 	} {

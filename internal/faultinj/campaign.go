@@ -82,6 +82,11 @@ type Result struct {
 	Faults int
 	// RefInstret is the clean run's retirement count.
 	RefInstret uint64
+	// ChainFollows is the faulted run's block-chain follow count (codegen
+	// class only). The codegen campaign runs under the block interface, so
+	// a nonzero value certifies its invalidation storms actually landed on
+	// a chaining dispatcher rather than a cold one.
+	ChainFollows uint64
 	// Divergence is non-nil when the faulted run's state leaked past
 	// recovery — the failure the campaign exists to catch.
 	Divergence *Divergence
@@ -250,6 +255,7 @@ func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
 		res.Injected, res.Divergence, res.Err =
 			injectCodeGen(got, clean, rng, events, cfg.MaxInstr)
 		res.Recovered = res.Injected
+		res.ChainFollows = got.x.Stats().BlockChainFollows
 	default:
 		res.Err = fmt.Errorf("faultinj: unhandled class %v", cs.class)
 	}

@@ -281,3 +281,26 @@ func TestCampaignObsCounters(t *testing.T) {
 		}
 	}
 }
+
+// TestCodeGenCampaignExercisesChaining: the codegen class runs on the
+// block interface, whose dispatcher chains blocks; the campaign is only a
+// meaningful stress of chain invalidation if links are actually being
+// followed between the injected storms.
+func TestCodeGenCampaignExercisesChaining(t *testing.T) {
+	cfg := quickCfg(42)
+	cfg.Classes = []Class{ClassCodeGen}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var follows uint64
+	for _, res := range rep.Results {
+		if res.Err != nil || res.Divergence != nil {
+			t.Errorf("cell %s failed: err=%v div=%v", res.key(), res.Err, res.Divergence)
+		}
+		follows += res.ChainFollows
+	}
+	if follows == 0 {
+		t.Fatal("codegen campaign ran without a single chain follow; the storm is not stressing chaining")
+	}
+}

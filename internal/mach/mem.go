@@ -58,6 +58,11 @@ type page struct {
 	// generation of the pages their code came from and re-translate when it
 	// changes (self-modifying code / program reload).
 	gen uint64
+	// code marks a page that translated code has been fetched from (see
+	// MarkCode). Stores into code-marked pages additionally advance the
+	// memory-wide code-store epoch, which block chaining uses to validate
+	// chain links without walking per-page generations.
+	code bool
 }
 
 // Memory is a sparse, paged, byte-addressable memory. The zero page
@@ -76,6 +81,13 @@ type Memory struct {
 	lastIdx  uint64
 	lastPage *page
 	haveLast bool
+	// codeGen is the memory-wide code-store epoch: it advances on every
+	// store that touches a code-marked page (and never otherwise). A cached
+	// artifact validated while codeGen == E stays valid for as long as
+	// codeGen == E, because no byte any translation was built from can have
+	// changed in between. This gives the dispatch hot path a single O(1)
+	// load-and-compare in place of per-page generation walks.
+	codeGen uint64
 }
 
 // NewMemory returns an empty memory with the given byte order.
@@ -102,6 +114,37 @@ func (m *Memory) pageFor(addr uint64) *page {
 
 // Gen returns the store-generation counter of the page containing addr.
 func (m *Memory) Gen(addr uint64) uint64 { return m.pageFor(addr).gen }
+
+// CodeGen returns the memory-wide code-store epoch (see the codeGen field).
+func (m *Memory) CodeGen() uint64 { return m.codeGen }
+
+// MarkCode flags the page containing addr as holding translated code.
+// Translators call it for every page they fetch instruction bytes from;
+// from then on stores into the page advance the code-store epoch so cached
+// dispatch state (chain links, epoch-validated cache slots) revalidates.
+// Marking is monotonic and idempotent; data-only pages never pay for it.
+func (m *Memory) MarkCode(addr uint64) { m.pageFor(addr).code = true }
+
+// LoadGen is Load and Gen in one page walk: it reads size bytes at addr and
+// also returns the store-generation counter of the page containing addr.
+// Translation misses use it to fetch instruction bytes and capture the
+// generation they validate against without paying pageFor twice.
+func (m *Memory) LoadGen(addr uint64, size int) (uint64, uint64, Fault) {
+	if addr < 4096 {
+		return 0, 0, FaultMemory
+	}
+	p := m.pageFor(addr)
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		return m.get(p.data[off:off+uint64(size)], size), p.gen, FaultNone
+	}
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		buf[i] = m.pageFor(a).data[a&pageMask]
+	}
+	return m.get(buf[:size], size), p.gen, FaultNone
+}
 
 // Load reads size bytes (1, 2, 4, or 8) at addr and returns them
 // zero-extended to 64 bits. Accesses to the null page fault.
@@ -131,6 +174,9 @@ func (m *Memory) Store(addr uint64, val uint64, size int) Fault {
 	}
 	p := m.pageFor(addr)
 	p.gen++
+	if p.code {
+		m.codeGen++
+	}
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
 		m.put(p.data[off:off+uint64(size)], val, size)
@@ -142,6 +188,9 @@ func (m *Memory) Store(addr uint64, val uint64, size int) Fault {
 		a := addr + uint64(i)
 		q := m.pageFor(a)
 		q.gen++
+		if q.code && q != p {
+			m.codeGen++
+		}
 		q.data[a&pageMask] = buf[i]
 	}
 	return FaultNone
@@ -181,6 +230,9 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 	for len(data) > 0 {
 		p := m.pageFor(addr)
 		p.gen++
+		if p.code {
+			m.codeGen++
+		}
 		off := addr & pageMask
 		n := copy(p.data[off:], data)
 		data = data[n:]
@@ -228,6 +280,9 @@ func (m *Memory) SetPageImage(addr uint64, data []byte, gen uint64) {
 		p.gen = gen
 	}
 	p.gen++
+	if p.code {
+		m.codeGen++
+	}
 }
 
 // PageBases returns the base addresses of all mapped pages in ascending
