@@ -14,6 +14,7 @@
 //	ssbench -faults 42       # deterministic fault-injection campaign
 //	ssbench -cell-timeout 30s -table 2          # watchdogged sweep
 //	ssbench -metric work -metrics-out metrics.json   # counters + manifest
+//	ssbench -table 2 -backend both              # interpreter vs. AOT runner parity sweep
 //	ssbench -resume-dir run1 -table 2           # durable sweep (journal)
 //	ssbench -resume-dir run1 -resume -table 2   # continue a killed sweep
 //	ssbench -pprof localhost:6060               # live profiling endpoint
@@ -64,6 +65,8 @@ func main() {
 	resumeDir := flag.String("resume-dir", "", "directory holding the durable run journal; enables resumable sweeps (see EXPERIMENTS.md)")
 	resume := flag.Bool("resume", false, "continue the journal in -resume-dir: completed cells are reloaded, only the rest are computed")
 	ckptEvery := flag.Uint64("ckpt-every", 0, "capture an in-cell machine checkpoint every N simulated instructions (0 disables); transient cell retries then resume from the last checkpoint instead of rerunning the cell")
+	backendName := flag.String("backend", "interp", "Table II execution backend: interp (in-process), aot (generated runner binaries), or both (each cell measured twice, with a deterministic-parity check)")
+	aotCache := flag.String("aot-cache", "", "directory caching compiled AOT runner binaries (keyed by source hash); empty uses a per-run temporary cache")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	flag.Parse()
 
@@ -114,6 +117,8 @@ func main() {
 			"resume-dir":   *resumeDir,
 			"resume":       strconv.FormatBool(*resume),
 			"ckpt-every":   strconv.FormatUint(*ckptEvery, 10),
+			"backend":      *backendName,
+			"aot-cache":    *aotCache,
 		}
 	}
 	// writeManifest flushes the manifest before any exit path; the snapshot
@@ -142,8 +147,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	backend, err := expt.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
-		CellTimeout: *cellTimeout, Obs: reg, CkptEvery: *ckptEvery, Interrupt: interrupt}
+		CellTimeout: *cellTimeout, Obs: reg, CkptEvery: *ckptEvery, Interrupt: interrupt,
+		Backend: backend, AOTCacheDir: *aotCache}
 
 	// Durability: the run journal records each completed cell as it
 	// finishes; a rerun with -resume reloads them. The fingerprint refuses
@@ -198,6 +208,21 @@ func main() {
 		}
 		fmt.Println(t2)
 		reportCellErrors(cells)
+		if backend == expt.BackendBoth {
+			// Deterministic parity: the AOT backend must reproduce the
+			// interpreter's work accounting exactly (the speed columns are
+			// the comparison; the work columns are the contract).
+			divs := expt.VerifyBackendParity(cells, metric == expt.MetricWork)
+			for _, d := range divs {
+				fmt.Fprintln(os.Stderr, "ssbench: backend divergence:", d)
+			}
+			if len(divs) > 0 {
+				sawCellErrors = true
+			} else {
+				fmt.Println("Backend parity: interpreter and AOT work accounting identical on all cells.")
+				fmt.Println()
+			}
+		}
 		fmt.Println("### Headline: lowest-detail vs. highest-detail interface")
 		fmt.Println()
 		fmt.Println(expt.Headline(cells, metric))

@@ -1,0 +1,409 @@
+package aot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/obs"
+)
+
+// sharedCacheDir is one compile cache for the whole test binary, so the
+// expensive go-build step runs once per (ISA, buildset) across tests.
+var (
+	cacheOnce      sync.Once
+	sharedCacheDir string
+)
+
+func testCacheDir(t *testing.T) string {
+	t.Helper()
+	cacheOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "aot-cache-*")
+		if err == nil {
+			sharedCacheDir = dir
+		}
+	})
+	if sharedCacheDir == "" {
+		t.Fatal("creating shared cache dir failed")
+	}
+	return sharedCacheDir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if sharedCacheDir != "" {
+		os.RemoveAll(sharedCacheDir)
+	}
+	os.Exit(code)
+}
+
+// requireToolchain skips with a reason when runner binaries cannot be
+// built here.
+func requireToolchain(t *testing.T) {
+	t.Helper()
+	if _, err := goVersion(); errors.Is(err, ErrNoToolchain) {
+		t.Skip("skipping: go toolchain not available on PATH")
+	} else if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func loadSim(t *testing.T, isaName, buildset string) (*isa.ISA, *core.Sim) {
+	t.Helper()
+	i, err := isa.Load(isaName)
+	if err != nil {
+		t.Fatalf("loading %s: %v", isaName, err)
+	}
+	sim, err := core.Synthesize(i.Spec, buildset, core.Options{})
+	if err != nil {
+		t.Fatalf("synthesizing %s/%s: %v", isaName, buildset, err)
+	}
+	return i, sim
+}
+
+func buildRunner(t *testing.T, i *isa.ISA, sim *core.Sim, reg *obs.Registry) *BuildResult {
+	t.Helper()
+	requireToolchain(t)
+	res, err := Build(sim, RunnerConvFor(i.Conv), testCacheDir(t), reg)
+	if err != nil {
+		t.Fatalf("building runner for %s/%s: %v", sim.Spec.Name, sim.BS.Name, err)
+	}
+	return res
+}
+
+func kernelProgram(t *testing.T, i *isa.ISA, name string, n int) *asm.Program {
+	t.Helper()
+	k := kernels.ByName(name)
+	if k == nil {
+		t.Fatalf("no kernel %q", name)
+	}
+	prog, err := kernels.BuildProgram(i, k.Build(n))
+	if err != nil {
+		t.Fatalf("building %s for %s: %v", name, i.Name, err)
+	}
+	return prog
+}
+
+// TestDiffKernelAcrossModes is the package smoke test: one kernel through
+// one buildset of each interface mode on each ISA, interpreter vs. runner,
+// zero divergences.
+func TestDiffKernelAcrossModes(t *testing.T) {
+	for _, isaName := range isa.Names() {
+		for _, buildset := range []string{"one_decode", "block_all", "step_all"} {
+			t.Run(isaName+"/"+buildset, func(t *testing.T) {
+				i, sim := loadSim(t, isaName, buildset)
+				b := buildRunner(t, i, sim, nil)
+				prog := kernelProgram(t, i, "fib_iter", 12)
+				d, err := DiffProgram(sim, i, prog, b.BinPath, DiffConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d != nil {
+					t.Fatalf("divergence: %v", d)
+				}
+			})
+		}
+	}
+}
+
+// TestRunnerDeterministicAcrossRuns checks that two runs of one program in
+// one runner process (the warmup + measured schedule the bench path uses)
+// report identical instret, profile-reconstructed work, and result word.
+func TestRunnerDeterministicAcrossRuns(t *testing.T) {
+	i, sim := loadSim(t, "alpha64", "one_decode")
+	b := buildRunner(t, i, sim, nil)
+	prog := kernelProgram(t, i, "crc32", 64)
+	r, err := Spawn(b.BinPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Init(prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	resultAddr := prog.Symbols["result"]
+	var prev *RunResult
+	for run := 0; run < 3; run++ {
+		res, err := r.Run(1<<22, false, resultAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Halted {
+			t.Fatalf("run %d did not halt (fault %d at pc %#x)", run, res.Fault, res.PC)
+		}
+		w, err := ComputeWork(sim, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			pw, _ := ComputeWork(sim, prev)
+			if res.Instret != prev.Instret || w != pw || res.ResultWord != prev.ResultWord {
+				t.Fatalf("run %d not deterministic: instret %d/%d work %d/%d result %#x/%#x",
+					run, res.Instret, prev.Instret, w, pw, res.ResultWord, prev.ResultWord)
+			}
+		}
+		prev = res
+	}
+}
+
+// TestBuildCacheReuse: an identical second build must reuse the cached
+// binary and say so through the obs counters.
+func TestBuildCacheReuse(t *testing.T) {
+	requireToolchain(t)
+	i, sim := loadSim(t, "alpha64", "one_min")
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	first, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first build reported a cache hit in an empty cache")
+	}
+	second, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.BinPath != first.BinPath {
+		t.Fatalf("second build not served from cache: %+v", second)
+	}
+	if got := reg.Counter("aot.cache.hit").Load(); got != 1 {
+		t.Fatalf("aot.cache.hit = %d, want 1", got)
+	}
+	if got := reg.Counter("aot.build").Load(); got != 1 {
+		t.Fatalf("aot.build = %d, want 1", got)
+	}
+}
+
+// TestBuildCacheCorruption: a flipped byte in the cached binary must be
+// detected by the manifest hash and trigger a rebuild, never silent reuse.
+func TestBuildCacheCorruption(t *testing.T) {
+	requireToolchain(t)
+	i, sim := loadSim(t, "alpha64", "one_min")
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	first, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(first.BinPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(first.BinPath, data, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("corrupted binary was served from cache")
+	}
+	if got := reg.Counter("aot.cache.corrupt").Load(); got != 1 {
+		t.Fatalf("aot.cache.corrupt = %d, want 1", got)
+	}
+	if got := reg.Counter("aot.build").Load(); got != 2 {
+		t.Fatalf("aot.build = %d, want 2", got)
+	}
+	// The rebuilt artifact must verify again.
+	third, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("rebuilt binary did not verify on the next lookup")
+	}
+}
+
+// TestBuildCacheConcurrent: racing cells on one cache entry build exactly
+// once (run under -race in CI).
+func TestBuildCacheConcurrent(t *testing.T) {
+	requireToolchain(t)
+	i, sim := loadSim(t, "alpha64", "one_min")
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]*BuildResult, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = Build(sim, RunnerConvFor(i.Conv), dir, reg)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if results[w].BinPath != results[0].BinPath {
+			t.Fatalf("worker %d got different binary path", w)
+		}
+	}
+	if got := reg.Counter("aot.build").Load(); got != 1 {
+		t.Fatalf("aot.build = %d, want exactly 1 for %d racing builds", got, workers)
+	}
+}
+
+// TestComputeWorkRejectsUndecodableProfile: a profile entry that does not
+// decode must be an error, not a bogus total.
+func TestComputeWorkRejectsUndecodableProfile(t *testing.T) {
+	_, sim := loadSim(t, "alpha64", "one_min")
+	bits, found := uint32(0), false
+	for probe := uint32(0); probe < 1<<16 && !found; probe++ {
+		if _, ok := sim.DynamicUnitWork(probe << 16); !ok {
+			bits, found = probe<<16, true
+		}
+	}
+	if !found {
+		t.Skip("no undecodable encoding found in probe range")
+	}
+	res := &RunResult{}
+	res.Profile = []ProfEntry{{PC: 0x10000, Bits: bits, Count: 1}}
+	if _, err := ComputeWork(sim, res); err == nil {
+		t.Fatal("ComputeWork accepted an undecodable profile entry")
+	}
+}
+
+// ---- protocol decoder hardening ----
+
+func validHello() []byte {
+	p := []byte{'H'}
+	p = append(p, 7, 0)
+	p = append(p, "alpha64"...)
+	p = append(p, 7, 0)
+	p = append(p, "one_all"...)
+	p = binary.LittleEndian.AppendUint32(p, 2)
+	p = append(p, 4, 0)
+	p = append(p, "alua"...)
+	p = append(p, 5, 0)
+	p = append(p, "alub\x5f"...)
+	p = binary.LittleEndian.AppendUint32(p, 1)
+	p = append(p, 0, 1)
+	return p
+}
+
+func validRecords(nVis int) []byte {
+	p := []byte{'R'}
+	p = binary.LittleEndian.AppendUint32(p, 2)
+	for rec := 0; rec < 2; rec++ {
+		var hdr [32]byte
+		binary.LittleEndian.PutUint64(hdr[0:], 0x10000+uint64(rec)*4)
+		binary.LittleEndian.PutUint32(hdr[24:], 0xdeadbeef)
+		p = append(p, hdr[:]...)
+		for v := 0; v < nVis; v++ {
+			p = binary.LittleEndian.AppendUint64(p, uint64(v))
+		}
+	}
+	return p
+}
+
+func validFinal() []byte {
+	p := []byte{'F', 1}
+	p = binary.LittleEndian.AppendUint64(p, 42)          // exit code
+	p = append(p, 3, 0)                                  // fault, kind
+	p = binary.LittleEndian.AppendUint64(p, 0x10040)     // pc
+	p = binary.LittleEndian.AppendUint64(p, 1234)        // instret
+	p = binary.LittleEndian.AppendUint64(p, 99999)       // elapsed
+	p = binary.LittleEndian.AppendUint32(p, 0xabad1dea)  // result
+	p = binary.LittleEndian.AppendUint32(p, 1)           // spaces
+	p = binary.LittleEndian.AppendUint32(p, 2)           // count
+	p = binary.LittleEndian.AppendUint64(p, 7)
+	p = binary.LittleEndian.AppendUint64(p, 8)
+	p = binary.LittleEndian.AppendUint32(p, 3) // stdout
+	p = append(p, "ok\n"...)
+	p = binary.LittleEndian.AppendUint32(p, 1) // profile
+	p = binary.LittleEndian.AppendUint64(p, 0x10000)
+	p = binary.LittleEndian.AppendUint32(p, 0x12345678)
+	p = binary.LittleEndian.AppendUint64(p, 617)
+	return p
+}
+
+// TestDecodeValidFrames pins the golden paths the fuzzer mutates from.
+func TestDecodeValidFrames(t *testing.T) {
+	h, err := decodeHelloFrame(validHello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Spec != "alpha64" || h.Buildset != "one_all" || len(h.VisNames) != 2 || !h.EmitRecs {
+		t.Fatalf("hello decoded wrong: %+v", h)
+	}
+	recs, err := decodeRecordsFrame(validRecords(2), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].PC != 0x10004 || recs[0].InstrBits != 0xdeadbeef {
+		t.Fatalf("records decoded wrong: %+v", recs)
+	}
+	f, err := decodeFinalFrame(validFinal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Halted || f.ExitCode != 42 || f.Instret != 1234 || len(f.Spaces) != 1 ||
+		string(f.Stdout) != "ok\n" || len(f.Profile) != 1 || f.Profile[0].Count != 617 {
+		t.Fatalf("final decoded wrong: %+v", f)
+	}
+}
+
+// FuzzRunnerProtocol feeds corrupted, truncated, and oversized frames to
+// all three protocol decoders. Malformed input must produce a typed
+// *ProtocolError — never a panic, hang, or large-allocation blowup.
+func FuzzRunnerProtocol(f *testing.F) {
+	f.Add(validHello(), 2)
+	f.Add(validRecords(2), 2)
+	f.Add(validRecords(0), 0)
+	f.Add(validFinal(), 1)
+	f.Add([]byte{'H'}, 0)
+	f.Add([]byte{'R', 0xff, 0xff, 0xff, 0xff}, 3)
+	f.Add([]byte{'F', 1, 2, 3}, 0)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, nVis int) {
+		if _, err := decodeHelloFrame(data); err != nil {
+			requireProtocolError(t, err)
+		}
+		if _, err := decodeRecordsFrame(data, nVis%8, nil); err != nil {
+			requireProtocolError(t, err)
+		}
+		if _, err := decodeFinalFrame(data); err != nil {
+			requireProtocolError(t, err)
+		}
+	})
+}
+
+func requireProtocolError(t *testing.T, err error) {
+	t.Helper()
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("decoder returned untyped error %T: %v", err, err)
+	}
+}
+
+// TestCacheDirLayout documents the on-disk contract: one directory per
+// source hash prefix holding the runner binary and its manifest.
+func TestCacheDirLayout(t *testing.T) {
+	requireToolchain(t)
+	i, sim := loadSim(t, "alpha64", "one_min")
+	dir := t.TempDir()
+	res, err := Build(sim, RunnerConvFor(i.Conv), dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBin := filepath.Join(dir, res.Key[:16], "runner")
+	if res.BinPath != wantBin {
+		t.Fatalf("binary at %s, want %s", res.BinPath, wantBin)
+	}
+	if _, err := os.Stat(filepath.Join(dir, res.Key[:16], "manifest.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+}

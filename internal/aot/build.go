@@ -1,0 +1,260 @@
+// Package aot compiles the specialized simulator source the core emitter
+// produces for one (spec, buildset) pair into a standalone runner binary,
+// executes programs through it over a length-prefixed pipe protocol, and —
+// the heart of the package — differentially verifies the binary against the
+// closure interpreter at retire granularity. It closes the paper's §IV
+// loop: the same single specification drives both the in-process
+// interpreter and the generated ahead-of-time simulator.
+package aot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/obs"
+)
+
+// abiVersion names the runner protocol + harness contract. It participates
+// in the cache key so a protocol change can never reuse a stale binary.
+const abiVersion = "aot-v1"
+
+// ErrNoToolchain reports that the go toolchain needed to build runner
+// binaries is not on PATH. Callers (tests, sweeps) skip AOT cells with this
+// reason rather than failing.
+var ErrNoToolchain = errors.New("aot: go toolchain not available on PATH")
+
+// BuildResult describes one built (or cache-hit) runner binary.
+type BuildResult struct {
+	// BinPath is the runner binary, under the cache directory.
+	BinPath string
+	// Key is the full hex cache key (SHA-256 of generated source, harness,
+	// go.mod, toolchain version, and ABI tag).
+	Key string
+	// Cached reports whether a verified cached binary was reused.
+	Cached bool
+}
+
+// RunnerConvFor adapts an ISA ABI convention to the emitter's view.
+func RunnerConvFor(c isa.Convention) core.RunnerConv {
+	return core.RunnerConv{
+		SyscallNum: c.SyscallNum,
+		Args:       c.Args,
+		Ret:        c.Ret,
+		Stack:      c.Stack,
+		HeapBase:   c.HeapBase,
+		StackTop:   c.StackTop,
+	}
+}
+
+const runnerGoMod = "module aotrunner\n\ngo 1.24\n"
+
+// manifest records what a cached binary was built from, plus its own hash
+// so torn or tampered artifacts are detected before reuse.
+type manifest struct {
+	BinarySHA256 string `json:"binary_sha256"`
+	Key          string `json:"key"`
+	GoVersion    string `json:"go_version"`
+	Spec         string `json:"spec"`
+	Buildset     string `json:"buildset"`
+}
+
+var (
+	goVersionOnce sync.Once
+	goVersionStr  string
+	goVersionErr  error
+)
+
+// goVersion returns the `go version` string of the toolchain on PATH,
+// probing once per process. The toolchain that builds runners is the one on
+// PATH, not necessarily the one that built this host binary, so the probe
+// asks it directly rather than trusting runtime.Version.
+func goVersion() (string, error) {
+	goVersionOnce.Do(func() {
+		gobin, err := exec.LookPath("go")
+		if err != nil {
+			goVersionErr = ErrNoToolchain
+			return
+		}
+		out, err := exec.Command(gobin, "version").Output()
+		if err != nil {
+			goVersionErr = fmt.Errorf("aot: probing go version: %w", err)
+			return
+		}
+		goVersionStr = strings.TrimSpace(string(out))
+	})
+	return goVersionStr, goVersionErr
+}
+
+// inflight is the in-process singleflight state for one cache key: racing
+// cells block on done and share the winner's result.
+type inflight struct {
+	done chan struct{}
+	res  *BuildResult
+	err  error
+}
+
+var (
+	buildMu       sync.Mutex
+	buildInflight = map[string]*inflight{}
+)
+
+// Build returns a runner binary for sim's (spec, buildset) pair, generating
+// and compiling it on a cache miss. The cache key covers everything that
+// determines the binary: the generated source, the static harness, go.mod,
+// the toolchain version, and the protocol ABI tag. Cached binaries are
+// verified against their manifest hash before reuse; corruption triggers a
+// rebuild, never silent use. Concurrent calls for one key build exactly
+// once per process.
+func Build(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Registry) (*BuildResult, error) {
+	gover, err := goVersion()
+	if err != nil {
+		return nil, err
+	}
+	src, err := sim.EmitRunner(conv)
+	if err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	for _, part := range []string{abiVersion, gover, runnerGoMod, runnerHarness, src} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	key := hex.EncodeToString(h.Sum(nil))
+	entryDir := filepath.Join(cacheDir, key[:16])
+
+	buildMu.Lock()
+	if fl, ok := buildInflight[entryDir]; ok {
+		buildMu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	buildInflight[entryDir] = fl
+	buildMu.Unlock()
+
+	fl.res, fl.err = buildLocked(sim, src, key, cacheDir, entryDir, gover, reg)
+	buildMu.Lock()
+	delete(buildInflight, entryDir)
+	buildMu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+func buildLocked(sim *core.Sim, src, key, cacheDir, entryDir, gover string, reg *obs.Registry) (*BuildResult, error) {
+	binPath := filepath.Join(entryDir, "runner")
+	manPath := filepath.Join(entryDir, "manifest.json")
+
+	if ok, corrupt := verifyCached(binPath, manPath, key); ok {
+		count(reg, "aot.cache.hit")
+		return &BuildResult{BinPath: binPath, Key: key, Cached: true}, nil
+	} else if corrupt {
+		count(reg, "aot.cache.corrupt")
+	}
+	count(reg, "aot.cache.miss")
+
+	if err := os.MkdirAll(entryDir, 0o755); err != nil {
+		return nil, fmt.Errorf("aot: creating cache entry: %w", err)
+	}
+	tmp, err := os.MkdirTemp(cacheDir, "build-*")
+	if err != nil {
+		return nil, fmt.Errorf("aot: creating build dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	files := map[string]string{
+		"gen.go":     src,
+		"harness.go": runnerHarness,
+		"go.mod":     runnerGoMod,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(content), 0o644); err != nil {
+			return nil, fmt.Errorf("aot: writing %s: %w", name, err)
+		}
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		return nil, ErrNoToolchain
+	}
+	tmpBin := filepath.Join(tmp, "runner")
+	cmd := exec.Command(gobin, "build", "-o", tmpBin, ".")
+	cmd.Dir = tmp
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("aot: go build of generated runner (%s/%s) failed: %w\n%s",
+			sim.Spec.Name, sim.BS.Name, err, out)
+	}
+	count(reg, "aot.build")
+
+	binData, err := os.ReadFile(tmpBin)
+	if err != nil {
+		return nil, fmt.Errorf("aot: reading built runner: %w", err)
+	}
+	sum := sha256.Sum256(binData)
+	man := manifest{
+		BinarySHA256: hex.EncodeToString(sum[:]),
+		Key:          key,
+		GoVersion:    gover,
+		Spec:         sim.Spec.Name,
+		Buildset:     sim.BS.Name,
+	}
+	manData, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmpMan := filepath.Join(tmp, "manifest.json")
+	if err := os.WriteFile(tmpMan, manData, 0o644); err != nil {
+		return nil, fmt.Errorf("aot: writing manifest: %w", err)
+	}
+	// Binary first, manifest last: a crash in between leaves a manifest-less
+	// entry that the next Build treats as a miss, never a torn hit.
+	if err := os.Rename(tmpBin, binPath); err != nil {
+		return nil, fmt.Errorf("aot: installing runner: %w", err)
+	}
+	if err := os.Rename(tmpMan, manPath); err != nil {
+		return nil, fmt.Errorf("aot: installing manifest: %w", err)
+	}
+	return &BuildResult{BinPath: binPath, Key: key}, nil
+}
+
+// verifyCached reports whether the cached binary at binPath is usable
+// (manifest present, key matches, binary hash matches). corrupt is true
+// when artifacts exist but fail verification — distinguishing damage from
+// a plain cold miss.
+func verifyCached(binPath, manPath, key string) (ok, corrupt bool) {
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		// Missing manifest with a present binary is a torn install.
+		if _, berr := os.Stat(binPath); berr == nil {
+			return false, true
+		}
+		return false, false
+	}
+	var man manifest
+	if json.Unmarshal(manData, &man) != nil || man.Key != key {
+		return false, true
+	}
+	binData, err := os.ReadFile(binPath)
+	if err != nil {
+		return false, true
+	}
+	sum := sha256.Sum256(binData)
+	if hex.EncodeToString(sum[:]) != man.BinarySHA256 {
+		return false, true
+	}
+	return true, false
+}
+
+// count bumps an obs counter when a registry is attached.
+func count(reg *obs.Registry, name string) {
+	if reg != nil {
+		reg.Counter(name).Inc()
+	}
+}

@@ -1,0 +1,836 @@
+package aot
+
+// runnerHarness is the static half of a generated runner binary. It is
+// compiled as package main next to the source EmitRunner produces for one
+// (spec, buildset) pair, and supplies everything the generated instruction
+// functions reference: the paged memory model (byte-for-byte the semantics
+// of internal/mach), the register spaces, the OS emulation of
+// internal/sysemu, the pure-builtin helpers of lis.EvalPureBuiltin, the
+// interface drivers (One/Block per-call and Step per-entrypoint, mirroring
+// core.Exec), and the length-prefixed frame protocol the host speaks.
+//
+// The driver loops are transcriptions of the closure engine's observable
+// semantics: fault-before-nullify ordering and exception diversion live in
+// the generated functions; fetch/decode/commit ordering, frame staleness
+// (One/Block never clear field storage between instructions; Step clears
+// everything at entrypoint 0 and hidden fields at later entrypoints), and
+// the no-retire-on-fault rule live here. Work units are not counted in the
+// runner: the host reconstructs them from the (pc, bits) execution profile
+// via the interpreter's own accounting (core workmodel accessors), keeping
+// one source of truth for the metric.
+const runnerHarness = `package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+	"time"
+)
+
+// ---- memory (mirrors internal/mach/mem.go) ----
+
+const pageBits = 16
+const pageSize = 1 << pageBits
+const nullPage = 4096
+
+var memPages = map[uint64]*[pageSize]byte{}
+
+func pageFor(addr uint64) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := memPages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		memPages[pn] = p
+	}
+	return p
+}
+
+func memGet(b []byte) uint64 {
+	var v uint64
+	if gBigEndian {
+		for i := 0; i < len(b); i++ {
+			v = v<<8 | uint64(b[i])
+		}
+	} else {
+		for i := len(b) - 1; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+	}
+	return v
+}
+
+func memPut(b []byte, v uint64) {
+	if gBigEndian {
+		for i := len(b) - 1; i >= 0; i-- {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	} else {
+		for i := 0; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+func memLoad(addr uint64, size int) (uint64, uint8) {
+	if addr < nullPage {
+		return 0, 1
+	}
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := pageFor(addr)
+		return memGet(p[off : off+uint64(size)]), 0
+	}
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		buf[i] = pageFor(a)[a&(pageSize-1)]
+	}
+	return memGet(buf[:size]), 0
+}
+
+func memStore(addr, val uint64, size int) uint8 {
+	if addr < nullPage {
+		return 1
+	}
+	off := addr & (pageSize - 1)
+	if off+uint64(size) <= pageSize {
+		p := pageFor(addr)
+		memPut(p[off:off+uint64(size)], val)
+		return 0
+	}
+	var buf [8]byte
+	memPut(buf[:size], val)
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		pageFor(a)[a&(pageSize-1)] = buf[i]
+	}
+	return 0
+}
+
+// memWriteBytes and memReadBytes bypass the null-page check, like the
+// loader/emulator paths mach.Memory.WriteBytes/ReadBytes serve.
+func memWriteBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		off := addr & (pageSize - 1)
+		n := uint64(pageSize) - off
+		if uint64(len(data)) < n {
+			n = uint64(len(data))
+		}
+		copy(pageFor(addr)[off:off+n], data[:n])
+		addr += n
+		data = data[n:]
+	}
+}
+
+func memReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		a := addr + uint64(i)
+		out[i] = pageFor(a)[a&(pageSize-1)]
+	}
+	return out
+}
+
+// ---- register spaces ----
+
+var regs [][]uint64
+
+func spRead(sp, i int) uint64 {
+	if i == gSpaceZero[sp] {
+		return 0
+	}
+	return regs[sp][i]
+}
+
+func spWrite(sp, i int, v uint64) {
+	if i == gSpaceZero[sp] {
+		return
+	}
+	regs[sp][i] = v
+}
+
+// ---- machine state ----
+
+var (
+	pc        uint64
+	instret   uint64
+	halted    bool
+	exitCode  int64
+	faultKind uint8 // final-attempt kind: 0 decoded, 1 fetch fault, 2 undecodable
+)
+
+// ---- OS emulation (mirrors internal/sysemu) ----
+
+var (
+	brk      uint64 = gHeapBase
+	ticks    uint64
+	stdinBuf []byte
+	stdout   []byte
+)
+
+func doSyscall() {
+	num := int(spRead(0, gConvSyscallNum))
+	switch num {
+	case 1: // exit
+		halted = true
+		exitCode = int64(spRead(0, gConvArgs[0]))
+		// No return-value write: the program is gone.
+	case 2: // write
+		var ret uint64
+		buf := spRead(0, gConvArgs[1])
+		n := spRead(0, gConvArgs[2])
+		if n > 1<<20 {
+			ret = ^uint64(0)
+		} else {
+			stdout = append(stdout, memReadBytes(buf, int(n))...)
+			ret = n
+		}
+		spWrite(0, gConvRet, ret)
+	case 3: // read
+		buf := spRead(0, gConvArgs[1])
+		n := int(spRead(0, gConvArgs[2]))
+		if n > len(stdinBuf) {
+			n = len(stdinBuf)
+		}
+		if n > 0 {
+			memWriteBytes(buf, stdinBuf[:n])
+			stdinBuf = stdinBuf[n:]
+		}
+		spWrite(0, gConvRet, uint64(n))
+	case 4: // brk
+		if want := spRead(0, gConvArgs[0]); want != 0 {
+			brk = want
+		}
+		spWrite(0, gConvRet, brk)
+	case 5: // time
+		ticks++
+		spWrite(0, gConvRet, ticks)
+	default:
+		spWrite(0, gConvRet, ^uint64(0))
+	}
+	if halted {
+		diFault = 3
+	}
+}
+
+func doHalt(code uint64) {
+	halted = true
+	exitCode = int64(code)
+	diFault = 3
+}
+
+// ---- helpers referenced by generated code ----
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func tern(c, a, b uint64) uint64 {
+	if c != 0 {
+		return a
+	}
+	return b
+}
+
+func udiv(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func urem(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return a % b
+}
+
+func shl(a, b uint64) uint64 {
+	if b >= 64 {
+		return 0
+	}
+	return a << b
+}
+
+func shr(a, b uint64) uint64 {
+	if b >= 64 {
+		return 0
+	}
+	return a >> b
+}
+
+func ldU(addr uint64, size int) uint64 {
+	v, f := memLoad(addr, size)
+	if f != 0 {
+		diFault = f
+		return 0
+	}
+	return v
+}
+
+func ldS(addr uint64, size int) uint64 {
+	v, f := memLoad(addr, size)
+	if f != 0 {
+		diFault = f
+		return 0
+	}
+	sh := uint(64 - 8*size)
+	return uint64(int64(v<<sh) >> sh)
+}
+
+func stV(addr, val uint64, size int) {
+	if f := memStore(addr, val, size); f != 0 {
+		diFault = f
+	}
+}
+
+// Pure builtins, transcribed from lis.EvalPureBuiltin.
+
+func bi_sext8(a uint64) uint64  { return uint64(int64(int8(a))) }
+func bi_sext16(a uint64) uint64 { return uint64(int64(int16(a))) }
+func bi_sext32(a uint64) uint64 { return uint64(int64(int32(a))) }
+
+func bi_sext(a, w uint64) uint64 {
+	if w == 0 || w >= 64 {
+		return a
+	}
+	x := a & (1<<w - 1)
+	if x&(1<<(w-1)) != 0 {
+		x |= ^uint64(0) << w
+	}
+	return x
+}
+
+func bi_trunc(a, w uint64) uint64 {
+	if w >= 64 {
+		return a
+	}
+	return a & (1<<w - 1)
+}
+
+func bi_bits(a, hi, lo uint64) uint64 {
+	if hi >= 64 || lo > hi {
+		return 0
+	}
+	return (a >> lo) & (1<<(hi-lo+1) - 1)
+}
+
+func bi_asr(a, s uint64) uint64 {
+	if s >= 64 {
+		s = 63
+	}
+	return uint64(int64(a) >> s)
+}
+
+func bi_lts(a, b uint64) uint64 { return b2u(int64(a) < int64(b)) }
+func bi_les(a, b uint64) uint64 { return b2u(int64(a) <= int64(b)) }
+func bi_gts(a, b uint64) uint64 { return b2u(int64(a) > int64(b)) }
+func bi_ges(a, b uint64) uint64 { return b2u(int64(a) >= int64(b)) }
+
+func bi_sdiv(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if int64(a) == -1<<63 && int64(b) == -1 {
+		return a
+	}
+	return uint64(int64(a) / int64(b))
+}
+
+func bi_srem(a, b uint64) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if int64(a) == -1<<63 && int64(b) == -1 {
+		return 0
+	}
+	return uint64(int64(a) % int64(b))
+}
+
+func bi_mulhu(a, b uint64) uint64 {
+	hi, _ := bits.Mul64(a, b)
+	return hi
+}
+
+func bi_mulhs(a, b uint64) uint64 {
+	hi, _ := bits.Mul64(a, b)
+	if int64(a) < 0 {
+		hi -= b
+	}
+	if int64(b) < 0 {
+		hi -= a
+	}
+	return hi
+}
+
+func bi_rotl32(a, s uint64) uint64 { return uint64(bits.RotateLeft32(uint32(a), int(s&31))) }
+func bi_rotr32(a, s uint64) uint64 { return uint64(bits.RotateLeft32(uint32(a), -int(s&31))) }
+func bi_rotl64(a, s uint64) uint64 { return bits.RotateLeft64(a, int(s&63)) }
+func bi_rotr64(a, s uint64) uint64 { return bits.RotateLeft64(a, -int(s&63)) }
+func bi_clz32(a uint64) uint64     { return uint64(bits.LeadingZeros32(uint32(a))) }
+func bi_clz64(a uint64) uint64     { return uint64(bits.LeadingZeros64(a)) }
+func bi_ctz32(a uint64) uint64     { return uint64(bits.TrailingZeros32(uint32(a))) }
+func bi_ctz64(a uint64) uint64     { return uint64(bits.TrailingZeros64(a)) }
+func bi_popcnt(a uint64) uint64    { return uint64(bits.OnesCount64(a)) }
+
+// ---- execution profile ----
+
+type profKey struct {
+	pc   uint64
+	bits uint32
+}
+
+var profile = map[profKey]uint64{}
+
+// ---- interface drivers ----
+
+func fetch() {
+	v, f := memLoad(diPhysPC, int(gInstrSize))
+	if f != 0 {
+		diFault = f
+		return
+	}
+	diBits = uint32(v)
+}
+
+// attemptOne executes one instruction attempt through the One/Block shape:
+// a single call covering every pipeline step. Field storage is deliberately
+// not cleared — the interpreter's frame persists across instructions.
+func attemptOne() {
+	diPC = pc
+	diPhysPC = pc
+	diNextPC = pc + gInstrSize
+	diBits = 0
+	diID = gUndecodedID
+	diFault = 0
+	diNullify = false
+	faultKind = 0
+	fetch()
+	if diFault == 0 {
+		if id := gDecode(diBits); id >= 0 {
+			diID = uint16(id)
+			profile[profKey{pc, diBits}]++
+			gInstrFns[id][0]()
+			return
+		}
+		diFault = 2 // illegal
+		faultKind = 2
+	} else {
+		faultKind = 1
+	}
+	gFaultFns[0]()
+}
+
+// attemptStep executes one instruction attempt through the Step interface:
+// one call per entrypoint, the whole frame cleared at entrypoint 0 and
+// hidden fields cleared at every later boundary (core.Exec.importRec).
+func attemptStep() {
+	diPC = pc
+	diPhysPC = pc
+	diNextPC = pc + gInstrSize
+	diBits = 0
+	diID = gUndecodedID
+	diFault = 0
+	diNullify = false
+	gClearFields()
+	faultKind = 0
+	for e := 0; e < gNumEps; e++ {
+		if e > 0 {
+			gClearHidden()
+		}
+		if e == gFetchEp && diFault == 0 {
+			fetch()
+			if diFault != 0 {
+				faultKind = 1
+			}
+		}
+		if e == gDecodeEp && diFault == 0 && diID == gUndecodedID {
+			if id := gDecode(diBits); id >= 0 {
+				diID = uint16(id)
+			} else {
+				diFault = 2
+				faultKind = 2
+			}
+		}
+		if diID != gUndecodedID {
+			gInstrFns[diID][e]()
+		} else {
+			gFaultFns[e]()
+		}
+		emitRec()
+	}
+	if faultKind == 0 {
+		profile[profKey{pc, diBits}]++
+	}
+}
+
+// runProgram drives attempts until halt, fault, or the instruction budget.
+// Faulting (halting) attempts do not retire: pc stays at the attempt.
+func runProgram(maxInstr uint64, wantRecs bool) {
+	stepMode := gNumEps > 1
+	emitting = wantRecs && (stepMode || !gModeBlock || gEmitRecs)
+	for !halted && instret < maxInstr {
+		if stepMode {
+			attemptStep()
+		} else {
+			attemptOne()
+			emitRec()
+		}
+		if diFault != 0 {
+			break
+		}
+		pc = diNextPC
+		instret++
+	}
+	emitting = false
+}
+
+// ---- frame protocol ----
+
+const maxFrame = 1 << 26
+
+var (
+	protoIn  = bufio.NewReader(os.Stdin)
+	protoOut = bufio.NewWriter(os.Stdout)
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aotrunner: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func readFrame() ([]byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(protoIn, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(protoIn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(payload []byte) {
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(payload)))
+	protoOut.Write(lb[:])
+	protoOut.Write(payload)
+}
+
+func append4(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func append8(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}
+
+func sendHello() {
+	p := []byte{'H'}
+	p = append(p, byte(len(gSpecName)), byte(len(gSpecName)>>8))
+	p = append(p, gSpecName...)
+	p = append(p, byte(len(gBuildsetName)), byte(len(gBuildsetName)>>8))
+	p = append(p, gBuildsetName...)
+	p = append4(p, uint32(len(gVisNames)))
+	for _, n := range gVisNames {
+		p = append(p, byte(len(n)), byte(len(n)>>8))
+		p = append(p, n...)
+	}
+	p = append4(p, uint32(gNumEps))
+	p = append(p, b2u8(gModeBlock), b2u8(gEmitRecs))
+	writeFrame(p)
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- record stream ----
+
+const recsPerFrame = 256
+
+var (
+	emitting bool
+	recBuf   []byte
+	recCount uint32
+)
+
+func emitRec() {
+	if !emitting {
+		return
+	}
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], diPC)
+	binary.LittleEndian.PutUint64(hdr[8:], diPhysPC)
+	binary.LittleEndian.PutUint64(hdr[16:], diNextPC)
+	binary.LittleEndian.PutUint32(hdr[24:], diBits)
+	binary.LittleEndian.PutUint16(hdr[28:], diID)
+	hdr[30] = diFault
+	hdr[31] = b2u8(diNullify)
+	recBuf = append(recBuf, hdr[:]...)
+	for _, p := range gVisPtrs {
+		recBuf = append8(recBuf, *p)
+	}
+	recCount++
+	if recCount >= recsPerFrame {
+		flushRecs()
+	}
+}
+
+func flushRecs() {
+	if recCount == 0 {
+		return
+	}
+	p := make([]byte, 0, 5+len(recBuf))
+	p = append(p, 'R')
+	p = append4(p, recCount)
+	p = append(p, recBuf...)
+	writeFrame(p)
+	recBuf = recBuf[:0]
+	recCount = 0
+}
+
+// ---- program image and reset ----
+
+type progSeg struct {
+	name string
+	addr uint64
+	data []byte
+}
+
+var (
+	progSegs  []progSeg
+	progEntry uint64
+)
+
+func handleInit(p []byte) {
+	d := newDec(p)
+	progEntry = d.u64()
+	nSegs := d.u32()
+	progSegs = nil
+	for i := uint32(0); i < nSegs && d.err == nil; i++ {
+		name := string(d.bytes(int(d.u16())))
+		addr := d.u64()
+		data := append([]byte(nil), d.bytes(int(d.u32()))...)
+		progSegs = append(progSegs, progSeg{name, addr, data})
+	}
+	stdinBuf = append([]byte(nil), d.bytes(int(d.u32()))...)
+	if d.err != nil {
+		fatalf("malformed init frame: %v", d.err)
+	}
+	for _, sg := range progSegs {
+		memWriteBytes(sg.addr, sg.data)
+	}
+	pc = progEntry
+}
+
+// reset mirrors the host-side expt.Runner.reset: zero the register file,
+// clear halt state and counters, reinstall the stack pointer, and reload
+// the data segments. Memory pages, brk, ticks, and remaining stdin persist,
+// as they do across runs of one interpreter cell.
+func reset() {
+	for _, r := range regs {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+	halted = false
+	exitCode = 0
+	instret = 0
+	stdout = stdout[:0]
+	for k := range profile {
+		delete(profile, k)
+	}
+	spWrite(0, gConvStack, gStackTop)
+	for _, sg := range progSegs {
+		if sg.name != ".text" {
+			memWriteBytes(sg.addr, sg.data)
+		}
+	}
+	pc = progEntry
+}
+
+func handleRun(p []byte) {
+	d := newDec(p)
+	maxInstr := d.u64()
+	wantRecs := d.u8() != 0
+	resultAddr := d.u64()
+	if d.err != nil {
+		fatalf("malformed run frame: %v", d.err)
+	}
+	reset()
+	start := time.Now()
+	runProgram(maxInstr, wantRecs)
+	elapsed := time.Since(start)
+	flushRecs()
+	sendFinal(resultAddr, uint64(elapsed.Nanoseconds()))
+}
+
+func sendFinal(resultAddr, elapsedNs uint64) {
+	var resultWord uint32
+	if resultAddr != 0 {
+		if v, f := memLoad(resultAddr, 4); f == 0 {
+			resultWord = uint32(v)
+		}
+	}
+	p := []byte{'F', b2u8(halted)}
+	p = append8(p, uint64(exitCode))
+	p = append(p, diFault, faultKind)
+	p = append8(p, pc)
+	p = append8(p, instret)
+	p = append8(p, elapsedNs)
+	p = append4(p, resultWord)
+	p = append4(p, uint32(len(regs)))
+	for _, r := range regs {
+		p = append4(p, uint32(len(r)))
+		for _, v := range r {
+			p = append8(p, v)
+		}
+	}
+	p = append4(p, uint32(len(stdout)))
+	p = append(p, stdout...)
+	keys := make([]profKey, 0, len(profile))
+	for k := range profile {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].pc != keys[b].pc {
+			return keys[a].pc < keys[b].pc
+		}
+		return keys[a].bits < keys[b].bits
+	})
+	p = append4(p, uint32(len(keys)))
+	for _, k := range keys {
+		p = append8(p, k.pc)
+		p = append4(p, k.bits)
+		p = append8(p, profile[k])
+	}
+	writeFrame(p)
+}
+
+// ---- input decoding ----
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func newDec(b []byte) *dec { return &dec{b: b} }
+
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("truncated at offset %d (need %d of %d)", d.off, n, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytes(n int) []byte {
+	if n < 0 || !d.need(n) {
+		if d.err == nil {
+			d.err = fmt.Errorf("negative length %d", n)
+		}
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func main() {
+	regs = make([][]uint64, len(gSpaceCount))
+	for i, c := range gSpaceCount {
+		regs[i] = make([]uint64, c)
+	}
+	_ = gSpaceName
+	sendHello()
+	if err := protoOut.Flush(); err != nil {
+		fatalf("writing hello: %v", err)
+	}
+	for {
+		buf, err := readFrame()
+		if err != nil {
+			if err == io.EOF {
+				return // host closed our stdin: clean shutdown
+			}
+			fatalf("reading frame: %v", err)
+		}
+		switch buf[0] {
+		case 'I':
+			handleInit(buf[1:])
+		case 'R':
+			handleRun(buf[1:])
+			if err := protoOut.Flush(); err != nil {
+				fatalf("writing run results: %v", err)
+			}
+		case 'Q':
+			protoOut.Flush()
+			return
+		default:
+			fatalf("unknown frame type %#x", buf[0])
+		}
+	}
+}
+`

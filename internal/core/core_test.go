@@ -947,13 +947,13 @@ func TestEmitSpecializedShowsSpecialization(t *testing.T) {
 	if !strings.Contains(out, "// dead (hidden): branch_taken") {
 		t.Errorf("min-detail emit should mark branch_taken dead:\n%s", out)
 	}
-	if strings.Contains(out, "di.branch_taken") {
-		t.Errorf("hidden field rendered as record store:\n%s", out)
+	if strings.Contains(out, "f_branch_taken =") {
+		t.Errorf("hidden field rendered as live store:\n%s", out)
 	}
 	sAll := synth(t, "one_all", Options{})
 	out = sAll.EmitSpecialized("BEQ")
-	if !strings.Contains(out, "di.branch_taken") {
-		t.Errorf("all-detail emit should publish branch_taken:\n%s", out)
+	if !strings.Contains(out, "f_branch_taken =") {
+		t.Errorf("all-detail emit should compute branch_taken:\n%s", out)
 	}
 	// Step buildsets emit one function per entrypoint.
 	sStep := synth(t, "step_all", Options{})

@@ -1,0 +1,47 @@
+package core
+
+// Work-model accessors for out-of-process backends (internal/aot).
+//
+// The AOT runner executes generated per-instruction code and counts retired
+// instructions itself, but the abstract work metric (Table II's
+// work-per-instruction column) is defined by the closure interpreter's
+// accounting: per-unit compile-time work plus per-publish interface work.
+// Rather than teach the generated code the accounting rules, the host
+// reconstructs work from the runner's (pc, bits) execution profile using
+// these accessors, which expose exactly the quantities the interpreter
+// charges. This keeps a single source of truth for the metric.
+
+// TranslatedUnitWork returns the work one translated (per-PC specialized)
+// execution of the instruction encoded by bits at pc would be charged, i.e.
+// unit.work for the translation of (pc, bits). The second result is false
+// when bits do not decode.
+func (s *Sim) TranslatedUnitWork(pc uint64, bits uint32) (uint64, bool) {
+	id := s.dec.decode(bits)
+	if id < 0 {
+		return 0, false
+	}
+	return uint64(s.translate(s.Spec.Instrs[id], pc, bits).work), true
+}
+
+// DynamicUnitWork returns the work of the dynamically-dispatched (per
+// instruction ID, not per PC) compiled unit for bits, as used by the Step
+// interface and the interpreted One path. The second result is false when
+// bits do not decode.
+func (s *Sim) DynamicUnitWork(bits uint32) (uint64, bool) {
+	id := s.dec.decode(bits)
+	if id < 0 {
+		return 0, false
+	}
+	return uint64(s.genUnits[id].work), true
+}
+
+// FaultUnitWork returns the work of the pre-decode fault unit (the
+// ALL-actions-only unit executed for fetch faults and undecodable bits).
+func (s *Sim) FaultUnitWork() uint64 { return uint64(s.faultUnit.work) }
+
+// PubWork returns the per-publish interface work (record emission cost).
+func (s *Sim) PubWork() uint64 { return uint64(s.pubWork) }
+
+// EmitsRecords reports whether Block execution publishes per-instruction
+// records under this buildset.
+func (s *Sim) EmitsRecords() bool { return s.emitRecs }

@@ -1,0 +1,251 @@
+package expt
+
+// The AOT measurement backend: instead of the in-process closure
+// interpreter, a cell is measured by running the mix through the generated
+// standalone runner binary (internal/aot) over the length-prefixed pipe
+// protocol. The speed numbers differ — that is the point of the comparison
+// — but the deterministic work metric must not: the host reconstructs work
+// from the runner's execution profile with the interpreter's own accounting
+// (aot.ComputeWork), so work-per-instruction is byte-identical across
+// backends. VerifyBackendParity enforces exactly that for -backend=both.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"singlespec/internal/aot"
+	"singlespec/internal/core"
+	"singlespec/internal/mach"
+	"singlespec/internal/stats"
+)
+
+// Backend selects which execution engine measures sweep cells.
+type Backend int
+
+const (
+	// BackendInterp measures with the in-process closure interpreter (the
+	// default, and the only backend before the AOT subsystem existed).
+	BackendInterp Backend = iota
+	// BackendAOT measures with the generated standalone runner binary.
+	BackendAOT
+	// BackendBoth measures every cell under both backends; the sweep then
+	// carries an interpreter cell and an AOT cell per (ISA, interface).
+	BackendBoth
+)
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "interp":
+		return BackendInterp, nil
+	case "aot":
+		return BackendAOT, nil
+	case "both":
+		return BackendBoth, nil
+	}
+	return 0, fmt.Errorf("expt: unknown backend %q (want interp, aot, or both)", s)
+}
+
+// cellTag is the Cell.Backend value for cells measured under this backend.
+func (b Backend) cellTag() string {
+	if b == BackendAOT {
+		return "aot"
+	}
+	return ""
+}
+
+func (b Backend) String() string {
+	switch b {
+	case BackendAOT:
+		return "aot"
+	case BackendBoth:
+		return "both"
+	}
+	return "interp"
+}
+
+// defaultAOTCache lazily creates a per-process compile cache for sweeps
+// that did not configure one. Cached binaries are keyed by source hash, so
+// sharing the directory across cells (and reusing it across runs, when the
+// caller passes a persistent path instead) is always sound.
+var (
+	aotCacheOnce sync.Once
+	aotCachePath string
+)
+
+func defaultAOTCache() string {
+	aotCacheOnce.Do(func() {
+		if d, err := os.MkdirTemp("", "ssbench-aot-"); err == nil {
+			aotCachePath = d
+		}
+	})
+	return aotCachePath
+}
+
+// measureCellAOT is measureCell's out-of-process twin: one (ISA, interface)
+// cell measured through the generated runner binary. The schedule mirrors
+// the interpreter path — per kernel one warmup run, then measured runs
+// until minDur (det: exactly one) — and each kernel gets a fresh runner
+// process, since runner memory pages persist across in-process resets.
+//
+// The instruction budget is enforced by the runner itself (it counts
+// retired instructions per attempt), so a runaway program is bounded even
+// though the host cannot preempt the subprocess mid-run; the wall-clock
+// deadline is checked between runs.
+func measureCellAOT(p *Programs, buildset string, opts core.Options, minDur time.Duration, lim Limits, det bool, cfg Config) (Cell, error) {
+	sim, err := core.Synthesize(p.ISA.Spec, buildset, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	cacheDir := cfg.AOTCacheDir
+	if cacheDir == "" {
+		cacheDir = defaultAOTCache()
+	}
+	b, err := aot.Build(sim, aot.RunnerConvFor(p.ISA.Conv), cacheDir, cfg.Obs)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	cell := Cell{ISA: p.ISA.Name, Buildset: buildset, Backend: "aot"}
+	var used uint64
+	var mips, ns, work []float64
+	for idx, prog := range p.Progs {
+		kname := p.Names[idx]
+		err := func() error {
+			r, err := aot.Spawn(b.BinPath, cfg.Obs)
+			if err != nil {
+				return fmt.Errorf("%s: %w", kname, err)
+			}
+			defer r.Close()
+			if err := r.Init(prog, nil); err != nil {
+				return fmt.Errorf("%s: %w", kname, err)
+			}
+			runOnce := func() (instrs, wk, elapsedNs uint64, err error) {
+				budget := uint64(1) << 62
+				if lim.MaxInstr > 0 {
+					if used >= lim.MaxInstr {
+						return 0, 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
+							p.ISA.Name, buildset, errBudget, used)
+					}
+					budget = lim.MaxInstr - used
+				}
+				res, err := r.Run(budget, false, 0)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				used += res.Instret
+				cell.Instret += res.Instret
+				switch {
+				case !res.Halted && res.Fault == mach.FaultNone:
+					return 0, 0, 0, fmt.Errorf("expt: %s/%s: %w after %d instructions",
+						p.ISA.Name, buildset, errBudget, used)
+				case !res.Halted:
+					return 0, 0, 0, fmt.Errorf("expt: %s/%s faulted (%d) at pc %#x",
+						p.ISA.Name, buildset, res.Fault, res.PC)
+				case res.ExitCode != 0:
+					return 0, 0, 0, fmt.Errorf("expt: %s/%s exited %d", p.ISA.Name, buildset, res.ExitCode)
+				}
+				w, err := aot.ComputeWork(sim, res)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				cell.WorkUnits += w
+				return maxU64(res.Instret, 1), w, maxU64(res.ElapsedNs, 1), nil
+			}
+			// Warmup: validates the program under this runner and charges the
+			// cell totals, exactly like the interpreter path.
+			if _, _, _, err := runOnce(); err != nil {
+				return err
+			}
+			var curInstrs, curWork uint64
+			var curElapsed time.Duration
+			for {
+				in, wk, el, err := runOnce()
+				if err != nil {
+					return err
+				}
+				curInstrs += in
+				curWork += wk
+				curElapsed += time.Duration(el)
+				if det {
+					break
+				}
+				if curElapsed >= minDur {
+					break
+				}
+				if !lim.Deadline.IsZero() && !time.Now().Before(lim.Deadline) {
+					break
+				}
+			}
+			nsPer := float64(curElapsed.Nanoseconds()) / float64(curInstrs)
+			mips = append(mips, 1e3/nsPer)
+			ns = append(ns, nsPer)
+			work = append(work, float64(curWork)/float64(curInstrs))
+			return nil
+		}()
+		if err != nil {
+			return Cell{}, err
+		}
+	}
+	cell.MIPS = stats.GeoMean(mips)
+	cell.NsPerInstr = stats.GeoMean(ns)
+	cell.WorkPerInstr = stats.GeoMean(work)
+	return cell, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// IsNoToolchain reports whether a cell failed because runner binaries
+// cannot be built on this host (no go toolchain on PATH), so callers can
+// skip rather than fail.
+func IsNoToolchain(c Cell) bool {
+	return c.Err != nil && errors.Is(c.Err, aot.ErrNoToolchain)
+}
+
+// VerifyBackendParity checks a both-backend sweep's deterministic parity:
+// every (ISA, buildset) measured by both backends must report bit-identical
+// work-per-instruction (the ratio is repeat-count-invariant, so this holds
+// under either metric). Under the deterministic schedule (det, i.e.
+// -metric work) the raw Instret and WorkUnits totals must match too.
+// Host-time numbers (MIPS, ns/instr) are expected to differ — they are the
+// measurement. Pairs where either side errored are skipped; cell errors
+// are reported through the usual channel.
+func VerifyBackendParity(cells []Cell, det bool) []error {
+	type key struct{ isa, bs string }
+	interp := map[key]Cell{}
+	for _, c := range cells {
+		if c.Backend == "" && c.Err == nil {
+			interp[key{c.ISA, c.Buildset}] = c
+		}
+	}
+	var errs []error
+	for _, c := range cells {
+		if c.Backend != "aot" || c.Err != nil {
+			continue
+		}
+		ref, ok := interp[key{c.ISA, c.Buildset}]
+		if !ok {
+			continue
+		}
+		if c.WorkPerInstr != ref.WorkPerInstr {
+			errs = append(errs, fmt.Errorf(
+				"expt: %s/%s work-per-instruction diverges: interpreter %v, aot %v",
+				c.ISA, c.Buildset, ref.WorkPerInstr, c.WorkPerInstr))
+			continue
+		}
+		if det && (c.Instret != ref.Instret || c.WorkUnits != ref.WorkUnits) {
+			errs = append(errs, fmt.Errorf(
+				"expt: %s/%s totals diverge: interpreter instret=%d work=%d, aot instret=%d work=%d",
+				c.ISA, c.Buildset, ref.Instret, ref.WorkUnits, c.Instret, c.WorkUnits))
+		}
+	}
+	return errs
+}

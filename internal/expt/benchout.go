@@ -31,8 +31,12 @@ type BenchOut struct {
 // BenchCell is one grid entry. Numbers are zero (and Error set) for cells
 // whose measurement failed.
 type BenchCell struct {
-	ISA          string  `json:"isa"`
-	Buildset     string  `json:"buildset"`
+	ISA      string `json:"isa"`
+	Buildset string `json:"buildset"`
+	// Backend is "aot" for cells measured by the generated runner binary;
+	// empty (omitted) for the in-process interpreter. Additive: pre-AOT
+	// consumers see the same document for interpreter-only sweeps.
+	Backend      string  `json:"backend,omitempty"`
 	MIPS         float64 `json:"mips"`
 	NsPerInstr   float64 `json:"ns_per_instr"`
 	WorkPerInstr float64 `json:"work_per_instr"`
@@ -55,6 +59,7 @@ func NewBenchOut(cfg Config, cells []Cell) BenchOut {
 		bc := BenchCell{
 			ISA:          c.ISA,
 			Buildset:     c.Buildset,
+			Backend:      c.Backend,
 			MIPS:         c.MIPS,
 			NsPerInstr:   c.NsPerInstr,
 			WorkPerInstr: c.WorkPerInstr,

@@ -100,6 +100,13 @@ type Config struct {
 	// cells are marked interrupted without running. Interrupted cells are
 	// not journaled; a resumed run computes them.
 	Interrupt <-chan struct{}
+	// Backend selects the execution engine measuring TableII cells: the
+	// in-process interpreter (default), the generated AOT runner binary, or
+	// both (each cell measured twice; see VerifyBackendParity).
+	Backend Backend
+	// AOTCacheDir is where AOT runner binaries are compiled and cached;
+	// empty means a per-process temporary cache.
+	AOTCacheDir string
 	// Obs, when non-nil, receives the sweep's aggregate counters and
 	// histograms: translation-cache traffic, syscall activity, watchdog
 	// checks, and per-cell outcomes. Aggregation is commutative atomic
@@ -123,18 +130,28 @@ func (c Config) workers() int {
 	return runtime.NumCPU()
 }
 
-// cellJob is one {ISA × buildset × options} measurement to schedule.
+// cellJob is one {ISA × buildset × options × backend} measurement to
+// schedule.
 type cellJob struct {
 	progs    *Programs
 	buildset string
 	opts     core.Options
+	// backend is BackendInterp or BackendAOT per job; BackendBoth fans out
+	// into one job of each before scheduling.
+	backend Backend
 }
 
 // key is the job's stable identity in the run journal. Options are part of
 // it: the ablation sweep measures the same (ISA, buildset) under several
-// option sets and each is its own cell.
+// option sets and each is its own cell. AOT jobs are suffixed so a both-
+// backend sweep journals the two measurements separately (interpreter keys
+// are unchanged from pre-AOT journals).
 func (j cellJob) key() string {
-	return fmt.Sprintf("%s/%s/%+v", j.progs.ISA.Name, j.buildset, j.opts)
+	k := fmt.Sprintf("%s/%s/%+v", j.progs.ISA.Name, j.buildset, j.opts)
+	if j.backend == BackendAOT {
+		k += "/aot"
+	}
+	return k
 }
 
 // interrupted reports whether ch (which may be nil) has been closed.
@@ -190,6 +207,7 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 				// Shutdown: unstarted cells are marked, not run.
 				if interrupted(cfg.Interrupt) {
 					results[idx] = Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset,
+						Backend: j.backend.cellTag(),
 						Err: &CellError{ISA: j.progs.ISA.Name, Buildset: j.buildset,
 							Kind: CellInterrupted, Err: errInterrupted}}
 					continue
@@ -353,19 +371,29 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	backends := []Backend{BackendInterp}
+	switch cfg.Backend {
+	case BackendAOT:
+		backends = []Backend{BackendAOT}
+	case BackendBoth:
+		backends = []Backend{BackendInterp, BackendAOT}
+	}
 	var jobs []cellJob
-	for _, progs := range mixes {
-		for _, bs := range isa.StdBuildsets {
-			jobs = append(jobs, cellJob{progs: progs, buildset: bs})
+	for _, be := range backends {
+		for _, progs := range mixes {
+			for _, bs := range isa.StdBuildsets {
+				jobs = append(jobs, cellJob{progs: progs, buildset: bs, backend: be})
+			}
 		}
 	}
 	cells := runCells(jobs, cfg, cfg.MinDur)
 	byBS := map[string]map[string]Cell{}
 	for _, c := range cells {
-		if byBS[c.Buildset] == nil {
-			byBS[c.Buildset] = map[string]Cell{}
+		k := c.Buildset + "/" + c.Backend
+		if byBS[k] == nil {
+			byBS[k] = map[string]Cell{}
 		}
-		byBS[c.Buildset][c.ISA] = c
+		byBS[k][c.ISA] = c
 	}
 	val := func(c Cell) any {
 		if c.Err != nil {
@@ -374,20 +402,41 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 		return cfg.Metric.value(c)
 	}
 	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
-	for _, bs := range isa.StdBuildsets {
-		sem, info, spec := rowLabel(bs)
-		t.Row(sem, info, spec,
-			val(byBS[bs]["alpha64"]),
-			val(byBS[bs]["arm32"]),
-			val(byBS[bs]["ppc32"]))
+	for _, be := range backends {
+		tag := ""
+		if be == BackendAOT {
+			tag = "aot"
+		}
+		for _, bs := range isa.StdBuildsets {
+			sem, info, spec := rowLabel(bs)
+			if be == BackendAOT {
+				sem += " (aot)"
+			}
+			row := byBS[bs+"/"+tag]
+			t.Row(sem, info, spec,
+				val(row["alpha64"]),
+				val(row["arm32"]),
+				val(row["ppc32"]))
+		}
+		// Summary row per backend: the per-ISA geometric mean over the ok
+		// interfaces. ERR cells are skipped in cellGeoMean — their zero
+		// metrics would violate GeoMean's positive-input contract and wipe
+		// the row.
+		label := "ok cells"
+		if be == BackendAOT {
+			label = "ok aot cells"
+		}
+		var beCells []Cell
+		for _, c := range cells {
+			if c.Backend == tag {
+				beCells = append(beCells, c)
+			}
+		}
+		t.Row("geomean", label, "",
+			cellGeoMean(beCells, "alpha64", cfg.Metric),
+			cellGeoMean(beCells, "arm32", cfg.Metric),
+			cellGeoMean(beCells, "ppc32", cfg.Metric))
 	}
-	// Summary row: per-ISA geometric mean over the ok interfaces. ERR
-	// cells are skipped in cellGeoMean — their zero metrics would violate
-	// GeoMean's positive-input contract and wipe the row.
-	t.Row("geomean", "ok cells", "",
-		cellGeoMean(cells, "alpha64", cfg.Metric),
-		cellGeoMean(cells, "arm32", cfg.Metric),
-		cellGeoMean(cells, "ppc32", cfg.Metric))
 	return cells, t, nil
 }
 

@@ -140,6 +140,9 @@ func (r *Runner) Run() (instrs, work uint64, err error) {
 type Cell struct {
 	ISA      string
 	Buildset string
+	// Backend names the execution engine that measured the cell: "" for
+	// the in-process interpreter, "aot" for the generated runner binary.
+	Backend string
 	// MIPS is the geometric mean over the mix of simulated instructions
 	// per microsecond of host time (the paper's Table II metric).
 	MIPS float64

@@ -303,8 +303,8 @@ func runCellGuarded(j cellJob, cfg Config, minDur time.Duration) Cell {
 			break
 		}
 	}
-	return Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset, Err: last,
-		Attempts: last.Attempts, Wall: time.Since(start)}
+	return Cell{ISA: j.progs.ISA.Name, Buildset: j.buildset, Backend: j.backend.cellTag(),
+		Err: last, Attempts: last.Attempts, Wall: time.Since(start)}
 }
 
 // runCellOnce is one guarded measurement attempt.
@@ -326,7 +326,15 @@ func runCellOnce(j cellJob, cfg Config, minDur time.Duration, attempt int, cp *c
 	if cfg.CellTimeout > 0 {
 		lim.Deadline = time.Now().Add(cfg.CellTimeout)
 	}
-	cell, err := measureCell(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork, cp)
+	var cell Cell
+	var err error
+	if j.backend == BackendAOT {
+		// The AOT path has no in-cell checkpointing (the state lives in a
+		// subprocess); a granted retry re-measures the cell from scratch.
+		cell, err = measureCellAOT(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork, cfg)
+	} else {
+		cell, err = measureCell(j.progs, j.buildset, j.opts, minDur, lim, cfg.Metric == MetricWork, cp)
+	}
 	if err != nil {
 		kind := CellFailed
 		switch {

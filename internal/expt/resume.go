@@ -53,6 +53,7 @@ type journalRecord struct {
 type cellData struct {
 	ISA          string    `json:"isa"`
 	Buildset     string    `json:"buildset"`
+	Backend      string    `json:"backend,omitempty"`
 	MIPS         float64   `json:"mips,omitempty"`
 	NsPerInstr   float64   `json:"ns_per_instr,omitempty"`
 	WorkPerInstr float64   `json:"work_per_instr,omitempty"`
@@ -65,7 +66,7 @@ type cellData struct {
 
 func toCellData(c Cell) *cellData {
 	return &cellData{
-		ISA: c.ISA, Buildset: c.Buildset,
+		ISA: c.ISA, Buildset: c.Buildset, Backend: c.Backend,
 		MIPS: c.MIPS, NsPerInstr: c.NsPerInstr, WorkPerInstr: c.WorkPerInstr,
 		Instret: c.Instret, WorkUnits: c.WorkUnits,
 		Attempts: c.Attempts, WallNS: int64(c.Wall),
@@ -75,7 +76,7 @@ func toCellData(c Cell) *cellData {
 
 func (d *cellData) toCell(status, errMsg string) Cell {
 	c := Cell{
-		ISA: d.ISA, Buildset: d.Buildset,
+		ISA: d.ISA, Buildset: d.Buildset, Backend: d.Backend,
 		MIPS: d.MIPS, NsPerInstr: d.NsPerInstr, WorkPerInstr: d.WorkPerInstr,
 		Instret: d.Instret, WorkUnits: d.WorkUnits,
 		Attempts: d.Attempts, Wall: time.Duration(d.WallNS),
@@ -334,6 +335,7 @@ func Fingerprint(table string, cfg Config) string {
 		fmt.Sprintf("scale=%d", cfg.Scale),
 		"metric=" + cfg.Metric.String(),
 		fmt.Sprintf("max_cell_instr=%d", cfg.MaxCellInstr),
+		"backend=" + cfg.Backend.String(),
 	}
 	sort.Strings(keys)
 	h := sha256.New()

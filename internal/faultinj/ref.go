@@ -1,0 +1,34 @@
+package faultinj
+
+import (
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/mach"
+	"singlespec/internal/sysemu"
+)
+
+// CleanRun is an exported handle on the clean-reference machinery the fault
+// campaigns are built from: one freshly loaded machine wired to one program
+// under one synthesized simulator, with no fault injection attached. Other
+// differential harnesses (internal/aot's interpreter-vs-generated-binary
+// driver) reuse it so every comparison in the repo references the same
+// notion of a pristine run.
+type CleanRun struct {
+	rs *runState
+}
+
+// NewCleanRun builds a fresh machine for prog under sim, exactly as the
+// fault campaigns build their reference runs.
+func NewCleanRun(i *isa.ISA, prog *asm.Program, sim *core.Sim) *CleanRun {
+	return &CleanRun{rs: newRun(i, prog, sim)}
+}
+
+// Machine returns the run's architectural machine.
+func (c *CleanRun) Machine() *mach.Machine { return c.rs.m }
+
+// Exec returns the run's execution context.
+func (c *CleanRun) Exec() *core.Exec { return c.rs.x }
+
+// Emulator returns the run's OS emulation (stdout, stdin, counters).
+func (c *CleanRun) Emulator() *sysemu.Emulator { return c.rs.emu }

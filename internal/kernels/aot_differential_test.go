@@ -1,0 +1,127 @@
+package kernels_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"singlespec/internal/aot"
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/isa/isatest"
+	"singlespec/internal/kernels"
+)
+
+// AOT differential testing: the same seeded random programs the rotating
+// interpreter test replays (diffSeeds, PR 1) are lowered to every ISA and
+// executed under both the closure interpreter and the generated standalone
+// runner binary. aot.DiffProgram compares at retire granularity — the
+// byte-identical visibility-record stream, the complete final architectural
+// state, and the deterministic work counter the host reconstructs from the
+// runner's execution profile.
+//
+// There are exactly twelve seeds and twelve standard buildsets, so seed i
+// runs under StdBuildsets[i]: across one test run every derived interface is
+// exercised against the AOT backend on every ISA.
+
+// TestSeededAOTDifferential diffs all 12 seeds x 3 ISAs, one buildset per
+// seed, interpreter vs. AOT runner.
+func TestSeededAOTDifferential(t *testing.T) {
+	if len(diffSeeds) != len(isa.StdBuildsets) {
+		t.Fatalf("seed table (%d) and StdBuildsets (%d) fell out of sync; revisit the pairing",
+			len(diffSeeds), len(isa.StdBuildsets))
+	}
+	cacheDir, err := os.MkdirTemp("", "aot-kdiff-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	for seedIdx, seed := range diffSeeds {
+		buildset := isa.StdBuildsets[seedIdx]
+		p := genProgram(seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %#08x: generated invalid IR: %v", seed, err)
+		}
+		for _, name := range isa.Names() {
+			i := isatest.Load(t, name)
+			sim, err := core.Synthesize(i.Spec, buildset, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := aot.Build(sim, aot.RunnerConvFor(i.Conv), cacheDir, nil)
+			if errors.Is(err, aot.ErrNoToolchain) {
+				t.Skip("skipping: go toolchain not available on PATH")
+			}
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", name, buildset, err)
+			}
+			prog, err := kernels.BuildProgram(i, p)
+			if err != nil {
+				t.Fatalf("seed %#08x on %s: lower: %v", seed, name, err)
+			}
+			d, err := aot.DiffProgram(sim, i, prog, b.BinPath, aot.DiffConfig{})
+			if err != nil {
+				t.Fatalf("seed %#08x on %s/%s: %v", seed, name, buildset, err)
+			}
+			if d != nil {
+				t.Errorf("seed %#08x on %s/%s: %v (replay: add seed to diffSeeds)",
+					seed, name, buildset, d)
+			}
+		}
+	}
+}
+
+// TestKernelsAOTDifferential diffs every real benchmark kernel at a reduced
+// problem size on every ISA under one buildset per interface mode. The
+// random programs above stress instruction mixes; this pins the actual
+// workloads the experiment tables are built from.
+func TestKernelsAOTDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping kernel sweep in -short mode")
+	}
+	cacheDir, err := os.MkdirTemp("", "aot-kdiff-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	smallN := map[string]int{
+		"sieve": 200, "fib_iter": 24, "fib_rec": 8, "matmul": 4,
+		"crc32": 64, "strsearch": 96, "listchase": 64, "bubblesort": 16,
+		"hashmix": 100,
+	}
+	for _, name := range isa.Names() {
+		i := isatest.Load(t, name)
+		for _, buildset := range []string{"one_all", "block_decode", "step_all_spec"} {
+			sim, err := core.Synthesize(i.Spec, buildset, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := aot.Build(sim, aot.RunnerConvFor(i.Conv), cacheDir, nil)
+			if errors.Is(err, aot.ErrNoToolchain) {
+				t.Skip("skipping: go toolchain not available on PATH")
+			}
+			if err != nil {
+				t.Fatalf("%s/%s: build: %v", name, buildset, err)
+			}
+			for _, k := range kernels.All {
+				n := smallN[k.Name]
+				if n == 0 {
+					n = k.DefaultN
+				}
+				prog, err := kernels.BuildProgram(i, k.Build(n))
+				if err != nil {
+					t.Fatalf("%s on %s: lower: %v", k.Name, name, err)
+				}
+				d, err := aot.DiffProgram(sim, i, prog, b.BinPath, aot.DiffConfig{})
+				if err != nil {
+					t.Fatalf("%s on %s/%s: %v", k.Name, name, buildset, err)
+				}
+				if d != nil {
+					t.Errorf("%s on %s/%s: %v", k.Name, name, buildset, d)
+				}
+			}
+		}
+	}
+}
