@@ -17,15 +17,25 @@
 //	ssbench -table 2 -backend both              # interpreter vs. AOT runner parity sweep
 //	ssbench -resume-dir run1 -table 2           # durable sweep (journal)
 //	ssbench -resume-dir run1 -resume -table 2   # continue a killed sweep
+//	ssbench -table 2 -serve-fabric :7707        # distributed-sweep coordinator
+//	ssbench -join host:7707 -table 2            # fabric worker (same sweep flags)
 //	ssbench -pprof localhost:6060               # live profiling endpoint
 //
 // A durable sweep interrupted by SIGINT/SIGTERM winds down cleanly (cells
 // stop at the next watchdog check, the journal and manifest are flushed)
 // and exits 130/143; rerunning with -resume reloads the completed cells
 // and computes only the rest.
+//
+// With -serve-fabric the Table II sweep's cells are leased to workers
+// (started with -join and the same sweep flags — a config fingerprint
+// refuses mismatched workers, exit 3), heartbeat-monitored, and taken over
+// mid-kernel from the last progress snapshot when a worker dies. The
+// merged output is byte-identical to a single-host run in every
+// deterministic field; see "Distributed sweep fabric" in EXPERIMENTS.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -39,8 +49,10 @@ import (
 	"time"
 
 	"singlespec/internal/expt"
+	"singlespec/internal/fabric"
 	"singlespec/internal/faultinj"
 	"singlespec/internal/obs"
+	"singlespec/internal/stats"
 )
 
 // Exit codes for a signal-interrupted run, per shell convention (128+N).
@@ -68,6 +80,13 @@ func main() {
 	backendName := flag.String("backend", "interp", "Table II execution backend: interp (in-process), aot (generated runner binaries), or both (each cell measured twice, with a deterministic-parity check)")
 	aotCache := flag.String("aot-cache", "", "directory caching compiled AOT runner binaries (keyed by source hash); empty uses a per-run temporary cache")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+	serveFabric := flag.String("serve-fabric", "", "run the Table II sweep as a fabric coordinator listening on this address (e.g. 127.0.0.1:7707); workers join with -join (see EXPERIMENTS.md)")
+	join := flag.String("join", "", "run as a fabric worker joining the coordinator at this address; sweep flags (-scale, -metric, -backend, ...) must match the coordinator's or the worker is refused")
+	workerID := flag.String("worker-id", "", "fabric worker id (-join mode); empty derives one from hostname and pid")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fabric lease validity without a heartbeat before the coordinator re-leases the cell to another worker (0 = 10s default)")
+	segmentDir := flag.String("segment-dir", "", "fabric coordinator: directory for per-worker result segments (empty = per-run temp dir)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base delay of the exponential seeded-jitter backoff between cell retries (0 = 25ms default, negative disables)")
+	retrySeed := flag.Uint64("retry-seed", 0, "seed for the deterministic retry/reconnect jitter (a host knob: never affects cell results)")
 	flag.Parse()
 
 	// Signal handling: the first SIGINT/SIGTERM asks the sweep to wind down
@@ -120,6 +139,14 @@ func main() {
 			"backend":      *backendName,
 			"aot-cache":    *aotCache,
 		}
+		if *serveFabric != "" {
+			man.Flags["serve-fabric"] = *serveFabric
+			man.Flags["lease-ttl"] = leaseTTL.String()
+		}
+		if *join != "" {
+			man.Flags["join"] = *join
+			man.Flags["worker-id"] = *workerID
+		}
 	}
 	// writeManifest flushes the manifest before any exit path; the snapshot
 	// is taken here, after all instrumented work has quiesced.
@@ -153,7 +180,41 @@ func main() {
 	}
 	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
 		CellTimeout: *cellTimeout, Obs: reg, CkptEvery: *ckptEvery, Interrupt: interrupt,
-		Backend: backend, AOTCacheDir: *aotCache}
+		Backend: backend, AOTCacheDir: *aotCache,
+		RetryBackoff: *retryBackoff, RetrySeed: *retrySeed}
+
+	// Fabric worker mode: join a coordinator and serve leases until the
+	// sweep completes. The worker prints no tables — results flow to the
+	// coordinator, which renders the identical output a single-host run
+	// would. Exit 0 on clean shutdown, 3 when refused (stale worker), 1 on
+	// other errors.
+	if *join != "" {
+		if *serveFabric != "" {
+			fatal(fmt.Errorf("-join and -serve-fabric are mutually exclusive"))
+		}
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ssbench: "+format+"\n", args...)
+		}
+		err := fabric.RunWorker(fabric.WorkerConfig{
+			Addr: *join, ID: *workerID, Sweep: cfg, Log: logf,
+		})
+		writeManifest()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssbench:", err)
+			var refused *fabric.RefusedError
+			if errors.As(err, &refused) {
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		if code := sigExit.Load(); code != 0 {
+			os.Exit(int(code))
+		}
+		return
+	}
+	if *serveFabric != "" && *table != 2 {
+		fatal(fmt.Errorf("-serve-fabric distributes the Table II sweep; run it with -table 2"))
+	}
 
 	// Durability: the run journal records each completed cell as it
 	// finishes; a rerun with -resume reloads them. The fingerprint refuses
@@ -193,9 +254,39 @@ func main() {
 			fmt.Println("## Table II — Simulation speed (MIPS, geometric mean over the kernel mix)")
 		}
 		fmt.Println()
-		cells, t2, err := expt.TableII(cfg)
-		if err != nil {
-			fatal(err)
+		var cells []expt.Cell
+		var t2 *stats.Table
+		if *serveFabric != "" {
+			// Fabric coordinator: the sweep's cells are measured by joined
+			// workers (leased, heartbeated, taken over on death) and merged
+			// back here; everything after this point — rendering, bench
+			// output, manifest — is the same code path as a local sweep, so
+			// the artifacts are byte-identical in every deterministic field.
+			logf := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ssbench: "+format+"\n", args...)
+			}
+			coord, err := fabric.NewCoordinator(fabric.Config{
+				Addr: *serveFabric, Sweep: cfg, LeaseTTL: *leaseTTL,
+				SegmentDir: *segmentDir, Log: logf,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "ssbench: fabric coordinator listening on %s\n", coord.Addr())
+			cells, err = coord.Wait()
+			if err != nil {
+				fatal(err)
+			}
+			if man != nil {
+				man.Fabric = coord.Snapshot()
+			}
+			t2 = expt.RenderTableII(cfg, cells)
+		} else {
+			var err error
+			cells, t2, err = expt.TableII(cfg)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		allCells = append(allCells, cells...)
 		if man != nil {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os/exec"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"singlespec/internal/asm"
@@ -75,6 +77,24 @@ type RunResult struct {
 	FinalState
 }
 
+// TimeoutError reports a runner process that stopped responding: no frame
+// crossed the pipe within the hard deadline, so the process was killed
+// (SIGTERM, then SIGKILL after a grace period). It is a distinct type —
+// not a *ProtocolError — because a wedged runner is a transient host
+// condition the caller may retry, not a malformed byte stream.
+type TimeoutError struct {
+	Op      string        // what the host was waiting on ("run", "init", "hello")
+	Timeout time.Duration // the hard deadline that expired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("aot: runner unresponsive during %s: no frame within %v; process killed", e.Op, e.Timeout)
+}
+
+// defaultKillGrace is how long a timed-out runner gets to honor SIGTERM
+// before the escalation to SIGKILL.
+const defaultKillGrace = 2 * time.Second
+
 // Runner is a live runner subprocess speaking the frame protocol.
 type Runner struct {
 	cmd    *exec.Cmd
@@ -84,10 +104,25 @@ type Runner struct {
 	hello  Hello
 	reg    *obs.Registry
 	broken bool
+	// hardTimeout bounds every blocking protocol exchange (see
+	// SetHardDeadline); 0 means unbounded (the pre-watchdog behavior).
+	hardTimeout time.Duration
+	killGrace   time.Duration
+	// timedOut is set by the watchdog before it kills the process, so the
+	// pipe error the blocked read/write then observes is reported as a
+	// *TimeoutError instead of a generic protocol error.
+	timedOut atomic.Bool
 }
 
 // Spawn starts the runner binary and consumes its hello frame.
 func Spawn(binPath string, reg *obs.Registry) (*Runner, error) {
+	return SpawnWithDeadline(binPath, reg, 0)
+}
+
+// SpawnWithDeadline is Spawn with a hard per-exchange deadline armed from
+// the very first (hello) read, so even a runner that wedges before its
+// first frame is killed and reported with a typed *TimeoutError.
+func SpawnWithDeadline(binPath string, reg *obs.Registry, deadline time.Duration) (*Runner, error) {
 	cmd := exec.Command(binPath)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
@@ -98,14 +133,23 @@ func Spawn(binPath string, reg *obs.Registry) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{cmd: cmd, stdin: stdin, stdout: bufio.NewReader(stdout), reg: reg}
+	r.SetHardDeadline(deadline)
 	cmd.Stderr = &r.stderr
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("aot: spawning runner: %w", err)
 	}
 	count(reg, "aot.spawn")
-	frame, err := r.readFrame()
+	var frame []byte
+	err = r.watch("hello", func() error {
+		var ferr error
+		frame, ferr = r.readFrame()
+		return ferr
+	})
 	if err != nil {
 		r.kill()
+		if _, ok := err.(*TimeoutError); ok {
+			return nil, err
+		}
 		return nil, fmt.Errorf("aot: reading hello: %w%s", err, r.stderrSuffix())
 	}
 	hello, err := decodeHelloFrame(frame)
@@ -115,6 +159,53 @@ func Spawn(binPath string, reg *obs.Registry) (*Runner, error) {
 	}
 	r.hello = *hello
 	return r, nil
+}
+
+// SetHardDeadline arms a hard wall-clock watchdog over every subsequent
+// blocking protocol exchange (Init, Run, and the Spawn hello read): if the
+// exchange has not completed within d, the runner process is sent SIGTERM,
+// then SIGKILL after a grace period, and the exchange returns a typed
+// *TimeoutError. This is the guarantee that a wedged runner — stuck in a
+// loop, blocked on a full pipe, or silently dead — can never hang its cell:
+// the cooperative -cell-timeout watchdog cannot preempt a blocked pipe
+// read, but killing the process forces the read to fail. d <= 0 disables
+// the watchdog.
+func (r *Runner) SetHardDeadline(d time.Duration) { r.hardTimeout = d }
+
+// watch runs one blocking protocol exchange under the hard deadline.
+func (r *Runner) watch(op string, f func() error) error {
+	if r.hardTimeout <= 0 {
+		return f()
+	}
+	grace := r.killGrace
+	if grace <= 0 {
+		grace = defaultKillGrace
+	}
+	timer := time.AfterFunc(r.hardTimeout, func() {
+		r.timedOut.Store(true)
+		if p := r.cmd.Process; p != nil {
+			// Escalation: a polite SIGTERM first (lets a live-but-slow
+			// runner flush and exit), SIGKILL if it has not died by the
+			// end of the grace period. Killing closes the pipes, which
+			// unblocks the stalled read or write below.
+			if err := p.Signal(syscall.SIGTERM); err != nil {
+				_ = p.Kill()
+				return
+			}
+			time.AfterFunc(grace, func() {
+				if p := r.cmd.Process; p != nil {
+					_ = p.Kill()
+				}
+			})
+		}
+	})
+	err := f()
+	timer.Stop()
+	if err != nil && r.timedOut.Load() {
+		r.broken = true
+		return &TimeoutError{Op: op, Timeout: r.hardTimeout}
+	}
+	return err
 }
 
 // Hello returns the runner's self-description.
@@ -177,7 +268,7 @@ func (r *Runner) Init(prog *asm.Program, stdin []byte) error {
 	}
 	p = binary.LittleEndian.AppendUint32(p, uint32(len(stdin)))
 	p = append(p, stdin...)
-	return r.writeFrame(p)
+	return r.watch("init", func() error { return r.writeFrame(p) })
 }
 
 // Run executes the loaded program once (after an architectural reset) with
@@ -196,37 +287,43 @@ func (r *Runner) Run(maxInstr uint64, wantRecs bool, resultAddr uint64) (*RunRes
 	}
 	p = append(p, wr)
 	p = binary.LittleEndian.AppendUint64(p, resultAddr)
-	if err := r.writeFrame(p); err != nil {
-		r.broken = true
+	res := &RunResult{}
+	err := r.watch("run", func() error {
+		if err := r.writeFrame(p); err != nil {
+			r.broken = true
+			return err
+		}
+		for {
+			frame, err := r.readFrame()
+			if err != nil {
+				r.broken = true
+				return fmt.Errorf("%w%s", err, r.stderrSuffix())
+			}
+			switch frame[0] {
+			case 'R':
+				res.Records, err = decodeRecordsFrame(frame, len(r.hello.VisNames), res.Records)
+				if err != nil {
+					r.broken = true
+					return err
+				}
+			case 'F':
+				fin, err := decodeFinalFrame(frame)
+				if err != nil {
+					r.broken = true
+					return err
+				}
+				res.FinalState = *fin
+				return nil
+			default:
+				r.broken = true
+				return perr("stream", "unexpected frame type %#x", frame[0])
+			}
+		}
+	})
+	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{}
-	for {
-		frame, err := r.readFrame()
-		if err != nil {
-			r.broken = true
-			return nil, fmt.Errorf("%w%s", err, r.stderrSuffix())
-		}
-		switch frame[0] {
-		case 'R':
-			res.Records, err = decodeRecordsFrame(frame, len(r.hello.VisNames), res.Records)
-			if err != nil {
-				r.broken = true
-				return nil, err
-			}
-		case 'F':
-			fin, err := decodeFinalFrame(frame)
-			if err != nil {
-				r.broken = true
-				return nil, err
-			}
-			res.FinalState = *fin
-			return res, nil
-		default:
-			r.broken = true
-			return nil, perr("stream", "unexpected frame type %#x", frame[0])
-		}
-	}
+	return res, nil
 }
 
 // Close shuts the runner down: a quit frame, stdin close, and a bounded

@@ -109,13 +109,24 @@ func measureCellAOT(p *Programs, buildset string, opts core.Options, minDur time
 		return Cell{}, err
 	}
 
+	// Hard deadline per protocol exchange with the runner process: the
+	// cooperative cell watchdog cannot preempt a blocked pipe read, so a
+	// wedged runner is killed (SIGTERM, then SIGKILL) and surfaces as a
+	// typed timeout the guard treats as transient. Defaults to a generous
+	// backstop so a silent runner can never hang a cell even when no
+	// -cell-timeout was requested.
+	hard := cfg.CellTimeout
+	if hard <= 0 {
+		hard = aotHardDeadline
+	}
+
 	cell := Cell{ISA: p.ISA.Name, Buildset: buildset, Backend: "aot"}
 	var used uint64
 	var mips, ns, work []float64
 	for idx, prog := range p.Progs {
 		kname := p.Names[idx]
 		err := func() error {
-			r, err := aot.Spawn(b.BinPath, cfg.Obs)
+			r, err := aot.SpawnWithDeadline(b.BinPath, cfg.Obs, hard)
 			if err != nil {
 				return fmt.Errorf("%s: %w", kname, err)
 			}
@@ -195,6 +206,11 @@ func measureCellAOT(p *Programs, buildset string, opts core.Options, minDur time
 	cell.WorkPerInstr = stats.GeoMean(work)
 	return cell, nil
 }
+
+// aotHardDeadline is the default hard per-exchange deadline for runner
+// processes when no -cell-timeout is set. Generous — cells finish in
+// seconds — but finite, so a wedged runner is always killed.
+const aotHardDeadline = 2 * time.Minute
 
 func maxU64(a, b uint64) uint64 {
 	if a > b {

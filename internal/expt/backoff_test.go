@@ -1,0 +1,106 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministicSchedule: the whole point of seeded jitter is
+// that a retry schedule is a pure function of (seed, key, attempt, base) —
+// reproducible for debugging, desynchronized across seeds and keys.
+func TestRetryDelayDeterministicSchedule(t *testing.T) {
+	const base = 25 * time.Millisecond
+	schedule := func(seed uint64, key string) []time.Duration {
+		out := make([]time.Duration, 0, 8)
+		for attempt := 1; attempt <= 8; attempt++ {
+			out = append(out, RetryDelay(seed, key, attempt, base))
+		}
+		return out
+	}
+
+	a := schedule(42, "alpha64/one_all_yes")
+	b := schedule(42, "alpha64/one_all_yes")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: same inputs gave %v then %v", i+1, a[i], b[i])
+		}
+	}
+
+	// Different seeds and different keys must desynchronize: at least one
+	// attempt in the schedule differs (with ±25% jitter over 8 attempts,
+	// full collision would indicate the jitter inputs are being ignored).
+	differs := func(x, y []time.Duration) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !differs(a, schedule(43, "alpha64/one_all_yes")) {
+		t.Error("schedules for different seeds are identical: seed is not feeding the jitter")
+	}
+	if !differs(a, schedule(42, "arm32/one_all_yes")) {
+		t.Error("schedules for different keys are identical: key is not feeding the jitter")
+	}
+}
+
+// TestRetryDelayExponentialWithBoundedJitter: each delay is the doubled
+// base with at most ±25% jitter, capped at 2s.
+func TestRetryDelayExponentialWithBoundedJitter(t *testing.T) {
+	const base = 25 * time.Millisecond
+	for seed := uint64(0); seed < 20; seed++ {
+		for attempt := 1; attempt <= 12; attempt++ {
+			d := RetryDelay(seed, "cell-key", attempt, base)
+			nominal := base << uint(attempt-1)
+			if nominal <= 0 || nominal > maxRetryBackoff {
+				nominal = maxRetryBackoff
+			}
+			lo := nominal - nominal/4
+			hi := nominal + nominal/4
+			if hi > maxRetryBackoff {
+				hi = maxRetryBackoff
+			}
+			if d < lo || d > hi {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestRetryDelayCapAndDegenerateInputs: the 2s cap holds even where the
+// shifted base overflows, and degenerate inputs yield zero delay.
+func TestRetryDelayCapAndDegenerateInputs(t *testing.T) {
+	if d := RetryDelay(1, "k", 60, time.Second); d > maxRetryBackoff {
+		t.Errorf("overflowing shift: delay %v exceeds cap %v", d, maxRetryBackoff)
+	}
+	if d := RetryDelay(1, "k", 0, time.Second); d != 0 {
+		t.Errorf("attempt 0: want 0, got %v", d)
+	}
+	if d := RetryDelay(1, "k", 1, 0); d != 0 {
+		t.Errorf("zero base: want 0, got %v", d)
+	}
+	if d := RetryDelay(1, "k", 1, -time.Second); d != 0 {
+		t.Errorf("negative base: want 0, got %v", d)
+	}
+}
+
+// TestConfigRetryDelayKnobs: zero RetryBackoff means the default base,
+// negative disables backoff entirely (the engine's tests rely on that to
+// stay fast), and the seed flows through.
+func TestConfigRetryDelayKnobs(t *testing.T) {
+	if d := (Config{}).retryDelay("k", 1); d == 0 {
+		t.Error("zero RetryBackoff should resolve to the default base, got 0")
+	}
+	want := RetryDelay(0, "k", 1, DefaultRetryBackoff)
+	if d := (Config{}).retryDelay("k", 1); d != want {
+		t.Errorf("default knobs: got %v, want %v", d, want)
+	}
+	if d := (Config{RetryBackoff: -1}).retryDelay("k", 1); d != 0 {
+		t.Errorf("negative RetryBackoff should disable backoff, got %v", d)
+	}
+	seeded := RetryDelay(7, "k", 2, 50*time.Millisecond)
+	if d := (Config{RetrySeed: 7, RetryBackoff: 50 * time.Millisecond}).retryDelay("k", 2); d != seeded {
+		t.Errorf("seeded knobs: got %v, want %v", d, seeded)
+	}
+}

@@ -100,6 +100,14 @@ type Config struct {
 	// cells are marked interrupted without running. Interrupted cells are
 	// not journaled; a resumed run computes them.
 	Interrupt <-chan struct{}
+	// RetryBackoff is the base delay of the exponential seeded-jitter
+	// backoff between bounded cell retries: 0 means DefaultRetryBackoff,
+	// negative disables the backoff (immediate retry, the pre-backoff
+	// behavior). See RetryDelay.
+	RetryBackoff time.Duration
+	// RetrySeed seeds the deterministic retry/reconnect jitter. A host
+	// knob: it never affects cell results, only when retries happen.
+	RetrySeed uint64
 	// Backend selects the execution engine measuring TableII cells: the
 	// in-process interpreter (default), the generated AOT runner binary, or
 	// both (each cell measured twice; see VerifyBackendParity).
@@ -145,13 +153,11 @@ type cellJob struct {
 // it: the ablation sweep measures the same (ISA, buildset) under several
 // option sets and each is its own cell. AOT jobs are suffixed so a both-
 // backend sweep journals the two measurements separately (interpreter keys
-// are unchanged from pre-AOT journals).
+// are unchanged from pre-AOT journals). The format is shared with
+// JobSpec.Key so fabric workers and local sweeps name cells identically.
 func (j cellJob) key() string {
-	k := fmt.Sprintf("%s/%s/%+v", j.progs.ISA.Name, j.buildset, j.opts)
-	if j.backend == BackendAOT {
-		k += "/aot"
-	}
-	return k
+	return JobSpec{ISA: j.progs.ISA.Name, Buildset: j.buildset,
+		Opts: j.opts, Backend: j.backend}.Key()
 }
 
 // interrupted reports whether ch (which may be nil) has been closed.
@@ -371,73 +377,18 @@ func TableII(cfg Config) ([]Cell, *stats.Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	backends := []Backend{BackendInterp}
-	switch cfg.Backend {
-	case BackendAOT:
-		backends = []Backend{BackendAOT}
-	case BackendBoth:
-		backends = []Backend{BackendInterp, BackendAOT}
+	byISA := map[string]*Programs{}
+	for _, p := range mixes {
+		byISA[p.ISA.Name] = p
 	}
-	var jobs []cellJob
-	for _, be := range backends {
-		for _, progs := range mixes {
-			for _, bs := range isa.StdBuildsets {
-				jobs = append(jobs, cellJob{progs: progs, buildset: bs, backend: be})
-			}
-		}
+	specs := TableIIJobSpecs(cfg)
+	jobs := make([]cellJob, len(specs))
+	for i, s := range specs {
+		jobs[i] = cellJob{progs: byISA[s.ISA], buildset: s.Buildset,
+			opts: s.Opts, backend: s.Backend}
 	}
 	cells := runCells(jobs, cfg, cfg.MinDur)
-	byBS := map[string]map[string]Cell{}
-	for _, c := range cells {
-		k := c.Buildset + "/" + c.Backend
-		if byBS[k] == nil {
-			byBS[k] = map[string]Cell{}
-		}
-		byBS[k][c.ISA] = c
-	}
-	val := func(c Cell) any {
-		if c.Err != nil {
-			return errMark(c.Err)
-		}
-		return cfg.Metric.value(c)
-	}
-	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
-	for _, be := range backends {
-		tag := ""
-		if be == BackendAOT {
-			tag = "aot"
-		}
-		for _, bs := range isa.StdBuildsets {
-			sem, info, spec := rowLabel(bs)
-			if be == BackendAOT {
-				sem += " (aot)"
-			}
-			row := byBS[bs+"/"+tag]
-			t.Row(sem, info, spec,
-				val(row["alpha64"]),
-				val(row["arm32"]),
-				val(row["ppc32"]))
-		}
-		// Summary row per backend: the per-ISA geometric mean over the ok
-		// interfaces. ERR cells are skipped in cellGeoMean — their zero
-		// metrics would violate GeoMean's positive-input contract and wipe
-		// the row.
-		label := "ok cells"
-		if be == BackendAOT {
-			label = "ok aot cells"
-		}
-		var beCells []Cell
-		for _, c := range cells {
-			if c.Backend == tag {
-				beCells = append(beCells, c)
-			}
-		}
-		t.Row("geomean", label, "",
-			cellGeoMean(beCells, "alpha64", cfg.Metric),
-			cellGeoMean(beCells, "arm32", cfg.Metric),
-			cellGeoMean(beCells, "ppc32", cfg.Metric))
-	}
-	return cells, t, nil
+	return cells, RenderTableII(cfg, cells), nil
 }
 
 // Ablations measures the design-choice ablations DESIGN.md calls out —

@@ -1,0 +1,247 @@
+package expt
+
+// Remote measurement support for the distributed sweep fabric
+// (internal/fabric): job specs that identify a sweep cell over the wire,
+// serializable mid-cell progress snapshots (so a lease takeover resumes
+// mid-kernel on another worker), and the journal-format cell encoding the
+// coordinator and workers exchange. Everything here round-trips
+// deterministic cell state exactly: encoding/json renders float64 in the
+// shortest form that parses back bit-identically, []byte as base64, and
+// the embedded machine checkpoint goes through the versioned CRC/SHA
+// binary format — so a cell measured across a takeover is byte-identical
+// to one measured in a single process.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/obs"
+	"singlespec/internal/stats"
+)
+
+// JobSpec identifies one sweep cell for remote execution: everything a
+// worker needs (beyond its own sweep Config) to measure the cell. Its Key
+// is the same stable identity the run journal uses, so coordinator-side
+// resume journals and worker results speak one namespace.
+type JobSpec struct {
+	ISA      string       `json:"isa"`
+	Buildset string       `json:"buildset"`
+	Opts     core.Options `json:"opts"`
+	Backend  Backend      `json:"backend,omitempty"`
+}
+
+// Key returns the spec's stable identity (identical to the run-journal
+// cell key for the same measurement).
+func (s JobSpec) Key() string {
+	k := fmt.Sprintf("%s/%s/%+v", s.ISA, s.Buildset, s.Opts)
+	if s.Backend == BackendAOT {
+		k += "/aot"
+	}
+	return k
+}
+
+// TableIIJobSpecs lists the Table II sweep's cells under cfg, in the
+// deterministic order TableII schedules them (backend-major, ISA-major,
+// buildset-minor). The coordinator leases exactly this list; the merged
+// cell slice is ordered by it.
+func TableIIJobSpecs(cfg Config) []JobSpec {
+	backends := []Backend{BackendInterp}
+	switch cfg.Backend {
+	case BackendAOT:
+		backends = []Backend{BackendAOT}
+	case BackendBoth:
+		backends = []Backend{BackendInterp, BackendAOT}
+	}
+	var specs []JobSpec
+	for _, be := range backends {
+		for _, name := range isa.Names() {
+			for _, bs := range isa.StdBuildsets {
+				specs = append(specs, JobSpec{ISA: name, Buildset: bs, Backend: be})
+			}
+		}
+	}
+	return specs
+}
+
+// ProgressSink receives mid-cell progress: a serialized snapshot (decode
+// with the same package on any host) and the cell's retired-instruction
+// total so far. Fired at commit points — checkpoint captures and kernel
+// boundaries — never mid-chunk.
+type ProgressSink func(snapshot []byte, instret uint64)
+
+// MeasureSpec measures one cell for the fabric: like the engine's internal
+// guarded path, but resuming from a serialized progress snapshot (resume,
+// nil for a fresh cell) and streaming new snapshots to sink. It returns
+// the measured cell and whether the resume snapshot was actually applied —
+// a damaged snapshot is dropped (the cell restarts from scratch) per the
+// resume semantics, never half-applied.
+func MeasureSpec(progs *Programs, spec JobSpec, cfg Config, resume []byte, sink ProgressSink) (Cell, bool) {
+	cp := &cellProgress{ckptKernel: -1}
+	resumed := false
+	if len(resume) > 0 {
+		if rcp, err := decodeProgress(resume); err == nil {
+			cp = rcp
+			resumed = true
+		}
+	}
+	if sink != nil {
+		cp.onProgress = func(cp *cellProgress) {
+			if b, err := encodeProgress(cp); err == nil {
+				sink(b, cp.instret+cp.curInstrs)
+			}
+		}
+	}
+	j := cellJob{progs: progs, buildset: spec.Buildset, opts: spec.Opts, backend: spec.Backend}
+	return runCellGuardedFrom(j, cfg, cfg.MinDur, cp), resumed
+}
+
+// progressWire is the serialized form of cellProgress. The embedded
+// machine checkpoint (Ckpt) stays in its versioned binary format, so a
+// takeover validates it end to end exactly like an on-disk checkpoint.
+type progressWire struct {
+	KernelsDone int       `json:"kernels_done"`
+	Used        uint64    `json:"used"`
+	Instret     uint64    `json:"instret"`
+	WorkUnits   uint64    `json:"work_units"`
+	MIPS        []float64 `json:"mips,omitempty"`
+	NS          []float64 `json:"ns,omitempty"`
+	Work        []float64 `json:"work,omitempty"`
+	Stats       CellStats `json:"stats"`
+	WarmupDone  bool      `json:"warmup_done"`
+	CurInstrs   uint64    `json:"cur_instrs"`
+	CurWork     uint64    `json:"cur_work"`
+	CurElapsed  int64     `json:"cur_elapsed_ns"`
+	Ckpt        []byte    `json:"ckpt,omitempty"`
+	CkptKernel  int       `json:"ckpt_kernel"`
+}
+
+func encodeProgress(cp *cellProgress) ([]byte, error) {
+	return json.Marshal(progressWire{
+		KernelsDone: cp.kernelsDone, Used: cp.used,
+		Instret: cp.instret, WorkUnits: cp.workUnits,
+		MIPS: cp.mips, NS: cp.ns, Work: cp.work, Stats: cp.stats,
+		WarmupDone: cp.warmupDone,
+		CurInstrs:  cp.curInstrs, CurWork: cp.curWork, CurElapsed: int64(cp.curElapsed),
+		Ckpt: cp.ckpt, CkptKernel: cp.ckptKernel,
+	})
+}
+
+func decodeProgress(b []byte) (*cellProgress, error) {
+	var w progressWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("expt: progress snapshot: %w", err)
+	}
+	if w.KernelsDone < 0 || w.CkptKernel < -1 {
+		return nil, fmt.Errorf("expt: progress snapshot: implausible kernel indices")
+	}
+	return &cellProgress{
+		kernelsDone: w.KernelsDone, used: w.Used,
+		instret: w.Instret, workUnits: w.WorkUnits,
+		mips: w.MIPS, ns: w.NS, work: w.Work, stats: w.Stats,
+		warmupDone: w.WarmupDone,
+		curInstrs:  w.CurInstrs, curWork: w.CurWork, curElapsed: time.Duration(w.CurElapsed),
+		ckpt: w.Ckpt, ckptKernel: w.CkptKernel,
+	}, nil
+}
+
+// EncodeCellWire encodes one measured cell (with its job key) in the run
+// journal's record payload format — the representation fabric workers send
+// to the coordinator and segment files store.
+func EncodeCellWire(key string, c Cell) ([]byte, error) {
+	r := journalRecord{Type: "cell", Key: key, Status: "ok", Cell: toCellData(c)}
+	if c.Err != nil {
+		r.Status = c.Err.Kind.String()
+		r.ErrMsg = c.Err.Err.Error()
+	}
+	return json.Marshal(r)
+}
+
+// DecodeCellWire decodes an EncodeCellWire payload. The returned cell is
+// marked as computed (not Restored): fabric cells were measured this run,
+// just on another process.
+func DecodeCellWire(b []byte) (string, Cell, error) {
+	var r journalRecord
+	if err := json.Unmarshal(b, &r); err != nil {
+		return "", Cell{}, fmt.Errorf("expt: cell wire record: %w", err)
+	}
+	if r.Type != "cell" || r.Cell == nil || r.Key == "" {
+		return "", Cell{}, fmt.Errorf("expt: cell wire record: not a keyed cell record")
+	}
+	c := r.Cell.toCell(r.Status, r.ErrMsg)
+	c.Restored = false
+	return r.Key, c, nil
+}
+
+// RecordCells merges the deterministic counters of a merged fabric sweep
+// into reg — the same once-per-sweep aggregation runCells performs after a
+// local sweep, so a fabric coordinator's non-fabric counter totals match a
+// single-host run of the same configuration exactly.
+func RecordCells(reg *obs.Registry, cells []Cell) { recordCells(reg, cells) }
+
+// RenderTableII renders the Table II grid from measured (or merged) cells
+// under cfg's metric and backend selection — the same rendering TableII
+// performs after its local sweep, exposed so the fabric coordinator
+// produces byte-identical output from remotely measured cells.
+func RenderTableII(cfg Config, cells []Cell) *stats.Table {
+	backends := []Backend{BackendInterp}
+	switch cfg.Backend {
+	case BackendAOT:
+		backends = []Backend{BackendAOT}
+	case BackendBoth:
+		backends = []Backend{BackendInterp, BackendAOT}
+	}
+	byBS := map[string]map[string]Cell{}
+	for _, c := range cells {
+		k := c.Buildset + "/" + c.Backend
+		if byBS[k] == nil {
+			byBS[k] = map[string]Cell{}
+		}
+		byBS[k][c.ISA] = c
+	}
+	val := func(c Cell) any {
+		if c.Err != nil {
+			return errMark(c.Err)
+		}
+		return cfg.Metric.value(c)
+	}
+	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
+	for _, be := range backends {
+		tag := ""
+		if be == BackendAOT {
+			tag = "aot"
+		}
+		for _, bs := range isa.StdBuildsets {
+			sem, info, spec := rowLabel(bs)
+			if be == BackendAOT {
+				sem += " (aot)"
+			}
+			row := byBS[bs+"/"+tag]
+			t.Row(sem, info, spec,
+				val(row["alpha64"]),
+				val(row["arm32"]),
+				val(row["ppc32"]))
+		}
+		// Summary row per backend: the per-ISA geometric mean over the ok
+		// interfaces. ERR cells are skipped in cellGeoMean — their zero
+		// metrics would violate GeoMean's positive-input contract and wipe
+		// the row.
+		label := "ok cells"
+		if be == BackendAOT {
+			label = "ok aot cells"
+		}
+		var beCells []Cell
+		for _, c := range cells {
+			if c.Backend == tag {
+				beCells = append(beCells, c)
+			}
+		}
+		t.Row("geomean", label, "",
+			cellGeoMean(beCells, "alpha64", cfg.Metric),
+			cellGeoMean(beCells, "arm32", cfg.Metric),
+			cellGeoMean(beCells, "ppc32", cfg.Metric))
+	}
+	return t
+}

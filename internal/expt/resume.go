@@ -85,8 +85,10 @@ func (d *cellData) toCell(status, errMsg string) Cell {
 	}
 	if status != "ok" {
 		kind := CellFailed
-		if status == CellBudget.String() {
-			kind = CellBudget
+		for _, k := range []CellErrorKind{CellPanic, CellTimeout, CellBudget, CellInterrupted, CellLost} {
+			if status == k.String() {
+				kind = k
+			}
 		}
 		c.Err = &CellError{ISA: d.ISA, Buildset: d.Buildset, Kind: kind,
 			Err: fmt.Errorf("%s (restored from journal)", errMsg), Attempts: d.Attempts}
@@ -321,6 +323,122 @@ func (j *RunJournal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.f.Close()
+}
+
+// ---- worker segment files ----
+//
+// A fabric coordinator persists every result a worker delivers into a
+// per-worker segment file in the run journal's CRC-framed record format,
+// then merges the segments back at sweep end. The round trip means the
+// merged tables are built from records that survived framing, CRC, and
+// JSON validation end to end — and it gives the merge the same damage
+// semantics as resume: a torn final record (the append that was in flight
+// when a process died) is dropped; corruption anywhere before it refuses
+// the merge with a *CorruptJournalError naming the file and offset.
+
+// KeyedCell pairs a journaled cell with its job key.
+type KeyedCell struct {
+	Key  string
+	Cell Cell
+}
+
+// Segment is an append-only per-worker completion journal.
+type Segment struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// CreateSegment creates (truncating any previous file) a segment stamped
+// with a lineage header carrying the worker id and the run's config
+// fingerprint; LoadSegment verifies the fingerprint so a stale segment
+// from an old run can never be merged into a new one.
+func CreateSegment(path, workerID, fingerprint string) (*Segment, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Segment{f: f, path: path}
+	if err := s.append(journalRecord{Type: "run", RunID: workerID, Fingerprint: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Append durably appends one completed cell.
+func (s *Segment) Append(key string, c Cell) error {
+	r := journalRecord{Type: "cell", Key: key, Status: "ok", Cell: toCellData(c)}
+	if c.Err != nil {
+		r.Status = c.Err.Kind.String()
+		r.ErrMsg = c.Err.Err.Error()
+	}
+	return s.append(r)
+}
+
+func (s *Segment) append(r journalRecord) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(buf); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close closes the segment file.
+func (s *Segment) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// LoadSegment reads a segment file back: its fingerprint header must match
+// fingerprint (a mismatched segment is a stale worker's and is refused with
+// *FingerprintMismatchError), a torn final record is dropped, and mid-file
+// corruption returns the parser's *CorruptJournalError with the damage
+// offset. Cells come back marked computed (not Restored).
+func LoadSegment(path, fingerprint string) ([]KeyedCell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := parseJournal(path, data)
+	if err != nil {
+		return nil, err
+	}
+	var out []KeyedCell
+	sawHeader := false
+	for _, r := range recs {
+		switch r.Type {
+		case "run":
+			sawHeader = true
+			if r.Fingerprint != fingerprint {
+				return nil, &FingerprintMismatchError{Path: path, Got: r.Fingerprint, Want: fingerprint}
+			}
+		case "cell":
+			if r.Cell == nil {
+				continue
+			}
+			c := r.Cell.toCell(r.Status, r.ErrMsg)
+			c.Restored = false
+			out = append(out, KeyedCell{Key: r.Key, Cell: c})
+		}
+	}
+	if !sawHeader {
+		return nil, &CorruptJournalError{Path: path, Offset: 0, Reason: "segment has no lineage header"}
+	}
+	return out, nil
 }
 
 // Fingerprint derives the configuration fingerprint a journal is stamped

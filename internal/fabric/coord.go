@@ -1,0 +1,763 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"singlespec/internal/expt"
+	"singlespec/internal/obs"
+)
+
+// Config configures a fabric coordinator.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:7707", or ":0" to let
+	// the kernel pick — see Coordinator.Addr).
+	Addr string
+	// Sweep is the sweep configuration: it determines the cell list, the
+	// membership fingerprint, and (via Journal/Obs/Interrupt) the run's
+	// durability, instrumentation, and shutdown wiring. Sweep.Workers is
+	// ignored — the fabric's parallelism is its worker fleet.
+	Sweep expt.Config
+	// LeaseTTL is how long a lease stays valid without a heartbeat before
+	// the coordinator reclaims it; 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// MaxCellTries bounds how many lease grants one cell gets across the
+	// fleet before it is ERR-marked (kind "lost") instead of stalling the
+	// sweep; 0 means DefaultMaxCellTries.
+	MaxCellTries int
+	// SegmentDir is where per-worker result segments are written (and
+	// re-read at merge); empty uses a per-run temporary directory.
+	SegmentDir string
+	// RunID stamps segment lineage headers; empty derives one from the pid.
+	RunID string
+	// Log, when non-nil, receives one-line progress events (worker joins,
+	// takeovers, refusals) for the operator console.
+	Log func(format string, args ...any)
+}
+
+// DefaultLeaseTTL is the lease validity window without a heartbeat.
+const DefaultLeaseTTL = 10 * time.Second
+
+// DefaultMaxCellTries bounds lease grants per cell across the fleet.
+const DefaultMaxCellTries = 3
+
+// helloTimeout bounds how long an accepted connection may dawdle before its
+// hello frame; anything slower is not a fabric worker.
+const helloTimeout = 10 * time.Second
+
+// Cell lease states.
+const (
+	cellPending = iota // unleased, waiting for a worker
+	cellLeased         // leased to a live worker
+	cellDone           // resolved (result delivered, restored, or ERR-marked)
+)
+
+// cellSlot is the coordinator's state for one sweep cell.
+type cellSlot struct {
+	spec  expt.JobSpec
+	key   string
+	state int
+	// tries counts lease grants; at MaxCellTries the next reclaim ERR-marks
+	// the cell instead of requeueing it.
+	tries    int
+	leaseID  uint64
+	worker   string
+	deadline time.Time
+	// progress is the latest heartbeat-shipped snapshot (and its worker-side
+	// generation); a re-lease ships it so the takeover resumes mid-kernel.
+	progress    []byte
+	progressGen uint64
+	instret     uint64
+	cell        expt.Cell
+}
+
+// workerConn is one connected worker.
+type workerConn struct {
+	id   string
+	conn net.Conn
+	// wmu serializes frame writes (lease grants race with shutdown).
+	wmu sync.Mutex
+	// cur is the index of the cell currently leased to this worker, -1 when
+	// idle. A TTL-expired worker keeps its stale cur until it reports in
+	// again: a worker that stopped heartbeating gets no further leases.
+	cur  int
+	gone bool
+}
+
+// Coordinator runs one fabric sweep: it owns the deterministic cell list,
+// leases cells to joined workers, reclaims and re-leases on missed
+// heartbeats or dead connections, and merges the per-worker result segments
+// into the final cell slice.
+type Coordinator struct {
+	cfg Config
+	fp  string
+	reg *obs.Registry
+	ln  net.Listener
+
+	mu      sync.Mutex
+	slots   []cellSlot
+	keyIdx  map[string]int
+	open    int // cells not yet done
+	seq     uint64
+	workers map[string]*workerConn
+	seen    map[string]bool   // worker ids that ever joined
+	segs    map[string]*expt.Segment
+	segPath map[string]string
+	done    chan struct{}
+	closed  bool
+
+	segDir string
+}
+
+// SegmentError wraps a per-worker segment failure during merge, naming the
+// worker whose file refused it; it unwraps to the underlying typed error
+// (*expt.CorruptJournalError with the damage offset, or
+// *expt.FingerprintMismatchError).
+type SegmentError struct {
+	Worker string
+	Path   string
+	Err    error
+}
+
+func (e *SegmentError) Error() string {
+	return fmt.Sprintf("fabric: merge refused: worker %s segment %s: %v", e.Worker, e.Path, e.Err)
+}
+
+func (e *SegmentError) Unwrap() error { return e.Err }
+
+// Serve runs a fabric sweep to completion: listen, lease, reclaim, merge.
+// It returns the merged cells in deterministic TableIIJobSpecs order —
+// byte-identical (in every deterministic field) to a single-host sweep of
+// the same configuration, for any worker count, placement, or mid-sweep
+// worker death. It blocks until every cell is resolved (or the sweep is
+// interrupted), then shuts the fleet down.
+func Serve(cfg Config) ([]expt.Cell, error) {
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait()
+}
+
+// NewCoordinator starts the coordinator (listener and lease scanner) and
+// returns immediately; Wait blocks for the merged result. Split from Serve
+// so tests and embedders can learn the listen address before joining
+// workers.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxCellTries <= 0 {
+		cfg.MaxCellTries = DefaultMaxCellTries
+	}
+	if cfg.RunID == "" {
+		cfg.RunID = fmt.Sprintf("fabric-%d", os.Getpid())
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		fp:      Fingerprint(cfg.Sweep),
+		reg:     cfg.Sweep.Obs,
+		keyIdx:  map[string]int{},
+		workers: map[string]*workerConn{},
+		seen:    map[string]bool{},
+		segs:    map[string]*expt.Segment{},
+		segPath: map[string]string{},
+		done:    make(chan struct{}),
+	}
+	specs := expt.TableIIJobSpecs(cfg.Sweep)
+	c.slots = make([]cellSlot, len(specs))
+	for i, s := range specs {
+		c.slots[i] = cellSlot{spec: s, key: s.Key(), state: cellPending}
+		c.keyIdx[c.slots[i].key] = i
+		c.open++
+	}
+	// Resume: cells the journal already holds are resolved up front, never
+	// leased — the same reload-don't-recompute semantics as runCells.
+	if cfg.Sweep.Journal != nil {
+		for i := range c.slots {
+			if cell, ok := cfg.Sweep.Journal.Lookup(c.slots[i].key); ok {
+				c.slots[i].state = cellDone
+				c.slots[i].cell = cell
+				c.open--
+			}
+		}
+	}
+	c.segDir = cfg.SegmentDir
+	if c.segDir == "" {
+		d, err := os.MkdirTemp("", "ssbench-fabric-")
+		if err != nil {
+			return nil, err
+		}
+		c.segDir = d
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	if c.open == 0 {
+		close(c.done)
+	}
+	go c.acceptLoop()
+	go c.scanLeases()
+	return c, nil
+}
+
+// Addr returns the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		c.cfg.Log(format, args...)
+	}
+}
+
+// Wait blocks until the sweep resolves (or is interrupted), shuts the fleet
+// down, and merges the per-worker segments into the final cell slice.
+func (c *Coordinator) Wait() ([]expt.Cell, error) {
+	select {
+	case <-c.done:
+	case <-interruptCh(c.cfg.Sweep.Interrupt):
+		c.interruptAll()
+		<-c.done
+	}
+	c.shutdown()
+	return c.merge()
+}
+
+// interruptCh adapts a possibly-nil interrupt channel for select (a nil
+// channel blocks forever, which is exactly right).
+func interruptCh(ch <-chan struct{}) <-chan struct{} { return ch }
+
+// interruptAll resolves every unfinished cell as interrupted, mirroring the
+// single-host engine's wind-down: not journaled, recomputed on resume.
+func (c *Coordinator) interruptAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.slots {
+		s := &c.slots[i]
+		if s.state == cellDone {
+			continue
+		}
+		s.cell = expt.Cell{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
+			Backend: backendTag(s.spec.Backend),
+			Err: &expt.CellError{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
+				Kind: expt.CellInterrupted, Err: errors.New("sweep interrupted"),
+				Attempts: s.tries}}
+		c.resolveLocked(i)
+	}
+}
+
+// acceptLoop admits workers until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn runs one worker connection: membership guard, registration,
+// then the beat/result read loop. Any read error (including the peer dying)
+// immediately reclaims the worker's lease.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	f, err := readFrameTimeout(conn, helloTimeout)
+	if err != nil || f.Type != frameHello {
+		conn.Close()
+		return
+	}
+	refuse := func(reason string) {
+		_ = writeFrame(conn, &frame{Type: frameRefuse, Reason: reason})
+		conn.Close()
+	}
+	switch {
+	case f.Proto != ProtoVersion:
+		refuse(fmt.Sprintf("protocol version %d, coordinator speaks %d", f.Proto, ProtoVersion))
+		return
+	case f.Worker == "":
+		refuse("empty worker id")
+		return
+	case f.Fingerprint != c.fp:
+		// The membership guard: a worker started with different sweep flags
+		// (or left over from an old run) would compute different cells.
+		c.reg.Counter("fabric.worker.refused_stale").Inc()
+		c.logf("fabric: refused stale worker %s (fingerprint %.12s…, run is %.12s…)",
+			f.Worker, f.Fingerprint, c.fp)
+		refuse(fmt.Sprintf("config fingerprint %.12s… does not match this run's %.12s…; stale worker?",
+			f.Fingerprint, c.fp))
+		return
+	}
+
+	w := &workerConn{id: f.Worker, conn: conn, cur: -1}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		refuse("sweep already complete")
+		return
+	}
+	if old := c.workers[w.id]; old != nil && !old.gone {
+		// A reconnect raced ahead of the dead connection's read error: the
+		// new connection supersedes; closing the old one unblocks its
+		// handler, which reclaims any lease it held.
+		old.gone = true
+		old.conn.Close()
+		if old.cur >= 0 {
+			c.reclaimLocked(old.cur, "superseded connection")
+		}
+	}
+	rejoin := c.seen[w.id]
+	c.seen[w.id] = true
+	c.workers[w.id] = w
+	if c.segs[w.id] == nil {
+		path := filepath.Join(c.segDir, "worker-"+sanitize(w.id)+".sseg")
+		seg, err := expt.CreateSegment(path, w.id, c.fp)
+		if err != nil {
+			c.mu.Unlock()
+			refuse("coordinator cannot persist results: " + err.Error())
+			return
+		}
+		c.segs[w.id] = seg
+		c.segPath[w.id] = path
+	}
+	c.mu.Unlock()
+
+	if rejoin {
+		c.reg.Counter("fabric.worker.rejoined").Inc()
+	} else {
+		c.reg.Counter("fabric.worker.joined").Inc()
+	}
+	c.logf("fabric: worker %s joined", w.id)
+	if err := c.send(w, &frame{Type: frameWelcome, RunID: c.cfg.RunID}); err != nil {
+		c.dropWorker(w)
+		return
+	}
+	c.assign(w)
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			c.dropWorker(w)
+			return
+		}
+		switch f.Type {
+		case frameBeat:
+			c.handleBeat(w, f)
+		case frameResult:
+			c.handleResult(w, f)
+		default:
+			// Unknown frame types are ignored, not fatal: a newer worker may
+			// speak extensions this coordinator predates.
+		}
+	}
+}
+
+// send writes one frame to a worker, serialized per connection.
+func (c *Coordinator) send(w *workerConn, f *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.conn, f)
+}
+
+// dropWorker handles a dead connection: the lease (if any) is reclaimed
+// immediately — a dead TCP peer needs no TTL grace.
+func (c *Coordinator) dropWorker(w *workerConn) {
+	c.mu.Lock()
+	if !w.gone {
+		w.gone = true
+		if c.workers[w.id] == w {
+			delete(c.workers, w.id)
+		}
+		if w.cur >= 0 {
+			c.reclaimLocked(w.cur, "worker connection lost")
+			w.cur = -1
+		}
+		c.reg.Counter("fabric.worker.disconnected").Inc()
+		c.logf("fabric: worker %s disconnected", w.id)
+	}
+	c.mu.Unlock()
+	w.conn.Close()
+	c.assignPending()
+}
+
+// handleBeat refreshes the lease deadline and absorbs any newer progress
+// snapshot the worker shipped.
+func (c *Coordinator) handleBeat(w *workerConn, f *frame) {
+	c.reg.Counter("fabric.heartbeats").Inc()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.cur < 0 {
+		return
+	}
+	s := &c.slots[w.cur]
+	if s.state != cellLeased || s.leaseID != f.LeaseID {
+		return // beat for a reclaimed lease
+	}
+	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	s.instret = f.Instret
+	if f.Gen > s.progressGen && len(f.Progress) > 0 {
+		s.progressGen = f.Gen
+		s.progress = f.Progress
+	}
+}
+
+// handleResult resolves a delivered cell: persist to the worker's segment,
+// journal deterministic outcomes, requeue transient worker-side failures
+// (up to the try bound), then hand the worker its next lease.
+func (c *Coordinator) handleResult(w *workerConn, f *frame) {
+	key, cell, err := expt.DecodeCellWire(f.Cell)
+	if err != nil {
+		// A worker sending undecodable results is broken; dropping the
+		// connection reclaims its lease and lets the cell retry elsewhere.
+		c.logf("fabric: worker %s sent a malformed result: %v", w.id, err)
+		w.conn.Close()
+		return
+	}
+	c.mu.Lock()
+	idx, ok := c.keyIdx[key]
+	if !ok || w.cur != idx {
+		c.mu.Unlock()
+		c.reg.Counter("fabric.result.stale").Inc()
+		return
+	}
+	s := &c.slots[idx]
+	if s.state != cellLeased || s.leaseID != f.LeaseID {
+		// The lease was reclaimed (and possibly re-granted elsewhere) while
+		// this worker was still computing: its late result is dropped; the
+		// re-lease produces the identical deterministic fields.
+		w.cur = -1
+		c.mu.Unlock()
+		c.reg.Counter("fabric.result.stale").Inc()
+		c.assign(w)
+		return
+	}
+	if cell.Err != nil && transientKind(cell.Err.Kind) && s.tries < c.cfg.MaxCellTries {
+		// A worker-side transient (panic, timeout, interrupt during worker
+		// shutdown) gets the same cross-worker retry budget a dead worker
+		// would: back to pending, some worker (maybe this one) re-runs it.
+		s.state = cellPending
+		s.worker, s.leaseID = "", 0
+		w.cur = -1
+		c.mu.Unlock()
+		c.reg.Counter("fabric.cell.requeued").Inc()
+		c.logf("fabric: cell %s requeued after transient %s on worker %s", key, cell.Err.Kind, w.id)
+		c.assign(w)
+		c.assignPending()
+		return
+	}
+	if f.Resumed {
+		c.reg.Counter("fabric.lease.progress_resumed").Inc()
+		c.logf("fabric: cell %s resumed mid-kernel on worker %s", key, w.id)
+	}
+	s.cell = cell
+	seg := c.segs[w.id]
+	w.cur = -1
+	c.resolveLocked(idx)
+	c.mu.Unlock()
+
+	// Persistence outside the lease lock: the segment has its own mutex.
+	if seg != nil {
+		if err := seg.Append(key, cell); err != nil {
+			c.logf("fabric: segment append for worker %s: %v", w.id, err)
+		}
+	}
+	if c.cfg.Sweep.Journal != nil && deterministicOutcome(cell) {
+		_ = c.cfg.Sweep.Journal.Record(key, cell)
+	}
+	c.reg.Counter("fabric.results").Inc()
+	c.assign(w)
+}
+
+// transientKind reports whether a worker-reported cell error is worth
+// retrying on another worker (deterministic failures reproduce anywhere).
+func transientKind(k expt.CellErrorKind) bool {
+	return k == expt.CellPanic || k == expt.CellTimeout ||
+		k == expt.CellInterrupted || k == expt.CellLost
+}
+
+// deterministicOutcome mirrors the engine's journaling rule: only outcomes
+// a rerun reproduces identically are durable.
+func deterministicOutcome(c expt.Cell) bool {
+	if c.Err == nil {
+		return true
+	}
+	return c.Err.Kind == expt.CellFailed || c.Err.Kind == expt.CellBudget
+}
+
+// resolveLocked marks a slot done and completes the sweep when it was the
+// last one. Caller holds c.mu.
+func (c *Coordinator) resolveLocked(idx int) {
+	s := &c.slots[idx]
+	if s.state == cellDone {
+		return
+	}
+	s.state = cellDone
+	c.open--
+	if c.open == 0 {
+		close(c.done)
+	}
+}
+
+// reclaimLocked takes a leased cell back: requeued for another worker with
+// its progress snapshot intact, or ERR-marked once its try budget is spent.
+// Caller holds c.mu.
+func (c *Coordinator) reclaimLocked(idx int, why string) {
+	s := &c.slots[idx]
+	if s.state != cellLeased {
+		return
+	}
+	holder := s.worker
+	s.worker, s.leaseID = "", 0
+	if s.tries >= c.cfg.MaxCellTries {
+		s.cell = expt.Cell{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
+			Backend: backendTag(s.spec.Backend), Attempts: s.tries,
+			Err: &expt.CellError{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
+				Kind: expt.CellLost, Attempts: s.tries,
+				Err: fmt.Errorf("lease lost on %d worker(s), last on %s: %s", s.tries, holder, why)}}
+		c.resolveLocked(idx)
+		c.reg.Counter("fabric.cell.lost").Inc()
+		c.logf("fabric: cell %s lost after %d tries (%s)", s.key, s.tries, why)
+		return
+	}
+	s.state = cellPending
+	c.logf("fabric: reclaimed cell %s from worker %s (%s)", s.key, holder, why)
+}
+
+func backendTag(b expt.Backend) string {
+	if b == expt.BackendAOT {
+		return "aot"
+	}
+	return ""
+}
+
+// scanLeases expires leases whose heartbeats stopped: the hung-but-connected
+// worker case (a dead connection is reclaimed immediately by its handler).
+func (c *Coordinator) scanLeases() {
+	period := c.cfg.LeaseTTL / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		expired := false
+		c.mu.Lock()
+		for i := range c.slots {
+			s := &c.slots[i]
+			if s.state == cellLeased && now.After(s.deadline) {
+				c.reg.Counter("fabric.lease.expired").Inc()
+				// The holder keeps its stale cur: a worker that stopped
+				// heartbeating gets no further leases until it reports in.
+				c.reclaimLocked(i, "lease TTL expired without a heartbeat")
+				expired = true
+			}
+		}
+		c.mu.Unlock()
+		if expired {
+			c.assignPending()
+		}
+	}
+}
+
+// assign grants the lowest-index pending cell to an idle worker.
+func (c *Coordinator) assign(w *workerConn) {
+	c.mu.Lock()
+	if w.gone || w.cur >= 0 {
+		c.mu.Unlock()
+		return
+	}
+	idx := -1
+	for i := range c.slots {
+		if c.slots[i].state == cellPending {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return
+	}
+	s := &c.slots[idx]
+	s.state = cellLeased
+	s.tries++
+	c.seq++
+	s.leaseID = c.seq
+	s.worker = w.id
+	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	w.cur = idx
+	tries := s.tries
+	lease := &frame{Type: frameLease, LeaseID: s.leaseID, Key: s.key,
+		Spec: &s.spec, TTLMS: c.cfg.LeaseTTL.Milliseconds(), Progress: s.progress}
+	c.mu.Unlock()
+
+	c.reg.Counter("fabric.lease.granted").Inc()
+	if tries > 1 {
+		c.reg.Counter("fabric.lease.takeover").Inc()
+		c.logf("fabric: cell %s re-leased to worker %s (takeover, try %d)", lease.Key, w.id, tries)
+	}
+	if err := c.send(w, lease); err != nil {
+		c.dropWorker(w)
+	}
+}
+
+// assignPending hands newly pending cells to any idle workers.
+func (c *Coordinator) assignPending() {
+	c.mu.Lock()
+	var idle []*workerConn
+	for _, w := range c.workers {
+		if !w.gone && w.cur < 0 {
+			idle = append(idle, w)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(idle, func(i, j int) bool { return idle[i].id < idle[j].id })
+	for _, w := range idle {
+		c.assign(w)
+	}
+}
+
+// shutdown closes the listener, tells every worker to exit, and closes the
+// segment files.
+func (c *Coordinator) shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	workers := make([]*workerConn, 0, len(c.workers))
+	for _, w := range c.workers {
+		workers = append(workers, w)
+	}
+	segs := c.segs
+	c.segs = map[string]*expt.Segment{}
+	c.mu.Unlock()
+
+	c.ln.Close()
+	for _, w := range workers {
+		_ = c.send(w, &frame{Type: frameShutdown})
+		w.conn.Close()
+	}
+	for _, s := range segs {
+		s.Close()
+	}
+}
+
+// merge assembles the final cell slice: worker-delivered cells are re-read
+// from their CRC-framed segments (end-to-end validation of what the tables
+// are built from), locally resolved cells (journal-restored, lost,
+// interrupted) come from the slot table. A corrupt segment refuses the
+// whole merge, naming the worker and offset.
+func (c *Coordinator) merge() ([]expt.Cell, error) {
+	c.mu.Lock()
+	paths := make(map[string]string, len(c.segPath))
+	for id, p := range c.segPath {
+		paths[id] = p
+	}
+	slots := make([]cellSlot, len(c.slots))
+	copy(slots, c.slots)
+	c.mu.Unlock()
+
+	fromSegs, err := MergeSegments(paths, c.fp)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]expt.Cell, len(slots))
+	for i := range slots {
+		s := &slots[i]
+		if cell, ok := fromSegs[s.key]; ok {
+			cells[i] = cell
+			continue
+		}
+		if s.state != cellDone {
+			return nil, fmt.Errorf("fabric: merge: cell %s unresolved", s.key)
+		}
+		cells[i] = s.cell
+	}
+	// One aggregation pass over the merged cells, exactly like the
+	// single-host engine's post-sweep recordCells: the non-fabric counter
+	// totals match a local run of the same sweep.
+	expt.RecordCells(c.reg, cells)
+	return cells, nil
+}
+
+// MergeSegments loads every per-worker segment (worker id → path) and
+// returns the union of their cells by key. Damage semantics match resume:
+// a torn final record in a segment is dropped; mid-file corruption or a
+// fingerprint mismatch refuses the merge with a *SegmentError naming the
+// worker (unwrapping to the offset-bearing cause). Workers are merged in
+// sorted id order and the first delivery of a key wins, so the result is
+// independent of map iteration.
+func MergeSegments(paths map[string]string, fingerprint string) (map[string]expt.Cell, error) {
+	ids := make([]string, 0, len(paths))
+	for id := range paths {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := map[string]expt.Cell{}
+	for _, id := range ids {
+		kcs, err := expt.LoadSegment(paths[id], fingerprint)
+		if err != nil {
+			return nil, &SegmentError{Worker: id, Path: paths[id], Err: err}
+		}
+		for _, kc := range kcs {
+			if _, dup := out[kc.Key]; !dup {
+				out[kc.Key] = kc.Cell
+			}
+		}
+	}
+	return out, nil
+}
+
+// Snapshot exports the fleet and lease state for the run manifest. Taken
+// after Wait returns, every lease reads "done" (or the terminal state of a
+// lost/interrupted cell) — the snapshot documents how the sweep resolved,
+// not a mid-flight racing view.
+func (c *Coordinator) Snapshot() *obs.FabricSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := &obs.FabricSnapshot{
+		Fingerprint: c.fp,
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+		MaxTries:    c.cfg.MaxCellTries,
+	}
+	for id := range c.seen {
+		fs.Workers = append(fs.Workers, id)
+	}
+	sort.Strings(fs.Workers)
+	for i := range c.slots {
+		s := &c.slots[i]
+		state := "pending"
+		switch s.state {
+		case cellLeased:
+			state = "leased"
+		case cellDone:
+			state = "done"
+		}
+		fs.Leases = append(fs.Leases, obs.LeaseOutcome{
+			Key: s.key, State: state, Tries: s.tries, Worker: s.worker,
+		})
+	}
+	return fs
+}
+
+// sanitize maps a worker id to a safe file-name fragment.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, id)
+}

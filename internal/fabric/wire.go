@@ -1,0 +1,185 @@
+// Package fabric is the distributed sweep fabric: a coordinator/worker
+// protocol that shards the paper's evaluation sweeps across processes and
+// machines while preserving the single-host engine's determinism contract
+// byte for byte.
+//
+// The coordinator owns the deterministic cell list (expt.TableIIJobSpecs
+// order) and leases cells to workers with explicit deadlines. Workers
+// heartbeat progress — retired instructions plus the latest serialized
+// mid-cell progress snapshot (committed kernels and the in-flight run's
+// machine checkpoint) — and the coordinator reclaims a lease whose
+// heartbeats stop, re-leasing the cell to another worker together with the
+// last snapshot so the takeover resumes mid-kernel instead of from
+// scratch. Robustness is structural, not bolted on:
+//
+//   - membership guard: a worker whose config fingerprint differs from the
+//     coordinator's (a stale worker from an old run) is refused at hello;
+//   - bounded cross-worker retry: a cell is re-leased at most MaxCellTries
+//     times before it is ERR-marked with the expt guard's typed CellError
+//     taxonomy (kind "lost") instead of stalling the sweep;
+//   - exponential backoff with seeded jitter on worker reconnect (shared
+//     with the guard's cell-retry backoff, expt.RetryDelay);
+//   - durable merge: every delivered result is appended to a per-worker
+//     segment file in the run journal's CRC-framed format, and the final
+//     merge re-reads the segments — a torn final record is dropped, but
+//     mid-file corruption refuses the whole merge naming the worker and
+//     offset, per the resume semantics;
+//   - graceful degradation: the sweep completes with however many workers
+//     remain, including one, and the merged output is byte-identical to a
+//     single-host -parallel run for every deterministic field.
+//
+// Framing mirrors the AOT runner protocol discipline: u32-LE
+// length-prefixed frames (JSON payloads here — the messages are small and
+// infrequent, unlike the runner's record stream), every length validated
+// against a hard bound before allocation, malformed frames surfacing as
+// typed errors rather than hangs or panics.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"singlespec/internal/expt"
+)
+
+// ProtoVersion is the fabric wire-protocol version; coordinator and worker
+// must agree exactly.
+const ProtoVersion = 1
+
+// maxFrame bounds one frame in either direction. Progress snapshots carry
+// a machine checkpoint (registers + dirty pages), so the bound is generous;
+// anything beyond it is corruption, not data.
+const maxFrame = 1 << 26
+
+// ProtocolError is the typed error for any malformed fabric frame.
+type ProtocolError struct {
+	Msg string
+}
+
+func (e *ProtocolError) Error() string { return "fabric: protocol: " + e.Msg }
+
+func perr(format string, args ...any) error {
+	return &ProtocolError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// RefusedError reports that the coordinator refused this worker's hello —
+// the membership guard. Terminal: reconnecting cannot help, the worker was
+// started for a different run.
+type RefusedError struct {
+	Reason string
+}
+
+func (e *RefusedError) Error() string {
+	return "fabric: coordinator refused worker: " + e.Reason
+}
+
+// Frame type tags.
+const (
+	frameHello    = "hello"    // worker → coordinator: join request
+	frameWelcome  = "welcome"  // coordinator → worker: join accepted
+	frameRefuse   = "refuse"   // coordinator → worker: membership guard refusal
+	frameLease    = "lease"    // coordinator → worker: one cell, with deadline
+	frameBeat     = "beat"     // worker → coordinator: lease heartbeat
+	frameResult   = "result"   // worker → coordinator: completed cell
+	frameShutdown = "shutdown" // coordinator → worker: sweep complete, exit
+)
+
+// frame is the one message shape every fabric exchange uses; Type selects
+// which fields are meaningful.
+type frame struct {
+	Type string `json:"type"`
+
+	// hello
+	Proto       int    `json:"proto,omitempty"`
+	Worker      string `json:"worker,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// welcome / refuse
+	RunID  string `json:"run_id,omitempty"`
+	Reason string `json:"reason,omitempty"`
+
+	// lease
+	LeaseID  uint64        `json:"lease_id,omitempty"`
+	Key      string        `json:"key,omitempty"`
+	Spec     *expt.JobSpec `json:"spec,omitempty"`
+	TTLMS    int64         `json:"ttl_ms,omitempty"`
+	Progress []byte        `json:"progress,omitempty"`
+
+	// beat: Instret is the cell's retired-instruction total so far; Gen
+	// the progress-snapshot generation (Progress is attached only when Gen
+	// advanced past what the coordinator has, keeping beats small).
+	Instret uint64 `json:"instret,omitempty"`
+	Gen     uint64 `json:"gen,omitempty"`
+
+	// result: Cell is the expt.EncodeCellWire payload; Resumed reports
+	// that the worker actually applied the progress snapshot shipped with
+	// its lease (the takeover-resumed-from-checkpoint signal).
+	Cell    []byte `json:"cell,omitempty"`
+	Resumed bool   `json:"resumed,omitempty"`
+}
+
+// writeFrame writes one length-prefixed frame. Callers serialize access.
+func writeFrame(w io.Writer, f *frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return perr("frame of %d bytes exceeds bound", len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, validating the length bound
+// before allocating.
+func readFrame(r io.Reader) (*frame, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n == 0 || n > maxFrame {
+		return nil, perr("frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, perr("reading %d-byte frame: %v", n, err)
+	}
+	var f frame
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, perr("frame payload is not valid JSON: %v", err)
+	}
+	return &f, nil
+}
+
+// readFrameTimeout reads one frame with a read deadline (0 = block).
+func readFrameTimeout(c net.Conn, d time.Duration) (*frame, error) {
+	if d > 0 {
+		if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, err
+		}
+		defer c.SetReadDeadline(time.Time{})
+	}
+	return readFrame(c)
+}
+
+// Fingerprint derives the fabric membership fingerprint from a sweep
+// configuration: the same SHA-256 derivation the resume journal uses, over
+// everything that determines which cells exist and what their
+// deterministic fields contain. A worker and coordinator started with
+// different -scale/-metric/-backend flags fingerprint differently and the
+// worker is refused at hello.
+func Fingerprint(cfg expt.Config) string {
+	return expt.Fingerprint("fabric/table2", cfg)
+}

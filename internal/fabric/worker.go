@@ -1,0 +1,329 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"singlespec/internal/expt"
+	"singlespec/internal/isa"
+	"singlespec/internal/obs"
+)
+
+// WorkerConfig configures a fabric worker.
+type WorkerConfig struct {
+	// Addr is the coordinator's address.
+	Addr string
+	// ID names this worker in leases, segments, and counters; empty derives
+	// one from the hostname and pid.
+	ID string
+	// Sweep is the worker's local sweep configuration. Its fingerprint must
+	// match the coordinator's — the worker computes it from its own flags
+	// and presents it at hello, so a stale worker is refused before it can
+	// contribute a single cell. Journal is ignored (durability is the
+	// coordinator's job); Obs receives worker-local counters.
+	Sweep expt.Config
+	// ReconnectBase is the base of the exponential seeded-jitter reconnect
+	// backoff; 0 means DefaultReconnectBase.
+	ReconnectBase time.Duration
+	// MaxReconnects bounds consecutive failed reconnect attempts before the
+	// worker gives up; 0 means DefaultMaxReconnects.
+	MaxReconnects int
+	// Log, when non-nil, receives one-line progress events.
+	Log func(format string, args ...any)
+
+	// testOnProgress, when non-nil, observes every progress snapshot the
+	// measurement commits (before it is heartbeat-shipped). Tests hook death
+	// injection through it.
+	testOnProgress func(key string, gen uint64)
+	// testKill, when non-nil, simulates a worker crash when closed: the
+	// connection drops mid-lease and RunWorker returns ErrWorkerKilled
+	// without delivering the in-flight result.
+	testKill <-chan struct{}
+	// testNoBeat suppresses heartbeats entirely: the worker takes leases and
+	// computes but never extends them — the hung-but-connected worker the
+	// lease TTL exists for.
+	testNoBeat bool
+	// testBeatOnProgress ships a beat synchronously at every progress
+	// commit (in addition to the timer-driven loop), so a test that kills
+	// the worker right after a commit knows the coordinator holds that
+	// snapshot.
+	testBeatOnProgress bool
+}
+
+// DefaultReconnectBase is the reconnect backoff base delay.
+const DefaultReconnectBase = 100 * time.Millisecond
+
+// DefaultMaxReconnects bounds consecutive failed reconnect attempts.
+const DefaultMaxReconnects = 8
+
+// ErrWorkerKilled reports a test-injected worker crash.
+var ErrWorkerKilled = errors.New("fabric: worker killed (test injection)")
+
+// worker is the run state of one RunWorker call.
+type worker struct {
+	cfg WorkerConfig
+	fp  string
+	reg *obs.Registry
+	// mixes caches built kernel mixes per ISA; a worker measures one cell
+	// at a time, so access is single-goroutine.
+	mixes map[string]*expt.Programs
+	// wmu serializes connection writes (heartbeats race with results).
+	wmu sync.Mutex
+}
+
+// RunWorker joins the fabric at cfg.Addr and serves leases until the
+// coordinator sends shutdown (returns nil), the coordinator refuses the
+// worker (*RefusedError — terminal, the worker belongs to a different run),
+// or the reconnect budget is spent. Connection loss mid-sweep is survived:
+// the worker reconnects with exponential seeded-jitter backoff and resumes
+// serving leases under the same id.
+func RunWorker(cfg WorkerConfig) error {
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = DefaultReconnectBase
+	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = DefaultMaxReconnects
+	}
+	w := &worker{cfg: cfg, fp: Fingerprint(cfg.Sweep), reg: cfg.Sweep.Obs,
+		mixes: map[string]*expt.Programs{}}
+
+	attempt := 0
+	var lastErr error
+	for {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err == nil {
+			done, joined, serr := w.session(conn)
+			conn.Close()
+			if done {
+				return nil
+			}
+			var refused *RefusedError
+			if errors.As(serr, &refused) || errors.Is(serr, ErrWorkerKilled) {
+				return serr
+			}
+			if joined {
+				// A session that actually joined resets the reconnect budget:
+				// the bound is on consecutive failures, not sweep length.
+				attempt = 0
+			}
+			err = serr
+		}
+		lastErr = err
+		attempt++
+		if attempt > cfg.MaxReconnects {
+			return fmt.Errorf("fabric: worker %s: giving up after %d reconnect attempts: %w",
+				cfg.ID, cfg.MaxReconnects, lastErr)
+		}
+		d := expt.RetryDelay(cfg.Sweep.RetrySeed, "fabric.reconnect/"+cfg.ID, attempt, cfg.ReconnectBase)
+		w.reg.Counter("fabric.reconnect.backoffs").Inc()
+		w.logf("fabric: worker %s: connection lost (%v); reconnect %d/%d in %v",
+			cfg.ID, lastErr, attempt, cfg.MaxReconnects, d)
+		time.Sleep(d)
+	}
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log(format, args...)
+	}
+}
+
+// send writes one frame, serialized across the heartbeat goroutine and the
+// session loop.
+func (w *worker) send(conn net.Conn, f *frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(conn, f)
+}
+
+// session runs one connection: hello/welcome, then serve leases until
+// shutdown (done=true), connection loss, or refusal. joined reports whether
+// the coordinator accepted the hello.
+func (w *worker) session(conn net.Conn) (done, joined bool, err error) {
+	hello := &frame{Type: frameHello, Proto: ProtoVersion, Worker: w.cfg.ID, Fingerprint: w.fp}
+	if err := w.send(conn, hello); err != nil {
+		return false, false, err
+	}
+	f, err := readFrameTimeout(conn, helloTimeout)
+	if err != nil {
+		return false, false, err
+	}
+	switch f.Type {
+	case frameWelcome:
+	case frameRefuse:
+		return false, false, &RefusedError{Reason: f.Reason}
+	default:
+		return false, false, perr("expected welcome or refuse, got %q", f.Type)
+	}
+	w.logf("fabric: worker %s joined run %s", w.cfg.ID, f.RunID)
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return false, true, err
+		}
+		switch f.Type {
+		case frameLease:
+			if err := w.serveLease(conn, f); err != nil {
+				return false, true, err
+			}
+		case frameShutdown:
+			w.logf("fabric: worker %s: sweep complete, shutting down", w.cfg.ID)
+			return true, true, nil
+		default:
+			// Ignore unknown frame types (forward compatibility).
+		}
+	}
+}
+
+// measured carries one finished measurement out of its goroutine.
+type measured struct {
+	cell    expt.Cell
+	resumed bool
+}
+
+// serveLease measures one leased cell, heartbeating while it runs, and
+// delivers the result. A takeover lease arrives with the previous holder's
+// progress snapshot; MeasureSpec resumes from it mid-kernel (or from
+// scratch if the snapshot is damaged — never half-applied).
+func (w *worker) serveLease(conn net.Conn, lease *frame) error {
+	if lease.Spec == nil {
+		return perr("lease %d carries no job spec", lease.LeaseID)
+	}
+	spec := *lease.Spec
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	w.reg.Counter("fabric.worker.leases").Inc()
+	if len(lease.Progress) > 0 {
+		w.logf("fabric: worker %s: lease %s (takeover, %d-byte snapshot)",
+			w.cfg.ID, lease.Key, len(lease.Progress))
+	}
+
+	// Shared progress state between the measurement (producer) and the
+	// heartbeat loop (shipper).
+	var pmu sync.Mutex
+	var snap []byte
+	var gen, instret uint64
+	sink := func(b []byte, ir uint64) {
+		pmu.Lock()
+		snap, instret = b, ir
+		gen++
+		g := gen
+		pmu.Unlock()
+		if w.cfg.testBeatOnProgress {
+			_ = w.send(conn, &frame{Type: frameBeat, LeaseID: lease.LeaseID,
+				Key: lease.Key, Instret: ir, Gen: g, Progress: b})
+		}
+		if w.cfg.testOnProgress != nil {
+			w.cfg.testOnProgress(lease.Key, g)
+		}
+	}
+
+	stopBeat := make(chan struct{})
+	var beatWG sync.WaitGroup
+	if !w.cfg.testNoBeat {
+		beatWG.Add(1)
+		go func() {
+			defer beatWG.Done()
+			period := ttl / 3
+			if period < 5*time.Millisecond {
+				period = 5 * time.Millisecond
+			}
+			t := time.NewTicker(period)
+			defer t.Stop()
+			sentGen := uint64(0)
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-t.C:
+				}
+				pmu.Lock()
+				b := &frame{Type: frameBeat, LeaseID: lease.LeaseID, Key: lease.Key,
+					Instret: instret, Gen: gen}
+				if gen > sentGen {
+					b.Progress = snap
+				}
+				g := gen
+				pmu.Unlock()
+				if err := w.send(conn, b); err != nil {
+					return
+				}
+				sentGen = g
+				w.reg.Counter("fabric.worker.beats").Inc()
+			}
+		}()
+	}
+
+	resCh := make(chan measured, 1)
+	go func() {
+		cell, resumed := w.measure(spec, lease.Progress, sink)
+		resCh <- measured{cell: cell, resumed: resumed}
+	}()
+
+	select {
+	case m := <-resCh:
+		close(stopBeat)
+		beatWG.Wait()
+		payload, err := expt.EncodeCellWire(lease.Key, m.cell)
+		if err != nil {
+			return fmt.Errorf("fabric: encoding result for %s: %w", lease.Key, err)
+		}
+		if err := w.send(conn, &frame{Type: frameResult, LeaseID: lease.LeaseID,
+			Key: lease.Key, Cell: payload, Resumed: m.resumed}); err != nil {
+			return err
+		}
+		w.reg.Counter("fabric.worker.results").Inc()
+		return nil
+	case <-w.cfg.testKill:
+		// Simulated crash: drop the connection with the lease unresolved.
+		// The measurement goroutine drains into the buffered channel.
+		close(stopBeat)
+		conn.Close()
+		return ErrWorkerKilled
+	}
+}
+
+// measure runs one cell through the shared measurement engine. Mix-building
+// failures become failed cells (deterministic: the coordinator will not
+// retry them elsewhere, where they would fail identically).
+func (w *worker) measure(spec expt.JobSpec, resume []byte, sink expt.ProgressSink) (expt.Cell, bool) {
+	progs, err := w.mix(spec.ISA)
+	if err != nil {
+		return expt.Cell{ISA: spec.ISA, Buildset: spec.Buildset,
+			Backend: backendTag(spec.Backend), Attempts: 1,
+			Err: &expt.CellError{ISA: spec.ISA, Buildset: spec.Buildset,
+				Kind: expt.CellFailed, Err: err, Attempts: 1}}, false
+	}
+	cfg := w.cfg.Sweep
+	cfg.Journal = nil // durability is the coordinator's job
+	return expt.MeasureSpec(progs, spec, cfg, resume, sink)
+}
+
+// mix returns the worker's cached kernel mix for an ISA, building it on
+// first use.
+func (w *worker) mix(name string) (*expt.Programs, error) {
+	if p := w.mixes[name]; p != nil {
+		return p, nil
+	}
+	i, err := isa.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := expt.BuildMix(i, w.cfg.Sweep.Scale)
+	if err != nil {
+		return nil, err
+	}
+	w.mixes[name] = p
+	return p, nil
+}
