@@ -1,0 +1,338 @@
+// Command ssd is the simulation-as-a-service daemon and its CLI.
+//
+// Server mode runs the daemon on a durable state directory:
+//
+//	ssd serve -listen 127.0.0.1:7790 -state /var/lib/ssd \
+//	    -tenant alice=2:2000000 -tenant bob=1:500000
+//
+// SIGINT/SIGTERM evicts every running job (journals flushed, state
+// persisted) and exits; restarting on the same -state resumes them with
+// byte-identical deterministic output.
+//
+// Client subcommands talk to a running daemon:
+//
+//	ssd submit  -addr HOST:PORT [-tenant T] [sweep/kernel flags] [-wait]
+//	ssd status  -addr HOST:PORT -job ID [-wait]
+//	ssd list    -addr HOST:PORT [-tenant T]
+//	ssd stream  -addr HOST:PORT -job ID [-from N]
+//	ssd result  -addr HOST:PORT -job ID [-table]
+//	ssd evict   -addr HOST:PORT -job ID
+//	ssd resume  -addr HOST:PORT -job ID
+//	ssd cancel  -addr HOST:PORT -job ID
+//	ssd metrics -addr HOST:PORT
+//
+// Exit codes: 0 success, 1 failure, 2 admission refused (the refusal
+// kind and reason go to stderr).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"singlespec/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ssd: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		runServe(args)
+	case "submit":
+		runSubmit(args)
+	case "status", "evict", "resume", "cancel":
+		runJobOp(cmd, args)
+	case "list":
+		runList(args)
+	case "stream":
+		runStream(args)
+	case "result":
+		runResult(args)
+	case "metrics":
+		runMetrics(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown command %q", cmd)
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ssd <command> [flags]
+
+commands:
+  serve    run the daemon (-listen, -state, -aot-cache, -workers, -tenant)
+  submit   submit a job (-kind sweep|kernel, sweep/kernel flags, -wait)
+  status   query one job (-job, -wait)
+  list     list jobs (-tenant)
+  stream   follow a job's NDJSON event stream (-job, -from)
+  result   fetch a done job's result (-job, -table prints the table only)
+  evict    park a running job as resumable
+  resume   requeue an evicted job
+  cancel   terminally abandon a job
+  metrics  dump the daemon's serve.* counters`)
+}
+
+// tenantFlags collects repeatable -tenant name=maxActive:instrBudget
+// definitions.
+type tenantFlags map[string]serve.TenantPolicy
+
+func (t tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(t)) }
+
+func (t tenantFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=maxActive:instrBudget, got %q", v)
+	}
+	maxs, budgets, _ := strings.Cut(spec, ":")
+	var pol serve.TenantPolicy
+	if maxs != "" {
+		n, err := strconv.Atoi(maxs)
+		if err != nil {
+			return fmt.Errorf("bad maxActive in %q: %v", v, err)
+		}
+		pol.MaxActive = n
+	}
+	if budgets != "" {
+		n, err := strconv.ParseUint(budgets, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad instrBudget in %q: %v", v, err)
+		}
+		pol.InstrBudget = n
+	}
+	t[name] = pol
+	return nil
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("ssd serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7790", "TCP listen address (\":0\" picks a port)")
+	state := fs.String("state", "", "durable state directory (empty: temporary, jobs do not survive restart)")
+	aotCache := fs.String("aot-cache", "", "shared AOT build cache directory (default: STATE/aot-cache)")
+	workers := fs.Int("workers", 0, "per-job sweep worker pool size (0: number of CPUs)")
+	tenants := tenantFlags{}
+	fs.Var(tenants, "tenant", "tenant policy name=maxActive:instrBudget (repeatable; either part may be empty for unlimited)")
+	_ = fs.Parse(args)
+
+	srv, err := serve.New(serve.Config{
+		StateDir:    *state,
+		AOTCacheDir: *aotCache,
+		Workers:     *workers,
+		Tenants:     tenants,
+		Log:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("starting daemon: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case got := <-sig:
+		log.Printf("%v: evicting running jobs and shutting down", got)
+		ln.Close()
+		srv.Close()
+	case err := <-done:
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// exitErr reports an RPC failure and exits: code 2 for typed admission
+// refusals, 1 otherwise.
+func exitErr(err error) {
+	if rpcErr, ok := err.(*serve.RPCError); ok {
+		if ref, isRefusal := rpcErr.Refusal(); isRefusal {
+			log.Printf("refused (%s): %s", ref.Kind, ref.Reason)
+			os.Exit(2)
+		}
+	}
+	log.Print(err)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(b))
+}
+
+func runSubmit(args []string) {
+	fs := flag.NewFlagSet("ssd submit", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	tenant := fs.String("tenant", "", "tenant name (default \"default\")")
+	kind := fs.String("kind", "sweep", "job kind: sweep or kernel")
+	scale := fs.Int("scale", 1, "problem-size multiplier")
+	minDur := fs.Duration("min-dur", 0, "minimum per-kernel measure time")
+	metric := fs.String("metric", "work", "metric: work (deterministic) or mips")
+	backend := fs.String("backend", "", "backend: interp (default), aot, or both (sweeps)")
+	maxCellInstr := fs.Uint64("max-cell-instr", 0, "per-cell instruction budget (required for budgeted tenants)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell wall-clock watchdog")
+	ckptEvery := fs.Uint64("ckpt-every", 0, "checkpoint cadence in instructions")
+	isaName := fs.String("isa", "", "kernel job: ISA name")
+	buildset := fs.String("buildset", "", "kernel job: buildset name")
+	kernel := fs.String("kernel", "", "kernel job: kernel name")
+	n := fs.Int("n", 0, "kernel job: problem size (0: kernel default)")
+	fabricListen := fs.String("fabric-listen", "", "sweep job: run as fabric coordinator on this address")
+	wait := fs.Bool("wait", false, "block until the job rests; print the result table when done")
+	_ = fs.Parse(args)
+
+	c := &serve.Client{Addr: *addr}
+	st, err := c.Submit(*tenant, serve.JobRequest{
+		Kind: *kind, Scale: *scale,
+		MinDurMS:     minDur.Milliseconds(),
+		Metric:       *metric,
+		Backend:      *backend,
+		MaxCellInstr: *maxCellInstr,
+		CellTimeoutMS: func() int64 {
+			return cellTimeout.Milliseconds()
+		}(),
+		CkptEvery: *ckptEvery,
+		ISA:       *isaName, Buildset: *buildset, Kernel: *kernel, N: *n,
+		FabricListen: *fabricListen,
+	})
+	if err != nil {
+		exitErr(err)
+	}
+	if !*wait {
+		printJSON(st)
+		return
+	}
+	waitAndReport(c, st.ID)
+}
+
+func waitAndReport(c *serve.Client, id string) {
+	st, err := c.WaitState(id, 24*time.Hour)
+	if err != nil {
+		exitErr(err)
+	}
+	if st.State != "done" {
+		printJSON(st)
+		log.Printf("job %s rested as %s", id, st.State)
+		os.Exit(1)
+	}
+	res, err := c.Result(id)
+	if err != nil {
+		exitErr(err)
+	}
+	fmt.Print(res.Table)
+}
+
+func runJobOp(op string, args []string) {
+	fs := flag.NewFlagSet("ssd "+op, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	job := fs.String("job", "", "job id")
+	wait := fs.Bool("wait", false, "status only: block until the job rests")
+	_ = fs.Parse(args)
+	if *job == "" {
+		log.Fatalf("%s needs -job", op)
+	}
+	c := &serve.Client{Addr: *addr}
+	var st serve.JobStatus
+	var err error
+	switch op {
+	case "status":
+		if *wait {
+			st, err = c.WaitState(*job, 24*time.Hour)
+		} else {
+			st, err = c.Status(*job)
+		}
+	case "evict":
+		st, err = c.Evict(*job)
+	case "resume":
+		st, err = c.Resume(*job)
+	case "cancel":
+		st, err = c.Cancel(*job)
+	}
+	if err != nil {
+		exitErr(err)
+	}
+	printJSON(st)
+}
+
+func runList(args []string) {
+	fs := flag.NewFlagSet("ssd list", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	tenant := fs.String("tenant", "", "filter by tenant")
+	_ = fs.Parse(args)
+	c := &serve.Client{Addr: *addr}
+	jobs, err := c.List(*tenant)
+	if err != nil {
+		exitErr(err)
+	}
+	printJSON(jobs)
+}
+
+func runStream(args []string) {
+	fs := flag.NewFlagSet("ssd stream", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	job := fs.String("job", "", "job id")
+	from := fs.Int("from", 0, "replay events from this sequence number")
+	_ = fs.Parse(args)
+	if *job == "" {
+		log.Fatal("stream needs -job")
+	}
+	c := &serve.Client{Addr: *addr}
+	enc := json.NewEncoder(os.Stdout)
+	err := c.Stream(*job, *from, func(ev serve.Event) bool {
+		_ = enc.Encode(ev)
+		return true
+	})
+	if err != nil {
+		exitErr(err)
+	}
+}
+
+func runResult(args []string) {
+	fs := flag.NewFlagSet("ssd result", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	job := fs.String("job", "", "job id")
+	table := fs.Bool("table", false, "print the rendered table only (byte-exact)")
+	_ = fs.Parse(args)
+	if *job == "" {
+		log.Fatal("result needs -job")
+	}
+	c := &serve.Client{Addr: *addr}
+	res, err := c.Result(*job)
+	if err != nil {
+		exitErr(err)
+	}
+	if *table {
+		fmt.Print(res.Table)
+		return
+	}
+	printJSON(res)
+}
+
+func runMetrics(args []string) {
+	fs := flag.NewFlagSet("ssd metrics", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
+	_ = fs.Parse(args)
+	c := &serve.Client{Addr: *addr}
+	snap, err := c.Metrics()
+	if err != nil {
+		exitErr(err)
+	}
+	printJSON(snap)
+}

@@ -115,6 +115,14 @@ type Config struct {
 	// AOTCacheDir is where AOT runner binaries are compiled and cached;
 	// empty means a per-process temporary cache.
 	AOTCacheDir string
+	// OnCell, when non-nil, is called once per resolved sweep cell as it
+	// lands — computed, journal-restored, or error-marked — with the
+	// cell's stable job key. The serve daemon streams per-cell results
+	// through it. Calls arrive concurrently from sweep workers (and, on
+	// the fabric coordinator, may hold internal locks), so the callback
+	// must be safe for concurrent use, fast, and must not call back into
+	// the engine. It observes results; it cannot change them.
+	OnCell func(key string, c Cell)
 	// Obs, when non-nil, receives the sweep's aggregate counters and
 	// histograms: translation-cache traffic, syscall activity, watchdog
 	// checks, and per-cell outcomes. Aggregation is commutative atomic
@@ -203,10 +211,14 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 			for idx := range idxCh {
 				j := jobs[idx]
 				// Resume: a cell the journal already holds is reloaded, not
-				// recomputed.
+				// recomputed. Restored cells still fire OnCell: a streaming
+				// consumer of a resumed sweep sees every cell land.
 				if cfg.Journal != nil {
 					if c, ok := cfg.Journal.Lookup(j.key()); ok {
 						results[idx] = c
+						if cfg.OnCell != nil {
+							cfg.OnCell(j.key(), c)
+						}
 						continue
 					}
 				}
@@ -216,6 +228,9 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 						Backend: j.backend.cellTag(),
 						Err: &CellError{ISA: j.progs.ISA.Name, Buildset: j.buildset,
 							Kind: CellInterrupted, Err: errInterrupted}}
+					if cfg.OnCell != nil {
+						cfg.OnCell(j.key(), results[idx])
+					}
 					continue
 				}
 				wait := time.Since(start)
@@ -226,6 +241,9 @@ func runCells(jobs []cellJob, cfg Config, minDur time.Duration) []Cell {
 					// Journal errors must not fail the sweep; the cell's
 					// result stands either way, only durability is lost.
 					_ = cfg.Journal.Record(j.key(), c)
+				}
+				if cfg.OnCell != nil {
+					cfg.OnCell(j.key(), c)
 				}
 			}
 		}()
@@ -419,7 +437,7 @@ func Ablations(cfg Config) ([]Cell, *stats.Table, error) {
 		}
 	}
 	cells := runCells(jobs, cfg, cfg.MinDur)
-	t := stats.NewTable("Configuration", "alpha64", "arm32", "ppc32")
+	t := stats.NewTable(append([]string{"Configuration"}, isa.Names()...)...)
 	for vi, v := range variants {
 		row := []any{v.label}
 		for mi := range mixes {

@@ -430,7 +430,7 @@ func contains(s, sub string) bool {
 
 // TableI renders the instruction-set description characteristics.
 func TableI() (*stats.Table, error) {
-	t := stats.NewTable("Characteristic", "alpha64", "arm32", "ppc32")
+	t := stats.NewTable(append([]string{"Characteristic"}, isa.Names()...)...)
 	var loaded []*isa.ISA
 	for _, name := range isa.Names() {
 		i, err := isa.Load(name)
@@ -476,7 +476,7 @@ func find(cells []Cell, isaName, bs string) Cell {
 // instruction (stand-in for the paper's host instructions) and in
 // deterministic work units.
 func TableIII(cells []Cell) *stats.Table {
-	t := stats.NewTable("Cost (ns/instr | work/instr)", "alpha64", "arm32", "ppc32")
+	t := stats.NewTable(append([]string{"Cost (ns/instr | work/instr)"}, isa.Names()...)...)
 	row := func(label string, f func(isaName string) (float64, float64)) {
 		cellsOut := []any{label}
 		for _, name := range isa.Names() {

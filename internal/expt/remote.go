@@ -14,6 +14,7 @@ package expt
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"singlespec/internal/core"
@@ -35,12 +36,33 @@ type JobSpec struct {
 
 // Key returns the spec's stable identity (identical to the run-journal
 // cell key for the same measurement).
+//
+// The key format is a compatibility contract: it names cells in resume
+// journals, fabric segment files, and wire frames, so it must not change
+// across versions — a changed key silently orphans every journaled cell
+// and forces recomputation. The options portion is therefore an explicit
+// field-by-field canonical encoding (see canonicalOpts), not a reflective
+// dump of core.Options.
 func (s JobSpec) Key() string {
-	k := fmt.Sprintf("%s/%s/%+v", s.ISA, s.Buildset, s.Opts)
+	k := s.ISA + "/" + s.Buildset + "/" + canonicalOpts(s.Opts)
 	if s.Backend == BackendAOT {
 		k += "/aot"
 	}
 	return k
+}
+
+// canonicalOpts renders core.Options in the key's canonical form. The
+// format is frozen: it byte-matches the fmt %+v rendering the key
+// historically used, so journals and segments written by earlier versions
+// still resolve. It deliberately names each field: adding, removing, or
+// reordering fields in core.Options no longer changes existing keys out
+// from under the journals. A new option field that affects measurement
+// must be appended here explicitly — and only with a migration story for
+// old journals (TestJobSpecKeyGolden and TestJobSpecKeyCoversOptions
+// enforce both directions).
+func canonicalOpts(o core.Options) string {
+	return fmt.Sprintf("{NoTranslate:%t NoDCE:%t ForceRecords:%t MaxBlockLen:%d CacheCap:%d}",
+		o.NoTranslate, o.NoDCE, o.ForceRecords, o.MaxBlockLen, o.CacheCap)
 }
 
 // TableIIJobSpecs lists the Table II sweep's cells under cfg, in the
@@ -82,9 +104,14 @@ func MeasureSpec(progs *Programs, spec JobSpec, cfg Config, resume []byte, sink 
 	cp := &cellProgress{ckptKernel: -1}
 	resumed := false
 	if len(resume) > 0 {
-		if rcp, err := decodeProgress(resume); err == nil {
+		if rcp, err := decodeProgress(resume, len(progs.Progs)); err == nil {
 			cp = rcp
 			resumed = true
+		} else {
+			// A damaged or inconsistent snapshot is dropped, never
+			// half-applied: the cell restarts from scratch and the drop is
+			// visible in the registry instead of silently eating progress.
+			cfg.Obs.Counter("fabric.snapshot_dropped").Inc()
 		}
 	}
 	if sink != nil {
@@ -129,13 +156,19 @@ func encodeProgress(cp *cellProgress) ([]byte, error) {
 	})
 }
 
-func decodeProgress(b []byte) (*cellProgress, error) {
+// decodeProgress decodes and validates a progress snapshot. nKernels is
+// the mix size the snapshot must fit (< 0 skips the bound checks, for
+// callers without a mix at hand). Validation rejects not just malformed
+// JSON but any state measureCell could not have committed: resuming such
+// a snapshot would silently corrupt the cell's deterministic totals, so a
+// takeover drops it and restarts the cell from scratch instead.
+func decodeProgress(b []byte, nKernels int) (*cellProgress, error) {
 	var w progressWire
 	if err := json.Unmarshal(b, &w); err != nil {
 		return nil, fmt.Errorf("expt: progress snapshot: %w", err)
 	}
-	if w.KernelsDone < 0 || w.CkptKernel < -1 {
-		return nil, fmt.Errorf("expt: progress snapshot: implausible kernel indices")
+	if err := w.validate(nKernels); err != nil {
+		return nil, fmt.Errorf("expt: progress snapshot: %w", err)
 	}
 	return &cellProgress{
 		kernelsDone: w.KernelsDone, used: w.Used,
@@ -145,6 +178,57 @@ func decodeProgress(b []byte) (*cellProgress, error) {
 		curInstrs:  w.CurInstrs, curWork: w.CurWork, curElapsed: time.Duration(w.CurElapsed),
 		ckpt: w.Ckpt, ckptKernel: w.CkptKernel,
 	}, nil
+}
+
+// validate checks that a decoded snapshot is a state measureCell could
+// actually have committed. onProgress fires only at checkpoint captures
+// and kernel boundaries, which pins down the invariants:
+//   - the per-kernel slices are appended exactly once per finished kernel,
+//     so their lengths equal KernelsDone, and every appended value is a
+//     positive finite geomean input;
+//   - the current-kernel accumulators are cleared at each boundary and
+//     only grow after that kernel's warmup run completes, so CurInstrs,
+//     CurWork, and CurElapsed are all zero while WarmupDone is false;
+//   - Used and Instret advance in lockstep (both sum the same RunLimited
+//     returns), so they are equal;
+//   - a checkpoint always belongs to the in-flight kernel: Ckpt is present
+//     iff CkptKernel != -1, and then CkptKernel == KernelsDone.
+func (w *progressWire) validate(nKernels int) error {
+	finitePos := func(vs []float64) bool {
+		for _, v := range vs {
+			if !(v > 0) || math.IsInf(v, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case w.KernelsDone < 0 || w.CkptKernel < -1:
+		return fmt.Errorf("implausible kernel indices (kernels_done %d, ckpt_kernel %d)",
+			w.KernelsDone, w.CkptKernel)
+	case len(w.MIPS) != w.KernelsDone || len(w.NS) != w.KernelsDone || len(w.Work) != w.KernelsDone:
+		return fmt.Errorf("per-kernel slice lengths %d/%d/%d (mips/ns/work) disagree with kernels_done %d",
+			len(w.MIPS), len(w.NS), len(w.Work), w.KernelsDone)
+	case !finitePos(w.MIPS) || !finitePos(w.NS) || !finitePos(w.Work):
+		return fmt.Errorf("per-kernel metrics contain non-positive or non-finite values")
+	case !w.WarmupDone && (w.CurInstrs != 0 || w.CurWork != 0 || w.CurElapsed != 0):
+		return fmt.Errorf("current-kernel totals present before warmup completed")
+	case w.CurElapsed < 0:
+		return fmt.Errorf("negative current-kernel elapsed time")
+	case w.Used != w.Instret:
+		return fmt.Errorf("budget accounting (used %d) disagrees with instret %d", w.Used, w.Instret)
+	case (len(w.Ckpt) == 0) != (w.CkptKernel == -1):
+		return fmt.Errorf("checkpoint presence (%d bytes) disagrees with ckpt_kernel %d",
+			len(w.Ckpt), w.CkptKernel)
+	case w.CkptKernel != -1 && w.CkptKernel != w.KernelsDone:
+		return fmt.Errorf("checkpoint kernel %d is not the in-flight kernel %d",
+			w.CkptKernel, w.KernelsDone)
+	case nKernels >= 0 && w.KernelsDone > nKernels:
+		return fmt.Errorf("kernels_done %d exceeds the %d-kernel mix", w.KernelsDone, nKernels)
+	case nKernels >= 0 && w.CkptKernel >= nKernels:
+		return fmt.Errorf("ckpt_kernel %d exceeds the %d-kernel mix", w.CkptKernel, nKernels)
+	}
+	return nil
 }
 
 // EncodeCellWire encodes one measured cell (with its job key) in the run
@@ -207,7 +291,11 @@ func RenderTableII(cfg Config, cells []Cell) *stats.Table {
 		}
 		return cfg.Metric.value(c)
 	}
-	t := stats.NewTable("Semantic", "Informational", "Spec.", "alpha64", "arm32", "ppc32")
+	// Columns come from the same isa.Names() list TableIIJobSpecs sweeps:
+	// a newly registered ISA lands in the rendered table and geomeans the
+	// moment it is swept, instead of being measured and silently dropped.
+	names := isa.Names()
+	t := stats.NewTable(append([]string{"Semantic", "Informational", "Spec."}, names...)...)
 	for _, be := range backends {
 		tag := ""
 		if be == BackendAOT {
@@ -219,10 +307,11 @@ func RenderTableII(cfg Config, cells []Cell) *stats.Table {
 				sem += " (aot)"
 			}
 			row := byBS[bs+"/"+tag]
-			t.Row(sem, info, spec,
-				val(row["alpha64"]),
-				val(row["arm32"]),
-				val(row["ppc32"]))
+			out := []any{sem, info, spec}
+			for _, name := range names {
+				out = append(out, val(row[name]))
+			}
+			t.Row(out...)
 		}
 		// Summary row per backend: the per-ISA geometric mean over the ok
 		// interfaces. ERR cells are skipped in cellGeoMean — their zero
@@ -238,10 +327,11 @@ func RenderTableII(cfg Config, cells []Cell) *stats.Table {
 				beCells = append(beCells, c)
 			}
 		}
-		t.Row("geomean", label, "",
-			cellGeoMean(beCells, "alpha64", cfg.Metric),
-			cellGeoMean(beCells, "arm32", cfg.Metric),
-			cellGeoMean(beCells, "ppc32", cfg.Metric))
+		geo := []any{"geomean", label, ""}
+		for _, name := range names {
+			geo = append(geo, cellGeoMean(beCells, name, cfg.Metric))
+		}
+		t.Row(geo...)
 	}
 	return t
 }

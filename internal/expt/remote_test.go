@@ -1,0 +1,321 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+	"singlespec/internal/obs"
+	"singlespec/internal/stats"
+)
+
+// TestJobSpecKeyGolden freezes the cell-key wire format. These strings are
+// a compatibility contract: they name cells in resume journals, fabric
+// segments, and wire frames, so any change here invalidates every journal
+// written before it. If this test fails, you changed the key format —
+// don't update the goldens without a migration story for old journals.
+func TestJobSpecKeyGolden(t *testing.T) {
+	zero := "{NoTranslate:false NoDCE:false ForceRecords:false MaxBlockLen:0 CacheCap:0}"
+	cases := []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{ISA: "alpha64", Buildset: "one_min"},
+			"alpha64/one_min/" + zero},
+		{JobSpec{ISA: "arm32", Buildset: "step_all_spec", Backend: BackendAOT},
+			"arm32/step_all_spec/" + zero + "/aot"},
+		{JobSpec{ISA: "ppc32", Buildset: "one_min",
+			Opts: core.Options{NoTranslate: true}},
+			"ppc32/one_min/{NoTranslate:true NoDCE:false ForceRecords:false MaxBlockLen:0 CacheCap:0}"},
+		{JobSpec{ISA: "alpha64", Buildset: "block_min",
+			Opts: core.Options{NoDCE: true, ForceRecords: true, MaxBlockLen: 7, CacheCap: 128}},
+			"alpha64/block_min/{NoTranslate:false NoDCE:true ForceRecords:true MaxBlockLen:7 CacheCap:128}"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Key(); got != c.want {
+			t.Errorf("JobSpec%+v.Key():\n got %q\nwant %q", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestJobSpecKeyMatchesLegacyFormat proves byte-compatibility with the
+// %+v rendering the key historically derived its options portion from, so
+// journals and segments written by earlier versions still resolve. (For
+// today's core.Options the two coincide; canonicalOpts exists so they
+// stay coincident even when the struct changes.)
+func TestJobSpecKeyMatchesLegacyFormat(t *testing.T) {
+	for _, o := range []core.Options{
+		{},
+		{NoTranslate: true},
+		{NoDCE: true, ForceRecords: true, MaxBlockLen: 5, CacheCap: 64},
+	} {
+		legacy := fmt.Sprintf("%+v", o)
+		if got := canonicalOpts(o); got != legacy {
+			t.Errorf("canonicalOpts(%+v) = %q, legacy %%+v rendering %q", o, got, legacy)
+		}
+	}
+}
+
+// TestJobSpecKeyCoversOptions is the tripwire the bug report asked for:
+// canonicalOpts names every core.Options field explicitly, so this test
+// fails the moment a field is added, removed, or renamed — forcing the
+// author to decide, deliberately, how the new field joins the key (and
+// what happens to journals that predate it), instead of %+v silently
+// changing every key.
+func TestJobSpecKeyCoversOptions(t *testing.T) {
+	want := []string{"NoTranslate", "NoDCE", "ForceRecords", "MaxBlockLen", "CacheCap"}
+	tp := reflect.TypeOf(core.Options{})
+	var got []string
+	for i := 0; i < tp.NumField(); i++ {
+		got = append(got, tp.Field(i).Name)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("core.Options fields changed: got %v, canonicalOpts encodes %v.\n"+
+			"Update canonicalOpts (and the goldens in TestJobSpecKeyGolden) deliberately: "+
+			"decide how the new field joins the cell key and how pre-existing journals resolve.",
+			got, want)
+	}
+}
+
+// TestOldFormatJournalResolves writes a journal under the frozen key
+// format and reopens it: every cell must resolve by JobSpec.Key() lookup
+// — no silent recomputation of journaled cells across the key change.
+func TestOldFormatJournalResolves(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{ISA: "alpha64", Buildset: "one_min"}
+	// The literal key an old-version journal would contain (not computed
+	// via Key(), so this test still fails if Key() drifts).
+	oldKey := "alpha64/one_min/{NoTranslate:false NoDCE:false ForceRecords:false MaxBlockLen:0 CacheCap:0}"
+	j, err := OpenJournal(dir, "run-old", "fp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{ISA: "alpha64", Buildset: "one_min", MIPS: 12, NsPerInstr: 83,
+		WorkPerInstr: 4, Instret: 1000, WorkUnits: 4000, Attempts: 1}
+	if err := j.Record(oldKey, cell); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, "run-new", "fp", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, ok := j2.Lookup(spec.Key())
+	if !ok {
+		t.Fatalf("journaled cell under old-format key %q does not resolve via Key() %q",
+			oldKey, spec.Key())
+	}
+	if got.Instret != cell.Instret || got.WorkUnits != cell.WorkUnits {
+		t.Fatalf("restored cell mismatch: got %+v want %+v", got, cell)
+	}
+}
+
+// TestRenderTableIIColumnsMatchSpecs asserts the rendered Table II columns
+// agree with the swept cell list: both derive from isa.Names(), so a
+// registered fourth ISA is swept AND rendered, never silently dropped.
+func TestRenderTableIIColumnsMatchSpecs(t *testing.T) {
+	cfg := Config{Metric: MetricWork}
+	specs := TableIIJobSpecs(cfg)
+	sweptISAs := map[string]bool{}
+	var sweptOrder []string
+	for _, s := range specs {
+		if !sweptISAs[s.ISA] {
+			sweptISAs[s.ISA] = true
+			sweptOrder = append(sweptOrder, s.ISA)
+		}
+	}
+
+	// Synthetic cells with a distinct per-ISA value, so a column/value
+	// transposition is caught, not just a header mismatch.
+	var cells []Cell
+	for _, s := range specs {
+		cells = append(cells, Cell{ISA: s.ISA, Buildset: s.Buildset,
+			WorkPerInstr: float64(indexOf(sweptOrder, s.ISA) + 2),
+			MIPS:         1, NsPerInstr: 1, Instret: 1, WorkUnits: 1, Attempts: 1})
+	}
+	table := RenderTableII(cfg, cells)
+
+	header := table.Header()
+	wantHeader := append([]string{"Semantic", "Informational", "Spec."}, isa.Names()...)
+	if !reflect.DeepEqual(header, wantHeader) {
+		t.Fatalf("table header %v, want %v", header, wantHeader)
+	}
+	if !reflect.DeepEqual(header[3:], sweptOrder) {
+		t.Fatalf("rendered ISA columns %v disagree with swept specs' ISAs %v",
+			header[3:], sweptOrder)
+	}
+
+	// Every data row must carry each ISA's value in that ISA's column.
+	lines := strings.Split(strings.TrimSpace(table.String()), "\n")
+	if len(lines) < 2+len(isa.StdBuildsets) {
+		t.Fatalf("table too short:\n%s", table)
+	}
+	for _, line := range lines[2 : 2+len(isa.StdBuildsets)] {
+		fields := splitRow(line)
+		if len(fields) != len(header) {
+			t.Fatalf("row has %d columns, header has %d: %q", len(fields), len(header), line)
+		}
+		for i, name := range header[3:] {
+			want := stats.FormatSig(float64(indexOf(sweptOrder, name)+2), 3)
+			if got := fields[3+i]; got != want {
+				t.Errorf("column %s: got %q, want %q in row %q", name, got, want, line)
+			}
+		}
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitRow splits one rendered markdown table row into trimmed cells.
+func splitRow(line string) []string {
+	parts := strings.Split(strings.Trim(line, "|"), "|")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+	}
+	return out
+}
+
+// TestDecodeProgressRejectsInconsistentState drives the snapshot validator
+// through states measureCell could never commit: each must be rejected
+// (the takeover then restarts the cell from scratch) instead of resuming
+// into silently corrupted totals.
+func TestDecodeProgressRejectsInconsistentState(t *testing.T) {
+	valid := func() progressWire {
+		return progressWire{
+			KernelsDone: 2, Used: 1000, Instret: 1000, WorkUnits: 4000,
+			MIPS: []float64{10, 12}, NS: []float64{100, 83}, Work: []float64{4, 4},
+			WarmupDone: false, CkptKernel: -1,
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*progressWire)
+		nKernel int
+		wantOK  bool
+	}{
+		{"valid boundary snapshot", func(w *progressWire) {}, 3, true},
+		{"valid mid-kernel snapshot", func(w *progressWire) {
+			w.WarmupDone = true
+			w.CurInstrs, w.CurWork, w.CurElapsed = 500, 2000, int64(time.Millisecond)
+			w.Ckpt, w.CkptKernel = []byte{1, 2, 3}, 2
+		}, 3, true},
+		{"valid completed cell", func(w *progressWire) {}, 2, true},
+		{"negative kernels_done", func(w *progressWire) { w.KernelsDone = -1; w.MIPS, w.NS, w.Work = nil, nil, nil }, 3, false},
+		{"cur_instrs before warmup", func(w *progressWire) { w.CurInstrs = 7 }, 3, false},
+		{"cur_work before warmup", func(w *progressWire) { w.CurWork = 7 }, 3, false},
+		{"cur_elapsed before warmup", func(w *progressWire) { w.CurElapsed = 7 }, 3, false},
+		{"short mips slice", func(w *progressWire) { w.MIPS = w.MIPS[:1] }, 3, false},
+		{"long work slice", func(w *progressWire) { w.Work = append(w.Work, 4) }, 3, false},
+		{"zero metric value", func(w *progressWire) { w.NS[0] = 0 }, 3, false},
+		{"negative metric value", func(w *progressWire) { w.MIPS[1] = -3 }, 3, false},
+		{"budget/instret divergence", func(w *progressWire) { w.Used = 999 }, 3, false},
+		{"ckpt kernel without bytes", func(w *progressWire) { w.CkptKernel = 2 }, 3, false},
+		{"ckpt bytes without kernel", func(w *progressWire) { w.Ckpt = []byte{1} }, 3, false},
+		{"ckpt for a finished kernel", func(w *progressWire) {
+			w.WarmupDone = true
+			w.Ckpt, w.CkptKernel = []byte{1}, 1
+		}, 3, false},
+		{"kernels_done beyond mix", func(w *progressWire) {
+			w.KernelsDone = 4
+			w.MIPS = []float64{1, 1, 1, 1}
+			w.NS = []float64{1, 1, 1, 1}
+			w.Work = []float64{1, 1, 1, 1}
+		}, 3, false},
+		{"ckpt kernel beyond mix", func(w *progressWire) {
+			w.WarmupDone = true
+			w.KernelsDone = 3
+			w.MIPS = []float64{1, 1, 1}
+			w.NS = []float64{1, 1, 1}
+			w.Work = []float64{1, 1, 1}
+			w.Ckpt, w.CkptKernel = []byte{1}, 3
+		}, 3, false},
+	}
+	for _, tc := range cases {
+		w := valid()
+		tc.mutate(&w)
+		b, err := json.Marshal(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = decodeProgress(b, tc.nKernel)
+		if tc.wantOK && err != nil {
+			t.Errorf("%s: unexpected reject: %v", tc.name, err)
+		}
+		if !tc.wantOK && err == nil {
+			t.Errorf("%s: inconsistent snapshot accepted", tc.name)
+		}
+	}
+	if _, err := decodeProgress([]byte("{garbage"), 3); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+// TestMeasureSpecDropsCorruptSnapshot proves the resume semantics end to
+// end: a damaged takeover snapshot restarts the cell from scratch (never
+// half-applies), the drop is counted in the registry, and the restarted
+// cell's deterministic fields match a fresh measurement exactly.
+func TestMeasureSpecDropsCorruptSnapshot(t *testing.T) {
+	i, err := isa.Load("alpha64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs, err := BuildMix(i, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{ISA: "alpha64", Buildset: "one_min"}
+	base := Config{Scale: 1, MinDur: time.Millisecond, Metric: MetricWork}
+
+	ref, resumed := MeasureSpec(progs, spec, base, nil, nil)
+	if resumed || ref.Err != nil {
+		t.Fatalf("reference measurement: resumed=%v err=%v", resumed, ref.Err)
+	}
+
+	// Structurally valid JSON, semantically impossible state: progress in
+	// the current kernel before its warmup completed, and slice lengths
+	// disagreeing with kernels_done.
+	corrupt := []byte(`{"kernels_done":1,"used":50,"instret":50,"cur_instrs":7,"ckpt_kernel":-1}`)
+	cfg := base
+	cfg.Obs = obs.NewRegistry()
+	got, resumed := MeasureSpec(progs, spec, cfg, corrupt, nil)
+	if resumed {
+		t.Fatal("corrupted snapshot reported as resumed")
+	}
+	if n := cfg.Obs.Counter("fabric.snapshot_dropped").Load(); n != 1 {
+		t.Fatalf("fabric.snapshot_dropped = %d, want 1", n)
+	}
+	if got.Err != nil {
+		t.Fatalf("restarted cell errored: %v", got.Err)
+	}
+	if got.Instret != ref.Instret || got.WorkUnits != ref.WorkUnits ||
+		got.WorkPerInstr != ref.WorkPerInstr {
+		t.Fatalf("restarted cell diverges from fresh measurement:\n got instret=%d work=%d wpi=%v\nwant instret=%d work=%d wpi=%v",
+			got.Instret, got.WorkUnits, got.WorkPerInstr,
+			ref.Instret, ref.WorkUnits, ref.WorkPerInstr)
+	}
+
+	// Truly garbled bytes take the same path.
+	cfg.Obs = obs.NewRegistry()
+	_, resumed = MeasureSpec(progs, spec, cfg, []byte{0xff, 0x00, 0x12}, nil)
+	if resumed {
+		t.Fatal("garbage snapshot reported as resumed")
+	}
+	if n := cfg.Obs.Counter("fabric.snapshot_dropped").Load(); n != 1 {
+		t.Fatalf("fabric.snapshot_dropped = %d, want 1", n)
+	}
+}

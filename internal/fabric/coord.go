@@ -186,6 +186,11 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 				c.slots[i].state = cellDone
 				c.slots[i].cell = cell
 				c.open--
+				// Restored cells fire OnCell like computed ones: a streaming
+				// consumer of a resumed sweep sees every cell land.
+				if fn := cfg.Sweep.OnCell; fn != nil {
+					fn(c.slots[i].key, cell)
+				}
 			}
 		}
 	}
@@ -493,7 +498,10 @@ func deterministicOutcome(c expt.Cell) bool {
 }
 
 // resolveLocked marks a slot done and completes the sweep when it was the
-// last one. Caller holds c.mu.
+// last one. Caller holds c.mu. Every resolution path funnels through here
+// — worker-delivered results, lost cells, interrupts — so this is also
+// where the sweep's OnCell stream fires (under c.mu, per the OnCell
+// contract: the callback must be fast and must not call back in).
 func (c *Coordinator) resolveLocked(idx int) {
 	s := &c.slots[idx]
 	if s.state == cellDone {
@@ -501,6 +509,9 @@ func (c *Coordinator) resolveLocked(idx int) {
 	}
 	s.state = cellDone
 	c.open--
+	if fn := c.cfg.Sweep.OnCell; fn != nil {
+		fn(s.key, s.cell)
+	}
 	if c.open == 0 {
 		close(c.done)
 	}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"singlespec/internal/obs"
+)
+
+// RPCError is a JSON-RPC error as seen by a client. Data preserves the
+// server's typed payload (a RefusedError document for CodeRefused).
+type RPCError struct {
+	Code    int             `json:"code"`
+	Message string          `json:"message"`
+	Data    json.RawMessage `json:"data,omitempty"`
+}
+
+func (e *RPCError) Error() string { return e.Message }
+
+// Refusal decodes the error's RefusedError payload, when it carries one.
+func (e *RPCError) Refusal() (*RefusedError, bool) {
+	if e.Code != CodeRefused || len(e.Data) == 0 {
+		return nil, false
+	}
+	var r RefusedError
+	if json.Unmarshal(e.Data, &r) != nil {
+		return nil, false
+	}
+	return &r, true
+}
+
+// Client talks to one ssd daemon.
+type Client struct {
+	// Addr is the daemon's host:port.
+	Addr string
+	// HTTP overrides the transport; nil uses a client with sane timeouts
+	// for unary calls (streams use http.DefaultClient, which never times
+	// out a read).
+	HTTP *http.Client
+}
+
+func (c *Client) url(path string) string { return "http://" + c.Addr + path }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// call performs one JSON-RPC request; result may be nil.
+func (c *Client) call(method string, params, result any) error {
+	req := map[string]any{"jsonrpc": "2.0", "id": 1, "method": method}
+	if params != nil {
+		req["params"] = params
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Post(c.url("/rpc"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Result json.RawMessage `json:"result"`
+		Error  *RPCError       `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("serve: decoding %s response: %w", method, err)
+	}
+	if out.Error != nil {
+		return out.Error
+	}
+	if result != nil && len(out.Result) > 0 {
+		return json.Unmarshal(out.Result, result)
+	}
+	return nil
+}
+
+// Submit submits a job and returns its initial status.
+func (c *Client) Submit(tenant string, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.call("ssd.submit", submitParams{Tenant: tenant, Req: req}, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.call("ssd.status", idParams{ID: id}, &st)
+	return st, err
+}
+
+// List lists jobs, optionally filtered by tenant.
+func (c *Client) List(tenant string) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.call("ssd.list", listParams{Tenant: tenant}, &out)
+	return out, err
+}
+
+// Result fetches a done job's result document.
+func (c *Client) Result(id string) (*JobResult, error) {
+	var res JobResult
+	if err := c.call("ssd.result", idParams{ID: id}, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Evict parks a running job as evicted (resumable).
+func (c *Client) Evict(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.call("ssd.evict", idParams{ID: id}, &st)
+	return st, err
+}
+
+// Resume requeues an evicted job.
+func (c *Client) Resume(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.call("ssd.resume", idParams{ID: id}, &st)
+	return st, err
+}
+
+// Cancel terminally abandons a job.
+func (c *Client) Cancel(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.call("ssd.cancel", idParams{ID: id}, &st)
+	return st, err
+}
+
+// Metrics snapshots the daemon-wide registry.
+func (c *Client) Metrics() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.call("ssd.metrics", nil, &snap)
+	return snap, err
+}
+
+// Stream follows a job's NDJSON event stream from seq `from`, calling fn
+// per event until fn returns false or the stream closes (job at rest).
+func (c *Client) Stream(id string, from int, fn func(Event) bool) error {
+	resp, err := http.Get(c.url(fmt.Sprintf("/jobs/%s/stream?from=%d", id, from)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: stream %s: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("serve: stream %s: %w", id, err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// WaitState polls until the job reaches one of the wanted states (or any
+// rest state when none are named), failing after timeout.
+func (c *Client) WaitState(id string, timeout time.Duration, states ...string) (JobStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		if len(states) == 0 {
+			switch st.State {
+			case stateQueued, stateRunning:
+			default:
+				return st, nil
+			}
+		}
+		for _, want := range states {
+			if st.State == want {
+				return st, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("serve: job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,846 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/checkpoint"
+	"singlespec/internal/expt"
+	"singlespec/internal/fabric"
+	"singlespec/internal/isa"
+	"singlespec/internal/kernels"
+	"singlespec/internal/obs"
+	"singlespec/internal/stats"
+)
+
+// Job states. queued → running → done | failed | evicted | canceled;
+// evicted is the one resumable non-terminal rest state (Resume or a daemon
+// restart requeues it).
+const (
+	stateQueued   = "queued"
+	stateRunning  = "running"
+	stateDone     = "done"
+	stateFailed   = "failed"
+	stateEvicted  = "evicted"
+	stateCanceled = "canceled"
+)
+
+// JobRequest is the client-visible job description. The zero value of
+// every optional field picks the deterministic quick defaults (scale 1,
+// work metric, interpreter backend).
+type JobRequest struct {
+	// Kind is "sweep" (the full Table II grid) or "kernel" (one
+	// {ISA, buildset, kernel} cell).
+	Kind string `json:"kind"`
+
+	// Shared measurement knobs, mirroring ssbench's flags.
+	Scale         int    `json:"scale,omitempty"`
+	MinDurMS      int64  `json:"min_dur_ms,omitempty"`
+	Metric        string `json:"metric,omitempty"`  // "work" (default) or "mips"
+	Backend       string `json:"backend,omitempty"` // "interp" (default), "aot", or (sweeps only) "both"
+	MaxCellInstr  uint64 `json:"max_cell_instr,omitempty"`
+	CellTimeoutMS int64  `json:"cell_timeout_ms,omitempty"`
+	CkptEvery     uint64 `json:"ckpt_every,omitempty"`
+
+	// Kernel-job selection.
+	ISA      string `json:"isa,omitempty"`
+	Buildset string `json:"buildset,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	N        int    `json:"n,omitempty"`
+
+	// FabricListen, for sweep jobs, runs the job as a distributed-fabric
+	// coordinator on this address (":0" picks a port; see JobStatus
+	// FabricAddr). Workers join it with `ssbench -join` under matching
+	// sweep flags — the daemon is the fabric's front door.
+	FabricListen string `json:"fabric_listen,omitempty"`
+}
+
+// metric parses the request's metric (default: deterministic work units).
+func (r *JobRequest) metric() (expt.Metric, error) {
+	if r.Metric == "" {
+		return expt.MetricWork, nil
+	}
+	return expt.ParseMetric(r.Metric)
+}
+
+// backend parses the request's execution backend.
+func (r *JobRequest) backend() (expt.Backend, error) {
+	if r.Backend == "" {
+		return expt.BackendInterp, nil
+	}
+	return expt.ParseBackend(r.Backend)
+}
+
+// cells is the job's cell count — the unit of the admission budget
+// reservation (max_cell_instr × cells).
+func (r *JobRequest) cells() int {
+	if r.Kind == "kernel" {
+		return 1
+	}
+	n := len(isa.Names()) * len(isa.StdBuildsets)
+	if r.Backend == "both" {
+		n *= 2
+	}
+	return n
+}
+
+// validate rejects malformed requests before admission.
+func (r *JobRequest) validate() error {
+	bad := func(format string, args ...any) error {
+		return &RefusedError{Kind: "invalid", Reason: fmt.Sprintf(format, args...)}
+	}
+	if _, err := r.metric(); err != nil {
+		return bad("%v", err)
+	}
+	be, err := r.backend()
+	if err != nil {
+		return bad("%v", err)
+	}
+	if r.Scale < 0 || r.N < 0 || r.MinDurMS < 0 || r.CellTimeoutMS < 0 {
+		return bad("negative sizes make no sense")
+	}
+	switch r.Kind {
+	case "sweep":
+		if r.ISA != "" || r.Kernel != "" || r.Buildset != "" {
+			return bad("isa/buildset/kernel select a kernel job; sweeps measure the full grid")
+		}
+	case "kernel":
+		if be == expt.BackendBoth {
+			return bad("kernel jobs measure one cell; backend \"both\" is a sweep-parity mode")
+		}
+		if r.FabricListen != "" {
+			return bad("fabric execution distributes sweeps, not single kernels")
+		}
+		if !contains(isa.Names(), r.ISA) {
+			return bad("unknown isa %q (want one of %v)", r.ISA, isa.Names())
+		}
+		if !contains(isa.StdBuildsets, r.Buildset) {
+			return bad("unknown buildset %q", r.Buildset)
+		}
+		if kernels.ByName(r.Kernel) == nil {
+			return bad("unknown kernel %q", r.Kernel)
+		}
+	default:
+		return bad("unknown job kind %q (want sweep or kernel)", r.Kind)
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// UnknownJobError is the typed "no such job" error (JSON-RPC code
+// CodeUnknownJob).
+type UnknownJobError struct{ ID string }
+
+func (e *UnknownJobError) Error() string { return fmt.Sprintf("serve: unknown job %s", e.ID) }
+
+// BadStateError reports an operation applied to a job in the wrong state
+// (JSON-RPC code CodeBadState): resuming a running job, evicting a done
+// one.
+type BadStateError struct {
+	ID    string
+	State string
+	Op    string
+}
+
+func (e *BadStateError) Error() string {
+	return fmt.Sprintf("serve: cannot %s job %s in state %s", e.Op, e.ID, e.State)
+}
+
+// Event is one entry of a job's ordered event log, streamed to clients as
+// NDJSON. Seq is contiguous from 0 within one daemon process; a restart
+// rebuilds the log from the resumed run (journal-restored cells re-fire),
+// so a reconnecting client streams from 0 and sees every cell again.
+type Event struct {
+	Seq  int    `json:"seq"`
+	Job  string `json:"job"`
+	Type string `json:"type"` // "state", "cell", "progress", "obs", "done", "error"
+
+	State      string          `json:"state,omitempty"`
+	Key        string          `json:"key,omitempty"`
+	Cell       *expt.BenchCell `json:"cell,omitempty"`
+	Status     string          `json:"status,omitempty"`
+	Restored   bool            `json:"restored,omitempty"`
+	CellsDone  int             `json:"cells_done,omitempty"`
+	CellsTotal int             `json:"cells_total,omitempty"`
+	Instret    uint64          `json:"instret,omitempty"`
+	Obs        *obs.Snapshot   `json:"obs,omitempty"`
+	Table      string          `json:"table,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// JobStatus is the queryable summary of one job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// CellsDone counts cells resolved by the current (or last) run,
+	// including journal-restored ones; CellsTotal is the job's grid size.
+	CellsDone  int    `json:"cells_done"`
+	CellsTotal int    `json:"cells_total"`
+	Instret    uint64 `json:"instret,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Evictions  int    `json:"evictions,omitempty"`
+	// FabricAddr is the bound coordinator address of a fabric sweep job,
+	// once it is listening.
+	FabricAddr  string `json:"fabric_addr,omitempty"`
+	ResultReady bool   `json:"result_ready"`
+}
+
+// JobResult is the persisted result document (result.json): the rendered
+// table and the machine-readable bench grid. Under the work metric both
+// are byte-identical across restarts, placements, and worker counts.
+type JobResult struct {
+	Job   string        `json:"job"`
+	Kind  string        `json:"kind"`
+	Table string        `json:"table,omitempty"`
+	Bench expt.BenchOut `json:"bench"`
+}
+
+// jobState is the durable job record (job.json), rewritten atomically on
+// every state change so a SIGKILLed daemon recovers each job exactly.
+type jobState struct {
+	ID        string     `json:"id"`
+	Tenant    string     `json:"tenant"`
+	Req       JobRequest `json:"req"`
+	State     string     `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Cost      uint64     `json:"cost,omitempty"`
+	Instret   uint64     `json:"instret,omitempty"`
+	Attempts  int        `json:"attempts,omitempty"`
+	Evictions int        `json:"evictions,omitempty"`
+}
+
+// Job is one admitted job: durable identity plus in-process run state.
+type Job struct {
+	ID     string
+	Tenant string
+	req    JobRequest
+	dir    string
+	cost   uint64
+	s      *Server
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	state      string
+	errMsg     string
+	instret    uint64
+	cellsDone  int
+	attempts   int
+	evictions  int
+	fabricAddr string
+	interrupt  chan struct{}
+	evictReq   bool
+	events     []Event
+	// final marks the run goroutine's last event as emitted: streams only
+	// terminate once the job is at rest AND final is set, so a client can
+	// never observe a drained log in the instant between the terminal
+	// state transition and the trailing done/error event.
+	final bool
+}
+
+func newJob(s *Server, id, tenant string, req JobRequest, cost uint64) *Job {
+	j := &Job{ID: id, Tenant: tenant, req: req, cost: cost, s: s,
+		dir:       filepath.Join(s.stateDir, "jobs", id),
+		state:     stateQueued,
+		interrupt: make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// loadJob reconstructs a job from its persisted record.
+func loadJob(s *Server, dir string) (*Job, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return nil, err
+	}
+	var st jobState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", filepath.Join(dir, "job.json"), err)
+	}
+	if st.ID == "" || st.State == "" {
+		return nil, fmt.Errorf("serve: %s: incomplete job record", dir)
+	}
+	j := newJob(s, st.ID, st.Tenant, st.Req, st.Cost)
+	j.state = st.State
+	j.errMsg = st.Error
+	j.instret = st.Instret
+	j.attempts = st.Attempts
+	j.evictions = st.Evictions
+	if j.state != stateQueued && j.state != stateRunning {
+		// At-rest jobs have no run goroutine; streams of their (empty)
+		// recovered logs must terminate. recover() rearms resumable ones.
+		j.final = true
+	}
+	return j, nil
+}
+
+// persistLocked writes job.json atomically. Caller holds j.mu.
+func (j *Job) persistLocked() {
+	st := jobState{ID: j.ID, Tenant: j.Tenant, Req: j.req, State: j.state,
+		Error: j.errMsg, Cost: j.cost, Instret: j.instret,
+		Attempts: j.attempts, Evictions: j.evictions}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(j.dir, "job.json.tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(j.dir, "job.json"))
+}
+
+// State returns the job's current state.
+func (j *Job) State() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Instret returns the job's settled retired-instruction total.
+func (j *Job) Instret() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.instret
+}
+
+func (j *Job) setInstret(n uint64) {
+	j.mu.Lock()
+	j.instret = n
+	j.mu.Unlock()
+}
+
+// setState transitions the job, persists the record, and emits a state
+// event (plus a terminal error event for failures).
+func (j *Job) setState(state string, err error) {
+	j.mu.Lock()
+	j.state = state
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.persistLocked()
+	ev := Event{Type: "state", State: state, Error: j.errMsg}
+	if state != stateFailed {
+		ev.Error = ""
+	}
+	j.emitLocked(ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// rearm prepares an evicted (or recovered) job for another run attempt.
+func (j *Job) rearm() {
+	j.mu.Lock()
+	j.interrupt = make(chan struct{})
+	j.evictReq = false
+	j.cellsDone = 0
+	j.final = false
+	j.mu.Unlock()
+}
+
+// finish marks the run goroutine's event emission complete, releasing
+// streams to terminate once they drain the log.
+func (j *Job) finish() {
+	j.mu.Lock()
+	j.final = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// requestEvict asks the running attempt to wind down at the next
+// cooperative check (the expt guard's chunk boundary).
+func (j *Job) requestEvict() {
+	j.mu.Lock()
+	if !j.evictReq {
+		j.evictReq = true
+		close(j.interrupt)
+	}
+	j.mu.Unlock()
+}
+
+func (j *Job) evictRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evictReq
+}
+
+// waitIdle blocks until the job has no active run attempt.
+func (j *Job) waitIdle() {
+	j.mu.Lock()
+	for j.state == stateQueued || j.state == stateRunning {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
+}
+
+// emitLocked appends one event to the job log. Caller holds j.mu.
+func (j *Job) emitLocked(ev Event) {
+	ev.Seq = len(j.events)
+	ev.Job = j.ID
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+}
+
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	j.emitLocked(ev)
+	j.mu.Unlock()
+}
+
+// emitCell streams one resolved cell (and bumps the per-job progress
+// counters). Fired from sweep workers via Config.OnCell — possibly
+// concurrently, possibly under engine locks — so it only appends to the
+// log.
+func (j *Job) emitCell(key string, c expt.Cell) {
+	bc := benchCell(c)
+	status := "ok"
+	if c.Err != nil {
+		status = c.Err.Kind.String()
+	}
+	j.mu.Lock()
+	j.cellsDone++
+	j.instret += c.Instret
+	ev := Event{Type: "cell", Key: key, Cell: &bc, Status: status,
+		Restored: c.Restored, CellsDone: j.cellsDone,
+		CellsTotal: j.req.cells(), Instret: j.instret}
+	j.emitLocked(ev)
+	j.mu.Unlock()
+}
+
+// emitObs streams a snapshot of the job's metrics registry.
+func (j *Job) emitObs(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	j.emit(Event{Type: "obs", Obs: &snap})
+}
+
+func benchCell(c expt.Cell) expt.BenchCell {
+	bc := expt.BenchCell{ISA: c.ISA, Buildset: c.Buildset, Backend: c.Backend,
+		MIPS: c.MIPS, NsPerInstr: c.NsPerInstr, WorkPerInstr: c.WorkPerInstr,
+		Instret: c.Instret, WorkUnits: c.WorkUnits}
+	if c.Err != nil {
+		bc.Error = c.Err.Error()
+	}
+	return bc
+}
+
+// Events returns the log suffix starting at from, blocking up to wait for
+// a new event when the log is already drained. next is the next sequence
+// to poll from; terminal reports whether the job has reached a rest state
+// (done, failed, canceled, or evicted) AND the log is drained.
+func (j *Job) Events(from int, wait time.Duration) (evs []Event, next int, terminal bool) {
+	deadline := time.Now().Add(wait)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for len(j.events) <= from && wait > 0 && time.Now().Before(deadline) {
+		// cond has no timed wait; poke the waiter on a timer.
+		t := time.AfterFunc(25*time.Millisecond, j.cond.Broadcast)
+		j.cond.Wait()
+		t.Stop()
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	evs = append(evs, j.events[from:]...)
+	next = from + len(evs)
+	resting := j.state != stateQueued && j.state != stateRunning
+	return evs, next, resting && j.final && next == len(j.events)
+}
+
+// Status summarizes the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.ID, Tenant: j.Tenant, Kind: j.req.Kind, State: j.state,
+		Error: j.errMsg, CellsDone: j.cellsDone, CellsTotal: j.req.cells(),
+		Instret: j.instret, Attempts: j.attempts, Evictions: j.evictions,
+		FabricAddr: j.fabricAddr,
+	}
+	if j.state == stateDone {
+		st.ResultReady = true
+	}
+	return st
+}
+
+// Result loads the persisted result document of a done job.
+func (j *Job) Result() (*JobResult, error) {
+	if st := j.State(); st != stateDone {
+		return nil, &BadStateError{ID: j.ID, State: st, Op: "fetch result of"}
+	}
+	b, err := os.ReadFile(filepath.Join(j.dir, "result.json"))
+	if err != nil {
+		return nil, err
+	}
+	var res JobResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// ManifestPath is where the job's per-run manifest lands once it is done.
+func (j *Job) ManifestPath() string { return filepath.Join(j.dir, "manifest.json") }
+
+// jobFingerprint guards the job's resume journal: a recovered job may
+// only resume a journal written under the identical measurement
+// configuration. Kernel jobs fold their cell selection into the tag.
+func jobFingerprint(req JobRequest, cfg expt.Config) string {
+	tag := "ssd/table2"
+	if req.Kind == "kernel" {
+		tag = fmt.Sprintf("ssd/kernel/%s/%s/%s/n=%d", req.ISA, req.Buildset, req.Kernel, req.N)
+	}
+	return expt.Fingerprint(tag, cfg)
+}
+
+// runJob executes one attempt of a job and settles its outcome: done
+// (result + manifest persisted), failed, or evicted (journal kept, budget
+// reservation held, resumable).
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	j.attempts++
+	evictedEarly := j.evictReq
+	j.mu.Unlock()
+	if evictedEarly {
+		s.park(j)
+		return
+	}
+	j.setState(stateRunning, nil)
+
+	fail := func(err error) {
+		s.settle(j, stateFailed, 0, err)
+		j.emit(Event{Type: "error", Error: err.Error()})
+		j.finish()
+		s.logf("serve: job %s failed: %v", j.ID, err)
+	}
+	out, err := s.execute(j)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if out.interrupted {
+		s.park(j)
+		return
+	}
+
+	res := JobResult{Job: j.ID, Kind: j.req.Kind, Table: out.table, Bench: out.bench}
+	if err := writeJSON(filepath.Join(j.dir, "result.json"), res); err != nil {
+		fail(err)
+		return
+	}
+	if err := out.manifest.WriteFile(j.ManifestPath()); err != nil {
+		fail(err)
+		return
+	}
+	var total uint64
+	for _, c := range out.cells {
+		total += c.Instret
+	}
+	s.settle(j, stateDone, total, nil)
+	j.emitObs(out.reg)
+	j.emit(Event{Type: "done", Table: out.table, Instret: total,
+		CellsDone: len(out.cells), CellsTotal: j.req.cells()})
+	j.finish()
+	s.logf("serve: job %s done (%d cells, %d instructions)", j.ID, len(out.cells), total)
+}
+
+// park rests an interrupted job as evicted: journal and checkpoint ring
+// stay, the budget reservation stays held, Resume or a daemon restart
+// continues it.
+func (s *Server) park(j *Job) {
+	j.mu.Lock()
+	j.evictions++
+	j.mu.Unlock()
+	j.setState(stateEvicted, nil)
+	j.finish()
+	s.reg.Counter("serve.jobs.evicted").Inc()
+	s.logf("serve: job %s evicted (resumable)", j.ID)
+}
+
+// runOutput carries one completed attempt's artifacts.
+type runOutput struct {
+	cells       []expt.Cell
+	table       string
+	bench       expt.BenchOut
+	manifest    *obs.Manifest
+	reg         *obs.Registry
+	interrupted bool
+}
+
+// execute runs one attempt of the job's measurement under its durable
+// journal, streaming cells and obs snapshots as they land.
+func (s *Server) execute(j *Job) (*runOutput, error) {
+	req := j.req
+	metric, _ := req.metric()
+	backend, _ := req.backend()
+	reg := obs.NewRegistry()
+
+	minDur := time.Duration(req.MinDurMS) * time.Millisecond
+	if minDur <= 0 {
+		minDur = time.Millisecond
+	}
+	scale := req.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	j.mu.Lock()
+	interrupt := j.interrupt
+	attempt := j.attempts
+	j.mu.Unlock()
+
+	cfg := expt.Config{
+		Scale: scale, MinDur: minDur, Workers: s.cfg.Workers, Metric: metric,
+		CellTimeout:  time.Duration(req.CellTimeoutMS) * time.Millisecond,
+		MaxCellInstr: req.MaxCellInstr, CkptEvery: req.CkptEvery,
+		Interrupt: interrupt, Backend: backend,
+		AOTCacheDir: s.aotCache, Obs: reg,
+	}
+	const obsEvery = 12
+	cfg.OnCell = func(key string, c expt.Cell) {
+		j.emitCell(key, c)
+		if n := j.cellsDoneNow(); n%obsEvery == 0 {
+			j.emitObs(reg)
+		}
+	}
+
+	// Durability: the journal records every deterministic cell outcome; a
+	// later attempt reloads them. The fingerprint refuses resuming under a
+	// drifted configuration with a typed *expt.FingerprintMismatchError —
+	// never a silent recomputation.
+	fp := jobFingerprint(req, cfg)
+	resume := false
+	if _, err := os.Stat(filepath.Join(j.dir, expt.JournalName)); err == nil {
+		resume = true
+	}
+	runID := fmt.Sprintf("%s-a%d", j.ID, attempt)
+	jl, err := expt.OpenJournal(j.dir, runID, fp, resume)
+	if err != nil {
+		return nil, err
+	}
+	defer jl.Close()
+	cfg.Journal = jl
+
+	out := &runOutput{reg: reg}
+	var fabricSnap *obs.FabricSnapshot
+	switch {
+	case req.Kind == "kernel":
+		out.cells, err = s.runKernel(j, cfg)
+	case req.FabricListen != "":
+		out.cells, fabricSnap, err = s.runFabric(j, cfg)
+	default:
+		out.cells, _, err = expt.TableII(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range out.cells {
+		if c.Err != nil && c.Err.Kind == expt.CellInterrupted {
+			out.interrupted = true
+		}
+	}
+	if out.interrupted {
+		return out, nil
+	}
+
+	out.bench = expt.NewBenchOut(cfg, out.cells)
+	if req.Kind == "kernel" {
+		out.table = kernelTable(req, metric, out.cells).String()
+	} else {
+		out.table = expt.RenderTableII(cfg, out.cells).String()
+	}
+
+	man := obs.NewManifest("ssd")
+	man.Flags = reqFlags(j.Tenant, req)
+	man.RunID = runID
+	man.ParentRunID = jl.ParentRunID()
+	man.Cells = expt.Outcomes(out.cells)
+	man.CellsRestored, man.CellsComputed = expt.SweepCounts(out.cells)
+	man.Fabric = fabricSnap
+	man.Metrics = reg.Snapshot()
+	out.manifest = man
+	return out, nil
+}
+
+func (j *Job) cellsDoneNow() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cellsDone
+}
+
+// runFabric runs the sweep as a fabric coordinator: cells are leased to
+// joined workers and merged back byte-identically.
+func (s *Server) runFabric(j *Job, cfg expt.Config) ([]expt.Cell, *obs.FabricSnapshot, error) {
+	segDir := filepath.Join(j.dir, "segments")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	coord, err := fabric.NewCoordinator(fabric.Config{
+		Addr: j.req.FabricListen, Sweep: cfg,
+		SegmentDir: segDir, RunID: j.ID, Log: s.cfg.Log,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	j.mu.Lock()
+	j.fabricAddr = coord.Addr()
+	j.mu.Unlock()
+	s.logf("serve: job %s fabric coordinator listening on %s", j.ID, coord.Addr())
+	cells, err := coord.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, coord.Snapshot(), nil
+}
+
+// progressMetaKey carries the serialized mid-kernel progress snapshot
+// inside a checkpoint.State ridden through the job's generation ring.
+const progressMetaKey = "serve.progress"
+
+// runKernel measures one {ISA, buildset, kernel} cell. Mid-kernel
+// progress snapshots ride the checkpoint ring, so an evicted (or
+// SIGKILLed) daemon resumes the cell mid-kernel instead of from zero — a
+// damaged snapshot is dropped (fabric.snapshot_dropped) and the cell
+// restarts from scratch, never half-applied.
+func (s *Server) runKernel(j *Job, cfg expt.Config) ([]expt.Cell, error) {
+	req := j.req
+	backend, _ := req.backend()
+	i, err := isa.Load(req.ISA)
+	if err != nil {
+		return nil, err
+	}
+	k := kernels.ByName(req.Kernel)
+	n := req.N
+	if n <= 0 {
+		n = k.DefaultN
+	}
+	if req.Kernel == "listchase" {
+		p := 1
+		for p < n {
+			p <<= 1
+		}
+		n = p
+	}
+	prog, err := kernels.BuildProgram(i, k.Build(n))
+	if err != nil {
+		return nil, err
+	}
+	progs := &expt.Programs{ISA: i, Progs: []*asm.Program{prog}, Names: []string{req.Kernel}}
+	spec := expt.JobSpec{ISA: req.ISA, Buildset: req.Buildset, Backend: backend}
+	key := spec.Key()
+
+	if c, ok := cfg.Journal.Lookup(key); ok {
+		if cfg.OnCell != nil {
+			cfg.OnCell(key, c)
+		}
+		expt.RecordCells(cfg.Obs, []expt.Cell{c})
+		return []expt.Cell{c}, nil
+	}
+
+	ring, err := checkpoint.NewRing(filepath.Join(j.dir, "progress"), 3)
+	if err != nil {
+		return nil, err
+	}
+	var resume []byte
+	if st, _, err := ring.Restore(); err == nil && st != nil {
+		resume = st.Meta[progressMetaKey]
+	}
+	sink := func(b []byte, instret uint64) {
+		_, _ = ring.Save(&checkpoint.State{Meta: map[string][]byte{progressMetaKey: b}})
+		j.emit(Event{Type: "progress", Key: key, Instret: instret})
+	}
+	cell, resumed := expt.MeasureSpec(progs, spec, cfg, resume, sink)
+	if resumed {
+		s.reg.Counter("serve.kernel.resumed_mid_cell").Inc()
+	}
+	if journalable(cell) {
+		_ = cfg.Journal.Record(key, cell)
+	}
+	if cfg.OnCell != nil {
+		cfg.OnCell(key, cell)
+	}
+	expt.RecordCells(cfg.Obs, []expt.Cell{cell})
+	return []expt.Cell{cell}, nil
+}
+
+// journalable mirrors the engine's journaling rule: only outcomes a rerun
+// reproduces identically are durable.
+func journalable(c expt.Cell) bool {
+	if c.Err == nil {
+		return true
+	}
+	return c.Err.Kind == expt.CellFailed || c.Err.Kind == expt.CellBudget
+}
+
+// kernelTable renders a kernel job's one-row result table.
+func kernelTable(req JobRequest, metric expt.Metric, cells []expt.Cell) *stats.Table {
+	unit := "MIPS"
+	if metric == expt.MetricWork {
+		unit = "work/instr"
+	}
+	t := stats.NewTable("ISA", "Buildset", "Kernel", unit, "instret")
+	for _, c := range cells {
+		v := any(c.MIPS)
+		if metric == expt.MetricWork {
+			v = any(c.WorkPerInstr)
+		}
+		if c.Err != nil {
+			v = "ERR:" + c.Err.Kind.String()
+		}
+		t.Row(c.ISA, c.Buildset, req.Kernel, v, fmt.Sprintf("%d", c.Instret))
+	}
+	return t
+}
+
+// reqFlags renders the request as manifest flags, mirroring ssbench's
+// flag map so the two tools' manifests read alike.
+func reqFlags(tenant string, r JobRequest) map[string]string {
+	f := map[string]string{
+		"tenant": tenant, "kind": r.Kind,
+		"scale":          fmt.Sprintf("%d", r.Scale),
+		"min_dur_ms":     fmt.Sprintf("%d", r.MinDurMS),
+		"metric":         r.Metric,
+		"backend":        r.Backend,
+		"max_cell_instr": fmt.Sprintf("%d", r.MaxCellInstr),
+		"ckpt_every":     fmt.Sprintf("%d", r.CkptEvery),
+	}
+	if r.Kind == "kernel" {
+		f["isa"], f["buildset"], f["kernel"] = r.ISA, r.Buildset, r.Kernel
+		f["n"] = fmt.Sprintf("%d", r.N)
+	}
+	if r.FabricListen != "" {
+		f["fabric_listen"] = r.FabricListen
+	}
+	return f
+}
+
+// writeJSON writes v as indented JSON via temp-and-rename, so readers
+// never observe a torn document.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

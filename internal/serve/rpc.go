@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JSON-RPC 2.0 error codes. The -32000 block is the server-defined range;
+// each daemon condition gets a stable code so clients can branch without
+// parsing messages.
+const (
+	CodeParse          = -32700
+	CodeInvalidRequest = -32600
+	CodeMethodNotFound = -32601
+	CodeInvalidParams  = -32602
+	CodeInternal       = -32000
+	// CodeRefused carries a *RefusedError as the error data: admission
+	// turned the job away (concurrency cap, instruction budget, or an
+	// invalid request).
+	CodeRefused = -32001
+	// CodeUnknownJob: the referenced job id does not exist.
+	CodeUnknownJob = -32002
+	// CodeBadState: the operation does not apply to the job's state
+	// (resuming a running job, fetching the result of a failed one).
+	CodeBadState = -32003
+)
+
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+	Data    any    `json:"data,omitempty"`
+}
+
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id,omitempty"`
+	Result  any             `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// errToRPC maps the daemon's typed errors onto the wire codes.
+func errToRPC(err error) *rpcError {
+	var refused *RefusedError
+	if errors.As(err, &refused) {
+		return &rpcError{Code: CodeRefused, Message: refused.Error(), Data: refused}
+	}
+	var unknown *UnknownJobError
+	if errors.As(err, &unknown) {
+		return &rpcError{Code: CodeUnknownJob, Message: unknown.Error()}
+	}
+	var bad *BadStateError
+	if errors.As(err, &bad) {
+		return &rpcError{Code: CodeBadState, Message: bad.Error()}
+	}
+	return &rpcError{Code: CodeInternal, Message: err.Error()}
+}
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /rpc              JSON-RPC 2.0 (methods below)
+//	GET  /jobs/{id}/stream NDJSON event stream (?from=N replays from seq N)
+//	GET  /healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rpc", s.handleRPC)
+	mux.HandleFunc("/jobs/", s.handleStream)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		writeRPC(w, rpcResponse{JSONRPC: "2.0",
+			Error: &rpcError{Code: CodeInvalidRequest, Message: "POST only"}})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0",
+			Error: &rpcError{Code: CodeParse, Message: err.Error()}})
+		return
+	}
+	var req rpcRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRPC(w, rpcResponse{JSONRPC: "2.0",
+			Error: &rpcError{Code: CodeParse, Message: err.Error()}})
+		return
+	}
+	resp := rpcResponse{JSONRPC: "2.0", ID: req.ID}
+	if req.JSONRPC != "2.0" || req.Method == "" {
+		resp.Error = &rpcError{Code: CodeInvalidRequest, Message: "want jsonrpc 2.0 with a method"}
+		writeRPC(w, resp)
+		return
+	}
+	result, rerr := s.dispatch(req.Method, req.Params)
+	if rerr != nil {
+		resp.Error = rerr
+	} else {
+		resp.Result = result
+	}
+	writeRPC(w, resp)
+}
+
+func writeRPC(w io.Writer, resp rpcResponse) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(resp)
+}
+
+type submitParams struct {
+	Tenant string     `json:"tenant,omitempty"`
+	Req    JobRequest `json:"req"`
+}
+
+type idParams struct {
+	ID string `json:"id"`
+}
+
+type listParams struct {
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// dispatch routes one JSON-RPC method.
+func (s *Server) dispatch(method string, raw json.RawMessage) (any, *rpcError) {
+	decode := func(v any) *rpcError {
+		if len(raw) == 0 {
+			return nil
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(v); err != nil {
+			return &rpcError{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		return nil
+	}
+	byID := func(op func(string) error) (any, *rpcError) {
+		var p idParams
+		if e := decode(&p); e != nil {
+			return nil, e
+		}
+		if err := op(p.ID); err != nil {
+			return nil, errToRPC(err)
+		}
+		j, _ := s.Job(p.ID)
+		return j.Status(), nil
+	}
+
+	switch method {
+	case "ssd.submit":
+		var p submitParams
+		if e := decode(&p); e != nil {
+			return nil, e
+		}
+		j, err := s.Submit(p.Tenant, p.Req)
+		if err != nil {
+			return nil, errToRPC(err)
+		}
+		return j.Status(), nil
+	case "ssd.status":
+		var p idParams
+		if e := decode(&p); e != nil {
+			return nil, e
+		}
+		j, ok := s.Job(p.ID)
+		if !ok {
+			return nil, errToRPC(&UnknownJobError{ID: p.ID})
+		}
+		return j.Status(), nil
+	case "ssd.list":
+		var p listParams
+		if e := decode(&p); e != nil {
+			return nil, e
+		}
+		out := []JobStatus{}
+		for _, j := range s.Jobs(p.Tenant) {
+			out = append(out, j.Status())
+		}
+		return out, nil
+	case "ssd.result":
+		var p idParams
+		if e := decode(&p); e != nil {
+			return nil, e
+		}
+		j, ok := s.Job(p.ID)
+		if !ok {
+			return nil, errToRPC(&UnknownJobError{ID: p.ID})
+		}
+		res, err := j.Result()
+		if err != nil {
+			return nil, errToRPC(err)
+		}
+		return res, nil
+	case "ssd.evict":
+		return byID(s.Evict)
+	case "ssd.resume":
+		return byID(s.Resume)
+	case "ssd.cancel":
+		return byID(s.Cancel)
+	case "ssd.metrics":
+		return s.Metrics(), nil
+	default:
+		return nil, &rpcError{Code: CodeMethodNotFound,
+			Message: fmt.Sprintf("unknown method %q", method)}
+	}
+}
+
+// handleStream serves GET /jobs/{id}/stream as NDJSON: one Event per
+// line, flushed as they land, replayed from ?from=N (default 0), closing
+// once the job reaches a rest state and the log is drained — a client
+// that reconnects after a daemon restart streams from 0 and sees the
+// resumed run's events (journal-restored cells re-fire).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, tail, ok := strings.Cut(rest, "/")
+	if !ok || tail != "stream" || r.Method != http.MethodGet {
+		http.NotFound(w, r)
+		return
+	}
+	j, found := s.Job(id)
+	if !found {
+		http.Error(w, fmt.Sprintf(`{"error":"unknown job %s"}`, id), http.StatusNotFound)
+		return
+	}
+	from, _ := strconv.Atoi(r.URL.Query().Get("from"))
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		evs, next, terminal := j.Events(from, 2*time.Second)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		from = next
+		if terminal {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}

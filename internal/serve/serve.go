@@ -1,0 +1,476 @@
+// Package serve is the simulation-as-a-service daemon behind cmd/ssd: a
+// long-running JSON-RPC-over-HTTP server that accepts sweep and
+// single-kernel jobs, streams per-cell results and obs snapshots as they
+// land, and answers status queries.
+//
+// It is a thin orchestration layer over the existing stack, not a fork of
+// it: admission control wraps the expt guard (per-tenant concurrency and
+// instruction budgets become typed refusals at submit time; per-cell
+// budgets stay the guard's typed CellBudget errors), every job shares one
+// cross-job AOT build cache (aot.Build's SHA-keyed singleflight makes
+// concurrent jobs compile each hot interface once for the fleet), and
+// durability reuses the expt resume journal plus the checkpoint ring —
+// an evicted or SIGKILLed daemon restarts and finishes every in-flight
+// job with byte-identical deterministic output, by the same argument the
+// CI kill-resume job proves for ssbench. Sweep jobs run on the single-host
+// engine or, when a job asks for a fabric listener, as an
+// internal/fabric coordinator — the daemon is the fabric's front door.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"singlespec/internal/obs"
+)
+
+// TenantPolicy bounds one tenant's use of the daemon.
+type TenantPolicy struct {
+	// MaxActive caps the tenant's concurrently active (queued, running, or
+	// evicted-but-resumable) jobs; 0 means unlimited.
+	MaxActive int `json:"max_active,omitempty"`
+	// InstrBudget caps the tenant's lifetime simulated instructions across
+	// all jobs; 0 means unlimited. Budgeted tenants must declare
+	// max_cell_instr on every job: admission reserves
+	// max_cell_instr × cells up front and settles to the actual retired
+	// total when the job finishes, so a tenant can never over-commit the
+	// budget by racing submissions.
+	InstrBudget uint64 `json:"instr_budget,omitempty"`
+}
+
+// RefusedError is a typed admission refusal. It travels to clients as
+// JSON-RPC error code CodeRefused with this struct as the error data.
+type RefusedError struct {
+	// Kind is "concurrency", "budget", or "invalid".
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant"`
+	// Limit and InUse quantify the refusal: active-job counts for
+	// "concurrency", instructions for "budget"; zero for "invalid".
+	Limit  uint64 `json:"limit,omitempty"`
+	InUse  uint64 `json:"in_use,omitempty"`
+	Reason string `json:"reason"`
+}
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("serve: tenant %s refused (%s): %s", e.Tenant, e.Kind, e.Reason)
+}
+
+// Config configures a Server.
+type Config struct {
+	// StateDir is the daemon's durable root: per-job directories (journal,
+	// checkpoint ring, results, manifest) live under it, and a restarted
+	// daemon recovers every job from it. Empty uses a temporary directory
+	// (jobs then do not survive the process).
+	StateDir string
+	// AOTCacheDir is the shared cross-job AOT build cache; empty uses
+	// StateDir/aot-cache. Every job's expt.Config points here, so
+	// aot.Build's SHA-keyed singleflight compiles each (ISA, buildset)
+	// runner once for the whole fleet.
+	AOTCacheDir string
+	// DefaultPolicy applies to tenants not listed in Tenants. The zero
+	// value is unlimited.
+	DefaultPolicy TenantPolicy
+	// Tenants holds per-tenant overrides.
+	Tenants map[string]TenantPolicy
+	// Workers is the per-job sweep worker-pool size; <= 0 lets the engine
+	// pick (runtime.NumCPU).
+	Workers int
+	// Obs receives daemon-wide serve.* counters; nil allocates an internal
+	// registry. Per-job measurement counters go to per-job registries (so
+	// each job's manifest keeps ssbench's determinism contract), not here.
+	Obs *obs.Registry
+	// Log, when non-nil, receives one-line operational events.
+	Log func(format string, args ...any)
+}
+
+// Server is the daemon: jobs, tenants, and the HTTP surface.
+type Server struct {
+	cfg      Config
+	stateDir string
+	aotCache string
+	reg      *obs.Registry
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // job ids in admission order
+	tenants map[string]*tenantState
+	seq     int
+	closed  bool
+	// running tracks live job goroutines for Close's drain.
+	running sync.WaitGroup
+}
+
+// tenantState is the admission ledger for one tenant.
+type tenantState struct {
+	// active counts queued + running + evicted (resumable) jobs.
+	active int
+	// reserved is the instruction budget held by active jobs
+	// (max_cell_instr × cells each); spent is the settled retired total of
+	// finished jobs. reserved+spent never exceeds the policy budget.
+	reserved uint64
+	spent    uint64
+}
+
+// New creates the server and recovers every job found under
+// cfg.StateDir: terminal jobs become queryable again (results served from
+// disk), interrupted ones are requeued and resume from their journals.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Obs,
+		jobs:    map[string]*Job{},
+		tenants: map[string]*tenantState{},
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.stateDir = cfg.StateDir
+	if s.stateDir == "" {
+		d, err := os.MkdirTemp("", "ssd-state-")
+		if err != nil {
+			return nil, err
+		}
+		s.stateDir = d
+	}
+	if err := os.MkdirAll(filepath.Join(s.stateDir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	s.aotCache = cfg.AOTCacheDir
+	if s.aotCache == "" {
+		s.aotCache = filepath.Join(s.stateDir, "aot-cache")
+	}
+	if err := os.MkdirAll(s.aotCache, 0o755); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// policy returns the effective policy for a tenant.
+func (s *Server) policy(tenant string) TenantPolicy {
+	if p, ok := s.cfg.Tenants[tenant]; ok {
+		return p
+	}
+	return s.cfg.DefaultPolicy
+}
+
+func (s *Server) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// admit runs admission control for one job request under s.mu: the
+// concurrency gate first, then the instruction-budget gate. The returned
+// cost is the budget reservation (0 for unbudgeted tenants).
+func (s *Server) admitLocked(tenant string, req *JobRequest) (cost uint64, err *RefusedError) {
+	pol := s.policy(tenant)
+	ts := s.tenant(tenant)
+	if pol.MaxActive > 0 && ts.active >= pol.MaxActive {
+		return 0, &RefusedError{Kind: "concurrency", Tenant: tenant,
+			Limit: uint64(pol.MaxActive), InUse: uint64(ts.active),
+			Reason: fmt.Sprintf("%d active job(s) at the tenant's limit of %d; wait for one to finish or evict it",
+				ts.active, pol.MaxActive)}
+	}
+	if pol.InstrBudget > 0 {
+		if req.MaxCellInstr == 0 {
+			return 0, &RefusedError{Kind: "budget", Tenant: tenant,
+				Limit: pol.InstrBudget, InUse: ts.reserved + ts.spent,
+				Reason: "budgeted tenants must declare max_cell_instr so admission can reserve the job's worst-case cost"}
+		}
+		cost = req.MaxCellInstr * uint64(req.cells())
+		if ts.reserved+ts.spent+cost > pol.InstrBudget {
+			return 0, &RefusedError{Kind: "budget", Tenant: tenant,
+				Limit: pol.InstrBudget, InUse: ts.reserved + ts.spent,
+				Reason: fmt.Sprintf("job would reserve %d instructions (%d cells × %d) against %d remaining",
+					cost, req.cells(), req.MaxCellInstr, pol.InstrBudget-ts.reserved-ts.spent)}
+		}
+	}
+	return cost, nil
+}
+
+// Submit admits and starts one job. The *RefusedError return carries typed
+// admission refusals; other errors are validation or persistence failures.
+func (s *Server) Submit(tenant string, req JobRequest) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server is shutting down")
+	}
+	cost, refused := s.admitLocked(tenant, &req)
+	if refused != nil {
+		s.mu.Unlock()
+		s.reg.Counter("serve.jobs.refused." + refused.Kind).Inc()
+		return nil, refused
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(s, id, tenant, req, cost)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	ts := s.tenant(tenant)
+	ts.active++
+	ts.reserved += cost
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		s.settle(j, stateFailed, 0, err)
+		return nil, err
+	}
+	j.setState(stateQueued, nil)
+	s.reg.Counter("serve.jobs.submitted").Inc()
+	s.logf("serve: job %s (%s, tenant %s) admitted", id, req.Kind, tenant)
+	s.start(j)
+	return j, nil
+}
+
+// start launches a job's run goroutine.
+func (s *Server) start(j *Job) {
+	s.running.Add(1)
+	go func() {
+		defer s.running.Done()
+		s.runJob(j)
+	}()
+}
+
+// settle moves a job to a terminal-or-evicted state and updates the
+// tenant ledger: evicted jobs stay active (they hold their reservation —
+// they are expected to resume); terminal jobs release the reservation and
+// settle the actual retired total against the budget.
+func (s *Server) settle(j *Job, state string, instret uint64, err error) {
+	s.mu.Lock()
+	ts := s.tenant(j.Tenant)
+	if state != stateEvicted {
+		ts.active--
+		ts.reserved -= j.cost
+		ts.spent += instret
+	}
+	s.mu.Unlock()
+	j.setInstret(instret)
+	j.setState(state, err)
+	s.reg.Counter("serve.jobs." + state).Inc()
+}
+
+// Resume requeues an evicted job; it continues from its journal (and, for
+// kernel jobs, its checkpoint ring) rather than recomputing finished work.
+func (s *Server) Resume(id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return &UnknownJobError{ID: id}
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: server is shutting down")
+	}
+	if st := j.State(); st != stateEvicted {
+		s.mu.Unlock()
+		return &BadStateError{ID: id, State: st, Op: "resume"}
+	}
+	j.rearm()
+	s.mu.Unlock()
+	j.setState(stateQueued, nil)
+	s.reg.Counter("serve.jobs.resumed").Inc()
+	s.start(j)
+	return nil
+}
+
+// Evict interrupts a running job and parks it as evicted: its journal and
+// checkpoint ring stay on disk, its budget reservation stays held, and
+// Resume (or a daemon restart) finishes it with byte-identical output.
+func (s *Server) Evict(id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return &UnknownJobError{ID: id}
+	}
+	switch j.State() {
+	case stateQueued, stateRunning:
+	default:
+		return &BadStateError{ID: id, State: j.State(), Op: "evict"}
+	}
+	j.requestEvict()
+	j.waitIdle()
+	if st := j.State(); st != stateEvicted {
+		// The job won the race and finished before the interrupt landed;
+		// that is success, not an eviction failure.
+		s.logf("serve: evict %s: job finished first (%s)", id, st)
+	}
+	return nil
+}
+
+// Cancel terminally abandons a job: a running one is interrupted first,
+// then the reservation is released and the job will not resume.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return &UnknownJobError{ID: id}
+	}
+	switch j.State() {
+	case stateQueued, stateRunning:
+		j.requestEvict()
+		j.waitIdle()
+	}
+	switch j.State() {
+	case stateEvicted:
+		s.settle(j, stateCanceled, 0, nil)
+		return nil
+	case stateCanceled:
+		return nil
+	default:
+		return &BadStateError{ID: id, State: j.State(), Op: "cancel"}
+	}
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs lists jobs in admission order, optionally filtered by tenant.
+func (s *Server) Jobs(tenant string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Metrics snapshots the daemon-wide registry.
+func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
+
+// Close winds the daemon down for restart: every running job is evicted
+// (journal flushed, state persisted) and the job goroutines are drained.
+// A subsequent New on the same state dir resumes them.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		switch j.State() {
+		case stateQueued, stateRunning:
+			j.requestEvict()
+		}
+	}
+	s.running.Wait()
+}
+
+// recover scans the state dir and re-registers every persisted job.
+// Terminal jobs are loaded for queries; non-terminal ones (queued,
+// running, or evicted at the moment the previous daemon died) are
+// requeued and resume from their journals.
+func (s *Server) recover() error {
+	root := filepath.Join(s.stateDir, "jobs")
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var requeue []*Job
+	for _, name := range names {
+		j, err := loadJob(s, filepath.Join(root, name))
+		if err != nil {
+			s.logf("serve: skipping unrecoverable job dir %s: %v", name, err)
+			continue
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if n := seqOf(j.ID); n > s.seq {
+			s.seq = n
+		}
+		ts := s.tenant(j.Tenant)
+		switch j.State() {
+		case stateDone, stateFailed, stateCanceled:
+			ts.spent += j.Instret()
+		default:
+			// The job was in flight (or parked evicted) when the previous
+			// daemon died: it keeps its admission slot and reservation and
+			// resumes from its journal.
+			ts.active++
+			ts.reserved += j.cost
+			j.rearm()
+			requeue = append(requeue, j)
+		}
+	}
+	for _, j := range requeue {
+		j.setState(stateQueued, nil)
+		s.reg.Counter("serve.jobs.recovered").Inc()
+		s.logf("serve: recovered job %s (tenant %s), resuming", j.ID, j.Tenant)
+		s.start(j)
+	}
+	return nil
+}
+
+// seqOf parses the numeric suffix of a job id ("j000042" → 42); 0 when
+// the id is not in the daemon's format.
+func seqOf(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}
+
+// ListenAndServe binds addr and serves the HTTP API until the listener
+// fails. Serve-on-listener is split out so cmd/ssd can report the bound
+// address before blocking.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves the HTTP API on an existing listener.
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	return srv.Serve(ln)
+}

@@ -1,0 +1,493 @@
+package serve
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitJob polls until the job reaches want, failing on timeout or on a
+// different rest state.
+func waitJob(t *testing.T, s *Server, id, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := j.State()
+		if st == want {
+			return
+		}
+		switch st {
+		case stateQueued, stateRunning:
+		default:
+			t.Fatalf("job %s rested as %s (error %q), want %s", id, st, j.Status().Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v, want %s", id, st, timeout, want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func mustResult(t *testing.T, s *Server, id string) *JobResult {
+	t.Helper()
+	j, _ := s.Job(id)
+	res, err := j.Result()
+	if err != nil {
+		t.Fatalf("result of %s: %v", id, err)
+	}
+	return res
+}
+
+// TestKernelJobDeterministicAcrossEvictResume is the daemon's core
+// durability contract on the single-cell path: a job evicted mid-cell and
+// resumed (checkpoint ring + journal) produces exactly the deterministic
+// fields an uninterrupted daemon produces.
+func TestKernelJobDeterministicAcrossEvictResume(t *testing.T) {
+	req := JobRequest{Kind: "kernel", ISA: "alpha64", Buildset: "one_min",
+		Kernel: "fib_iter", N: 2_000_000, Metric: "work", CkptEvery: 100_000}
+
+	// Uninterrupted reference run on its own daemon.
+	ref, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	rj, err := ref.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ref, rj.ID, stateDone, 120*time.Second)
+	want := mustResult(t, ref, rj.ID)
+
+	// Interrupted run: evict once the checkpoint ring holds a snapshot,
+	// then resume.
+	s, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringDir := filepath.Join(s.stateDir, "jobs", j.ID, "progress")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ringDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if j.State() == stateDone {
+			t.Fatalf("job finished before any checkpoint landed; raise N")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint landed in 60s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := s.Evict(j.ID); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if st := j.State(); st != stateEvicted {
+		t.Fatalf("state after evict = %s, want %s", st, stateEvicted)
+	}
+	if err := s.Resume(j.ID); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	waitJob(t, s, j.ID, stateDone, 120*time.Second)
+	got := mustResult(t, s, j.ID)
+
+	if len(got.Bench.Cells) != 1 || len(want.Bench.Cells) != 1 {
+		t.Fatalf("cells = %d and %d, want 1 and 1", len(got.Bench.Cells), len(want.Bench.Cells))
+	}
+	g, w := got.Bench.Cells[0], want.Bench.Cells[0]
+	if g.Instret != w.Instret || g.WorkUnits != w.WorkUnits || g.WorkPerInstr != w.WorkPerInstr {
+		t.Errorf("evict/resume diverged: got instret=%d work=%d wpi=%v, want instret=%d work=%d wpi=%v",
+			g.Instret, g.WorkUnits, g.WorkPerInstr, w.Instret, w.WorkUnits, w.WorkPerInstr)
+	}
+	if got.Table != want.Table {
+		t.Errorf("tables differ:\n got %q\nwant %q", got.Table, want.Table)
+	}
+}
+
+// TestDaemonRestartRecoversJob proves the restart contract in-process: a
+// daemon closed mid-job (evicting it) is replaced by a fresh Server on
+// the same state dir, which requeues and finishes the job with output
+// identical to an uninterrupted run.
+func TestDaemonRestartRecoversJob(t *testing.T) {
+	req := JobRequest{Kind: "kernel", ISA: "alpha64", Buildset: "one_min",
+		Kernel: "fib_iter", N: 2_000_000, Metric: "work", CkptEvery: 100_000}
+
+	ref, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	rj, err := ref.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ref, rj.ID, stateDone, 120*time.Second)
+	want := mustResult(t, ref, rj.ID)
+
+	dir := t.TempDir()
+	s1, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringDir := filepath.Join(dir, "jobs", j.ID, "progress")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ringDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if j.State() == stateDone {
+			t.Fatalf("job finished before any checkpoint landed; raise N")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint landed in 60s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s1.Close() // evicts the running job and drains
+
+	s2, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := s2.Metrics().Counters["serve.jobs.recovered"]; n != 1 {
+		t.Errorf("serve.jobs.recovered = %d, want 1", n)
+	}
+	waitJob(t, s2, j.ID, stateDone, 120*time.Second)
+	got := mustResult(t, s2, j.ID)
+	if got.Table != want.Table {
+		t.Errorf("restarted daemon's table differs:\n got %q\nwant %q", got.Table, want.Table)
+	}
+	g, w := got.Bench.Cells[0], want.Bench.Cells[0]
+	if g.Instret != w.Instret || g.WorkUnits != w.WorkUnits || g.WorkPerInstr != w.WorkPerInstr {
+		t.Errorf("restart diverged: got instret=%d work=%d, want instret=%d work=%d",
+			g.Instret, g.WorkUnits, w.Instret, w.WorkUnits)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", j.ID, "manifest.json")); err != nil {
+		t.Errorf("manifest missing after restart: %v", err)
+	}
+}
+
+// TestTenantConcurrencyRefusal exercises the concurrency gate: one active
+// job fills a MaxActive=1 tenant; eviction keeps the slot (the job is
+// expected back); only cancellation frees it.
+func TestTenantConcurrencyRefusal(t *testing.T) {
+	s, err := New(Config{
+		StateDir: t.TempDir(),
+		Tenants:  map[string]TenantPolicy{"alice": {MaxActive: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	long := JobRequest{Kind: "kernel", ISA: "alpha64", Buildset: "one_min",
+		Kernel: "fib_iter", N: 3_000_000, Metric: "work"}
+	j, err := s.Submit("alice", long)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refuse := func(wantKind string) *RefusedError {
+		t.Helper()
+		_, err := s.Submit("alice", JobRequest{Kind: "kernel", ISA: "alpha64",
+			Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work"})
+		var ref *RefusedError
+		if !errors.As(err, &ref) {
+			t.Fatalf("submit error = %v, want *RefusedError", err)
+		}
+		if ref.Kind != wantKind {
+			t.Fatalf("refusal kind = %q, want %q", ref.Kind, wantKind)
+		}
+		return ref
+	}
+	ref := refuse("concurrency")
+	if ref.Limit != 1 || ref.InUse != 1 {
+		t.Errorf("refusal limit/in_use = %d/%d, want 1/1", ref.Limit, ref.InUse)
+	}
+
+	// An evicted job still holds its admission slot.
+	if err := s.Evict(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() == stateEvicted {
+		refuse("concurrency")
+	}
+
+	// Cancellation frees it.
+	if err := s.Cancel(j.ID); err != nil && j.State() != stateDone {
+		t.Fatalf("cancel: %v (state %s)", err, j.State())
+	}
+	j2, err := s.Submit("alice", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work"})
+	if err != nil {
+		t.Fatalf("submit after cancel: %v", err)
+	}
+	waitJob(t, s, j2.ID, stateDone, 60*time.Second)
+
+	snap := s.Metrics()
+	if snap.Counters["serve.jobs.refused.concurrency"] < 1 {
+		t.Errorf("serve.jobs.refused.concurrency = %d, want >= 1",
+			snap.Counters["serve.jobs.refused.concurrency"])
+	}
+}
+
+// TestTenantBudgetRefusal exercises the instruction-budget gate:
+// budgeted tenants must declare max_cell_instr, reservations are
+// worst-case up front, and two tenants' ledgers are independent.
+func TestTenantBudgetRefusal(t *testing.T) {
+	s, err := New(Config{
+		StateDir: t.TempDir(),
+		Tenants: map[string]TenantPolicy{
+			"bob":   {InstrBudget: 100_000_000},
+			"carol": {InstrBudget: 100_000_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	kind := func(err error) string {
+		t.Helper()
+		var ref *RefusedError
+		if !errors.As(err, &ref) {
+			t.Fatalf("error = %v, want *RefusedError", err)
+		}
+		return ref.Kind
+	}
+
+	// Budgeted tenants must declare a per-cell cap.
+	_, err = s.Submit("bob", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work"})
+	if got := kind(err); got != "budget" {
+		t.Fatalf("undeclared max_cell_instr refusal kind = %q, want budget", got)
+	}
+
+	// A single over-budget reservation is refused outright.
+	_, err = s.Submit("bob", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work",
+		MaxCellInstr: 200_000_000})
+	if got := kind(err); got != "budget" {
+		t.Fatalf("over-budget refusal kind = %q, want budget", got)
+	}
+
+	// A long-running job reserves 60M; a second 60M reservation busts the
+	// 100M budget while the first is still active.
+	long, err := s.Submit("bob", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1_500_000, Metric: "work",
+		MaxCellInstr: 60_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Submit("bob", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work",
+		MaxCellInstr: 60_000_000})
+	if got := kind(err); got != "budget" {
+		t.Fatalf("reservation-exceeding refusal kind = %q, want budget", got)
+	}
+
+	// carol's independent budget admits the same request bob was refused.
+	cj, err := s.Submit("carol", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work",
+		MaxCellInstr: 60_000_000})
+	if err != nil {
+		t.Fatalf("carol refused despite independent budget: %v", err)
+	}
+	waitJob(t, s, cj.ID, stateDone, 60*time.Second)
+
+	// Once bob's job settles, the worst-case reservation is released and
+	// only the actual retired total counts against the budget.
+	waitJob(t, s, long.ID, stateDone, 120*time.Second)
+	after, err := s.Submit("bob", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work",
+		MaxCellInstr: 60_000_000})
+	if err != nil {
+		t.Fatalf("submit after settle: %v", err)
+	}
+	waitJob(t, s, after.ID, stateDone, 60*time.Second)
+}
+
+// TestSweepJobEvictResumeMatchesReference runs the real thing: a full
+// Table II sweep job, evicted mid-sweep and resumed, must render the
+// byte-identical table an uninterrupted sweep job renders.
+func TestSweepJobEvictResumeMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped under -short")
+	}
+	req := JobRequest{Kind: "sweep", Scale: 1, Metric: "work"}
+
+	ref, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	rj, err := ref.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ref, rj.ID, stateDone, 10*time.Minute)
+	want := mustResult(t, ref, rj.ID)
+
+	s, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict once a few cells have resolved. The sweep may win the race and
+	// finish first — then the eviction leg degenerates to the plain
+	// byte-identity check, which is still the contract under test.
+	deadline := time.Now().Add(5 * time.Minute)
+	for j.Status().CellsDone < 3 && j.State() == stateRunning || j.State() == stateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep made no progress in 5 minutes")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if j.State() == stateRunning {
+		if err := s.Evict(j.ID); err != nil {
+			t.Fatal(err)
+		}
+		if j.State() == stateEvicted {
+			// The engine resolves unmeasured cells as interrupted markers on
+			// the way down; at least one must be present (i.e., the sweep
+			// really was cut short).
+			evs, _, _ := j.Events(0, 0)
+			cut := 0
+			for _, ev := range evs {
+				if ev.Type == "cell" && ev.Status == "interrupted" {
+					cut++
+				}
+			}
+			if cut == 0 {
+				t.Error("evicted sweep carried no interrupted cells")
+			}
+			if err := s.Resume(j.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitJob(t, s, j.ID, stateDone, 10*time.Minute)
+	got := mustResult(t, s, j.ID)
+
+	if got.Table != want.Table {
+		t.Errorf("resumed sweep table differs from uninterrupted reference:\n got:\n%s\nwant:\n%s",
+			got.Table, want.Table)
+	}
+	if len(got.Bench.Cells) != len(want.Bench.Cells) {
+		t.Fatalf("bench cells = %d, want %d", len(got.Bench.Cells), len(want.Bench.Cells))
+	}
+	for i := range got.Bench.Cells {
+		g, w := got.Bench.Cells[i], want.Bench.Cells[i]
+		if g != w && (g.Instret != w.Instret || g.WorkUnits != w.WorkUnits || g.WorkPerInstr != w.WorkPerInstr) {
+			t.Errorf("cell %s/%s diverged: got instret=%d work=%d, want instret=%d work=%d",
+				g.ISA, g.Buildset, g.Instret, g.WorkUnits, w.Instret, w.WorkUnits)
+		}
+	}
+}
+
+// TestRPCSurface drives the HTTP layer end to end through the Client:
+// typed refusals and unknown-job errors map to their JSON-RPC codes, and
+// the NDJSON stream replays a completed job's events through "done".
+func TestRPCSurface(t *testing.T) {
+	s, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Addr: strings.TrimPrefix(hs.URL, "http://")}
+
+	// Invalid request → CodeRefused with kind "invalid".
+	_, err = c.Submit("", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "no_such_kernel"})
+	rpcErr, ok := err.(*RPCError)
+	if !ok || rpcErr.Code != CodeRefused {
+		t.Fatalf("bad-kernel submit error = %#v, want *RPCError code %d", err, CodeRefused)
+	}
+	if ref, ok := rpcErr.Refusal(); !ok || ref.Kind != "invalid" {
+		t.Fatalf("refusal payload = %+v (ok=%v), want kind invalid", ref, ok)
+	}
+
+	// Unknown job → CodeUnknownJob.
+	_, err = c.Status("j999999")
+	if rpcErr, ok := err.(*RPCError); !ok || rpcErr.Code != CodeUnknownJob {
+		t.Fatalf("unknown-job status error = %#v, want code %d", err, CodeUnknownJob)
+	}
+
+	// A real job: submit, wait, stream, fetch the result.
+	st, err := c.Submit("", JobRequest{Kind: "kernel", ISA: "alpha64",
+		Buildset: "one_min", Kernel: "fib_iter", N: 1000, Metric: "work"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.WaitState(st.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != stateDone || !fin.ResultReady {
+		t.Fatalf("final status = %+v, want done with result", fin)
+	}
+
+	var types []string
+	var last Event
+	if err := c.Stream(st.ID, 0, func(ev Event) bool {
+		types = append(types, ev.Type)
+		last = ev
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last.Type != "done" {
+		t.Fatalf("stream ended with %q (sequence %v), want done", last.Type, types)
+	}
+	sawCell := false
+	for _, ty := range types {
+		if ty == "cell" {
+			sawCell = true
+		}
+	}
+	if !sawCell {
+		t.Errorf("stream %v carried no cell event", types)
+	}
+
+	res, err := c.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == "" || len(res.Bench.Cells) != 1 {
+		t.Fatalf("result = table %d bytes, %d cells; want non-empty table, 1 cell",
+			len(res.Table), len(res.Bench.Cells))
+	}
+	if res.Table != last.Table {
+		t.Errorf("done-event table differs from result table")
+	}
+
+	// Evicting a done job is a typed bad-state error.
+	_, err = c.Evict(st.ID)
+	if rpcErr, ok := err.(*RPCError); !ok || rpcErr.Code != CodeBadState {
+		t.Fatalf("evict-done error = %#v, want code %d", err, CodeBadState)
+	}
+}

@@ -49,6 +49,14 @@ type Table struct {
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
 
+// Header returns a copy of the table's column headers, so callers (and
+// tests) can assert column agreement without parsing the rendered output.
+func (t *Table) Header() []string {
+	out := make([]string, len(t.header))
+	copy(out, t.header)
+	return out
+}
+
 // Row appends a row (values are stringified with %v; floats get 3
 // significant digits).
 func (t *Table) Row(cells ...any) *Table {
