@@ -19,6 +19,8 @@
 //	ssbench -resume-dir run1 -resume -table 2   # continue a killed sweep
 //	ssbench -table 2 -serve-fabric :7707        # distributed-sweep coordinator
 //	ssbench -join host:7707 -table 2            # fabric worker (same sweep flags)
+//	ssbench -faults 42 -serve-fabric :7707      # distributed-campaign coordinator
+//	ssbench -faults 42 -join host:7707          # campaign worker (same fault flags)
 //	ssbench -pprof localhost:6060               # live profiling endpoint
 //
 // A durable sweep interrupted by SIGINT/SIGTERM winds down cleanly (cells
@@ -166,7 +168,16 @@ func main() {
 		if *resumeDir != "" {
 			fatal(fmt.Errorf("-resume-dir applies to table sweeps, not fault campaigns"))
 		}
-		runFaultCampaign(uint64(*faultSeed), *faultEvents, *faultClasses, *parallel, reg, man, writeManifest)
+		if *join != "" && *serveFabric != "" {
+			fatal(fmt.Errorf("-join and -serve-fabric are mutually exclusive"))
+		}
+		runFaultCampaign(faultCampaignOpts{
+			seed: uint64(*faultSeed), events: *faultEvents, classSpec: *faultClasses,
+			workers: *parallel, serveFabric: *serveFabric, join: *join,
+			workerID: *workerID, leaseTTL: *leaseTTL, segmentDir: *segmentDir,
+			interrupt: interrupt, sigExit: &sigExit,
+			reg: reg, man: man, writeManifest: writeManifest,
+		})
 		return
 	}
 
@@ -366,29 +377,100 @@ func reportCellErrors(cells []expt.Cell) {
 	}
 }
 
+// faultCampaignOpts carries the campaign's flag surface: local run, fabric
+// coordinator (-serve-fabric), or fabric worker (-join).
+type faultCampaignOpts struct {
+	seed        uint64
+	events      int
+	classSpec   string
+	workers     int
+	serveFabric string
+	join        string
+	workerID    string
+	leaseTTL    time.Duration
+	segmentDir  string
+	interrupt   <-chan struct{}
+	sigExit     *atomic.Int32
+
+	reg           *obs.Registry
+	man           *obs.Manifest
+	writeManifest func()
+}
+
 // runFaultCampaign runs the deterministic fault-injection campaign and
 // exits nonzero if any cell diverged or errored. The manifest (when
 // requested) is written before any exit, so failed campaigns still leave
-// their metrics behind.
-func runFaultCampaign(seed uint64, events int, classSpec string, workers int,
-	reg *obs.Registry, man *obs.Manifest, writeManifest func()) {
-	classes, err := faultinj.ParseClasses(classSpec)
+// their metrics behind. With -serve-fabric the campaign's cells are leased
+// to -join workers and the merged report is byte-identical to the local
+// run; the worker side prints nothing and exits 3 when refused.
+func runFaultCampaign(o faultCampaignOpts) {
+	classes, err := faultinj.ParseClasses(o.classSpec)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := faultinj.Run(faultinj.Config{
-		Seed: seed, Events: events, Workers: workers, Classes: classes, Obs: reg,
-	})
-	if err != nil {
-		fatal(err)
+	cfg := faultinj.Config{
+		Seed: o.seed, Events: o.events, Workers: o.workers, Classes: classes, Obs: o.reg,
+	}
+
+	if o.join != "" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ssbench: "+format+"\n", args...)
+		}
+		err := fabric.RunCampaignWorker(fabric.CampaignWorkerConfig{
+			Addr: o.join, ID: o.workerID, Campaign: cfg, Log: logf,
+		})
+		o.writeManifest()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssbench:", err)
+			var refused *fabric.RefusedError
+			if errors.As(err, &refused) {
+				os.Exit(3)
+			}
+			os.Exit(1)
+		}
+		if code := o.sigExit.Load(); code != 0 {
+			os.Exit(int(code))
+		}
+		return
+	}
+
+	var rep *faultinj.Report
+	if o.serveFabric != "" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ssbench: "+format+"\n", args...)
+		}
+		coord, err := fabric.NewCampaignCoordinator(fabric.CampaignConfig{
+			Addr: o.serveFabric, Campaign: cfg, LeaseTTL: o.leaseTTL,
+			SegmentDir: o.segmentDir, Log: logf, Interrupt: o.interrupt,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ssbench: campaign coordinator listening on %s\n", coord.Addr())
+		rep, err = coord.Wait()
+		if err != nil {
+			fatal(err)
+		}
+		if o.man != nil {
+			o.man.Fabric = coord.Snapshot()
+		}
+	} else {
+		rep, err = faultinj.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Println("## Fault-injection campaign")
 	fmt.Println()
 	fmt.Print(rep)
-	if man != nil {
-		man.Cells = append(man.Cells, rep.Outcomes()...)
+	if o.man != nil {
+		o.man.Cells = append(o.man.Cells, rep.Outcomes()...)
 	}
-	writeManifest()
+	o.writeManifest()
+	if code := o.sigExit.Load(); code != 0 {
+		fmt.Fprintln(os.Stderr, "ssbench: interrupted; manifest flushed")
+		os.Exit(int(code))
+	}
 	if n := len(rep.Failures()); n > 0 {
 		fatal(fmt.Errorf("%d campaign cell(s) failed", n))
 	}

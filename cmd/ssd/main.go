@@ -3,15 +3,18 @@
 // Server mode runs the daemon on a durable state directory:
 //
 //	ssd serve -listen 127.0.0.1:7790 -state /var/lib/ssd \
-//	    -tenant alice=2:2000000 -tenant bob=1:500000
+//	    -tenant alice=2:2000000:4 -tenant bob=1:500000 \
+//	    -retain 100 -retain-age 168h
 //
-// SIGINT/SIGTERM evicts every running job (journals flushed, state
-// persisted) and exits; restarting on the same -state resumes them with
-// byte-identical deterministic output.
+// SIGINT/SIGTERM evicts every running job and drains the wait queue
+// (journals flushed, state persisted) and exits; restarting on the same
+// -state resumes the backlog in priority order with byte-identical
+// deterministic output.
 //
 // Client subcommands talk to a running daemon:
 //
-//	ssd submit  -addr HOST:PORT [-tenant T] [sweep/kernel flags] [-wait]
+//	ssd submit  -addr HOST:PORT [-tenant T] [-priority 0..9]
+//	            [sweep/kernel/campaign flags] [-wait]
 //	ssd status  -addr HOST:PORT -job ID [-wait]
 //	ssd list    -addr HOST:PORT [-tenant T]
 //	ssd stream  -addr HOST:PORT -job ID [-from N]
@@ -22,7 +25,8 @@
 //	ssd metrics -addr HOST:PORT
 //
 // Exit codes: 0 success, 1 failure, 2 admission refused (the refusal
-// kind and reason go to stderr).
+// kind and reason go to stderr), 4 shed under budget pressure (retry
+// after the refusal's retry_after_ms hint).
 package main
 
 import (
@@ -77,8 +81,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ssd <command> [flags]
 
 commands:
-  serve    run the daemon (-listen, -state, -aot-cache, -workers, -tenant)
-  submit   submit a job (-kind sweep|kernel, sweep/kernel flags, -wait)
+  serve    run the daemon (-listen, -state, -aot-cache, -workers, -tenant,
+           -retain, -retain-age, -event-buffer)
+  submit   submit a job (-kind sweep|kernel|campaign, -priority, kind flags, -wait)
   status   query one job (-job, -wait)
   list     list jobs (-tenant)
   stream   follow a job's NDJSON event stream (-job, -from)
@@ -89,8 +94,9 @@ commands:
   metrics  dump the daemon's serve.* counters`)
 }
 
-// tenantFlags collects repeatable -tenant name=maxActive:instrBudget
-// definitions.
+// tenantFlags collects repeatable -tenant
+// name=maxActive:instrBudget:maxQueued definitions (maxQueued optional; 0
+// refuses instead of queueing, -1 queues without bound).
 type tenantFlags map[string]serve.TenantPolicy
 
 func (t tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(t)) }
@@ -98,9 +104,10 @@ func (t tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(t)
 func (t tenantFlags) Set(v string) error {
 	name, spec, ok := strings.Cut(v, "=")
 	if !ok || name == "" {
-		return fmt.Errorf("want name=maxActive:instrBudget, got %q", v)
+		return fmt.Errorf("want name=maxActive:instrBudget:maxQueued, got %q", v)
 	}
-	maxs, budgets, _ := strings.Cut(spec, ":")
+	maxs, rest, _ := strings.Cut(spec, ":")
+	budgets, queues, _ := strings.Cut(rest, ":")
 	var pol serve.TenantPolicy
 	if maxs != "" {
 		n, err := strconv.Atoi(maxs)
@@ -116,6 +123,13 @@ func (t tenantFlags) Set(v string) error {
 		}
 		pol.InstrBudget = n
 	}
+	if queues != "" {
+		n, err := strconv.Atoi(queues)
+		if err != nil {
+			return fmt.Errorf("bad maxQueued in %q: %v", v, err)
+		}
+		pol.MaxQueued = n
+	}
 	t[name] = pol
 	return nil
 }
@@ -126,14 +140,20 @@ func runServe(args []string) {
 	state := fs.String("state", "", "durable state directory (empty: temporary, jobs do not survive restart)")
 	aotCache := fs.String("aot-cache", "", "shared AOT build cache directory (default: STATE/aot-cache)")
 	workers := fs.Int("workers", 0, "per-job sweep worker pool size (0: number of CPUs)")
+	retain := fs.Int("retain", 0, "keep at most N terminal jobs' state dirs per tenant; older ones become tombstones (0: keep all)")
+	retainAge := fs.Duration("retain-age", 0, "sweep terminal jobs older than this to tombstones (0: keep regardless of age)")
+	eventBuffer := fs.Int("event-buffer", 0, "per-job NDJSON replay ring size in events (0: default 4096)")
 	tenants := tenantFlags{}
-	fs.Var(tenants, "tenant", "tenant policy name=maxActive:instrBudget (repeatable; either part may be empty for unlimited)")
+	fs.Var(tenants, "tenant", "tenant policy name=maxActive:instrBudget:maxQueued (repeatable; empty parts are unlimited, maxQueued -1 queues unbounded)")
 	_ = fs.Parse(args)
 
 	srv, err := serve.New(serve.Config{
 		StateDir:    *state,
 		AOTCacheDir: *aotCache,
 		Workers:     *workers,
+		Retain:      *retain,
+		RetainAge:   *retainAge,
+		EventBuffer: *eventBuffer,
 		Tenants:     tenants,
 		Log:         log.Printf,
 	})
@@ -160,11 +180,16 @@ func runServe(args []string) {
 	}
 }
 
-// exitErr reports an RPC failure and exits: code 2 for typed admission
+// exitErr reports an RPC failure and exits: code 4 for shed-under-pressure
+// refusals (retryable after the hint), 2 for other typed admission
 // refusals, 1 otherwise.
 func exitErr(err error) {
 	if rpcErr, ok := err.(*serve.RPCError); ok {
 		if ref, isRefusal := rpcErr.Refusal(); isRefusal {
+			if ref.Kind == "shed" {
+				log.Printf("shed: %s (retry after %dms)", ref.Reason, ref.RetryAfterMS)
+				os.Exit(4)
+			}
 			log.Printf("refused (%s): %s", ref.Kind, ref.Reason)
 			os.Exit(2)
 		}
@@ -182,7 +207,8 @@ func runSubmit(args []string) {
 	fs := flag.NewFlagSet("ssd submit", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7790", "daemon address")
 	tenant := fs.String("tenant", "", "tenant name (default \"default\")")
-	kind := fs.String("kind", "sweep", "job kind: sweep or kernel")
+	kind := fs.String("kind", "sweep", "job kind: sweep, kernel, or campaign")
+	priority := fs.Int("priority", 0, "scheduling priority 0 (lowest) to 9 (highest)")
 	scale := fs.Int("scale", 1, "problem-size multiplier")
 	minDur := fs.Duration("min-dur", 0, "minimum per-kernel measure time")
 	metric := fs.String("metric", "work", "metric: work (deterministic) or mips")
@@ -194,13 +220,17 @@ func runSubmit(args []string) {
 	buildset := fs.String("buildset", "", "kernel job: buildset name")
 	kernel := fs.String("kernel", "", "kernel job: kernel name")
 	n := fs.Int("n", 0, "kernel job: problem size (0: kernel default)")
-	fabricListen := fs.String("fabric-listen", "", "sweep job: run as fabric coordinator on this address")
+	fabricListen := fs.String("fabric-listen", "", "sweep/campaign job: run as fabric coordinator on this address")
+	faultSeed := fs.Uint64("fault-seed", 1, "campaign job: fault-injection seed")
+	faultEvents := fs.Int("fault-events", 0, "campaign job: fault events per cell")
+	faultClasses := fs.String("fault-classes", "", "campaign job: comma-separated fault classes (default all)")
+	faultKernels := fs.String("fault-kernels", "", "campaign job: comma-separated kernels (default all)")
 	wait := fs.Bool("wait", false, "block until the job rests; print the result table when done")
 	_ = fs.Parse(args)
 
 	c := &serve.Client{Addr: *addr}
-	st, err := c.Submit(*tenant, serve.JobRequest{
-		Kind: *kind, Scale: *scale,
+	req := serve.JobRequest{
+		Kind: *kind, Priority: *priority, Scale: *scale,
 		MinDurMS:     minDur.Milliseconds(),
 		Metric:       *metric,
 		Backend:      *backend,
@@ -211,7 +241,17 @@ func runSubmit(args []string) {
 		CkptEvery: *ckptEvery,
 		ISA:       *isaName, Buildset: *buildset, Kernel: *kernel, N: *n,
 		FabricListen: *fabricListen,
-	})
+	}
+	if *kind == "campaign" {
+		req.FaultSeed = *faultSeed
+		req.FaultEvents = *faultEvents
+		req.FaultClasses = *faultClasses
+		req.FaultKernels = *faultKernels
+		// Campaigns are schedule-driven: the sweep/kernel knobs' flag
+		// defaults (scale 1, metric work) must not reach the daemon.
+		req.Scale, req.MinDurMS, req.Metric, req.Backend, req.CkptEvery = 0, 0, "", "", 0
+	}
+	st, err := c.Submit(*tenant, req)
 	if err != nil {
 		exitErr(err)
 	}

@@ -30,8 +30,9 @@ const JournalName = "journal.ssj"
 const maxJournalRecord = 1 << 24
 
 // journalRecord is the JSON payload of one journal record. Type is "run"
-// for a lineage header (one per process that wrote to the journal) or
-// "cell" for a completed cell.
+// for a lineage header (one per process that wrote to the journal), "cell"
+// for a completed sweep cell, or "raw" for an opaque completion payload
+// owned by another package (fault-campaign cells ride this way).
 type journalRecord struct {
 	Type string `json:"type"`
 
@@ -45,6 +46,10 @@ type journalRecord struct {
 	Status string    `json:"status,omitempty"`
 	ErrMsg string    `json:"err,omitempty"`
 	Cell   *cellData `json:"cell,omitempty"`
+
+	// Raw payload (Type "raw" only): the owning package's own encoding,
+	// protected by the same framing CRC as everything else.
+	Raw json.RawMessage `json:"raw,omitempty"`
 }
 
 // cellData is the journaled slice of a Cell: every deterministic field plus
@@ -186,7 +191,7 @@ func OpenJournal(dir, runID, fingerprint string, resume bool) (*RunJournal, erro
 			case "run":
 				prevFP = r.Fingerprint
 				j.parentRunID = r.RunID
-			case "cell":
+			case "cell", "raw":
 				if _, dup := j.cells[r.Key]; !dup {
 					j.restoredKeys = append(j.restoredKeys, r.Key)
 				}
@@ -310,6 +315,33 @@ func (j *RunJournal) Record(key string, c Cell) error {
 	return nil
 }
 
+// RecordRaw journals one completed cell whose payload another package
+// owns (encoding and decoding included); the journal only guarantees the
+// bytes survive intact. Like Record, only deterministic outcomes belong
+// here.
+func (j *RunJournal) RecordRaw(key string, raw []byte) error {
+	r := journalRecord{Type: "raw", Key: key, Raw: json.RawMessage(raw)}
+	if err := j.append(r); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.cells[key] = r
+	j.mu.Unlock()
+	return nil
+}
+
+// LookupRaw returns the journaled raw payload for a key, if a previous run
+// recorded one with RecordRaw.
+func (j *RunJournal) LookupRaw(key string) ([]byte, bool) {
+	j.mu.Lock()
+	r, ok := j.cells[key]
+	j.mu.Unlock()
+	if !ok || r.Type != "raw" || len(r.Raw) == 0 {
+		return nil, false
+	}
+	return append([]byte(nil), r.Raw...), true
+}
+
 // RunID returns this run's lineage id; ParentRunID returns the id of the
 // run this one resumed from ("" for a fresh journal).
 func (j *RunJournal) RunID() string       { return j.runID }
@@ -379,6 +411,12 @@ func (s *Segment) Append(key string, c Cell) error {
 	return s.append(r)
 }
 
+// AppendRaw durably appends one completed cell in another package's own
+// encoding (see RunJournal.RecordRaw).
+func (s *Segment) AppendRaw(key string, raw []byte) error {
+	return s.append(journalRecord{Type: "raw", Key: key, Raw: json.RawMessage(raw)})
+}
+
 func (s *Segment) append(r journalRecord) error {
 	payload, err := json.Marshal(r)
 	if err != nil {
@@ -433,6 +471,45 @@ func LoadSegment(path, fingerprint string) ([]KeyedCell, error) {
 			c := r.Cell.toCell(r.Status, r.ErrMsg)
 			c.Restored = false
 			out = append(out, KeyedCell{Key: r.Key, Cell: c})
+		}
+	}
+	if !sawHeader {
+		return nil, &CorruptJournalError{Path: path, Offset: 0, Reason: "segment has no lineage header"}
+	}
+	return out, nil
+}
+
+// KeyedRaw pairs a raw completion payload with its key.
+type KeyedRaw struct {
+	Key string
+	Raw []byte
+}
+
+// LoadSegmentRaw reads a segment of raw-payload records back with the same
+// header/fingerprint/torn-tail/corruption semantics as LoadSegment.
+func LoadSegmentRaw(path, fingerprint string) ([]KeyedRaw, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := parseJournal(path, data)
+	if err != nil {
+		return nil, err
+	}
+	var out []KeyedRaw
+	sawHeader := false
+	for _, r := range recs {
+		switch r.Type {
+		case "run":
+			sawHeader = true
+			if r.Fingerprint != fingerprint {
+				return nil, &FingerprintMismatchError{Path: path, Got: r.Fingerprint, Want: fingerprint}
+			}
+		case "raw":
+			if len(r.Raw) == 0 {
+				continue
+			}
+			out = append(out, KeyedRaw{Key: r.Key, Raw: append([]byte(nil), r.Raw...)})
 		}
 	}
 	if !sawHeader {

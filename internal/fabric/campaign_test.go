@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"singlespec/internal/expt"
+	"singlespec/internal/faultinj"
+	"singlespec/internal/obs"
+)
+
+// campaignCfg is the shared campaign configuration: every class over one
+// kernel, small enough to run three fabric topologies in one test binary.
+func campaignCfg(reg *obs.Registry) faultinj.Config {
+	return faultinj.Config{Seed: 42, Events: 2, Kernels: []string{"crc32"}, Obs: reg}
+}
+
+// campaignReference runs the campaign on the single-host engine once per
+// test binary.
+var campRefOnce sync.Once
+var campRefState struct {
+	report string
+	err    error
+}
+
+func campaignReference(t *testing.T) string {
+	t.Helper()
+	campRefOnce.Do(func() {
+		rep, err := faultinj.Run(campaignCfg(obs.NewRegistry()))
+		if err != nil {
+			campRefState.err = err
+			return
+		}
+		campRefState.report = rep.String()
+	})
+	if campRefState.err != nil {
+		t.Fatal(campRefState.err)
+	}
+	return campRefState.report
+}
+
+// runCampaignFabric runs one campaign coordinator with the given workers
+// and returns the merged report and the coordinator's registry.
+func runCampaignFabric(t *testing.T, coordCfg CampaignConfig, workers []CampaignWorkerConfig) (*faultinj.Report, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	coordCfg.Campaign = campaignCfg(reg)
+	if coordCfg.Addr == "" {
+		coordCfg.Addr = "127.0.0.1:0"
+	}
+	coordCfg.SegmentDir = t.TempDir()
+	coord, err := NewCampaignCoordinator(coordCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := workers[i]
+		w.Addr = coord.Addr()
+		if w.Campaign.Seed == 0 {
+			w.Campaign = campaignCfg(obs.NewRegistry())
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Worker exit errors are expected in the death tests; the
+			// coordinator-side assertions are the oracle.
+			_ = RunCampaignWorker(w)
+		}()
+	}
+	rep, err := coord.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return rep, reg
+}
+
+// TestCampaignFabricDeterminism is the campaign acceptance oracle
+// (mirroring TestFabricPlacementAndDeathDeterminism): the report merged
+// from 1 worker, from 3 workers, and from 3 workers with one killed
+// mid-cell (its lease taken over from the heartbeat-shipped clean-pass
+// snapshot) is byte-identical to the single-host faultinj.Run report.
+func TestCampaignFabricDeterminism(t *testing.T) {
+	ref := campaignReference(t)
+
+	t.Run("one_worker", func(t *testing.T) {
+		rep, _ := runCampaignFabric(t, CampaignConfig{}, []CampaignWorkerConfig{{ID: "solo"}})
+		if got := rep.String(); got != ref {
+			t.Errorf("1-worker campaign report differs from local:\nlocal:\n%s\nfabric:\n%s", ref, got)
+		}
+	})
+
+	t.Run("three_workers_one_killed_mid_cell", func(t *testing.T) {
+		// The victim ships every progress snapshot synchronously and is
+		// killed after its first clean-pass commit: the coordinator provably
+		// holds a mid-cell snapshot when the connection drops, so the
+		// takeover resumes past the clean pass rather than from scratch.
+		kill := make(chan struct{})
+		var once sync.Once
+		victim := CampaignWorkerConfig{ID: "w-victim",
+			testBeatOnProgress: true,
+			testKill:           kill,
+			testOnProgress: func(key string, gen uint64) {
+				once.Do(func() { close(kill) })
+			},
+		}
+		rep, reg := runCampaignFabric(t, CampaignConfig{}, []CampaignWorkerConfig{
+			victim, {ID: "w-b"}, {ID: "w-c"},
+		})
+		if got := rep.String(); got != ref {
+			t.Errorf("kill-run campaign report differs from local:\nlocal:\n%s\nfabric:\n%s", ref, got)
+		}
+		snap := reg.Snapshot()
+		if snap.Counters["fabric.worker.disconnected"] == 0 {
+			t.Error("expected the killed worker to be observed as disconnected")
+		}
+		if snap.Counters["fabric.lease.takeover"] == 0 {
+			t.Error("expected at least one lease takeover")
+		}
+		if snap.Counters["fabric.lease.progress_resumed"] == 0 {
+			t.Error("expected the taken-over cell to resume from the shipped snapshot")
+		}
+	})
+}
+
+// TestCampaignFabricJournalResume: a journaled campaign interrupted
+// mid-run restores its completed cells on resume (never re-leasing them)
+// and finishes with the byte-identical report.
+func TestCampaignFabricJournalResume(t *testing.T) {
+	ref := campaignReference(t)
+	dir := t.TempDir()
+	fp := faultinj.Fingerprint(campaignCfg(nil))
+
+	// First run: interrupt after the first few cells resolve.
+	interrupt := make(chan struct{})
+	var once sync.Once
+	resolved := 0
+	j1, err := expt.OpenJournal(dir, "camp-run-1", fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1 := obs.NewRegistry()
+	cfg1 := CampaignConfig{Addr: "127.0.0.1:0", Campaign: campaignCfg(reg1),
+		SegmentDir: t.TempDir(), Journal: j1, Interrupt: interrupt,
+		OnCell: func(key string, res faultinj.Result) {
+			resolved++
+			if resolved == 3 {
+				once.Do(func() { close(interrupt) })
+			}
+		}}
+	coord1, err := NewCampaignCoordinator(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = RunCampaignWorker(CampaignWorkerConfig{Addr: coord1.Addr(), ID: "w1",
+			Campaign: campaignCfg(obs.NewRegistry())})
+	}()
+	rep1, err := coord1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+	interruptedCells := 0
+	for _, r := range rep1.Results {
+		var ie *faultinj.InterruptedError
+		if errors.As(r.Err, &ie) {
+			interruptedCells++
+		}
+	}
+	if interruptedCells == 0 {
+		t.Fatal("interrupted run resolved every cell; the resume proves nothing")
+	}
+
+	// Second run resumes: journaled cells restore, the rest compute.
+	j2, err := expt.OpenJournal(dir, "camp-run-2", fp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Restored() == 0 {
+		t.Fatal("no cells restored from the campaign journal")
+	}
+	reg2 := obs.NewRegistry()
+	cfg2 := CampaignConfig{Addr: "127.0.0.1:0", Campaign: campaignCfg(reg2),
+		SegmentDir: t.TempDir(), Journal: j2}
+	coord2, err := NewCampaignCoordinator(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = RunCampaignWorker(CampaignWorkerConfig{Addr: coord2.Addr(), ID: "w2",
+			Campaign: campaignCfg(obs.NewRegistry())})
+	}()
+	rep2, err := coord2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep2.String(); got != ref {
+		t.Errorf("resumed campaign report differs from local:\nlocal:\n%s\nresumed:\n%s", ref, got)
+	}
+}
+
+// TestCampaignFabricRefusesWrongKind: a sweep worker knocking on a
+// campaign coordinator (and vice versa) is refused at hello with a typed
+// *RefusedError naming the kind clash — before fingerprints even compare.
+func TestCampaignFabricRefusesWrongKind(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := CampaignConfig{Addr: "127.0.0.1:0", Campaign: campaignCfg(reg),
+		SegmentDir: t.TempDir()}
+	coord, err := NewCampaignCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swErr := RunWorker(WorkerConfig{Addr: coord.Addr(), ID: "sweeper",
+		Sweep: expt.Config{Scale: 1, MinDur: time.Millisecond, Metric: expt.MetricWork,
+			Obs: obs.NewRegistry()}})
+	var refused *RefusedError
+	if !errors.As(swErr, &refused) {
+		t.Fatalf("sweep worker on campaign coordinator: want *RefusedError, got %v", swErr)
+	}
+	if !strings.Contains(refused.Reason, "sweep") || !strings.Contains(refused.Reason, "campaign") {
+		t.Errorf("refusal reason should name the kind clash: %q", refused.Reason)
+	}
+	if n := reg.Snapshot().Counters["fabric.worker.refused_kind"]; n != 1 {
+		t.Errorf("fabric.worker.refused_kind = %d, want 1", n)
+	}
+
+	go func() {
+		_ = RunCampaignWorker(CampaignWorkerConfig{Addr: coord.Addr(), ID: "proper",
+			Campaign: campaignCfg(obs.NewRegistry())})
+	}()
+	if _, err := coord.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

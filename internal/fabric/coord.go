@@ -1,7 +1,6 @@
 package fabric
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -15,7 +14,7 @@ import (
 	"singlespec/internal/obs"
 )
 
-// Config configures a fabric coordinator.
+// Config configures a fabric coordinator for a Table II sweep.
 type Config struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:7707", or ":0" to let
 	// the kernel pick — see Coordinator.Addr).
@@ -59,23 +58,95 @@ const (
 	cellDone           // resolved (result delivered, restored, or ERR-marked)
 )
 
-// cellSlot is the coordinator's state for one sweep cell.
+// workUnit is one leasable unit of work: its stable key, plus (for kinds
+// whose work is not fully derivable from the key) the spec shipped in
+// lease frames.
+type workUnit struct {
+	key  string
+	spec *expt.JobSpec
+}
+
+// keyedVal pairs a decoded result value with its unit key.
+type keyedVal struct {
+	key string
+	val any
+}
+
+// workload abstracts what a coordinator leases — Table II sweep cells or
+// fault-campaign cells — so one lease core provides the TTL/heartbeat/
+// takeover/bounded-retry/deterministic-merge guarantees to every kind.
+// Values flowing through the core are the workload's own decoded result
+// type (expt.Cell, faultinj.Result); the core never inspects them except
+// through these hooks.
+type workload struct {
+	// kind is the hello-frame work kind; a worker of a different kind is
+	// refused at hello, exactly like a fingerprint mismatch.
+	kind string
+	// fp is the membership fingerprint workers must present.
+	fp string
+	// units is the deterministic unit list; the merged output follows it.
+	units []workUnit
+	// reg receives the fabric counters (never nil; obs is nil-safe but the
+	// constructors pass a registry for the snapshot paths).
+	reg *obs.Registry
+	// interrupt, when non-nil, winds the run down when closed.
+	interrupt <-chan struct{}
+
+	// lookup consults the run journal for an already-completed unit.
+	lookup func(key string) (any, bool)
+	// decode validates and decodes one result payload off the wire.
+	decode func(key string, payload []byte) (any, error)
+	// transient reports whether a delivered result is a worker-side
+	// transient (requeued under the retry bound) rather than a
+	// deterministic outcome.
+	transient func(val any) bool
+	// errLabel names a result's error kind for operator logs ("" if ok).
+	errLabel func(val any) string
+	// journalable mirrors the engine's journaling rule: only outcomes a
+	// rerun reproduces identically are durable.
+	journalable func(val any) bool
+	// journal records a journalable result durably; nil when the run has no
+	// journal.
+	journal func(key string, val any)
+	// persist appends a delivered result to a worker's segment file.
+	persist func(seg *expt.Segment, key string, val any) error
+	// loadSeg re-reads one segment file at merge (fingerprint closed over).
+	loadSeg func(path string) ([]keyedVal, error)
+	// lost builds the terminal value for a unit whose cross-worker retry
+	// budget is spent; interrupted the terminal value for a wind-down.
+	lost        func(u workUnit, tries int, holder, why string) any
+	interrupted func(u workUnit, tries int) any
+	// resolve, when non-nil, streams every resolution (delivered, restored,
+	// lost, interrupted) in completion order — the OnCell hook.
+	resolve func(key string, val any)
+}
+
+// coreConfig is the kind-independent slice of a coordinator configuration.
+type coreConfig struct {
+	addr     string
+	leaseTTL time.Duration
+	maxTries int
+	segDir   string
+	runID    string
+	log      func(format string, args ...any)
+}
+
+// cellSlot is the coordinator's state for one unit.
 type cellSlot struct {
-	spec  expt.JobSpec
-	key   string
+	unit  workUnit
 	state int
-	// tries counts lease grants; at MaxCellTries the next reclaim ERR-marks
+	// tries counts lease grants; at maxTries the next reclaim ERR-marks
 	// the cell instead of requeueing it.
 	tries    int
 	leaseID  uint64
 	worker   string
 	deadline time.Time
 	// progress is the latest heartbeat-shipped snapshot (and its worker-side
-	// generation); a re-lease ships it so the takeover resumes mid-kernel.
+	// generation); a re-lease ships it so the takeover resumes mid-cell.
 	progress    []byte
 	progressGen uint64
 	instret     uint64
-	cell        expt.Cell
+	val         any
 }
 
 // workerConn is one connected worker.
@@ -91,23 +162,22 @@ type workerConn struct {
 	gone bool
 }
 
-// Coordinator runs one fabric sweep: it owns the deterministic cell list,
-// leases cells to joined workers, reclaims and re-leases on missed
-// heartbeats or dead connections, and merges the per-worker result segments
-// into the final cell slice.
-type Coordinator struct {
-	cfg Config
-	fp  string
-	reg *obs.Registry
-	ln  net.Listener
+// coordCore runs one fabric job of any kind: it owns the deterministic
+// unit list, leases units to joined workers, reclaims and re-leases on
+// missed heartbeats or dead connections, and merges the per-worker result
+// segments into the final value slice.
+type coordCore struct {
+	cc coreConfig
+	wl *workload
+	ln net.Listener
 
 	mu      sync.Mutex
 	slots   []cellSlot
 	keyIdx  map[string]int
-	open    int // cells not yet done
+	open    int // units not yet done
 	seq     uint64
 	workers map[string]*workerConn
-	seen    map[string]bool   // worker ids that ever joined
+	seen    map[string]bool // worker ids that ever joined
 	segs    map[string]*expt.Segment
 	segPath map[string]string
 	done    chan struct{}
@@ -132,6 +202,13 @@ func (e *SegmentError) Error() string {
 
 func (e *SegmentError) Unwrap() error { return e.Err }
 
+// Coordinator runs one fabric sweep (see coordCore for the machinery; the
+// campaign analogue is CampaignCoordinator).
+type Coordinator struct {
+	core *coordCore
+	cfg  Config
+}
+
 // Serve runs a fabric sweep to completion: listen, lease, reclaim, merge.
 // It returns the merged cells in deterministic TableIIJobSpecs order —
 // byte-identical (in every deterministic field) to a single-host sweep of
@@ -151,19 +228,135 @@ func Serve(cfg Config) ([]expt.Cell, error) {
 // so tests and embedders can learn the listen address before joining
 // workers.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
-	if cfg.LeaseTTL <= 0 {
-		cfg.LeaseTTL = DefaultLeaseTTL
+	sw := cfg.Sweep
+	fp := Fingerprint(sw)
+	wl := &workload{
+		kind:      "sweep",
+		fp:        fp,
+		reg:       sw.Obs,
+		interrupt: sw.Interrupt,
+		decode: func(key string, payload []byte) (any, error) {
+			k, cell, err := expt.DecodeCellWire(payload)
+			if err != nil {
+				return nil, err
+			}
+			if k != key {
+				return nil, fmt.Errorf("result payload keyed %q under lease %q", k, key)
+			}
+			return cell, nil
+		},
+		transient: func(v any) bool {
+			c := v.(expt.Cell)
+			return c.Err != nil && transientKind(c.Err.Kind)
+		},
+		errLabel: func(v any) string {
+			c := v.(expt.Cell)
+			if c.Err == nil {
+				return ""
+			}
+			return c.Err.Kind.String()
+		},
+		journalable: func(v any) bool { return deterministicOutcome(v.(expt.Cell)) },
+		persist: func(seg *expt.Segment, key string, v any) error {
+			return seg.Append(key, v.(expt.Cell))
+		},
+		loadSeg: func(path string) ([]keyedVal, error) {
+			kcs, err := expt.LoadSegment(path, fp)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]keyedVal, len(kcs))
+			for i, kc := range kcs {
+				out[i] = keyedVal{key: kc.Key, val: kc.Cell}
+			}
+			return out, nil
+		},
+		lost: func(u workUnit, tries int, holder, why string) any {
+			return expt.Cell{ISA: u.spec.ISA, Buildset: u.spec.Buildset,
+				Backend: backendTag(u.spec.Backend), Attempts: tries,
+				Err: &expt.CellError{ISA: u.spec.ISA, Buildset: u.spec.Buildset,
+					Kind: expt.CellLost, Attempts: tries,
+					Err: fmt.Errorf("lease lost on %d worker(s), last on %s: %s", tries, holder, why)}}
+		},
+		interrupted: func(u workUnit, tries int) any {
+			return expt.Cell{ISA: u.spec.ISA, Buildset: u.spec.Buildset,
+				Backend: backendTag(u.spec.Backend),
+				Err: &expt.CellError{ISA: u.spec.ISA, Buildset: u.spec.Buildset,
+					Kind: expt.CellInterrupted, Err: errSweepInterrupted,
+					Attempts: tries}}
+		},
 	}
-	if cfg.MaxCellTries <= 0 {
-		cfg.MaxCellTries = DefaultMaxCellTries
+	specs := expt.TableIIJobSpecs(sw)
+	wl.units = make([]workUnit, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		wl.units[i] = workUnit{key: sp.Key(), spec: &sp}
 	}
-	if cfg.RunID == "" {
-		cfg.RunID = fmt.Sprintf("fabric-%d", os.Getpid())
+	if sw.Journal != nil {
+		j := sw.Journal
+		wl.lookup = func(key string) (any, bool) {
+			cell, ok := j.Lookup(key)
+			if !ok {
+				return nil, false
+			}
+			return cell, true
+		}
+		wl.journal = func(key string, v any) { _ = j.Record(key, v.(expt.Cell)) }
 	}
-	c := &Coordinator{
-		cfg:     cfg,
-		fp:      Fingerprint(cfg.Sweep),
-		reg:     cfg.Sweep.Obs,
+	if fn := sw.OnCell; fn != nil {
+		wl.resolve = func(key string, v any) { fn(key, v.(expt.Cell)) }
+	}
+	core, err := newCore(coreConfig{
+		addr: cfg.Addr, leaseTTL: cfg.LeaseTTL, maxTries: cfg.MaxCellTries,
+		segDir: cfg.SegmentDir, runID: cfg.RunID, log: cfg.Log,
+	}, wl)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{core: core, cfg: cfg}, nil
+}
+
+// errSweepInterrupted matches the single-host engine's wind-down error text.
+var errSweepInterrupted = fmt.Errorf("sweep interrupted")
+
+// Addr returns the coordinator's bound listen address.
+func (c *Coordinator) Addr() string { return c.core.addr() }
+
+// Wait blocks until the sweep resolves (or is interrupted), shuts the fleet
+// down, and merges the per-worker segments into the final cell slice.
+func (c *Coordinator) Wait() ([]expt.Cell, error) {
+	vals, err := c.core.wait()
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]expt.Cell, len(vals))
+	for i, v := range vals {
+		cells[i] = v.(expt.Cell)
+	}
+	// One aggregation pass over the merged cells, exactly like the
+	// single-host engine's post-sweep recordCells: the non-fabric counter
+	// totals match a local run of the same sweep.
+	expt.RecordCells(c.core.wl.reg, cells)
+	return cells, nil
+}
+
+// Snapshot exports the fleet and lease state for the run manifest.
+func (c *Coordinator) Snapshot() *obs.FabricSnapshot { return c.core.snapshot() }
+
+// newCore builds and starts the kind-independent lease core.
+func newCore(cc coreConfig, wl *workload) (*coordCore, error) {
+	if cc.leaseTTL <= 0 {
+		cc.leaseTTL = DefaultLeaseTTL
+	}
+	if cc.maxTries <= 0 {
+		cc.maxTries = DefaultMaxCellTries
+	}
+	if cc.runID == "" {
+		cc.runID = fmt.Sprintf("fabric-%d", os.Getpid())
+	}
+	c := &coordCore{
+		cc:      cc,
+		wl:      wl,
 		keyIdx:  map[string]int{},
 		workers: map[string]*workerConn{},
 		seen:    map[string]bool{},
@@ -171,30 +364,29 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		segPath: map[string]string{},
 		done:    make(chan struct{}),
 	}
-	specs := expt.TableIIJobSpecs(cfg.Sweep)
-	c.slots = make([]cellSlot, len(specs))
-	for i, s := range specs {
-		c.slots[i] = cellSlot{spec: s, key: s.Key(), state: cellPending}
-		c.keyIdx[c.slots[i].key] = i
+	c.slots = make([]cellSlot, len(wl.units))
+	for i, u := range wl.units {
+		c.slots[i] = cellSlot{unit: u, state: cellPending}
+		c.keyIdx[u.key] = i
 		c.open++
 	}
-	// Resume: cells the journal already holds are resolved up front, never
+	// Resume: units the journal already holds are resolved up front, never
 	// leased — the same reload-don't-recompute semantics as runCells.
-	if cfg.Sweep.Journal != nil {
+	if wl.lookup != nil {
 		for i := range c.slots {
-			if cell, ok := cfg.Sweep.Journal.Lookup(c.slots[i].key); ok {
+			if v, ok := wl.lookup(c.slots[i].unit.key); ok {
 				c.slots[i].state = cellDone
-				c.slots[i].cell = cell
+				c.slots[i].val = v
 				c.open--
-				// Restored cells fire OnCell like computed ones: a streaming
-				// consumer of a resumed sweep sees every cell land.
-				if fn := cfg.Sweep.OnCell; fn != nil {
-					fn(c.slots[i].key, cell)
+				// Restored cells fire the resolve stream like computed ones: a
+				// streaming consumer of a resumed run sees every cell land.
+				if wl.resolve != nil {
+					wl.resolve(c.slots[i].unit.key, v)
 				}
 			}
 		}
 	}
-	c.segDir = cfg.SegmentDir
+	c.segDir = cc.segDir
 	if c.segDir == "" {
 		d, err := os.MkdirTemp("", "ssbench-fabric-")
 		if err != nil {
@@ -202,7 +394,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		}
 		c.segDir = d
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	ln, err := net.Listen("tcp", cc.addr)
 	if err != nil {
 		return nil, err
 	}
@@ -215,21 +407,21 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// Addr returns the coordinator's bound listen address.
-func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+// addr returns the core's bound listen address.
+func (c *coordCore) addr() string { return c.ln.Addr().String() }
 
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Log != nil {
-		c.cfg.Log(format, args...)
+func (c *coordCore) logf(format string, args ...any) {
+	if c.cc.log != nil {
+		c.cc.log(format, args...)
 	}
 }
 
-// Wait blocks until the sweep resolves (or is interrupted), shuts the fleet
-// down, and merges the per-worker segments into the final cell slice.
-func (c *Coordinator) Wait() ([]expt.Cell, error) {
+// wait blocks until the run resolves (or is interrupted), shuts the fleet
+// down, and merges the per-worker segments into the unit-ordered values.
+func (c *coordCore) wait() ([]any, error) {
 	select {
 	case <-c.done:
-	case <-interruptCh(c.cfg.Sweep.Interrupt):
+	case <-interruptCh(c.wl.interrupt):
 		c.interruptAll()
 		<-c.done
 	}
@@ -241,9 +433,9 @@ func (c *Coordinator) Wait() ([]expt.Cell, error) {
 // channel blocks forever, which is exactly right).
 func interruptCh(ch <-chan struct{}) <-chan struct{} { return ch }
 
-// interruptAll resolves every unfinished cell as interrupted, mirroring the
+// interruptAll resolves every unfinished unit as interrupted, mirroring the
 // single-host engine's wind-down: not journaled, recomputed on resume.
-func (c *Coordinator) interruptAll() {
+func (c *coordCore) interruptAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i := range c.slots {
@@ -251,17 +443,13 @@ func (c *Coordinator) interruptAll() {
 		if s.state == cellDone {
 			continue
 		}
-		s.cell = expt.Cell{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
-			Backend: backendTag(s.spec.Backend),
-			Err: &expt.CellError{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
-				Kind: expt.CellInterrupted, Err: errors.New("sweep interrupted"),
-				Attempts: s.tries}}
+		s.val = c.wl.interrupted(s.unit, s.tries)
 		c.resolveLocked(i)
 	}
 }
 
 // acceptLoop admits workers until the listener closes.
-func (c *Coordinator) acceptLoop() {
+func (c *coordCore) acceptLoop() {
 	for {
 		conn, err := c.ln.Accept()
 		if err != nil {
@@ -274,7 +462,7 @@ func (c *Coordinator) acceptLoop() {
 // handleConn runs one worker connection: membership guard, registration,
 // then the beat/result read loop. Any read error (including the peer dying)
 // immediately reclaims the worker's lease.
-func (c *Coordinator) handleConn(conn net.Conn) {
+func (c *coordCore) handleConn(conn net.Conn) {
 	f, err := readFrameTimeout(conn, helloTimeout)
 	if err != nil || f.Type != frameHello {
 		conn.Close()
@@ -284,6 +472,10 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		_ = writeFrame(conn, &frame{Type: frameRefuse, Reason: reason})
 		conn.Close()
 	}
+	kind := f.Kind
+	if kind == "" {
+		kind = "sweep" // pre-campaign workers never sent a kind
+	}
 	switch {
 	case f.Proto != ProtoVersion:
 		refuse(fmt.Sprintf("protocol version %d, coordinator speaks %d", f.Proto, ProtoVersion))
@@ -291,14 +483,19 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	case f.Worker == "":
 		refuse("empty worker id")
 		return
-	case f.Fingerprint != c.fp:
-		// The membership guard: a worker started with different sweep flags
+	case kind != c.wl.kind:
+		c.wl.reg.Counter("fabric.worker.refused_kind").Inc()
+		c.logf("fabric: refused worker %s: speaks %q work, this run leases %q", f.Worker, kind, c.wl.kind)
+		refuse(fmt.Sprintf("worker runs %q work, this coordinator leases %q cells", kind, c.wl.kind))
+		return
+	case f.Fingerprint != c.wl.fp:
+		// The membership guard: a worker started with different flags
 		// (or left over from an old run) would compute different cells.
-		c.reg.Counter("fabric.worker.refused_stale").Inc()
+		c.wl.reg.Counter("fabric.worker.refused_stale").Inc()
 		c.logf("fabric: refused stale worker %s (fingerprint %.12s…, run is %.12s…)",
-			f.Worker, f.Fingerprint, c.fp)
+			f.Worker, f.Fingerprint, c.wl.fp)
 		refuse(fmt.Sprintf("config fingerprint %.12s… does not match this run's %.12s…; stale worker?",
-			f.Fingerprint, c.fp))
+			f.Fingerprint, c.wl.fp))
 		return
 	}
 
@@ -306,7 +503,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		refuse("sweep already complete")
+		refuse("run already complete")
 		return
 	}
 	if old := c.workers[w.id]; old != nil && !old.gone {
@@ -324,7 +521,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	c.workers[w.id] = w
 	if c.segs[w.id] == nil {
 		path := filepath.Join(c.segDir, "worker-"+sanitize(w.id)+".sseg")
-		seg, err := expt.CreateSegment(path, w.id, c.fp)
+		seg, err := expt.CreateSegment(path, w.id, c.wl.fp)
 		if err != nil {
 			c.mu.Unlock()
 			refuse("coordinator cannot persist results: " + err.Error())
@@ -336,12 +533,12 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	c.mu.Unlock()
 
 	if rejoin {
-		c.reg.Counter("fabric.worker.rejoined").Inc()
+		c.wl.reg.Counter("fabric.worker.rejoined").Inc()
 	} else {
-		c.reg.Counter("fabric.worker.joined").Inc()
+		c.wl.reg.Counter("fabric.worker.joined").Inc()
 	}
 	c.logf("fabric: worker %s joined", w.id)
-	if err := c.send(w, &frame{Type: frameWelcome, RunID: c.cfg.RunID}); err != nil {
+	if err := c.send(w, &frame{Type: frameWelcome, RunID: c.cc.runID}); err != nil {
 		c.dropWorker(w)
 		return
 	}
@@ -366,7 +563,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 }
 
 // send writes one frame to a worker, serialized per connection.
-func (c *Coordinator) send(w *workerConn, f *frame) error {
+func (c *coordCore) send(w *workerConn, f *frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	return writeFrame(w.conn, f)
@@ -374,7 +571,7 @@ func (c *Coordinator) send(w *workerConn, f *frame) error {
 
 // dropWorker handles a dead connection: the lease (if any) is reclaimed
 // immediately — a dead TCP peer needs no TTL grace.
-func (c *Coordinator) dropWorker(w *workerConn) {
+func (c *coordCore) dropWorker(w *workerConn) {
 	c.mu.Lock()
 	if !w.gone {
 		w.gone = true
@@ -385,7 +582,7 @@ func (c *Coordinator) dropWorker(w *workerConn) {
 			c.reclaimLocked(w.cur, "worker connection lost")
 			w.cur = -1
 		}
-		c.reg.Counter("fabric.worker.disconnected").Inc()
+		c.wl.reg.Counter("fabric.worker.disconnected").Inc()
 		c.logf("fabric: worker %s disconnected", w.id)
 	}
 	c.mu.Unlock()
@@ -395,8 +592,8 @@ func (c *Coordinator) dropWorker(w *workerConn) {
 
 // handleBeat refreshes the lease deadline and absorbs any newer progress
 // snapshot the worker shipped.
-func (c *Coordinator) handleBeat(w *workerConn, f *frame) {
-	c.reg.Counter("fabric.heartbeats").Inc()
+func (c *coordCore) handleBeat(w *workerConn, f *frame) {
+	c.wl.reg.Counter("fabric.heartbeats").Inc()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if w.cur < 0 {
@@ -406,7 +603,7 @@ func (c *Coordinator) handleBeat(w *workerConn, f *frame) {
 	if s.state != cellLeased || s.leaseID != f.LeaseID {
 		return // beat for a reclaimed lease
 	}
-	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	s.deadline = time.Now().Add(c.cc.leaseTTL)
 	s.instret = f.Instret
 	if f.Gen > s.progressGen && len(f.Progress) > 0 {
 		s.progressGen = f.Gen
@@ -417,8 +614,8 @@ func (c *Coordinator) handleBeat(w *workerConn, f *frame) {
 // handleResult resolves a delivered cell: persist to the worker's segment,
 // journal deterministic outcomes, requeue transient worker-side failures
 // (up to the try bound), then hand the worker its next lease.
-func (c *Coordinator) handleResult(w *workerConn, f *frame) {
-	key, cell, err := expt.DecodeCellWire(f.Cell)
+func (c *coordCore) handleResult(w *workerConn, f *frame) {
+	val, err := c.wl.decode(f.Key, f.Cell)
 	if err != nil {
 		// A worker sending undecodable results is broken; dropping the
 		// connection reclaims its lease and lets the cell retry elsewhere.
@@ -426,11 +623,12 @@ func (c *Coordinator) handleResult(w *workerConn, f *frame) {
 		w.conn.Close()
 		return
 	}
+	key := f.Key
 	c.mu.Lock()
 	idx, ok := c.keyIdx[key]
 	if !ok || w.cur != idx {
 		c.mu.Unlock()
-		c.reg.Counter("fabric.result.stale").Inc()
+		c.wl.reg.Counter("fabric.result.stale").Inc()
 		return
 	}
 	s := &c.slots[idx]
@@ -440,11 +638,11 @@ func (c *Coordinator) handleResult(w *workerConn, f *frame) {
 		// re-lease produces the identical deterministic fields.
 		w.cur = -1
 		c.mu.Unlock()
-		c.reg.Counter("fabric.result.stale").Inc()
+		c.wl.reg.Counter("fabric.result.stale").Inc()
 		c.assign(w)
 		return
 	}
-	if cell.Err != nil && transientKind(cell.Err.Kind) && s.tries < c.cfg.MaxCellTries {
+	if c.wl.transient(val) && s.tries < c.cc.maxTries {
 		// A worker-side transient (panic, timeout, interrupt during worker
 		// shutdown) gets the same cross-worker retry budget a dead worker
 		// would: back to pending, some worker (maybe this one) re-runs it.
@@ -452,17 +650,17 @@ func (c *Coordinator) handleResult(w *workerConn, f *frame) {
 		s.worker, s.leaseID = "", 0
 		w.cur = -1
 		c.mu.Unlock()
-		c.reg.Counter("fabric.cell.requeued").Inc()
-		c.logf("fabric: cell %s requeued after transient %s on worker %s", key, cell.Err.Kind, w.id)
+		c.wl.reg.Counter("fabric.cell.requeued").Inc()
+		c.logf("fabric: cell %s requeued after transient %s on worker %s", key, c.wl.errLabel(val), w.id)
 		c.assign(w)
 		c.assignPending()
 		return
 	}
 	if f.Resumed {
-		c.reg.Counter("fabric.lease.progress_resumed").Inc()
+		c.wl.reg.Counter("fabric.lease.progress_resumed").Inc()
 		c.logf("fabric: cell %s resumed mid-kernel on worker %s", key, w.id)
 	}
-	s.cell = cell
+	s.val = val
 	seg := c.segs[w.id]
 	w.cur = -1
 	c.resolveLocked(idx)
@@ -470,14 +668,14 @@ func (c *Coordinator) handleResult(w *workerConn, f *frame) {
 
 	// Persistence outside the lease lock: the segment has its own mutex.
 	if seg != nil {
-		if err := seg.Append(key, cell); err != nil {
+		if err := c.wl.persist(seg, key, val); err != nil {
 			c.logf("fabric: segment append for worker %s: %v", w.id, err)
 		}
 	}
-	if c.cfg.Sweep.Journal != nil && deterministicOutcome(cell) {
-		_ = c.cfg.Sweep.Journal.Record(key, cell)
+	if c.wl.journal != nil && c.wl.journalable(val) {
+		c.wl.journal(key, val)
 	}
-	c.reg.Counter("fabric.results").Inc()
+	c.wl.reg.Counter("fabric.results").Inc()
 	c.assign(w)
 }
 
@@ -497,20 +695,20 @@ func deterministicOutcome(c expt.Cell) bool {
 	return c.Err.Kind == expt.CellFailed || c.Err.Kind == expt.CellBudget
 }
 
-// resolveLocked marks a slot done and completes the sweep when it was the
+// resolveLocked marks a slot done and completes the run when it was the
 // last one. Caller holds c.mu. Every resolution path funnels through here
 // — worker-delivered results, lost cells, interrupts — so this is also
-// where the sweep's OnCell stream fires (under c.mu, per the OnCell
-// contract: the callback must be fast and must not call back in).
-func (c *Coordinator) resolveLocked(idx int) {
+// where the resolve stream fires (under c.mu, per the OnCell contract: the
+// callback must be fast and must not call back in).
+func (c *coordCore) resolveLocked(idx int) {
 	s := &c.slots[idx]
 	if s.state == cellDone {
 		return
 	}
 	s.state = cellDone
 	c.open--
-	if fn := c.cfg.Sweep.OnCell; fn != nil {
-		fn(s.key, s.cell)
+	if c.wl.resolve != nil {
+		c.wl.resolve(s.unit.key, s.val)
 	}
 	if c.open == 0 {
 		close(c.done)
@@ -520,26 +718,22 @@ func (c *Coordinator) resolveLocked(idx int) {
 // reclaimLocked takes a leased cell back: requeued for another worker with
 // its progress snapshot intact, or ERR-marked once its try budget is spent.
 // Caller holds c.mu.
-func (c *Coordinator) reclaimLocked(idx int, why string) {
+func (c *coordCore) reclaimLocked(idx int, why string) {
 	s := &c.slots[idx]
 	if s.state != cellLeased {
 		return
 	}
 	holder := s.worker
 	s.worker, s.leaseID = "", 0
-	if s.tries >= c.cfg.MaxCellTries {
-		s.cell = expt.Cell{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
-			Backend: backendTag(s.spec.Backend), Attempts: s.tries,
-			Err: &expt.CellError{ISA: s.spec.ISA, Buildset: s.spec.Buildset,
-				Kind: expt.CellLost, Attempts: s.tries,
-				Err: fmt.Errorf("lease lost on %d worker(s), last on %s: %s", s.tries, holder, why)}}
+	if s.tries >= c.cc.maxTries {
+		s.val = c.wl.lost(s.unit, s.tries, holder, why)
 		c.resolveLocked(idx)
-		c.reg.Counter("fabric.cell.lost").Inc()
-		c.logf("fabric: cell %s lost after %d tries (%s)", s.key, s.tries, why)
+		c.wl.reg.Counter("fabric.cell.lost").Inc()
+		c.logf("fabric: cell %s lost after %d tries (%s)", s.unit.key, s.tries, why)
 		return
 	}
 	s.state = cellPending
-	c.logf("fabric: reclaimed cell %s from worker %s (%s)", s.key, holder, why)
+	c.logf("fabric: reclaimed cell %s from worker %s (%s)", s.unit.key, holder, why)
 }
 
 func backendTag(b expt.Backend) string {
@@ -551,8 +745,8 @@ func backendTag(b expt.Backend) string {
 
 // scanLeases expires leases whose heartbeats stopped: the hung-but-connected
 // worker case (a dead connection is reclaimed immediately by its handler).
-func (c *Coordinator) scanLeases() {
-	period := c.cfg.LeaseTTL / 4
+func (c *coordCore) scanLeases() {
+	period := c.cc.leaseTTL / 4
 	if period < time.Millisecond {
 		period = time.Millisecond
 	}
@@ -570,7 +764,7 @@ func (c *Coordinator) scanLeases() {
 		for i := range c.slots {
 			s := &c.slots[i]
 			if s.state == cellLeased && now.After(s.deadline) {
-				c.reg.Counter("fabric.lease.expired").Inc()
+				c.wl.reg.Counter("fabric.lease.expired").Inc()
 				// The holder keeps its stale cur: a worker that stopped
 				// heartbeating gets no further leases until it reports in.
 				c.reclaimLocked(i, "lease TTL expired without a heartbeat")
@@ -585,7 +779,7 @@ func (c *Coordinator) scanLeases() {
 }
 
 // assign grants the lowest-index pending cell to an idle worker.
-func (c *Coordinator) assign(w *workerConn) {
+func (c *coordCore) assign(w *workerConn) {
 	c.mu.Lock()
 	if w.gone || w.cur >= 0 {
 		c.mu.Unlock()
@@ -608,16 +802,16 @@ func (c *Coordinator) assign(w *workerConn) {
 	c.seq++
 	s.leaseID = c.seq
 	s.worker = w.id
-	s.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	s.deadline = time.Now().Add(c.cc.leaseTTL)
 	w.cur = idx
 	tries := s.tries
-	lease := &frame{Type: frameLease, LeaseID: s.leaseID, Key: s.key,
-		Spec: &s.spec, TTLMS: c.cfg.LeaseTTL.Milliseconds(), Progress: s.progress}
+	lease := &frame{Type: frameLease, LeaseID: s.leaseID, Key: s.unit.key,
+		Spec: s.unit.spec, TTLMS: c.cc.leaseTTL.Milliseconds(), Progress: s.progress}
 	c.mu.Unlock()
 
-	c.reg.Counter("fabric.lease.granted").Inc()
+	c.wl.reg.Counter("fabric.lease.granted").Inc()
 	if tries > 1 {
-		c.reg.Counter("fabric.lease.takeover").Inc()
+		c.wl.reg.Counter("fabric.lease.takeover").Inc()
 		c.logf("fabric: cell %s re-leased to worker %s (takeover, try %d)", lease.Key, w.id, tries)
 	}
 	if err := c.send(w, lease); err != nil {
@@ -626,7 +820,7 @@ func (c *Coordinator) assign(w *workerConn) {
 }
 
 // assignPending hands newly pending cells to any idle workers.
-func (c *Coordinator) assignPending() {
+func (c *coordCore) assignPending() {
 	c.mu.Lock()
 	var idle []*workerConn
 	for _, w := range c.workers {
@@ -643,7 +837,7 @@ func (c *Coordinator) assignPending() {
 
 // shutdown closes the listener, tells every worker to exit, and closes the
 // segment files.
-func (c *Coordinator) shutdown() {
+func (c *coordCore) shutdown() {
 	c.mu.Lock()
 	c.closed = true
 	workers := make([]*workerConn, 0, len(c.workers))
@@ -664,12 +858,14 @@ func (c *Coordinator) shutdown() {
 	}
 }
 
-// merge assembles the final cell slice: worker-delivered cells are re-read
-// from their CRC-framed segments (end-to-end validation of what the tables
-// are built from), locally resolved cells (journal-restored, lost,
-// interrupted) come from the slot table. A corrupt segment refuses the
-// whole merge, naming the worker and offset.
-func (c *Coordinator) merge() ([]expt.Cell, error) {
+// merge assembles the final unit-ordered values: worker-delivered results
+// are re-read from their CRC-framed segments (end-to-end validation of what
+// the output is built from), locally resolved units (journal-restored,
+// lost, interrupted) come from the slot table. A corrupt segment refuses
+// the whole merge, naming the worker and offset. Workers merge in sorted id
+// order with first delivery winning, so the result is independent of map
+// iteration.
+func (c *coordCore) merge() ([]any, error) {
 	c.mu.Lock()
 	paths := make(map[string]string, len(c.segPath))
 	for id, p := range c.segPath {
@@ -679,30 +875,39 @@ func (c *Coordinator) merge() ([]expt.Cell, error) {
 	copy(slots, c.slots)
 	c.mu.Unlock()
 
-	fromSegs, err := MergeSegments(paths, c.fp)
-	if err != nil {
-		return nil, err
+	ids := make([]string, 0, len(paths))
+	for id := range paths {
+		ids = append(ids, id)
 	}
-	cells := make([]expt.Cell, len(slots))
+	sort.Strings(ids)
+	fromSegs := map[string]any{}
+	for _, id := range ids {
+		kvs, err := c.wl.loadSeg(paths[id])
+		if err != nil {
+			return nil, &SegmentError{Worker: id, Path: paths[id], Err: err}
+		}
+		for _, kv := range kvs {
+			if _, dup := fromSegs[kv.key]; !dup {
+				fromSegs[kv.key] = kv.val
+			}
+		}
+	}
+	vals := make([]any, len(slots))
 	for i := range slots {
 		s := &slots[i]
-		if cell, ok := fromSegs[s.key]; ok {
-			cells[i] = cell
+		if v, ok := fromSegs[s.unit.key]; ok {
+			vals[i] = v
 			continue
 		}
 		if s.state != cellDone {
-			return nil, fmt.Errorf("fabric: merge: cell %s unresolved", s.key)
+			return nil, fmt.Errorf("fabric: merge: cell %s unresolved", s.unit.key)
 		}
-		cells[i] = s.cell
+		vals[i] = s.val
 	}
-	// One aggregation pass over the merged cells, exactly like the
-	// single-host engine's post-sweep recordCells: the non-fabric counter
-	// totals match a local run of the same sweep.
-	expt.RecordCells(c.reg, cells)
-	return cells, nil
+	return vals, nil
 }
 
-// MergeSegments loads every per-worker segment (worker id → path) and
+// MergeSegments loads every per-worker sweep segment (worker id → path) and
 // returns the union of their cells by key. Damage semantics match resume:
 // a torn final record in a segment is dropped; mid-file corruption or a
 // fingerprint mismatch refuses the merge with a *SegmentError naming the
@@ -730,17 +935,17 @@ func MergeSegments(paths map[string]string, fingerprint string) (map[string]expt
 	return out, nil
 }
 
-// Snapshot exports the fleet and lease state for the run manifest. Taken
-// after Wait returns, every lease reads "done" (or the terminal state of a
-// lost/interrupted cell) — the snapshot documents how the sweep resolved,
+// snapshot exports the fleet and lease state for the run manifest. Taken
+// after wait returns, every lease reads "done" (or the terminal state of a
+// lost/interrupted cell) — the snapshot documents how the run resolved,
 // not a mid-flight racing view.
-func (c *Coordinator) Snapshot() *obs.FabricSnapshot {
+func (c *coordCore) snapshot() *obs.FabricSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fs := &obs.FabricSnapshot{
-		Fingerprint: c.fp,
-		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
-		MaxTries:    c.cfg.MaxCellTries,
+		Fingerprint: c.wl.fp,
+		LeaseTTLMS:  c.cc.leaseTTL.Milliseconds(),
+		MaxTries:    c.cc.maxTries,
 	}
 	for id := range c.seen {
 		fs.Workers = append(fs.Workers, id)
@@ -756,7 +961,7 @@ func (c *Coordinator) Snapshot() *obs.FabricSnapshot {
 			state = "done"
 		}
 		fs.Leases = append(fs.Leases, obs.LeaseOutcome{
-			Key: s.key, State: state, Tries: s.tries, Worker: s.worker,
+			Key: s.unit.key, State: state, Tries: s.tries, Worker: s.worker,
 		})
 	}
 	return fs

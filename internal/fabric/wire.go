@@ -93,10 +93,13 @@ const (
 type frame struct {
 	Type string `json:"type"`
 
-	// hello
+	// hello. Kind names the work kind the worker serves ("sweep",
+	// "campaign"); empty means "sweep" (pre-campaign workers never sent
+	// one). A kind mismatch is refused like a fingerprint mismatch.
 	Proto       int    `json:"proto,omitempty"`
 	Worker      string `json:"worker,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	Kind        string `json:"kind,omitempty"`
 
 	// welcome / refuse
 	RunID  string `json:"run_id,omitempty"`

@@ -13,7 +13,7 @@ import (
 	"singlespec/internal/obs"
 )
 
-// WorkerConfig configures a fabric worker.
+// WorkerConfig configures a fabric sweep worker.
 type WorkerConfig struct {
 	// Addr is the coordinator's address.
 	Addr string
@@ -63,42 +63,116 @@ const DefaultMaxReconnects = 8
 // ErrWorkerKilled reports a test-injected worker crash.
 var ErrWorkerKilled = errors.New("fabric: worker killed (test injection)")
 
-// worker is the run state of one RunWorker call.
-type worker struct {
-	cfg WorkerConfig
-	fp  string
-	reg *obs.Registry
-	// mixes caches built kernel mixes per ISA; a worker measures one cell
-	// at a time, so access is single-goroutine.
-	mixes map[string]*expt.Programs
+// workerCore runs the kind-independent half of a fabric worker: the
+// reconnect loop, hello/welcome handshake, lease serving, and heartbeat
+// shipping. What a lease *means* is the measure closure's business.
+type workerCore struct {
+	addr, id string
+	// kind and fp are presented at hello; the coordinator's membership
+	// guard refuses a worker of the wrong kind or fingerprint.
+	kind, fp      string
+	reg           *obs.Registry
+	reconnectBase time.Duration
+	maxReconnects int
+	retrySeed     uint64
+	log           func(format string, args ...any)
+	// measure computes one leased unit, committing progress snapshots
+	// through sink, and returns the encoded result payload. An error is a
+	// protocol-level failure (drops the session); unit-level failures
+	// belong inside the payload.
+	measure func(key string, spec *expt.JobSpec, resume []byte, sink func([]byte, uint64)) (payload []byte, resumed bool, err error)
+
+	testOnProgress     func(key string, gen uint64)
+	testKill           <-chan struct{}
+	testNoBeat         bool
+	testBeatOnProgress bool
+
 	// wmu serializes connection writes (heartbeats race with results).
 	wmu sync.Mutex
 }
 
-// RunWorker joins the fabric at cfg.Addr and serves leases until the
-// coordinator sends shutdown (returns nil), the coordinator refuses the
+// RunWorker joins the fabric at cfg.Addr and serves sweep-cell leases until
+// the coordinator sends shutdown (returns nil), the coordinator refuses the
 // worker (*RefusedError — terminal, the worker belongs to a different run),
 // or the reconnect budget is spent. Connection loss mid-sweep is survived:
 // the worker reconnects with exponential seeded-jitter backoff and resumes
 // serving leases under the same id.
 func RunWorker(cfg WorkerConfig) error {
-	if cfg.ID == "" {
+	// mixes caches built kernel mixes per ISA; a worker measures one cell
+	// at a time, so access is single-goroutine.
+	mixes := map[string]*expt.Programs{}
+	mix := func(name string) (*expt.Programs, error) {
+		if p := mixes[name]; p != nil {
+			return p, nil
+		}
+		i, err := isa.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := expt.BuildMix(i, cfg.Sweep.Scale)
+		if err != nil {
+			return nil, err
+		}
+		mixes[name] = p
+		return p, nil
+	}
+	core := &workerCore{
+		addr: cfg.Addr, id: cfg.ID,
+		kind: "sweep", fp: Fingerprint(cfg.Sweep),
+		reg:           cfg.Sweep.Obs,
+		reconnectBase: cfg.ReconnectBase, maxReconnects: cfg.MaxReconnects,
+		retrySeed: cfg.Sweep.RetrySeed, log: cfg.Log,
+		testOnProgress: cfg.testOnProgress, testKill: cfg.testKill,
+		testNoBeat: cfg.testNoBeat, testBeatOnProgress: cfg.testBeatOnProgress,
+	}
+	core.measure = func(key string, spec *expt.JobSpec, resume []byte, sink func([]byte, uint64)) ([]byte, bool, error) {
+		if spec == nil {
+			return nil, false, perr("sweep lease %s carries no job spec", key)
+		}
+		cell, resumed := measureSweepCell(cfg, mix, *spec, resume, sink)
+		payload, err := expt.EncodeCellWire(key, cell)
+		if err != nil {
+			return nil, false, fmt.Errorf("fabric: encoding result for %s: %w", key, err)
+		}
+		return payload, resumed, nil
+	}
+	return core.run()
+}
+
+// measureSweepCell runs one cell through the shared measurement engine.
+// Mix-building failures become failed cells (deterministic: the coordinator
+// will not retry them elsewhere, where they would fail identically).
+func measureSweepCell(cfg WorkerConfig, mix func(string) (*expt.Programs, error),
+	spec expt.JobSpec, resume []byte, sink expt.ProgressSink) (expt.Cell, bool) {
+	progs, err := mix(spec.ISA)
+	if err != nil {
+		return expt.Cell{ISA: spec.ISA, Buildset: spec.Buildset,
+			Backend: backendTag(spec.Backend), Attempts: 1,
+			Err: &expt.CellError{ISA: spec.ISA, Buildset: spec.Buildset,
+				Kind: expt.CellFailed, Err: err, Attempts: 1}}, false
+	}
+	sw := cfg.Sweep
+	sw.Journal = nil // durability is the coordinator's job
+	return expt.MeasureSpec(progs, spec, sw, resume, sink)
+}
+
+// run is the reconnect loop shared by every worker kind.
+func (w *workerCore) run() error {
+	if w.id == "" {
 		host, _ := os.Hostname()
-		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+		w.id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	if cfg.ReconnectBase <= 0 {
-		cfg.ReconnectBase = DefaultReconnectBase
+	if w.reconnectBase <= 0 {
+		w.reconnectBase = DefaultReconnectBase
 	}
-	if cfg.MaxReconnects <= 0 {
-		cfg.MaxReconnects = DefaultMaxReconnects
+	if w.maxReconnects <= 0 {
+		w.maxReconnects = DefaultMaxReconnects
 	}
-	w := &worker{cfg: cfg, fp: Fingerprint(cfg.Sweep), reg: cfg.Sweep.Obs,
-		mixes: map[string]*expt.Programs{}}
 
 	attempt := 0
 	var lastErr error
 	for {
-		conn, err := net.Dial("tcp", cfg.Addr)
+		conn, err := net.Dial("tcp", w.addr)
 		if err == nil {
 			done, joined, serr := w.session(conn)
 			conn.Close()
@@ -111,34 +185,34 @@ func RunWorker(cfg WorkerConfig) error {
 			}
 			if joined {
 				// A session that actually joined resets the reconnect budget:
-				// the bound is on consecutive failures, not sweep length.
+				// the bound is on consecutive failures, not run length.
 				attempt = 0
 			}
 			err = serr
 		}
 		lastErr = err
 		attempt++
-		if attempt > cfg.MaxReconnects {
+		if attempt > w.maxReconnects {
 			return fmt.Errorf("fabric: worker %s: giving up after %d reconnect attempts: %w",
-				cfg.ID, cfg.MaxReconnects, lastErr)
+				w.id, w.maxReconnects, lastErr)
 		}
-		d := expt.RetryDelay(cfg.Sweep.RetrySeed, "fabric.reconnect/"+cfg.ID, attempt, cfg.ReconnectBase)
+		d := expt.RetryDelay(w.retrySeed, "fabric.reconnect/"+w.id, attempt, w.reconnectBase)
 		w.reg.Counter("fabric.reconnect.backoffs").Inc()
 		w.logf("fabric: worker %s: connection lost (%v); reconnect %d/%d in %v",
-			cfg.ID, lastErr, attempt, cfg.MaxReconnects, d)
+			w.id, lastErr, attempt, w.maxReconnects, d)
 		time.Sleep(d)
 	}
 }
 
-func (w *worker) logf(format string, args ...any) {
-	if w.cfg.Log != nil {
-		w.cfg.Log(format, args...)
+func (w *workerCore) logf(format string, args ...any) {
+	if w.log != nil {
+		w.log(format, args...)
 	}
 }
 
 // send writes one frame, serialized across the heartbeat goroutine and the
 // session loop.
-func (w *worker) send(conn net.Conn, f *frame) error {
+func (w *workerCore) send(conn net.Conn, f *frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	return writeFrame(conn, f)
@@ -147,8 +221,9 @@ func (w *worker) send(conn net.Conn, f *frame) error {
 // session runs one connection: hello/welcome, then serve leases until
 // shutdown (done=true), connection loss, or refusal. joined reports whether
 // the coordinator accepted the hello.
-func (w *worker) session(conn net.Conn) (done, joined bool, err error) {
-	hello := &frame{Type: frameHello, Proto: ProtoVersion, Worker: w.cfg.ID, Fingerprint: w.fp}
+func (w *workerCore) session(conn net.Conn) (done, joined bool, err error) {
+	hello := &frame{Type: frameHello, Proto: ProtoVersion, Worker: w.id,
+		Fingerprint: w.fp, Kind: w.kind}
 	if err := w.send(conn, hello); err != nil {
 		return false, false, err
 	}
@@ -163,7 +238,7 @@ func (w *worker) session(conn net.Conn) (done, joined bool, err error) {
 	default:
 		return false, false, perr("expected welcome or refuse, got %q", f.Type)
 	}
-	w.logf("fabric: worker %s joined run %s", w.cfg.ID, f.RunID)
+	w.logf("fabric: worker %s joined run %s", w.id, f.RunID)
 
 	for {
 		f, err := readFrame(conn)
@@ -176,7 +251,7 @@ func (w *worker) session(conn net.Conn) (done, joined bool, err error) {
 				return false, true, err
 			}
 		case frameShutdown:
-			w.logf("fabric: worker %s: sweep complete, shutting down", w.cfg.ID)
+			w.logf("fabric: worker %s: run complete, shutting down", w.id)
 			return true, true, nil
 		default:
 			// Ignore unknown frame types (forward compatibility).
@@ -184,21 +259,18 @@ func (w *worker) session(conn net.Conn) (done, joined bool, err error) {
 	}
 }
 
-// measured carries one finished measurement out of its goroutine.
-type measured struct {
-	cell    expt.Cell
+// leaseOutcome carries one finished measurement out of its goroutine.
+type leaseOutcome struct {
+	payload []byte
 	resumed bool
+	err     error
 }
 
 // serveLease measures one leased cell, heartbeating while it runs, and
 // delivers the result. A takeover lease arrives with the previous holder's
-// progress snapshot; MeasureSpec resumes from it mid-kernel (or from
+// progress snapshot; the measurement resumes from it mid-cell (or from
 // scratch if the snapshot is damaged — never half-applied).
-func (w *worker) serveLease(conn net.Conn, lease *frame) error {
-	if lease.Spec == nil {
-		return perr("lease %d carries no job spec", lease.LeaseID)
-	}
-	spec := *lease.Spec
+func (w *workerCore) serveLease(conn net.Conn, lease *frame) error {
 	ttl := time.Duration(lease.TTLMS) * time.Millisecond
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
@@ -206,7 +278,7 @@ func (w *worker) serveLease(conn net.Conn, lease *frame) error {
 	w.reg.Counter("fabric.worker.leases").Inc()
 	if len(lease.Progress) > 0 {
 		w.logf("fabric: worker %s: lease %s (takeover, %d-byte snapshot)",
-			w.cfg.ID, lease.Key, len(lease.Progress))
+			w.id, lease.Key, len(lease.Progress))
 	}
 
 	// Shared progress state between the measurement (producer) and the
@@ -220,18 +292,18 @@ func (w *worker) serveLease(conn net.Conn, lease *frame) error {
 		gen++
 		g := gen
 		pmu.Unlock()
-		if w.cfg.testBeatOnProgress {
+		if w.testBeatOnProgress {
 			_ = w.send(conn, &frame{Type: frameBeat, LeaseID: lease.LeaseID,
 				Key: lease.Key, Instret: ir, Gen: g, Progress: b})
 		}
-		if w.cfg.testOnProgress != nil {
-			w.cfg.testOnProgress(lease.Key, g)
+		if w.testOnProgress != nil {
+			w.testOnProgress(lease.Key, g)
 		}
 	}
 
 	stopBeat := make(chan struct{})
 	var beatWG sync.WaitGroup
-	if !w.cfg.testNoBeat {
+	if !w.testNoBeat {
 		beatWG.Add(1)
 		go func() {
 			defer beatWG.Done()
@@ -265,65 +337,30 @@ func (w *worker) serveLease(conn net.Conn, lease *frame) error {
 		}()
 	}
 
-	resCh := make(chan measured, 1)
+	resCh := make(chan leaseOutcome, 1)
 	go func() {
-		cell, resumed := w.measure(spec, lease.Progress, sink)
-		resCh <- measured{cell: cell, resumed: resumed}
+		payload, resumed, err := w.measure(lease.Key, lease.Spec, lease.Progress, sink)
+		resCh <- leaseOutcome{payload: payload, resumed: resumed, err: err}
 	}()
 
 	select {
 	case m := <-resCh:
 		close(stopBeat)
 		beatWG.Wait()
-		payload, err := expt.EncodeCellWire(lease.Key, m.cell)
-		if err != nil {
-			return fmt.Errorf("fabric: encoding result for %s: %w", lease.Key, err)
+		if m.err != nil {
+			return m.err
 		}
 		if err := w.send(conn, &frame{Type: frameResult, LeaseID: lease.LeaseID,
-			Key: lease.Key, Cell: payload, Resumed: m.resumed}); err != nil {
+			Key: lease.Key, Cell: m.payload, Resumed: m.resumed}); err != nil {
 			return err
 		}
 		w.reg.Counter("fabric.worker.results").Inc()
 		return nil
-	case <-w.cfg.testKill:
+	case <-w.testKill:
 		// Simulated crash: drop the connection with the lease unresolved.
 		// The measurement goroutine drains into the buffered channel.
 		close(stopBeat)
 		conn.Close()
 		return ErrWorkerKilled
 	}
-}
-
-// measure runs one cell through the shared measurement engine. Mix-building
-// failures become failed cells (deterministic: the coordinator will not
-// retry them elsewhere, where they would fail identically).
-func (w *worker) measure(spec expt.JobSpec, resume []byte, sink expt.ProgressSink) (expt.Cell, bool) {
-	progs, err := w.mix(spec.ISA)
-	if err != nil {
-		return expt.Cell{ISA: spec.ISA, Buildset: spec.Buildset,
-			Backend: backendTag(spec.Backend), Attempts: 1,
-			Err: &expt.CellError{ISA: spec.ISA, Buildset: spec.Buildset,
-				Kind: expt.CellFailed, Err: err, Attempts: 1}}, false
-	}
-	cfg := w.cfg.Sweep
-	cfg.Journal = nil // durability is the coordinator's job
-	return expt.MeasureSpec(progs, spec, cfg, resume, sink)
-}
-
-// mix returns the worker's cached kernel mix for an ISA, building it on
-// first use.
-func (w *worker) mix(name string) (*expt.Programs, error) {
-	if p := w.mixes[name]; p != nil {
-		return p, nil
-	}
-	i, err := isa.Load(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := expt.BuildMix(i, w.cfg.Sweep.Scale)
-	if err != nil {
-		return nil, err
-	}
-	w.mixes[name] = p
-	return p, nil
 }

@@ -1,9 +1,12 @@
 package faultinj
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 
 	"singlespec/internal/asm"
@@ -97,31 +100,58 @@ type Result struct {
 // OK reports whether the cell completed with recovery fully transparent.
 func (r Result) OK() bool { return r.Err == nil && r.Divergence == nil }
 
-func (r Result) key() string {
+// Key returns the cell's stable identity ("ISA/class/kernel") — the same
+// namespace CellSpec.Key uses, so campaign journals, fabric leases, and
+// report rows all name a cell identically.
+func (r Result) Key() string {
 	return fmt.Sprintf("%s/%s/%s", r.ISA, r.Class, r.Kernel)
 }
 
-// cellSpec identifies one cell before it runs.
-type cellSpec struct {
-	isaName string
-	kernel  string
-	class   Class
+// CellSpec identifies one campaign cell before it runs: the unit of work a
+// fabric coordinator leases and MeasureCampaignCell measures. Like
+// expt.JobSpec for sweep cells, its Key is a compatibility contract: it
+// names cells in campaign journals, segment files, and wire frames.
+type CellSpec struct {
+	ISA    string `json:"isa"`
+	Kernel string `json:"kernel"`
+	Class  Class  `json:"class"`
 }
 
-// cellList expands a config into its deterministic cell order: class-major,
-// then ISA, then kernel.
-func cellList(cfg Config) []cellSpec {
-	var out []cellSpec
+// Key returns the spec's stable identity ("ISA/class/kernel").
+func (s CellSpec) Key() string {
+	return fmt.Sprintf("%s/%s/%s", s.ISA, s.Class, s.Kernel)
+}
+
+// ParseCellKey inverts CellSpec.Key. Campaign leases are key-addressed on
+// the fabric wire, so a worker rebuilds the spec from the key alone.
+func ParseCellKey(key string) (CellSpec, error) {
+	parts := strings.Split(key, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return CellSpec{}, fmt.Errorf("faultinj: malformed cell key %q (want ISA/class/kernel)", key)
+	}
+	cl, ok := classByName(parts[1])
+	if !ok {
+		return CellSpec{}, fmt.Errorf("faultinj: cell key %q names unknown class %q", key, parts[1])
+	}
+	return CellSpec{ISA: parts[0], Kernel: parts[2], Class: cl}, nil
+}
+
+// CampaignCells expands a config into its deterministic cell order:
+// class-major, then ISA, then kernel. This is the list a campaign runs and
+// a fabric coordinator leases; the report's rows follow it exactly.
+func CampaignCells(cfg Config) []CellSpec {
+	cfg = cfg.withDefaults()
+	var out []CellSpec
 	for _, cl := range cfg.Classes {
 		if cl == ClassSyscall {
 			// The syscall class needs a program written to retry; it ships
 			// its own (alpha64), independent of the kernel list.
-			out = append(out, cellSpec{isaName: "alpha64", kernel: "sysretry", class: cl})
+			out = append(out, CellSpec{ISA: "alpha64", Kernel: "sysretry", Class: cl})
 			continue
 		}
 		for _, isaName := range cfg.ISAs {
 			for _, k := range cfg.Kernels {
-				out = append(out, cellSpec{isaName: isaName, kernel: k, class: cl})
+				out = append(out, CellSpec{ISA: isaName, Kernel: k, Class: cl})
 			}
 		}
 	}
@@ -141,7 +171,7 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("faultinj: unknown kernel %q", k)
 		}
 	}
-	specs := cellList(cfg)
+	specs := CampaignCells(cfg)
 	results := make([]Result, len(specs))
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -157,7 +187,7 @@ func Run(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range idxCh {
-				results[idx] = runCell(specs[idx], cfg, injectOpts{})
+				results[idx] = runCell(specs[idx], cfg, injectOpts{}, 0, nil)
 			}
 		}()
 	}
@@ -167,29 +197,110 @@ func Run(cfg Config) (*Report, error) {
 	close(idxCh)
 	wg.Wait()
 	rep := &Report{Seed: cfg.Seed, Results: results}
-	rep.record(cfg.Obs)
+	rep.Record(cfg.Obs)
 	return rep, nil
 }
 
+// ProgressSink receives campaign-cell progress snapshots: an opaque blob a
+// later MeasureCampaignCell call can resume from, plus the clean run's
+// retirement count for liveness display. Mirrors expt.ProgressSink so
+// fabric heartbeats can ship campaign progress unchanged.
+type ProgressSink func(snapshot []byte, instret uint64)
+
+// MeasureCampaignCell runs one campaign cell, optionally resuming from a
+// progress snapshot a previous attempt shipped through its sink. It is the
+// campaign analogue of expt.MeasureSpec: the unit of work a fabric worker
+// executes under lease.
+//
+// Only the clean reference pass is resumable — for the load/fetch/squash
+// classes the clean run exists solely to fix the schedule space (total
+// retirements) and never consumes the cell's RNG stream, so skipping it on
+// resume is byte-identical. The codegen class needs the clean run's end
+// state as its differential reference and the syscall class has no clean
+// pass, so those classes ignore resume data and ship no snapshots. A
+// damaged or mismatched snapshot is dropped (counted on reg as
+// "faultinj.snapshot_dropped") and the cell restarts from scratch — resume
+// is an optimization, never a correctness risk.
+//
+// The bool result reports whether the cell actually resumed mid-cell.
+func MeasureCampaignCell(spec CellSpec, cfg Config, resume []byte, sink ProgressSink, reg *obs.Registry) (Result, bool) {
+	cfg = cfg.withDefaults()
+	refInstret := uint64(0)
+	resumed := false
+	if len(resume) > 0 && spec.Class.cleanSkippable() {
+		if n, err := decodeCampaignProgress(resume); err == nil {
+			refInstret = n
+			resumed = true
+		} else {
+			reg.Counter("faultinj.snapshot_dropped").Inc()
+		}
+	}
+	return runCell(spec, cfg, injectOpts{}, refInstret, sink), resumed
+}
+
+// cleanSkippable reports whether a class's clean pass only feeds the
+// schedule space and can be skipped when resuming from a snapshot.
+func (c Class) cleanSkippable() bool {
+	switch c {
+	case ClassLoad, ClassFetch, ClassSquash:
+		return true
+	}
+	return false
+}
+
+// campaignProgress is the wire form of a campaign-cell progress snapshot.
+// Like expt's progressWire it is versioned by shape: decode validates every
+// field and rejects anything it does not recognise.
+type campaignProgress struct {
+	Phase      string `json:"phase"`
+	RefInstret uint64 `json:"ref_instret"`
+}
+
+const campaignPhaseCleanDone = "clean_done"
+
+func encodeCampaignProgress(refInstret uint64) []byte {
+	b, _ := json.Marshal(campaignProgress{Phase: campaignPhaseCleanDone, RefInstret: refInstret})
+	return b
+}
+
+func decodeCampaignProgress(data []byte) (uint64, error) {
+	var p campaignProgress
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return 0, fmt.Errorf("faultinj: decode progress: %w", err)
+	}
+	if p.Phase != campaignPhaseCleanDone {
+		return 0, fmt.Errorf("faultinj: progress phase %q not recognised", p.Phase)
+	}
+	if p.RefInstret == 0 {
+		return 0, fmt.Errorf("faultinj: progress with zero ref_instret")
+	}
+	return p.RefInstret, nil
+}
+
 // runCell executes one cell under a recover barrier: a panicking cell is
-// reported in its Result and never takes down the campaign.
-func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
-	res = Result{ISA: cs.isaName, Kernel: cs.kernel, Class: cs.class, Buildset: cs.class.buildset()}
+// reported in its Result and never takes down the campaign. When
+// refInstret is nonzero and the class's clean pass is skippable, the clean
+// run is elided and the schedule space taken from the snapshot; when sink
+// is non-nil, a snapshot is shipped once the clean pass completes.
+func runCell(cs CellSpec, cfg Config, opts injectOpts, refInstret uint64, sink ProgressSink) (res Result) {
+	res = Result{ISA: cs.ISA, Kernel: cs.Kernel, Class: cs.Class, Buildset: cs.Class.buildset()}
 	defer func() {
 		if r := recover(); r != nil {
-			res.Err = fmt.Errorf("faultinj: cell %s panicked: %v\n%s", res.key(), r, debug.Stack())
+			res.Err = fmt.Errorf("faultinj: cell %s panicked: %v\n%s", res.Key(), r, debug.Stack())
 		}
 	}()
 	// The per-cell stream depends on the campaign seed and the cell's
 	// identity, never on scheduling order.
-	rng := NewRNG(SplitMix64(cfg.Seed^hashKey(res.key())), hashKey(res.key()))
-	i, err := isa.Load(cs.isaName)
+	rng := NewRNG(SplitMix64(cfg.Seed^hashKey(res.Key())), hashKey(res.Key()))
+	i, err := isa.Load(cs.ISA)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	var prog *asm.Program
-	if cs.class == ClassSyscall {
+	if cs.Class == ClassSyscall {
 		a, err := asm.New(i)
 		if err != nil {
 			res.Err = err
@@ -200,9 +311,9 @@ func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
 			return res
 		}
 	} else {
-		k := kernels.ByName(cs.kernel)
+		k := kernels.ByName(cs.Kernel)
 		if k == nil {
-			res.Err = fmt.Errorf("faultinj: unknown kernel %q", cs.kernel)
+			res.Err = fmt.Errorf("faultinj: unknown kernel %q", cs.Kernel)
 			return res
 		}
 		if prog, err = kernels.BuildProgram(i, k.Build(k.DefaultN)); err != nil {
@@ -216,7 +327,7 @@ func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
 		return res
 	}
 
-	if cs.class == ClassSyscall {
+	if cs.Class == ClassSyscall {
 		got, ref := newRun(i, prog, sim), newRun(i, prog, sim)
 		res.Planned = cfg.Events
 		res.Injected, res.Recovered, res.Divergence, res.Err =
@@ -225,19 +336,29 @@ func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
 		return res
 	}
 
-	// Pass 1: a clean run fixes the schedule space (total retirements).
-	clean := newRun(i, prog, sim)
-	if err := clean.runAll(cfg.MaxInstr); err != nil {
-		res.Err = fmt.Errorf("faultinj: clean run: %w", err)
-		return res
+	// Pass 1: a clean run fixes the schedule space (total retirements). It
+	// never touches the cell's RNG stream, so a resumed cell that skips it
+	// produces the identical fault schedule.
+	var clean *runState
+	if refInstret > 0 && cs.Class.cleanSkippable() {
+		res.RefInstret = refInstret
+	} else {
+		clean = newRun(i, prog, sim)
+		if err := clean.runAll(cfg.MaxInstr); err != nil {
+			res.Err = fmt.Errorf("faultinj: clean run: %w", err)
+			return res
+		}
+		res.RefInstret = clean.m.Instret
+		if sink != nil && cs.Class.cleanSkippable() {
+			sink(encodeCampaignProgress(res.RefInstret), res.RefInstret)
+		}
 	}
-	res.RefInstret = clean.m.Instret
-	events := pickEvents(rng, clean.m.Instret, cfg.Events)
+	events := pickEvents(rng, res.RefInstret, cfg.Events)
 	res.Planned = len(events)
 
 	// Pass 2: the faulted run, checked differentially against a reference.
 	got := newRun(i, prog, sim)
-	switch cs.class {
+	switch cs.Class {
 	case ClassLoad:
 		ref := newRun(i, prog, sim)
 		res.Injected, res.Recovered, res.Divergence, res.Err =
@@ -257,7 +378,7 @@ func runCell(cs cellSpec, cfg Config, opts injectOpts) (res Result) {
 		res.Recovered = res.Injected
 		res.ChainFollows = got.x.Stats().BlockChainFollows
 	default:
-		res.Err = fmt.Errorf("faultinj: unhandled class %v", cs.class)
+		res.Err = fmt.Errorf("faultinj: unhandled class %v", cs.Class)
 	}
 	return res
 }

@@ -71,25 +71,47 @@ func (c Class) buildset() string {
 	}
 }
 
+// classByName maps a class's String form back to the class.
+func classByName(s string) (Class, bool) {
+	for _, c := range AllClasses() {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// DuplicateClassError reports a class named more than once in a
+// ParseClasses list. Duplicates would silently inflate the planned-cell
+// count and double-count the per-class outcome counters, so they are a
+// configuration error, not a request for extra work.
+type DuplicateClassError struct {
+	Class Class
+}
+
+func (e *DuplicateClassError) Error() string {
+	return fmt.Sprintf("faultinj: fault class %q listed more than once", e.Class)
+}
+
 // ParseClasses parses a comma-separated class list ("load,fetch") or "all".
+// A class named twice is rejected with a *DuplicateClassError.
 func ParseClasses(s string) ([]Class, error) {
 	if s == "" || s == "all" {
 		return AllClasses(), nil
 	}
 	var out []Class
+	seen := make(map[Class]bool)
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
-		found := false
-		for _, c := range AllClasses() {
-			if c.String() == part {
-				out = append(out, c)
-				found = true
-				break
-			}
-		}
-		if !found {
+		c, ok := classByName(part)
+		if !ok {
 			return nil, fmt.Errorf("faultinj: unknown fault class %q (want load, fetch, squash, syscall, codegen, or all)", part)
 		}
+		if seen[c] {
+			return nil, &DuplicateClassError{Class: c}
+		}
+		seen[c] = true
+		out = append(out, c)
 	}
 	return out, nil
 }

@@ -26,15 +26,15 @@ func TestCampaignAllClassesRecover(t *testing.T) {
 	perClass := map[Class]int{}
 	for _, res := range rep.Results {
 		if res.Err != nil {
-			t.Errorf("cell %s errored: %v", res.key(), res.Err)
+			t.Errorf("cell %s errored: %v", res.Key(), res.Err)
 			continue
 		}
 		if res.Divergence != nil {
-			t.Errorf("cell %s diverged: %v", res.key(), res.Divergence)
+			t.Errorf("cell %s diverged: %v", res.Key(), res.Divergence)
 			continue
 		}
 		if res.Recovered != res.Injected {
-			t.Errorf("cell %s: injected %d but recovered %d", res.key(), res.Injected, res.Recovered)
+			t.Errorf("cell %s: injected %d but recovered %d", res.Key(), res.Injected, res.Recovered)
 		}
 		perClass[res.Class] += res.Injected
 	}
@@ -91,7 +91,7 @@ func TestDifferentSeedsDifferentSchedules(t *testing.T) {
 // as a cell error).
 func TestFetchInjectionForcesFaultPath(t *testing.T) {
 	cfg := quickCfg(11).withDefaults()
-	res := runCell(cellSpec{isaName: "alpha64", kernel: "crc32", class: ClassFetch}, cfg, injectOpts{})
+	res := runCell(CellSpec{ISA: "alpha64", Kernel: "crc32", Class: ClassFetch}, cfg, injectOpts{}, 0, nil)
 	if res.Err != nil {
 		t.Fatalf("fetch cell errored: %v", res.Err)
 	}
@@ -111,8 +111,8 @@ func TestFetchInjectionForcesFaultPath(t *testing.T) {
 // differential checker to notice.
 func TestLoadDivergenceDetected(t *testing.T) {
 	cfg := quickCfg(5).withDefaults()
-	res := runCell(cellSpec{isaName: "alpha64", kernel: "crc32", class: ClassLoad}, cfg,
-		injectOpts{skipRecovery: true})
+	res := runCell(CellSpec{ISA: "alpha64", Kernel: "crc32", Class: ClassLoad}, cfg,
+		injectOpts{skipRecovery: true}, 0, nil)
 	if res.Err != nil {
 		t.Fatalf("cell errored instead of diverging: %v", res.Err)
 	}
@@ -128,8 +128,8 @@ func TestLoadDivergenceDetected(t *testing.T) {
 // the run dies on it, and the checker must report the early halt.
 func TestFetchDivergenceDetected(t *testing.T) {
 	cfg := quickCfg(5).withDefaults()
-	res := runCell(cellSpec{isaName: "alpha64", kernel: "crc32", class: ClassFetch}, cfg,
-		injectOpts{skipRecovery: true})
+	res := runCell(CellSpec{ISA: "alpha64", Kernel: "crc32", Class: ClassFetch}, cfg,
+		injectOpts{skipRecovery: true}, 0, nil)
 	if res.Err != nil {
 		t.Fatalf("cell errored instead of diverging: %v", res.Err)
 	}
@@ -145,8 +145,8 @@ func TestFetchDivergenceDetected(t *testing.T) {
 // PC/Instret restore — the half-finished squash must be caught immediately.
 func TestSquashDivergenceDetected(t *testing.T) {
 	cfg := quickCfg(5).withDefaults()
-	res := runCell(cellSpec{isaName: "alpha64", kernel: "crc32", class: ClassSquash}, cfg,
-		injectOpts{skipRestore: true})
+	res := runCell(CellSpec{ISA: "alpha64", Kernel: "crc32", Class: ClassSquash}, cfg,
+		injectOpts{skipRestore: true}, 0, nil)
 	if res.Err != nil {
 		t.Fatalf("cell errored instead of diverging: %v", res.Err)
 	}
@@ -192,7 +192,7 @@ func TestCampaignContainsPanickingCell(t *testing.T) {
 	// ...while a panic inside a cell is contained (drive runCell directly
 	// with a spec that makes program construction blow up downstream).
 	cfg := quickCfg(3).withDefaults()
-	res := runCell(cellSpec{isaName: "alpha64", kernel: "no_such_kernel", class: ClassLoad}, cfg, injectOpts{})
+	res := runCell(CellSpec{ISA: "alpha64", Kernel: "no_such_kernel", Class: ClassLoad}, cfg, injectOpts{}, 0, nil)
 	if res.Err == nil {
 		t.Fatal("bad cell reported no error")
 	}
@@ -296,7 +296,7 @@ func TestCodeGenCampaignExercisesChaining(t *testing.T) {
 	var follows uint64
 	for _, res := range rep.Results {
 		if res.Err != nil || res.Divergence != nil {
-			t.Errorf("cell %s failed: err=%v div=%v", res.key(), res.Err, res.Divergence)
+			t.Errorf("cell %s failed: err=%v div=%v", res.Key(), res.Err, res.Divergence)
 		}
 		follows += res.ChainFollows
 	}

@@ -27,10 +27,12 @@ func (r *Report) Failures() []Result {
 	return out
 }
 
-// record merges the campaign's outcome counters into reg, one counter
+// Record merges the campaign's outcome counters into reg, one counter
 // family per fault class. Results are deterministic per seed, so the
 // counters inherit the report's byte-identity across worker counts.
-func (r *Report) record(reg *obs.Registry) {
+// Exported so fabric coordinators and the service daemon can mirror Run's
+// counter semantics when they assemble a Report from merged cells.
+func (r *Report) Record(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
@@ -106,7 +108,7 @@ func (r *Report) String() string {
 		r.Seed, len(r.Results), injected, recovered, len(failures))
 	b.WriteString(r.Table().String())
 	for _, res := range failures {
-		fmt.Fprintf(&b, "\nFAIL %s (%s):\n", res.key(), res.Buildset)
+		fmt.Fprintf(&b, "\nFAIL %s (%s):\n", res.Key(), res.Buildset)
 		if res.Divergence != nil {
 			fmt.Fprintf(&b, "  %s\n", res.Divergence)
 		}

@@ -1,0 +1,214 @@
+package serve
+
+// Fault-campaign jobs: the daemon runs a deterministic faultinj campaign
+// under the same durability contract as sweeps — every resolved cell is
+// journaled through the faultinj wire codec, an evicted or SIGKILLed
+// daemon resumes the campaign without recomputing finished cells, and the
+// rendered report is byte-identical to a single-host `ssbench -faults` of
+// the same configuration. With FabricListen set the job becomes a
+// campaign-fabric coordinator: cells are leased to `ssbench -faults -join`
+// workers with TTL/heartbeat/takeover guarantees, and the daemon's journal
+// makes the distributed campaign durable too.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"singlespec/internal/checkpoint"
+	"singlespec/internal/expt"
+	"singlespec/internal/fabric"
+	"singlespec/internal/faultinj"
+	"singlespec/internal/obs"
+)
+
+// campaignCellMetaKey tags the checkpoint ring's mid-cell snapshot with
+// the cell it belongs to, so a resumed campaign never applies one cell's
+// clean-pass progress to another.
+const campaignCellMetaKey = "serve.campaign.cell"
+
+// campaignDurable mirrors the fabric's journaling rule: only outcomes a
+// rerun reproduces identically (ok, diverged, error) are durable;
+// interrupted and lost cells are recomputed by the next attempt.
+func campaignDurable(res faultinj.Result) bool {
+	switch faultinj.ResultStatus(res) {
+	case "ok", "diverged", "error":
+		return true
+	}
+	return false
+}
+
+// emitCampaignCell streams one resolved campaign cell.
+func (j *Job) emitCampaignCell(key string, res faultinj.Result, restored bool) {
+	j.mu.Lock()
+	j.cellsDone++
+	j.instret += res.RefInstret
+	j.emitLocked(Event{Type: "cell", Key: key,
+		Status: faultinj.ResultStatus(res), Restored: restored,
+		CellsDone: j.cellsDone, CellsTotal: j.req.cells(), Instret: j.instret})
+	j.mu.Unlock()
+}
+
+// executeCampaign runs one attempt of a campaign job under its durable
+// journal. The settled instruction total is the sum of the cells' clean
+// reference retirements — each bounded by the campaign's MaxInstr (the
+// request's max_cell_instr) — so the settle never exceeds the admission
+// reservation and the tenant's budget cannot over-commit.
+func (s *Server) executeCampaign(j *Job) (*runOutput, error) {
+	req := j.req
+	reg := obs.NewRegistry()
+	camp, err := req.campaign(reg)
+	if err != nil {
+		return nil, err
+	}
+	camp.Workers = s.cfg.Workers
+
+	j.mu.Lock()
+	interrupt := j.interrupt
+	attempt := j.attempts
+	j.mu.Unlock()
+
+	// Same journal mechanics as sweep jobs, keyed by the campaign
+	// fingerprint: a recovered job only resumes cells recorded under the
+	// identical campaign.
+	fp := "ssd-campaign/" + faultinj.Fingerprint(camp)
+	resume := false
+	if _, err := os.Stat(filepath.Join(j.dir, expt.JournalName)); err == nil {
+		resume = true
+	}
+	runID := fmt.Sprintf("%s-a%d", j.ID, attempt)
+	jl, err := expt.OpenJournal(j.dir, runID, fp, resume)
+	if err != nil {
+		return nil, err
+	}
+	defer jl.Close()
+
+	out := &runOutput{reg: reg}
+	var rep *faultinj.Report
+	var fabricSnap *obs.FabricSnapshot
+	if req.FabricListen != "" {
+		rep, fabricSnap, err = s.runCampaignFabric(j, camp, jl, interrupt)
+	} else {
+		rep, err = s.runCampaignLocal(j, camp, jl, reg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		out.interrupted = true
+		return out, nil
+	}
+	for _, res := range rep.Results {
+		if faultinj.ResultStatus(res) == "interrupted" {
+			out.interrupted = true
+			return out, nil
+		}
+	}
+
+	for _, res := range rep.Results {
+		out.instret += res.RefInstret
+	}
+	out.cellsDone = len(rep.Results)
+	out.table = rep.String()
+
+	man := obs.NewManifest("ssd")
+	man.Flags = reqFlags(j.Tenant, req)
+	man.RunID = runID
+	man.ParentRunID = jl.ParentRunID()
+	man.Cells = rep.Outcomes()
+	man.CellsRestored = jl.Restored()
+	man.CellsComputed = len(rep.Results) - jl.Restored()
+	man.Fabric = fabricSnap
+	man.Metrics = reg.Snapshot()
+	out.manifest = man
+	return out, nil
+}
+
+// runCampaignFabric runs the campaign as a fabric coordinator: cells are
+// leased to joined `ssbench -faults -join` workers and merged back
+// byte-identically, with the job's journal making the run durable.
+func (s *Server) runCampaignFabric(j *Job, camp faultinj.Config, jl *expt.RunJournal, interrupt <-chan struct{}) (*faultinj.Report, *obs.FabricSnapshot, error) {
+	segDir := filepath.Join(j.dir, "segments")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	coord, err := fabric.NewCampaignCoordinator(fabric.CampaignConfig{
+		Addr: j.req.FabricListen, Campaign: camp,
+		SegmentDir: segDir, RunID: j.ID, Log: s.cfg.Log,
+		Journal: jl, Interrupt: interrupt,
+		OnCell: func(key string, res faultinj.Result) {
+			j.emitCampaignCell(key, res, false)
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	j.mu.Lock()
+	j.fabricAddr = coord.Addr()
+	j.mu.Unlock()
+	s.logf("serve: job %s campaign coordinator listening on %s", j.ID, coord.Addr())
+	rep, err := coord.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, coord.Snapshot(), nil
+}
+
+// runCampaignLocal runs the campaign's cells in their deterministic order
+// on this host. Journaled cells restore instead of recomputing; the
+// in-flight cell's clean-pass progress rides the checkpoint ring, so an
+// evicted (or SIGKILLed) daemon resumes mid-cell rather than from zero.
+// An eviction request between cells returns a nil report (interrupted).
+func (s *Server) runCampaignLocal(j *Job, camp faultinj.Config, jl *expt.RunJournal, reg *obs.Registry) (*faultinj.Report, error) {
+	ring, err := checkpoint.NewRing(filepath.Join(j.dir, "progress"), 3)
+	if err != nil {
+		return nil, err
+	}
+	var rungSnap []byte
+	var rungCell string
+	if st, _, err := ring.Restore(); err == nil && st != nil {
+		rungSnap = st.Meta[progressMetaKey]
+		rungCell = string(st.Meta[campaignCellMetaKey])
+	}
+
+	specs := faultinj.CampaignCells(camp)
+	results := make([]faultinj.Result, 0, len(specs))
+	for _, spec := range specs {
+		key := spec.Key()
+		if raw, ok := jl.LookupRaw(key); ok {
+			if res, err := faultinj.DecodeResult(raw); err == nil {
+				j.emitCampaignCell(key, res, true)
+				results = append(results, res)
+				continue
+			}
+		}
+		if j.evictRequested() {
+			return nil, nil
+		}
+		var resume []byte
+		if rungCell == key {
+			resume = rungSnap
+		}
+		sink := func(b []byte, instret uint64) {
+			_, _ = ring.Save(&checkpoint.State{Meta: map[string][]byte{
+				progressMetaKey:     b,
+				campaignCellMetaKey: []byte(key),
+			}})
+			j.emit(Event{Type: "progress", Key: key, Instret: instret})
+		}
+		res, resumed := faultinj.MeasureCampaignCell(spec, camp, resume, sink, reg)
+		if resumed {
+			s.reg.Counter("serve.campaign.resumed_mid_cell").Inc()
+		}
+		if campaignDurable(res) {
+			if payload, err := faultinj.EncodeResult(res); err == nil {
+				_ = jl.RecordRaw(key, payload)
+			}
+		}
+		j.emitCampaignCell(key, res, false)
+		results = append(results, res)
+	}
+	rep := &faultinj.Report{Seed: camp.Seed, Results: results}
+	rep.Record(reg)
+	return rep, nil
+}

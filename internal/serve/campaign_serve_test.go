@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"singlespec/internal/faultinj"
+	"singlespec/internal/obs"
+)
+
+// campaignReq is the shared small campaign: every class over one kernel.
+func campaignReq() JobRequest {
+	return JobRequest{Kind: "campaign", FaultSeed: 42, FaultEvents: 2,
+		FaultKernels: "crc32"}
+}
+
+// campaignWant renders the single-host faultinj.Run reference for
+// campaignReq — the byte-identity oracle for every daemon path.
+func campaignWant(t *testing.T) string {
+	t.Helper()
+	req := campaignReq()
+	camp, err := req.campaign(obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := faultinj.Run(camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.String()
+}
+
+// TestCampaignJobEvictResumeMatchesReference: a campaign job evicted
+// mid-run and resumed finishes with the report byte-identical to a
+// single-host faultinj.Run — finished cells restore from the journal, the
+// in-flight cell resumes from the checkpoint ring.
+func TestCampaignJobEvictResumeMatchesReference(t *testing.T) {
+	want := campaignWant(t)
+	s, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit("", campaignReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict once a couple of cells resolved; the campaign may win the race
+	// and finish first, degenerating to the plain byte-identity check.
+	deadline := time.Now().Add(2 * time.Minute)
+	for j.Status().CellsDone < 2 && (j.State() == stateRunning || j.State() == stateQueued) {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign made no progress in 2 minutes")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if j.State() == stateRunning {
+		if err := s.Evict(j.ID); err != nil {
+			t.Fatal(err)
+		}
+		if j.State() == stateEvicted {
+			if err := s.Resume(j.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitJob(t, s, j.ID, stateDone, 5*time.Minute)
+	got := mustResult(t, s, j.ID)
+	if got.Kind != "campaign" {
+		t.Errorf("result kind = %q, want campaign", got.Kind)
+	}
+	if got.Table != want {
+		t.Errorf("daemon campaign report differs from faultinj.Run:\nwant:\n%s\ngot:\n%s", want, got.Table)
+	}
+}
+
+// TestCampaignJobDaemonRestartResumes: a daemon torn down mid-campaign and
+// reopened on the same state dir recovers the job, resumes it from the
+// journal (never recomputing restored cells), and finishes byte-identical.
+func TestCampaignJobDaemonRestartResumes(t *testing.T) {
+	want := campaignWant(t)
+	dir := t.TempDir()
+	s1, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit("", campaignReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for j1.Status().CellsDone < 2 && (j1.State() == stateRunning || j1.State() == stateQueued) {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign made no progress in 2 minutes")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s1.Close()
+
+	s2, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j2, ok := s2.Job(j1.ID)
+	if !ok {
+		t.Fatalf("job %s not recovered", j1.ID)
+	}
+	waitJob(t, s2, j2.ID, stateDone, 5*time.Minute)
+	got := mustResult(t, s2, j2.ID)
+	if got.Table != want {
+		t.Errorf("restarted campaign report differs from faultinj.Run:\nwant:\n%s\ngot:\n%s", want, got.Table)
+	}
+	if j1.State() != stateDone {
+		// The recovered run finished from the first run's journal; had the
+		// first daemon somehow finished, this leg proves nothing.
+		if snap := s2.Metrics(); snap.Counters["serve.jobs.recovered"] == 0 {
+			t.Error("restart recovered no jobs")
+		}
+	}
+}
+
+// quickKernel is a fast kernel job for scheduling tests.
+func quickKernel(prio int, maxInstr uint64) JobRequest {
+	return JobRequest{Kind: "kernel", ISA: "alpha64", Buildset: "one_min",
+		Kernel: "fib_iter", N: 10_000, Metric: "work",
+		Priority: prio, MaxCellInstr: maxInstr}
+}
+
+// slowKernel is a multi-second kernel job: long enough that evicting it
+// mid-run is reliable, the way the scheduling tests pin a MaxActive slot.
+func slowKernel(prio int, maxInstr uint64) JobRequest {
+	req := quickKernel(prio, maxInstr)
+	req.N = 20_000_000
+	return req
+}
+
+// evictRunning waits for the job to start and parks it evicted: it then
+// holds its MaxActive slot (and budget reservation) with no goroutine, so
+// queues build up race-free behind it.
+func evictRunning(t *testing.T, s *Server, j *Job) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for j.State() == stateQueued {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Evict(j.ID); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if st := j.State(); st != stateEvicted {
+		t.Fatalf("slot holder rested as %s, want evicted", st)
+	}
+}
+
+// TestPriorityQueueDispatchOrder: with one MaxActive slot, queued jobs
+// dispatch in priority order, not submission order — including across a
+// daemon restart, which requeues the backlog most-urgent-first.
+func TestPriorityQueueDispatchOrder(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir,
+		Tenants: map[string]TenantPolicy{"t": {MaxActive: 1, MaxQueued: -1}}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder, err := s.Submit("t", slowKernel(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictRunning(t, s, holder)
+	low, err := s.Submit("t", quickKernel(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.Submit("t", quickKernel(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.State() != stateQueued || high.State() != stateQueued {
+		t.Fatalf("queued jobs not queued: low=%s high=%s", low.State(), high.State())
+	}
+	if h := s.Health(); h.Tenants["t"].Queued != 2 || h.Tenants["t"].Evicted != 1 {
+		t.Errorf("health = %+v, want 2 queued, 1 evicted", h.Tenants["t"])
+	}
+
+	// Restart: the backlog (evicted holder prio 0, low prio 1, high prio 7)
+	// requeues in priority order, so high runs to done first.
+	s.Close()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var order []string
+	seen := map[string]bool{}
+	deadline := time.Now().Add(2 * time.Minute)
+	for len(order) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog not drained; completion order so far %v", order)
+		}
+		for _, id := range []string{holder.ID, low.ID, high.ID} {
+			j, ok := s2.Job(id)
+			if !ok {
+				t.Fatalf("job %s not recovered", id)
+			}
+			if !seen[id] && j.State() == stateDone {
+				seen[id] = true
+				order = append(order, id)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := []string{high.ID, low.ID, holder.ID}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order %v, want %v (priority 7, 1, 0)", order, want)
+		}
+	}
+	if snap := s2.Metrics(); snap.Counters["serve.jobs.recovered"] != 3 {
+		t.Errorf("serve.jobs.recovered = %d, want 3", snap.Counters["serve.jobs.recovered"])
+	}
+}
+
+// TestQueueDepthRefusal: MaxQueued bounds the wait queue; past it the
+// submit is refused kind "concurrency" with a retry hint.
+func TestQueueDepthRefusal(t *testing.T) {
+	s, err := New(Config{StateDir: t.TempDir(),
+		Tenants: map[string]TenantPolicy{"t": {MaxActive: 1, MaxQueued: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	holder, err := s.Submit("t", slowKernel(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictRunning(t, s, holder)
+	if _, err := s.Submit("t", quickKernel(0, 0)); err != nil {
+		t.Fatalf("first queued submit refused: %v", err)
+	}
+	_, err = s.Submit("t", quickKernel(0, 0))
+	var refused *RefusedError
+	if !errors.As(err, &refused) {
+		t.Fatalf("over-depth submit: want *RefusedError, got %v", err)
+	}
+	if refused.Kind != "concurrency" {
+		t.Errorf("refusal kind = %q, want concurrency", refused.Kind)
+	}
+	if refused.RetryAfterMS <= 0 {
+		t.Errorf("depth refusal carries no retry hint: %+v", refused)
+	}
+}
+
+// TestBudgetSheddingUnderPressure: budget pressure sheds the
+// lowest-priority queued job to admit higher-priority work; an incoming
+// job that is itself the lowest priority is refused kind "shed" with a
+// retry hint, and one that can never fit is refused kind "budget" with
+// none.
+func TestBudgetSheddingUnderPressure(t *testing.T) {
+	const M = 1_000_000
+	s, err := New(Config{StateDir: t.TempDir(),
+		Tenants: map[string]TenantPolicy{"t": {MaxActive: 1, MaxQueued: -1, InstrBudget: 300 * M}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// The holder reserves most of the budget (250M of 300M) and parks
+	// evicted, creating stable pressure.
+	holder, err := s.Submit("t", slowKernel(0, 250*M))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evictRunning(t, s, holder)
+	low, err := s.Submit("t", quickKernel(1, 30*M)) // 280M reserved
+	if err != nil {
+		t.Fatalf("low-priority queued submit refused: %v", err)
+	}
+
+	// High priority needs 35M: only shedding low (prio 1 < 5) fits it.
+	high, err := s.Submit("t", quickKernel(5, 35*M))
+	if err != nil {
+		t.Fatalf("high-priority submit refused despite sheddable work: %v", err)
+	}
+	if st := low.State(); st != stateShed {
+		t.Fatalf("low-priority job state = %s, want shed", st)
+	}
+	if high.State() != stateQueued {
+		t.Errorf("high-priority job state = %s, want queued", high.State())
+	}
+
+	// Incoming low-priority work under the same pressure is shed at the
+	// door: it fits an idle budget (retry can help) but nothing below it
+	// can be shed.
+	_, err = s.Submit("t", quickKernel(0, 30*M))
+	var refused *RefusedError
+	if !errors.As(err, &refused) {
+		t.Fatalf("pressured submit: want *RefusedError, got %v", err)
+	}
+	if refused.Kind != "shed" || refused.RetryAfterMS <= 0 {
+		t.Errorf("pressured refusal = %+v, want kind shed with a retry hint", refused)
+	}
+
+	// A job that exceeds the whole budget can never fit: kind budget, no
+	// retry hint.
+	_, err = s.Submit("t", quickKernel(9, 400*M))
+	if !errors.As(err, &refused) {
+		t.Fatalf("oversized submit: want *RefusedError, got %v", err)
+	}
+	if refused.Kind != "budget" || refused.RetryAfterMS != 0 {
+		t.Errorf("oversized refusal = %+v, want kind budget with no retry hint", refused)
+	}
+
+	h := s.Health()
+	if h.Tenants["t"].Shed != 1 {
+		t.Errorf("tenant shed gauge = %d, want 1", h.Tenants["t"].Shed)
+	}
+	snap := s.Metrics()
+	if snap.Counters["serve.jobs.shed"] != 1 {
+		t.Errorf("serve.jobs.shed = %d, want 1", snap.Counters["serve.jobs.shed"])
+	}
+	if snap.Counters["serve.jobs.refused.shed"] != 1 {
+		t.Errorf("serve.jobs.refused.shed = %d, want 1", snap.Counters["serve.jobs.refused.shed"])
+	}
+	if snap.Counters["serve.jobs.refused.budget"] != 1 {
+		t.Errorf("serve.jobs.refused.budget = %d, want 1", snap.Counters["serve.jobs.refused.budget"])
+	}
+}
+
+// TestRetentionGCTombstones: the retention sweep reduces old terminal jobs
+// to tombstones — status survives (marked gone) across restarts, results
+// answer typed *GoneError (CodeGone over RPC).
+func TestRetentionGCTombstones(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Retain: 1}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Submit("", quickKernel(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, first.ID, stateDone, time.Minute)
+	second, err := s.Submit("", quickKernel(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, second.ID, stateDone, time.Minute)
+
+	// The sweep runs just after the settle; give it a beat.
+	deadline := time.Now().Add(10 * time.Second)
+	for !first.Gone() {
+		if time.Now().After(deadline) {
+			t.Fatal("retain=1: first job not swept after the second settled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var gone *GoneError
+	if _, err := first.Result(); !errors.As(err, &gone) {
+		t.Fatalf("result of swept job: want *GoneError, got %v", err)
+	}
+	if _, err := second.Result(); err != nil {
+		t.Errorf("retained job's result unavailable: %v", err)
+	}
+	if snap := s.Metrics(); snap.Counters["serve.gc.swept"] == 0 {
+		t.Error("serve.gc.swept not counted")
+	}
+
+	// The RPC surface maps the sweep to CodeGone.
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Addr: hs.Listener.Addr().String()}
+	_, err = c.Result(first.ID)
+	var rpcErr *RPCError
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeGone {
+		t.Fatalf("ssd.result of swept job: want code %d, got %v", CodeGone, err)
+	}
+	st, err := c.Status(first.ID)
+	if err != nil || !st.Gone {
+		t.Errorf("status of swept job: %+v, %v; want gone", st, err)
+	}
+
+	// Restart: the tombstone recovers as a gone job, never resumable.
+	s.Close()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	j2, ok := s2.Job(first.ID)
+	if !ok {
+		t.Fatal("tombstoned job lost across restart")
+	}
+	if !j2.Gone() || j2.State() != stateDone {
+		t.Errorf("recovered tombstone: gone=%v state=%s, want gone done", j2.Gone(), j2.State())
+	}
+	if _, err := j2.Result(); !errors.As(err, &gone) {
+		t.Errorf("result after restart: want *GoneError, got %v", err)
+	}
+	if err := s2.Resume(first.ID); !errors.As(err, &gone) {
+		t.Errorf("resume of tombstone: want *GoneError, got %v", err)
+	}
+}
+
+// TestEventRingTruncation: the per-job replay log is a bounded ring; a
+// replay older than it answers a typed *TruncatedError naming the oldest
+// retained seq, both in-process and as the stream's terminal "truncated"
+// event (CodeTruncated).
+func TestEventRingTruncation(t *testing.T) {
+	s, err := New(Config{StateDir: t.TempDir(), EventBuffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Frequent checkpoints generate plenty of progress events.
+	req := quickKernel(0, 0)
+	req.N = 500_000
+	req.CkptEvery = 10_000
+	j, err := s.Submit("", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, j.ID, stateDone, 2*time.Minute)
+
+	_, _, _, err = j.Events(0, 0)
+	var trunc *TruncatedError
+	if !errors.As(err, &trunc) {
+		t.Fatalf("Events(0) on an overflowed ring: want *TruncatedError, got %v", err)
+	}
+	if trunc.Oldest <= 0 {
+		t.Fatalf("truncation names oldest %d, want > 0", trunc.Oldest)
+	}
+	evs, _, terminal, err := j.Events(trunc.Oldest, 0)
+	if err != nil {
+		t.Fatalf("Events(oldest): %v", err)
+	}
+	if len(evs) == 0 || evs[0].Seq != trunc.Oldest || !terminal {
+		t.Errorf("ring tail: %d events from seq %d (terminal %v), want suffix from %d",
+			len(evs), firstSeq(evs), terminal, trunc.Oldest)
+	}
+
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := &Client{Addr: hs.Listener.Addr().String()}
+	var last Event
+	err = c.Stream(j.ID, 0, func(ev Event) bool { last = ev; return true })
+	if !errors.As(err, &trunc) {
+		t.Fatalf("stream from 0: want *TruncatedError, got %v", err)
+	}
+	if last.Type != "truncated" || last.Code != CodeTruncated || last.Oldest != trunc.Oldest {
+		t.Errorf("terminal stream event = %+v, want truncated/%d/oldest=%d", last, CodeTruncated, trunc.Oldest)
+	}
+	// Re-streaming from the hinted seq drains the ring cleanly.
+	n := 0
+	if err := c.Stream(j.ID, trunc.Oldest, func(Event) bool { n++; return true }); err != nil {
+		t.Fatalf("stream from oldest: %v", err)
+	}
+	if n == 0 {
+		t.Error("re-stream from the hint yielded nothing")
+	}
+}
+
+func firstSeq(evs []Event) int {
+	if len(evs) == 0 {
+		return -1
+	}
+	return evs[0].Seq
+}

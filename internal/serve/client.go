@@ -142,7 +142,10 @@ func (c *Client) Metrics() (obs.Snapshot, error) {
 }
 
 // Stream follows a job's NDJSON event stream from seq `from`, calling fn
-// per event until fn returns false or the stream closes (job at rest).
+// per event until fn returns false or the stream closes (job at rest). A
+// replay request older than the daemon's bounded ring returns a typed
+// *TruncatedError (after handing fn the terminal "truncated" event);
+// re-stream from its Oldest seq.
 func (c *Client) Stream(id string, from int, fn func(Event) bool) error {
 	resp, err := http.Get(c.url(fmt.Sprintf("/jobs/%s/stream?from=%d", id, from)))
 	if err != nil {
@@ -163,11 +166,29 @@ func (c *Client) Stream(id string, from int, fn func(Event) bool) error {
 		if err := json.Unmarshal(line, &ev); err != nil {
 			return fmt.Errorf("serve: stream %s: %w", id, err)
 		}
-		if !fn(ev) {
+		keep := fn(ev)
+		if ev.Type == "truncated" {
+			return &TruncatedError{ID: id, From: ev.Seq, Oldest: ev.Oldest}
+		}
+		if !keep {
 			return nil
 		}
 	}
 	return sc.Err()
+}
+
+// Healthz fetches GET /healthz.
+func (c *Client) Healthz() (Health, error) {
+	var h Health
+	resp, err := c.httpClient().Get(c.url("/healthz"))
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("serve: decoding healthz: %w", err)
+	}
+	return h, nil
 }
 
 // WaitState polls until the job reaches one of the wanted states (or any

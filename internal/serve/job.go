@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,15 +13,18 @@ import (
 	"singlespec/internal/checkpoint"
 	"singlespec/internal/expt"
 	"singlespec/internal/fabric"
+	"singlespec/internal/faultinj"
 	"singlespec/internal/isa"
 	"singlespec/internal/kernels"
 	"singlespec/internal/obs"
 	"singlespec/internal/stats"
 )
 
-// Job states. queued → running → done | failed | evicted | canceled;
-// evicted is the one resumable non-terminal rest state (Resume or a daemon
-// restart requeues it).
+// Job states. queued → running → done | failed | evicted | canceled |
+// shed; evicted is the one resumable non-terminal rest state (Resume or a
+// daemon restart requeues it). Shed is terminal: the job was released from
+// the wait queue under budget pressure from higher-priority work and must
+// be resubmitted.
 const (
 	stateQueued   = "queued"
 	stateRunning  = "running"
@@ -28,15 +32,22 @@ const (
 	stateFailed   = "failed"
 	stateEvicted  = "evicted"
 	stateCanceled = "canceled"
+	stateShed     = "shed"
 )
 
 // JobRequest is the client-visible job description. The zero value of
 // every optional field picks the deterministic quick defaults (scale 1,
 // work metric, interpreter backend).
 type JobRequest struct {
-	// Kind is "sweep" (the full Table II grid) or "kernel" (one
-	// {ISA, buildset, kernel} cell).
+	// Kind is "sweep" (the full Table II grid), "kernel" (one
+	// {ISA, buildset, kernel} cell), or "campaign" (a deterministic
+	// fault-injection campaign).
 	Kind string `json:"kind"`
+
+	// Priority orders the tenant's wait queue: 0 (default) to 9, higher
+	// dispatches first. Budget pressure sheds the lowest-priority queued
+	// jobs first.
+	Priority int `json:"priority,omitempty"`
 
 	// Shared measurement knobs, mirroring ssbench's flags.
 	Scale         int    `json:"scale,omitempty"`
@@ -53,11 +64,39 @@ type JobRequest struct {
 	Kernel   string `json:"kernel,omitempty"`
 	N        int    `json:"n,omitempty"`
 
-	// FabricListen, for sweep jobs, runs the job as a distributed-fabric
-	// coordinator on this address (":0" picks a port; see JobStatus
-	// FabricAddr). Workers join it with `ssbench -join` under matching
-	// sweep flags — the daemon is the fabric's front door.
+	// Campaign-job selection: the fault-campaign seed, events per cell,
+	// class list ("" means all), and kernel list ("" means the campaign
+	// default pair). MaxCellInstr maps onto the campaign's per-run
+	// instruction bound.
+	FaultSeed    uint64 `json:"fault_seed,omitempty"`
+	FaultEvents  int    `json:"fault_events,omitempty"`
+	FaultClasses string `json:"fault_classes,omitempty"`
+	FaultKernels string `json:"fault_kernels,omitempty"`
+
+	// FabricListen, for sweep and campaign jobs, runs the job as a
+	// distributed-fabric coordinator on this address (":0" picks a port;
+	// see JobStatus FabricAddr). Workers join it with `ssbench -join` (or
+	// `ssbench -faults -join`) under matching flags — the daemon is the
+	// fabric's front door.
 	FabricListen string `json:"fabric_listen,omitempty"`
+}
+
+// campaign maps a campaign request onto the faultinj configuration; reg
+// may be nil (cell counting only).
+func (r *JobRequest) campaign(reg *obs.Registry) (faultinj.Config, error) {
+	camp := faultinj.Config{Seed: r.FaultSeed, Events: r.FaultEvents,
+		MaxInstr: r.MaxCellInstr, Obs: reg}
+	if r.FaultClasses != "" {
+		cls, err := faultinj.ParseClasses(r.FaultClasses)
+		if err != nil {
+			return faultinj.Config{}, err
+		}
+		camp.Classes = cls
+	}
+	if r.FaultKernels != "" {
+		camp.Kernels = strings.Split(r.FaultKernels, ",")
+	}
+	return camp, nil
 }
 
 // metric parses the request's metric (default: deterministic work units).
@@ -79,8 +118,15 @@ func (r *JobRequest) backend() (expt.Backend, error) {
 // cells is the job's cell count — the unit of the admission budget
 // reservation (max_cell_instr × cells).
 func (r *JobRequest) cells() int {
-	if r.Kind == "kernel" {
+	switch r.Kind {
+	case "kernel":
 		return 1
+	case "campaign":
+		camp, err := r.campaign(nil)
+		if err != nil {
+			return 0
+		}
+		return len(faultinj.CampaignCells(camp))
 	}
 	n := len(isa.Names()) * len(isa.StdBuildsets)
 	if r.Backend == "both" {
@@ -101,13 +147,36 @@ func (r *JobRequest) validate() error {
 	if err != nil {
 		return bad("%v", err)
 	}
-	if r.Scale < 0 || r.N < 0 || r.MinDurMS < 0 || r.CellTimeoutMS < 0 {
+	if r.Scale < 0 || r.N < 0 || r.MinDurMS < 0 || r.CellTimeoutMS < 0 || r.FaultEvents < 0 {
 		return bad("negative sizes make no sense")
+	}
+	if r.Priority < 0 || r.Priority > 9 {
+		return bad("priority %d out of range (0 lowest … 9 highest)", r.Priority)
+	}
+	if r.Kind != "campaign" &&
+		(r.FaultSeed != 0 || r.FaultEvents != 0 || r.FaultClasses != "" || r.FaultKernels != "") {
+		return bad("fault_* knobs configure campaign jobs, not %q", r.Kind)
 	}
 	switch r.Kind {
 	case "sweep":
 		if r.ISA != "" || r.Kernel != "" || r.Buildset != "" {
 			return bad("isa/buildset/kernel select a kernel job; sweeps measure the full grid")
+		}
+	case "campaign":
+		if r.ISA != "" || r.Kernel != "" || r.Buildset != "" {
+			return bad("isa/buildset/kernel select a kernel job; campaigns derive their own grid")
+		}
+		if r.Backend != "" || r.Metric != "" || r.Scale != 0 || r.MinDurMS != 0 || r.CkptEvery != 0 {
+			return bad("backend/metric/scale/min_dur/ckpt_every are sweep and kernel knobs; campaigns are schedule-driven")
+		}
+		camp, err := r.campaign(nil)
+		if err != nil {
+			return bad("%v", err)
+		}
+		for _, k := range camp.Kernels {
+			if kernels.ByName(k) == nil {
+				return bad("unknown campaign kernel %q", k)
+			}
 		}
 	case "kernel":
 		if be == expt.BackendBoth {
@@ -126,7 +195,7 @@ func (r *JobRequest) validate() error {
 			return bad("unknown kernel %q", r.Kernel)
 		}
 	default:
-		return bad("unknown job kind %q (want sweep or kernel)", r.Kind)
+		return bad("unknown job kind %q (want sweep, kernel, or campaign)", r.Kind)
 	}
 	return nil
 }
@@ -159,14 +228,40 @@ func (e *BadStateError) Error() string {
 	return fmt.Sprintf("serve: cannot %s job %s in state %s", e.Op, e.ID, e.State)
 }
 
+// GoneError reports a job whose state dir the retention sweep collected
+// (JSON-RPC code CodeGone): the tombstone remembers the job existed and
+// how it ended, but its result, manifest, and journal are deleted.
+type GoneError struct{ ID string }
+
+func (e *GoneError) Error() string {
+	return fmt.Sprintf("serve: job %s was garbage-collected; its artifacts are gone", e.ID)
+}
+
+// TruncatedError reports an event-stream replay request older than the
+// job's bounded ring (JSON-RPC code CodeTruncated): events [From, Oldest)
+// have fallen off; re-stream from Oldest (or 0 via status/result) instead.
+type TruncatedError struct {
+	ID     string
+	From   int
+	Oldest int
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("serve: job %s events before seq %d fell off the replay ring (asked from %d)",
+		e.ID, e.Oldest, e.From)
+}
+
 // Event is one entry of a job's ordered event log, streamed to clients as
 // NDJSON. Seq is contiguous from 0 within one daemon process; a restart
 // rebuilds the log from the resumed run (journal-restored cells re-fire),
-// so a reconnecting client streams from 0 and sees every cell again.
+// so a reconnecting client streams from 0 and sees every cell again. The
+// in-memory log is a bounded ring: a replay request older than it gets a
+// single "truncated" event (Code CodeTruncated, Oldest = first retained
+// seq) and the stream closes.
 type Event struct {
 	Seq  int    `json:"seq"`
 	Job  string `json:"job"`
-	Type string `json:"type"` // "state", "cell", "progress", "obs", "done", "error"
+	Type string `json:"type"` // "state", "cell", "progress", "obs", "done", "error", "truncated"
 
 	State      string          `json:"state,omitempty"`
 	Key        string          `json:"key,omitempty"`
@@ -179,15 +274,23 @@ type Event struct {
 	Obs        *obs.Snapshot   `json:"obs,omitempty"`
 	Table      string          `json:"table,omitempty"`
 	Error      string          `json:"error,omitempty"`
+	// Code carries the JSON-RPC error code of typed error/truncated
+	// events; Oldest is the first retained seq of a truncated stream.
+	Code   int `json:"code,omitempty"`
+	Oldest int `json:"oldest,omitempty"`
 }
 
 // JobStatus is the queryable summary of one job.
 type JobStatus struct {
-	ID     string `json:"id"`
-	Tenant string `json:"tenant"`
-	Kind   string `json:"kind"`
-	State  string `json:"state"`
-	Error  string `json:"error,omitempty"`
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Priority int    `json:"priority,omitempty"`
+	// Gone marks a GC'd job: the status survives in its tombstone but the
+	// artifacts are deleted (ssd.result answers CodeGone).
+	Gone  bool   `json:"gone,omitempty"`
+	Error string `json:"error,omitempty"`
 	// CellsDone counts cells resolved by the current (or last) run,
 	// including journal-restored ones; CellsTotal is the job's grid size.
 	CellsDone  int    `json:"cells_done"`
@@ -223,7 +326,17 @@ type jobState struct {
 	Instret   uint64     `json:"instret,omitempty"`
 	Attempts  int        `json:"attempts,omitempty"`
 	Evictions int        `json:"evictions,omitempty"`
+	// DoneAtMS stamps when a terminal job settled (unix milliseconds) —
+	// the retention sweep's age reference.
+	DoneAtMS int64 `json:"done_at_ms,omitempty"`
+	// Gone marks the record as a tombstone (tombstone.json): the sweep
+	// deleted the job's artifacts and kept only this summary.
+	Gone bool `json:"gone,omitempty"`
 }
+
+// tombstoneName is the summary record the retention sweep leaves behind in
+// an otherwise-emptied job dir.
+const tombstoneName = "tombstone.json"
 
 // Job is one admitted job: durable identity plus in-process run state.
 type Job struct {
@@ -234,18 +347,28 @@ type Job struct {
 	cost   uint64
 	s      *Server
 
+	// acct is the job's current tenant-ledger bucket (acctQueued …
+	// acctTerminal), guarded by Server.mu — never j.mu, so admission
+	// accounting and the job's own state machine cannot deadlock.
+	acct string
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	state      string
 	errMsg     string
+	gone       bool
 	instret    uint64
+	doneAt     int64
 	cellsDone  int
 	attempts   int
 	evictions  int
 	fabricAddr string
 	interrupt  chan struct{}
 	evictReq   bool
-	events     []Event
+	// events is the bounded replay ring: base is the seq of events[0],
+	// older entries have been dropped.
+	base   int
+	events []Event
 	// final marks the run goroutine's last event as emitted: streams only
 	// terminate once the job is at rest AND final is set, so a client can
 	// never observe a drained log in the instant between the terminal
@@ -263,15 +386,19 @@ func newJob(s *Server, id, tenant string, req JobRequest, cost uint64) *Job {
 	return j
 }
 
-// loadJob reconstructs a job from its persisted record.
+// loadJob reconstructs a job from its persisted record — job.json, or the
+// tombstone a retention sweep left behind.
 func loadJob(s *Server, dir string) (*Job, error) {
 	b, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if os.IsNotExist(err) {
+		b, err = os.ReadFile(filepath.Join(dir, tombstoneName))
+	}
 	if err != nil {
 		return nil, err
 	}
 	var st jobState
 	if err := json.Unmarshal(b, &st); err != nil {
-		return nil, fmt.Errorf("serve: %s: %w", filepath.Join(dir, "job.json"), err)
+		return nil, fmt.Errorf("serve: %s: %w", dir, err)
 	}
 	if st.ID == "" || st.State == "" {
 		return nil, fmt.Errorf("serve: %s: incomplete job record", dir)
@@ -279,7 +406,9 @@ func loadJob(s *Server, dir string) (*Job, error) {
 	j := newJob(s, st.ID, st.Tenant, st.Req, st.Cost)
 	j.state = st.State
 	j.errMsg = st.Error
+	j.gone = st.Gone
 	j.instret = st.Instret
+	j.doneAt = st.DoneAtMS
 	j.attempts = st.Attempts
 	j.evictions = st.Evictions
 	if j.state != stateQueued && j.state != stateRunning {
@@ -290,11 +419,17 @@ func loadJob(s *Server, dir string) (*Job, error) {
 	return j, nil
 }
 
+// stateLocked snapshots the durable record. Caller holds j.mu.
+func (j *Job) stateLocked() jobState {
+	return jobState{ID: j.ID, Tenant: j.Tenant, Req: j.req, State: j.state,
+		Error: j.errMsg, Cost: j.cost, Instret: j.instret,
+		Attempts: j.attempts, Evictions: j.evictions,
+		DoneAtMS: j.doneAt, Gone: j.gone}
+}
+
 // persistLocked writes job.json atomically. Caller holds j.mu.
 func (j *Job) persistLocked() {
-	st := jobState{ID: j.ID, Tenant: j.Tenant, Req: j.req, State: j.state,
-		Error: j.errMsg, Cost: j.cost, Instret: j.instret,
-		Attempts: j.attempts, Evictions: j.evictions}
+	st := j.stateLocked()
 	b, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {
 		return
@@ -324,6 +459,19 @@ func (j *Job) setInstret(n uint64) {
 	j.mu.Lock()
 	j.instret = n
 	j.mu.Unlock()
+}
+
+func (j *Job) setDoneAt(ms int64) {
+	j.mu.Lock()
+	j.doneAt = ms
+	j.mu.Unlock()
+}
+
+// Gone reports whether the retention sweep collected this job's state dir.
+func (j *Job) Gone() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.gone
 }
 
 // setState transitions the job, persists the record, and emits a state
@@ -389,11 +537,17 @@ func (j *Job) waitIdle() {
 	j.mu.Unlock()
 }
 
-// emitLocked appends one event to the job log. Caller holds j.mu.
+// emitLocked appends one event to the bounded replay ring, dropping the
+// oldest entries past the daemon's cap. Caller holds j.mu.
 func (j *Job) emitLocked(ev Event) {
-	ev.Seq = len(j.events)
+	ev.Seq = j.base + len(j.events)
 	ev.Job = j.ID
 	j.events = append(j.events, ev)
+	if cap := j.s.eventCap; len(j.events) > cap {
+		drop := len(j.events) - cap
+		j.events = append(j.events[:0:0], j.events[drop:]...)
+		j.base += drop
+	}
 	j.cond.Broadcast()
 }
 
@@ -439,30 +593,40 @@ func benchCell(c expt.Cell) expt.BenchCell {
 	return bc
 }
 
-// Events returns the log suffix starting at from, blocking up to wait for
-// a new event when the log is already drained. next is the next sequence
-// to poll from; terminal reports whether the job has reached a rest state
-// (done, failed, canceled, or evicted) AND the log is drained.
-func (j *Job) Events(from int, wait time.Duration) (evs []Event, next int, terminal bool) {
+// Events returns the log suffix starting at seq from, blocking up to wait
+// for a new event when the log is already drained. next is the next
+// sequence to poll from; terminal reports whether the job has reached a
+// rest state (done, failed, canceled, shed, or evicted) AND the log is
+// drained. Asking for a seq the bounded ring no longer holds returns a
+// typed *TruncatedError naming the oldest retained seq.
+func (j *Job) Events(from int, wait time.Duration) (evs []Event, next int, terminal bool, err error) {
 	deadline := time.Now().Add(wait)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	for len(j.events) <= from && wait > 0 && time.Now().Before(deadline) {
+	if from < 0 {
+		from = 0
+	}
+	if from < j.base {
+		return nil, j.base, false, &TruncatedError{ID: j.ID, From: from, Oldest: j.base}
+	}
+	for j.base+len(j.events) <= from && wait > 0 && time.Now().Before(deadline) {
 		// cond has no timed wait; poke the waiter on a timer.
 		t := time.AfterFunc(25*time.Millisecond, j.cond.Broadcast)
 		j.cond.Wait()
 		t.Stop()
 	}
-	if from < 0 {
-		from = 0
+	if from < j.base {
+		// The ring advanced past the reader while it slept.
+		return nil, j.base, false, &TruncatedError{ID: j.ID, From: from, Oldest: j.base}
 	}
-	if from > len(j.events) {
-		from = len(j.events)
+	end := j.base + len(j.events)
+	if from > end {
+		from = end
 	}
-	evs = append(evs, j.events[from:]...)
+	evs = append(evs, j.events[from-j.base:]...)
 	next = from + len(evs)
 	resting := j.state != stateQueued && j.state != stateRunning
-	return evs, next, resting && j.final && next == len(j.events)
+	return evs, next, resting && j.final && next == end, nil
 }
 
 // Status summarizes the job.
@@ -471,18 +635,23 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.ID, Tenant: j.Tenant, Kind: j.req.Kind, State: j.state,
+		Priority: j.req.Priority, Gone: j.gone,
 		Error: j.errMsg, CellsDone: j.cellsDone, CellsTotal: j.req.cells(),
 		Instret: j.instret, Attempts: j.attempts, Evictions: j.evictions,
 		FabricAddr: j.fabricAddr,
 	}
-	if j.state == stateDone {
+	if j.state == stateDone && !j.gone {
 		st.ResultReady = true
 	}
 	return st
 }
 
-// Result loads the persisted result document of a done job.
+// Result loads the persisted result document of a done job. A job the
+// retention sweep collected answers a typed *GoneError.
 func (j *Job) Result() (*JobResult, error) {
+	if j.Gone() {
+		return nil, &GoneError{ID: j.ID}
+	}
 	if st := j.State(); st != stateDone {
 		return nil, &BadStateError{ID: j.ID, State: st, Op: "fetch result of"}
 	}
@@ -550,22 +719,25 @@ func (s *Server) runJob(j *Job) {
 		fail(err)
 		return
 	}
-	var total uint64
+	total := out.instret
 	for _, c := range out.cells {
 		total += c.Instret
 	}
 	s.settle(j, stateDone, total, nil)
 	j.emitObs(out.reg)
 	j.emit(Event{Type: "done", Table: out.table, Instret: total,
-		CellsDone: len(out.cells), CellsTotal: j.req.cells()})
+		CellsDone: out.cellsDone, CellsTotal: j.req.cells()})
 	j.finish()
-	s.logf("serve: job %s done (%d cells, %d instructions)", j.ID, len(out.cells), total)
+	s.logf("serve: job %s done (%d cells, %d instructions)", j.ID, out.cellsDone, total)
 }
 
 // park rests an interrupted job as evicted: journal and checkpoint ring
-// stay, the budget reservation stays held, Resume or a daemon restart
-// continues it.
+// stay, the budget reservation and MaxActive slot stay held, Resume or a
+// daemon restart continues it.
 func (s *Server) park(j *Job) {
+	s.mu.Lock()
+	s.accountLocked(j, acctEvicted)
+	s.mu.Unlock()
 	j.mu.Lock()
 	j.evictions++
 	j.mu.Unlock()
@@ -575,9 +747,13 @@ func (s *Server) park(j *Job) {
 	s.logf("serve: job %s evicted (resumable)", j.ID)
 }
 
-// runOutput carries one completed attempt's artifacts.
+// runOutput carries one completed attempt's artifacts. Campaign attempts
+// fill instret/cellsDone directly (their cells are faultinj results, not
+// expt cells); sweep and kernel attempts fill cells.
 type runOutput struct {
 	cells       []expt.Cell
+	cellsDone   int
+	instret     uint64
 	table       string
 	bench       expt.BenchOut
 	manifest    *obs.Manifest
@@ -589,6 +765,9 @@ type runOutput struct {
 // journal, streaming cells and obs snapshots as they land.
 func (s *Server) execute(j *Job) (*runOutput, error) {
 	req := j.req
+	if req.Kind == "campaign" {
+		return s.executeCampaign(j)
+	}
 	metric, _ := req.metric()
 	backend, _ := req.backend()
 	reg := obs.NewRegistry()
@@ -651,6 +830,7 @@ func (s *Server) execute(j *Job) (*runOutput, error) {
 	if err != nil {
 		return nil, err
 	}
+	out.cellsDone = len(out.cells)
 	for _, c := range out.cells {
 		if c.Err != nil && c.Err.Kind == expt.CellInterrupted {
 			out.interrupted = true
@@ -820,10 +1000,17 @@ func reqFlags(tenant string, r JobRequest) map[string]string {
 		"backend":        r.Backend,
 		"max_cell_instr": fmt.Sprintf("%d", r.MaxCellInstr),
 		"ckpt_every":     fmt.Sprintf("%d", r.CkptEvery),
+		"priority":       fmt.Sprintf("%d", r.Priority),
 	}
 	if r.Kind == "kernel" {
 		f["isa"], f["buildset"], f["kernel"] = r.ISA, r.Buildset, r.Kernel
 		f["n"] = fmt.Sprintf("%d", r.N)
+	}
+	if r.Kind == "campaign" {
+		f["fault_seed"] = fmt.Sprintf("%d", r.FaultSeed)
+		f["fault_events"] = fmt.Sprintf("%d", r.FaultEvents)
+		f["fault_classes"] = r.FaultClasses
+		f["fault_kernels"] = r.FaultKernels
 	}
 	if r.FabricListen != "" {
 		f["fabric_listen"] = r.FabricListen

@@ -1,0 +1,121 @@
+package serve
+
+// Retention/GC: the daemon's state dir is bounded. Terminal jobs (done,
+// failed, canceled, shed) past the per-tenant retention count or age are
+// swept down to a tombstone record — the job stays queryable (status,
+// list) but its artifacts (result, manifest, journal, checkpoint ring,
+// segments) are deleted and ssd.result answers a typed CodeGone. Sweeps
+// run after every settle and, when an age policy is set, on a background
+// ticker; both are idempotent and restart-safe (a recovered tombstone is
+// a gone job, never a resumable one).
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// gc applies the retention policy once. Selection happens under the
+// admission lock (marking victims gone so concurrent sweeps cannot race);
+// file deletion happens outside it.
+func (s *Server) gc() {
+	retain, age := s.cfg.Retain, s.cfg.RetainAge
+	if retain <= 0 && age <= 0 {
+		return
+	}
+	now := time.Now().UnixMilli()
+	s.mu.Lock()
+	live := map[string][]*Job{}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.acct != acctTerminal {
+			continue
+		}
+		j.mu.Lock()
+		gone := j.gone
+		j.mu.Unlock()
+		if !gone {
+			live[j.Tenant] = append(live[j.Tenant], j)
+		}
+	}
+	var sweep []*Job
+	for tenant, js := range live {
+		// js is oldest-first (admission order); the retention count keeps
+		// the newest retain.
+		for i, j := range js {
+			overCount := retain > 0 && len(js)-i > retain
+			overAge := false
+			j.mu.Lock()
+			if age > 0 && j.doneAt > 0 && now-j.doneAt >= age.Milliseconds() {
+				overAge = true
+			}
+			if overCount || overAge {
+				j.gone = true
+				sweep = append(sweep, j)
+				s.tenant(tenant).gcSwept++
+			}
+			j.mu.Unlock()
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range sweep {
+		s.sweepJob(j)
+	}
+}
+
+// sweepJob replaces a job's state dir with its tombstone: the durable
+// record (now marked gone) survives for status queries and restart
+// recovery, everything else is deleted. Tombstone-then-delete ordering
+// means a crash mid-sweep leaves at worst extra files, never a job with
+// no record.
+func (s *Server) sweepJob(j *Job) {
+	j.mu.Lock()
+	st := j.stateLocked()
+	j.mu.Unlock()
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(j.dir, tombstoneName+".tmp")
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, tombstoneName)); err != nil {
+		return
+	}
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if e.Name() == tombstoneName {
+			continue
+		}
+		_ = os.RemoveAll(filepath.Join(j.dir, e.Name()))
+	}
+	s.reg.Counter("serve.gc.swept").Inc()
+	s.reg.Counter("serve.tenant." + j.Tenant + ".gc_swept").Inc()
+	s.logf("serve: job %s (tenant %s) swept by retention; tombstone kept", j.ID, j.Tenant)
+}
+
+// gcLoop ages jobs out on a ticker while an age policy is set.
+func (s *Server) gcLoop() {
+	iv := s.cfg.RetainAge / 2
+	if iv < 50*time.Millisecond {
+		iv = 50 * time.Millisecond
+	}
+	if iv > time.Minute {
+		iv = time.Minute
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.gc()
+		}
+	}
+}

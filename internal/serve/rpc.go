@@ -29,6 +29,12 @@ const (
 	// CodeBadState: the operation does not apply to the job's state
 	// (resuming a running job, fetching the result of a failed one).
 	CodeBadState = -32003
+	// CodeGone: the job's artifacts were garbage-collected by the
+	// retention sweep; only its tombstone (status) survives.
+	CodeGone = -32004
+	// CodeTruncated: an event-stream replay asked for a seq older than the
+	// job's bounded ring; the error data names the oldest retained seq.
+	CodeTruncated = -32005
 )
 
 type rpcRequest struct {
@@ -65,6 +71,15 @@ func errToRPC(err error) *rpcError {
 	if errors.As(err, &bad) {
 		return &rpcError{Code: CodeBadState, Message: bad.Error()}
 	}
+	var gone *GoneError
+	if errors.As(err, &gone) {
+		return &rpcError{Code: CodeGone, Message: gone.Error()}
+	}
+	var trunc *TruncatedError
+	if errors.As(err, &trunc) {
+		return &rpcError{Code: CodeTruncated, Message: trunc.Error(),
+			Data: map[string]int{"oldest": trunc.Oldest}}
+	}
 	return &rpcError{Code: CodeInternal, Message: err.Error()}
 }
 
@@ -72,14 +87,14 @@ func errToRPC(err error) *rpcError {
 //
 //	POST /rpc              JSON-RPC 2.0 (methods below)
 //	GET  /jobs/{id}/stream NDJSON event stream (?from=N replays from seq N)
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe + per-tenant degradation gauges
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rpc", s.handleRPC)
 	mux.HandleFunc("/jobs/", s.handleStream)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
+		_ = json.NewEncoder(w).Encode(s.Health())
 	})
 	return mux
 }
@@ -245,7 +260,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
 	for {
-		evs, next, terminal := j.Events(from, 2*time.Second)
+		evs, next, terminal, err := j.Events(from, 2*time.Second)
+		var trunc *TruncatedError
+		if errors.As(err, &trunc) {
+			// The requested replay fell off the bounded ring: one typed
+			// "truncated" line tells the client where the ring now starts,
+			// then the stream closes.
+			_ = enc.Encode(Event{Job: j.ID, Type: "truncated",
+				Seq: trunc.From, Code: CodeTruncated, Oldest: trunc.Oldest,
+				Error: trunc.Error()})
+			return
+		}
 		for _, ev := range evs {
 			if err := enc.Encode(ev); err != nil {
 				return

@@ -1,6 +1,6 @@
 // Package serve is the simulation-as-a-service daemon behind cmd/ssd: a
-// long-running JSON-RPC-over-HTTP server that accepts sweep and
-// single-kernel jobs, streams per-cell results and obs snapshots as they
+// long-running JSON-RPC-over-HTTP server that accepts sweep, kernel, and
+// fault-campaign jobs, streams per-cell results and obs snapshots as they
 // land, and answers status queries.
 //
 // It is a thin orchestration layer over the existing stack, not a fork of
@@ -12,9 +12,17 @@
 // durability reuses the expt resume journal plus the checkpoint ring —
 // an evicted or SIGKILLed daemon restarts and finishes every in-flight
 // job with byte-identical deterministic output, by the same argument the
-// CI kill-resume job proves for ssbench. Sweep jobs run on the single-host
-// engine or, when a job asks for a fabric listener, as an
+// CI kill-resume job proves for ssbench. Sweep and campaign jobs run on
+// the single-host engine or, when a job asks for a fabric listener, as an
 // internal/fabric coordinator — the daemon is the fabric's front door.
+//
+// Admission degrades gracefully rather than start-or-refuse: jobs carry a
+// priority (0–9, higher is more urgent) and tenants with a queue depth
+// (MaxQueued) park excess submissions in a weighted-FIFO queue instead of
+// refusing them. Budget pressure sheds the lowest-priority queued jobs
+// first (typed RefusedError kind "shed" with a retry_after_ms hint), and
+// a retention/GC pass sweeps terminal jobs' state dirs down to tombstone
+// records so the daemon's disk use is bounded.
 package serve
 
 import (
@@ -27,14 +35,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"singlespec/internal/obs"
 )
 
 // TenantPolicy bounds one tenant's use of the daemon.
 type TenantPolicy struct {
-	// MaxActive caps the tenant's concurrently active (queued, running, or
-	// evicted-but-resumable) jobs; 0 means unlimited.
+	// MaxActive caps the tenant's concurrently active (running or
+	// evicted-but-resumable) jobs; 0 means unlimited. An evicted job keeps
+	// its slot — it is expected back.
 	MaxActive int `json:"max_active,omitempty"`
 	// InstrBudget caps the tenant's lifetime simulated instructions across
 	// all jobs; 0 means unlimited. Budgeted tenants must declare
@@ -43,19 +53,32 @@ type TenantPolicy struct {
 	// total when the job finishes, so a tenant can never over-commit the
 	// budget by racing submissions.
 	InstrBudget uint64 `json:"instr_budget,omitempty"`
+	// MaxQueued selects the admission posture when every MaxActive slot is
+	// taken: 0 refuses outright (start-or-refuse), N > 0 queues up to N
+	// jobs in weighted-FIFO priority order, and -1 queues without bound.
+	MaxQueued int `json:"max_queued,omitempty"`
 }
+
+// queueing reports whether the policy parks excess jobs instead of
+// refusing them.
+func (p TenantPolicy) queueing() bool { return p.MaxQueued != 0 }
 
 // RefusedError is a typed admission refusal. It travels to clients as
 // JSON-RPC error code CodeRefused with this struct as the error data.
 type RefusedError struct {
-	// Kind is "concurrency", "budget", or "invalid".
+	// Kind is "concurrency", "budget", "shed", or "invalid".
 	Kind   string `json:"kind"`
 	Tenant string `json:"tenant"`
 	// Limit and InUse quantify the refusal: active-job counts for
-	// "concurrency", instructions for "budget"; zero for "invalid".
+	// "concurrency", instructions for "budget" and "shed"; zero for
+	// "invalid".
 	Limit  uint64 `json:"limit,omitempty"`
 	InUse  uint64 `json:"in_use,omitempty"`
 	Reason string `json:"reason"`
+	// RetryAfterMS hints when the pressure behind a "concurrency",
+	// "budget", or "shed" refusal is likely to ease (active work draining);
+	// 0 means retrying will not help (the request can never fit).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 func (e *RefusedError) Error() string {
@@ -82,6 +105,16 @@ type Config struct {
 	// Workers is the per-job sweep worker-pool size; <= 0 lets the engine
 	// pick (runtime.NumCPU).
 	Workers int
+	// Retain keeps at most this many terminal jobs' state dirs per tenant;
+	// older ones are swept down to tombstone records. 0 retains everything.
+	Retain int
+	// RetainAge sweeps terminal jobs older than this (measured from the
+	// moment they settled). 0 retains regardless of age.
+	RetainAge time.Duration
+	// EventBuffer bounds each job's in-memory NDJSON replay log; older
+	// events fall off the ring and ?from=N beyond them answers a typed
+	// truncation. <= 0 uses 4096.
+	EventBuffer int
 	// Obs receives daemon-wide serve.* counters; nil allocates an internal
 	// registry. Per-job measurement counters go to per-job registries (so
 	// each job's manifest keeps ssbench's determinism contract), not here.
@@ -95,41 +128,58 @@ type Server struct {
 	cfg      Config
 	stateDir string
 	aotCache string
+	eventCap int
 	reg      *obs.Registry
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
 	order   []string // job ids in admission order
+	queue   []string // waiting job ids, priority-descending then FIFO
 	tenants map[string]*tenantState
 	seq     int
 	closed  bool
 	// running tracks live job goroutines for Close's drain.
 	running sync.WaitGroup
+	gcStop  chan struct{}
+	gcOnce  sync.Once
 }
 
 // tenantState is the admission ledger for one tenant.
 type tenantState struct {
-	// active counts queued + running + evicted (resumable) jobs.
-	active int
-	// reserved is the instruction budget held by active jobs
-	// (max_cell_instr × cells each); spent is the settled retired total of
-	// finished jobs. reserved+spent never exceeds the policy budget.
+	// Per-state job counts, maintained by accountLocked. An evicted job
+	// holds its MaxActive slot (it is expected back); a queued one does
+	// not — it only occupies queue depth.
+	queued, runningN, evicted int
+	// reserved is the instruction budget held by admitted (queued, running,
+	// or evicted) jobs (max_cell_instr × cells each); spent is the settled
+	// retired total of finished jobs. reserved+spent never exceeds the
+	// policy budget.
 	reserved uint64
 	spent    uint64
+	// shed and gcSwept are lifetime degradation counters, surfaced per
+	// tenant in /healthz and the serve.* registry.
+	shed    uint64
+	gcSwept uint64
 }
 
 // New creates the server and recovers every job found under
 // cfg.StateDir: terminal jobs become queryable again (results served from
-// disk), interrupted ones are requeued and resume from their journals.
+// disk), interrupted ones are requeued in priority order and resume from
+// their journals.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Obs,
 		jobs:    map[string]*Job{},
 		tenants: map[string]*tenantState{},
+		gcStop:  make(chan struct{}),
 	}
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
+	}
+	s.eventCap = cfg.EventBuffer
+	if s.eventCap <= 0 {
+		s.eventCap = 4096
 	}
 	s.stateDir = cfg.StateDir
 	if s.stateDir == "" {
@@ -151,6 +201,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := s.recover(); err != nil {
 		return nil, err
+	}
+	s.gc()
+	if cfg.RetainAge > 0 {
+		go s.gcLoop()
 	}
 	return s, nil
 }
@@ -178,37 +232,220 @@ func (s *Server) tenant(name string) *tenantState {
 	return t
 }
 
-// admit runs admission control for one job request under s.mu: the
-// concurrency gate first, then the instruction-budget gate. The returned
-// cost is the budget reservation (0 for unbudgeted tenants).
-func (s *Server) admitLocked(tenant string, req *JobRequest) (cost uint64, err *RefusedError) {
+// accountLocked moves a job between the tenant ledger's per-state buckets.
+// j.acct is the job's last accounted bucket ("" for a brand-new job);
+// "terminal" is the sink. Caller holds s.mu.
+func (s *Server) accountLocked(j *Job, to string) {
+	ts := s.tenant(j.Tenant)
+	switch j.acct {
+	case acctQueued:
+		ts.queued--
+	case acctRunning:
+		ts.runningN--
+	case acctEvicted:
+		ts.evicted--
+	}
+	switch to {
+	case acctQueued:
+		ts.queued++
+	case acctRunning:
+		ts.runningN++
+	case acctEvicted:
+		ts.evicted++
+	}
+	j.acct = to
+}
+
+const (
+	acctQueued   = "queued"
+	acctRunning  = "running"
+	acctEvicted  = "evicted"
+	acctTerminal = "terminal"
+)
+
+// retryHint estimates when a refused submission is worth retrying: one
+// second per admitted job ahead of it, floor one second.
+func retryHint(ts *tenantState) int64 {
+	ahead := ts.runningN + ts.evicted + ts.queued
+	if ahead < 1 {
+		ahead = 1
+	}
+	return int64(ahead) * 1000
+}
+
+// admitLocked runs admission control for one job request under s.mu: the
+// concurrency/queue gate first, then the instruction-budget gate (which
+// may shed queued lower-priority jobs under pressure). The returned cost
+// is the budget reservation (0 for unbudgeted tenants); shed lists jobs
+// the caller must finalize as shed once s.mu is released.
+func (s *Server) admitLocked(tenant string, req *JobRequest) (cost uint64, shed []*Job, err *RefusedError) {
 	pol := s.policy(tenant)
 	ts := s.tenant(tenant)
-	if pol.MaxActive > 0 && ts.active >= pol.MaxActive {
-		return 0, &RefusedError{Kind: "concurrency", Tenant: tenant,
-			Limit: uint64(pol.MaxActive), InUse: uint64(ts.active),
-			Reason: fmt.Sprintf("%d active job(s) at the tenant's limit of %d; wait for one to finish or evict it",
-				ts.active, pol.MaxActive)}
+	occupied := ts.runningN + ts.evicted
+	if pol.MaxActive > 0 && occupied >= pol.MaxActive {
+		if !pol.queueing() {
+			return 0, nil, &RefusedError{Kind: "concurrency", Tenant: tenant,
+				Limit: uint64(pol.MaxActive), InUse: uint64(occupied),
+				RetryAfterMS: retryHint(ts),
+				Reason: fmt.Sprintf("%d active job(s) at the tenant's limit of %d; wait for one to finish or evict it",
+					occupied, pol.MaxActive)}
+		}
+		if pol.MaxQueued > 0 && ts.queued >= pol.MaxQueued {
+			return 0, nil, &RefusedError{Kind: "concurrency", Tenant: tenant,
+				Limit: uint64(pol.MaxQueued), InUse: uint64(ts.queued),
+				RetryAfterMS: retryHint(ts),
+				Reason: fmt.Sprintf("queue depth %d at the tenant's cap of %d; retry after the hint or raise the job's priority",
+					ts.queued, pol.MaxQueued)}
+		}
 	}
 	if pol.InstrBudget > 0 {
 		if req.MaxCellInstr == 0 {
-			return 0, &RefusedError{Kind: "budget", Tenant: tenant,
+			return 0, nil, &RefusedError{Kind: "budget", Tenant: tenant,
 				Limit: pol.InstrBudget, InUse: ts.reserved + ts.spent,
 				Reason: "budgeted tenants must declare max_cell_instr so admission can reserve the job's worst-case cost"}
 		}
 		cost = req.MaxCellInstr * uint64(req.cells())
 		if ts.reserved+ts.spent+cost > pol.InstrBudget {
-			return 0, &RefusedError{Kind: "budget", Tenant: tenant,
-				Limit: pol.InstrBudget, InUse: ts.reserved + ts.spent,
-				Reason: fmt.Sprintf("job would reserve %d instructions (%d cells × %d) against %d remaining",
-					cost, req.cells(), req.MaxCellInstr, pol.InstrBudget-ts.reserved-ts.spent)}
+			// Shed only when shedding can actually admit the request:
+			// releasing every lower-priority queued reservation must make it
+			// fit, or queued work would be dropped for a job that is refused
+			// anyway.
+			if pol.queueing() && ts.reserved+ts.spent+cost-s.sheddableLocked(tenant, req.Priority) <= pol.InstrBudget {
+				shed = s.shedForLocked(tenant, ts, pol, req.Priority, cost)
+			}
+			if ts.reserved+ts.spent+cost > pol.InstrBudget {
+				kind := "budget"
+				retry := int64(0)
+				if ts.spent+cost <= pol.InstrBudget {
+					// The request fits an idle budget: pressure from admitted
+					// work is the obstacle, so retrying (or outranking the
+					// queue) can succeed later.
+					retry = retryHint(ts)
+					if pol.queueing() {
+						// Under a queueing policy the incoming job itself is
+						// the lowest-priority work under pressure: it is shed
+						// at the door rather than parked to be shed next.
+						kind = "shed"
+					}
+				}
+				return 0, shed, &RefusedError{Kind: kind, Tenant: tenant,
+					Limit: pol.InstrBudget, InUse: ts.reserved + ts.spent,
+					RetryAfterMS: retry,
+					Reason: fmt.Sprintf("job would reserve %d instructions (%d cells × %d) against %d remaining",
+						cost, req.cells(), req.MaxCellInstr, pol.InstrBudget-ts.reserved-ts.spent)}
+			}
 		}
 	}
-	return cost, nil
+	return cost, shed, nil
 }
 
-// Submit admits and starts one job. The *RefusedError return carries typed
-// admission refusals; other errors are validation or persistence failures.
+// sheddableLocked sums the budget reservations of the tenant's queued
+// jobs with priority strictly below prio — the most shedding could free.
+func (s *Server) sheddableLocked(tenant string, prio int) uint64 {
+	var total uint64
+	for _, id := range s.queue {
+		if j := s.jobs[id]; j.Tenant == tenant && j.req.Priority < prio {
+			total += j.cost
+		}
+	}
+	return total
+}
+
+// shedForLocked releases queued jobs of the tenant with priority strictly
+// below prio — lowest priority first, newest first within a priority —
+// until the incoming reservation fits. The shed jobs are removed from the
+// queue and their ledgers settled here; the caller finalizes their state
+// once s.mu is released.
+func (s *Server) shedForLocked(tenant string, ts *tenantState, pol TenantPolicy, prio int, cost uint64) []*Job {
+	type cand struct {
+		j   *Job
+		pos int
+	}
+	var cands []cand
+	for pos, id := range s.queue {
+		j := s.jobs[id]
+		if j.Tenant == tenant && j.req.Priority < prio {
+			cands = append(cands, cand{j, pos})
+		}
+	}
+	// Lowest priority first; newest first within a priority (the most
+	// recently queued lowest-priority work is the cheapest to give up).
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].j.req.Priority != cands[b].j.req.Priority {
+			return cands[a].j.req.Priority < cands[b].j.req.Priority
+		}
+		return seqOf(cands[a].j.ID) > seqOf(cands[b].j.ID)
+	})
+	var shed []*Job
+	for _, c := range cands {
+		if ts.reserved+ts.spent+cost <= pol.InstrBudget {
+			break
+		}
+		s.removeFromQueueLocked(c.j.ID)
+		s.accountLocked(c.j, acctTerminal)
+		ts.reserved -= c.j.cost
+		ts.shed++
+		shed = append(shed, c.j)
+	}
+	return shed
+}
+
+func (s *Server) removeFromQueueLocked(id string) bool {
+	for i, qid := range s.queue {
+		if qid == id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// enqueueLocked inserts a job into the wait queue in weighted-FIFO order:
+// priority descending, admission order within a priority.
+func (s *Server) enqueueLocked(j *Job) {
+	pos := len(s.queue)
+	for i, id := range s.queue {
+		if s.jobs[id].req.Priority < j.req.Priority {
+			pos = i
+			break
+		}
+	}
+	s.queue = append(s.queue, "")
+	copy(s.queue[pos+1:], s.queue[pos:])
+	s.queue[pos] = j.ID
+	s.accountLocked(j, acctQueued)
+	s.reg.Counter("serve.queue.enqueued").Inc()
+	s.reg.Counter("serve.tenant." + j.Tenant + ".enqueued").Inc()
+}
+
+// dispatchLocked starts every queued job whose tenant has a free
+// MaxActive slot, in queue (priority) order. Returns the jobs to start;
+// the caller launches them once s.mu is released.
+func (s *Server) dispatchLocked() []*Job {
+	if s.closed {
+		return nil
+	}
+	var started []*Job
+	for i := 0; i < len(s.queue); {
+		j := s.jobs[s.queue[i]]
+		pol := s.policy(j.Tenant)
+		ts := s.tenant(j.Tenant)
+		if pol.MaxActive > 0 && ts.runningN+ts.evicted >= pol.MaxActive {
+			i++
+			continue
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.accountLocked(j, acctRunning)
+		s.reg.Counter("serve.queue.dispatched").Inc()
+		started = append(started, j)
+	}
+	return started
+}
+
+// Submit admits one job: it starts immediately when its tenant has a free
+// slot, waits in the priority queue when the policy allows queueing, and
+// is otherwise refused. The *RefusedError return carries typed admission
+// refusals; other errors are validation or persistence failures.
 func (s *Server) Submit(tenant string, req JobRequest) (*Job, error) {
 	if tenant == "" {
 		tenant = "default"
@@ -221,9 +458,10 @@ func (s *Server) Submit(tenant string, req JobRequest) (*Job, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("serve: server is shutting down")
 	}
-	cost, refused := s.admitLocked(tenant, &req)
+	cost, shedJobs, refused := s.admitLocked(tenant, &req)
 	if refused != nil {
 		s.mu.Unlock()
+		s.finalizeShed(shedJobs)
 		s.reg.Counter("serve.jobs.refused." + refused.Kind).Inc()
 		return nil, refused
 	}
@@ -232,23 +470,50 @@ func (s *Server) Submit(tenant string, req JobRequest) (*Job, error) {
 	j := newJob(s, id, tenant, req, cost)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	ts := s.tenant(tenant)
-	ts.active++
-	ts.reserved += cost
+	s.tenant(tenant).reserved += cost
+	s.enqueueLocked(j)
+	started := s.dispatchLocked()
 	s.mu.Unlock()
+	s.finalizeShed(shedJobs)
 
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		// started can only contain j itself here (no slot was freed), so
+		// settling it is the whole cleanup.
 		s.settle(j, stateFailed, 0, err)
+		j.finish()
 		return nil, err
 	}
 	j.setState(stateQueued, nil)
 	s.reg.Counter("serve.jobs.submitted").Inc()
-	s.logf("serve: job %s (%s, tenant %s) admitted", id, req.Kind, tenant)
-	s.start(j)
+	s.logf("serve: job %s (%s, tenant %s, priority %d) admitted", id, req.Kind, tenant, req.Priority)
+	for _, sj := range started {
+		s.start(sj)
+	}
 	return j, nil
 }
 
-// start launches a job's run goroutine.
+// finalizeShed records the terminal outcome of jobs admitLocked shed
+// (their ledgers are already settled): state "shed" with the typed
+// refusal as the job error, so pollers and streams see why.
+func (s *Server) finalizeShed(jobs []*Job) {
+	for _, j := range jobs {
+		ref := &RefusedError{Kind: "shed", Tenant: j.Tenant,
+			RetryAfterMS: 1000,
+			Reason:       fmt.Sprintf("queued job %s (priority %d) shed under budget pressure from higher-priority work; resubmit after the hint", j.ID, j.req.Priority)}
+		j.setState(stateShed, ref)
+		j.emit(Event{Type: "error", Error: ref.Error(), Code: CodeRefused})
+		j.finish()
+		s.reg.Counter("serve.jobs.shed").Inc()
+		s.reg.Counter("serve.tenant." + j.Tenant + ".shed").Inc()
+		s.logf("serve: job %s (tenant %s, priority %d) shed under budget pressure", j.ID, j.Tenant, j.req.Priority)
+	}
+	if len(jobs) > 0 {
+		s.gc()
+	}
+}
+
+// start launches a job's run goroutine. The job is already accounted as
+// running.
 func (s *Server) start(j *Job) {
 	s.running.Add(1)
 	go func() {
@@ -257,26 +522,33 @@ func (s *Server) start(j *Job) {
 	}()
 }
 
-// settle moves a job to a terminal-or-evicted state and updates the
-// tenant ledger: evicted jobs stay active (they hold their reservation —
-// they are expected to resume); terminal jobs release the reservation and
-// settle the actual retired total against the budget.
+// settle moves a job to a terminal state, updates the tenant ledger
+// (releasing the worst-case reservation and charging the actual retired
+// total), and dispatches queued work into the freed slot.
 func (s *Server) settle(j *Job, state string, instret uint64, err error) {
 	s.mu.Lock()
 	ts := s.tenant(j.Tenant)
-	if state != stateEvicted {
-		ts.active--
-		ts.reserved -= j.cost
-		ts.spent += instret
-	}
+	s.removeFromQueueLocked(j.ID)
+	s.accountLocked(j, acctTerminal)
+	ts.reserved -= j.cost
+	ts.spent += instret
+	started := s.dispatchLocked()
 	s.mu.Unlock()
 	j.setInstret(instret)
+	j.setDoneAt(time.Now().UnixMilli())
 	j.setState(state, err)
 	s.reg.Counter("serve.jobs." + state).Inc()
+	for _, sj := range started {
+		s.start(sj)
+	}
+	s.gc()
 }
 
 // Resume requeues an evicted job; it continues from its journal (and, for
-// kernel jobs, its checkpoint ring) rather than recomputing finished work.
+// kernel and campaign jobs, its checkpoint ring) rather than recomputing
+// finished work. The job re-enters the priority queue but keeps its
+// MaxActive slot and budget reservation, so resuming never re-runs
+// admission.
 func (s *Server) Resume(id string) error {
 	s.mu.Lock()
 	j := s.jobs[id]
@@ -288,28 +560,52 @@ func (s *Server) Resume(id string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("serve: server is shutting down")
 	}
+	if j.Gone() {
+		s.mu.Unlock()
+		return &GoneError{ID: id}
+	}
 	if st := j.State(); st != stateEvicted {
 		s.mu.Unlock()
 		return &BadStateError{ID: id, State: st, Op: "resume"}
 	}
 	j.rearm()
+	// The evicted job holds its slot, so moving it evicted→running can
+	// never overshoot MaxActive; it still honors queue priority order by
+	// re-dispatching through the queue.
+	s.enqueueLocked(j)
+	started := s.dispatchLocked()
 	s.mu.Unlock()
 	j.setState(stateQueued, nil)
 	s.reg.Counter("serve.jobs.resumed").Inc()
-	s.start(j)
+	for _, sj := range started {
+		s.start(sj)
+	}
 	return nil
 }
 
-// Evict interrupts a running job and parks it as evicted: its journal and
-// checkpoint ring stay on disk, its budget reservation stays held, and
-// Resume (or a daemon restart) finishes it with byte-identical output.
+// Evict interrupts a running job — or pulls a queued one out of the wait
+// queue — and parks it as evicted: its journal and checkpoint ring stay on
+// disk, its budget reservation and MaxActive slot stay held, and Resume
+// (or a daemon restart) finishes it with byte-identical output.
 func (s *Server) Evict(id string) error {
 	s.mu.Lock()
 	j := s.jobs[id]
-	s.mu.Unlock()
 	if j == nil {
+		s.mu.Unlock()
 		return &UnknownJobError{ID: id}
 	}
+	if j.Gone() {
+		s.mu.Unlock()
+		return &GoneError{ID: id}
+	}
+	if s.removeFromQueueLocked(id) {
+		// Still waiting: no run goroutine to wind down.
+		s.accountLocked(j, acctEvicted)
+		s.mu.Unlock()
+		s.park(j)
+		return nil
+	}
+	s.mu.Unlock()
 	switch j.State() {
 	case stateQueued, stateRunning:
 	default:
@@ -325,19 +621,31 @@ func (s *Server) Evict(id string) error {
 	return nil
 }
 
-// Cancel terminally abandons a job: a running one is interrupted first,
-// then the reservation is released and the job will not resume.
+// Cancel terminally abandons a job: a queued one leaves the queue, a
+// running one is interrupted first, then the reservation is released and
+// the job will not resume.
 func (s *Server) Cancel(id string) error {
 	s.mu.Lock()
 	j := s.jobs[id]
-	s.mu.Unlock()
 	if j == nil {
+		s.mu.Unlock()
 		return &UnknownJobError{ID: id}
 	}
-	switch j.State() {
-	case stateQueued, stateRunning:
-		j.requestEvict()
-		j.waitIdle()
+	if j.Gone() {
+		s.mu.Unlock()
+		return &GoneError{ID: id}
+	}
+	if s.removeFromQueueLocked(id) {
+		s.accountLocked(j, acctEvicted)
+		s.mu.Unlock()
+		s.park(j)
+	} else {
+		s.mu.Unlock()
+		switch j.State() {
+		case stateQueued, stateRunning:
+			j.requestEvict()
+			j.waitIdle()
+		}
 	}
 	switch j.State() {
 	case stateEvicted:
@@ -375,21 +683,73 @@ func (s *Server) Jobs(tenant string) []*Job {
 // Metrics snapshots the daemon-wide registry.
 func (s *Server) Metrics() obs.Snapshot { return s.reg.Snapshot() }
 
+// TenantHealth is one tenant's live degradation picture in GET /healthz:
+// queue depth and slot occupancy are gauges read under the admission lock,
+// shed/GC counts are lifetime counters (mirrored in the serve.* registry),
+// and reserved/spent expose the instruction-budget ledger.
+type TenantHealth struct {
+	Running  int    `json:"running"`
+	Queued   int    `json:"queued"`
+	Evicted  int    `json:"evicted"`
+	Shed     uint64 `json:"shed"`
+	GCSwept  uint64 `json:"gc_swept"`
+	Reserved uint64 `json:"reserved"`
+	Spent    uint64 `json:"spent"`
+}
+
+// Health is the GET /healthz document.
+type Health struct {
+	OK      bool                    `json:"ok"`
+	Jobs    int                     `json:"jobs"`
+	Queued  int                     `json:"queued"`
+	Tenants map[string]TenantHealth `json:"tenants,omitempty"`
+}
+
+// Health snapshots the daemon's live admission state.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{OK: true, Jobs: len(s.jobs), Queued: len(s.queue),
+		Tenants: map[string]TenantHealth{}}
+	for name, ts := range s.tenants {
+		h.Tenants[name] = TenantHealth{
+			Running: ts.runningN, Queued: ts.queued, Evicted: ts.evicted,
+			Shed: ts.shed, GCSwept: ts.gcSwept,
+			Reserved: ts.reserved, Spent: ts.spent,
+		}
+	}
+	return h
+}
+
 // Close winds the daemon down for restart: every running job is evicted
-// (journal flushed, state persisted) and the job goroutines are drained.
-// A subsequent New on the same state dir resumes them.
+// (journal flushed, state persisted), queued jobs are parked evicted (the
+// queue drains gracefully — nothing is dropped), and the job goroutines
+// are drained. A subsequent New on the same state dir resumes them in
+// priority order.
 func (s *Server) Close() {
+	s.gcOnce.Do(func() { close(s.gcStop) })
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	waiting := append([]string(nil), s.queue...)
+	s.queue = nil
+	var parked []*Job
+	for _, id := range waiting {
+		j := s.jobs[id]
+		s.accountLocked(j, acctEvicted)
+		parked = append(parked, j)
+	}
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	for _, j := range parked {
+		s.park(j)
+	}
 	for _, j := range jobs {
 		switch j.State() {
 		case stateQueued, stateRunning:
@@ -400,9 +760,10 @@ func (s *Server) Close() {
 }
 
 // recover scans the state dir and re-registers every persisted job.
-// Terminal jobs are loaded for queries; non-terminal ones (queued,
-// running, or evicted at the moment the previous daemon died) are
-// requeued and resume from their journals.
+// Terminal jobs are loaded for queries (tombstones of GC'd ones answer
+// typed "gone"); non-terminal ones (queued, running, or evicted at the
+// moment the previous daemon died) are requeued in priority order and
+// resume from their journals.
 func (s *Server) recover() error {
 	root := filepath.Join(s.stateDir, "jobs")
 	ents, err := os.ReadDir(root)
@@ -430,22 +791,39 @@ func (s *Server) recover() error {
 		}
 		ts := s.tenant(j.Tenant)
 		switch j.State() {
-		case stateDone, stateFailed, stateCanceled:
+		case stateDone, stateFailed, stateCanceled, stateShed:
+			j.acct = acctTerminal
 			ts.spent += j.Instret()
+			if j.Gone() {
+				ts.gcSwept++
+			}
 		default:
 			// The job was in flight (or parked evicted) when the previous
 			// daemon died: it keeps its admission slot and reservation and
 			// resumes from its journal.
-			ts.active++
 			ts.reserved += j.cost
 			j.rearm()
 			requeue = append(requeue, j)
 		}
 	}
+	// Priority order, admission order within a priority: a restarted
+	// daemon drains its backlog most-urgent-first.
+	sort.SliceStable(requeue, func(a, b int) bool {
+		if requeue[a].req.Priority != requeue[b].req.Priority {
+			return requeue[a].req.Priority > requeue[b].req.Priority
+		}
+		return seqOf(requeue[a].ID) < seqOf(requeue[b].ID)
+	})
+	for _, j := range requeue {
+		s.enqueueLocked(j)
+	}
+	started := s.dispatchLocked()
 	for _, j := range requeue {
 		j.setState(stateQueued, nil)
 		s.reg.Counter("serve.jobs.recovered").Inc()
-		s.logf("serve: recovered job %s (tenant %s), resuming", j.ID, j.Tenant)
+		s.logf("serve: recovered job %s (tenant %s, priority %d), resuming", j.ID, j.Tenant, j.req.Priority)
+	}
+	for _, j := range started {
 		s.start(j)
 	}
 	return nil

@@ -373,7 +373,7 @@ func TestSweepJobEvictResumeMatchesReference(t *testing.T) {
 			// The engine resolves unmeasured cells as interrupted markers on
 			// the way down; at least one must be present (i.e., the sweep
 			// really was cut short).
-			evs, _, _ := j.Events(0, 0)
+			evs, _, _, _ := j.Events(0, 0)
 			cut := 0
 			for _, ev := range evs {
 				if ev.Type == "cell" && ev.Status == "interrupted" {
