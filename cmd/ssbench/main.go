@@ -81,6 +81,7 @@ func main() {
 	ckptEvery := flag.Uint64("ckpt-every", 0, "capture an in-cell machine checkpoint every N simulated instructions (0 disables); transient cell retries then resume from the last checkpoint instead of rerunning the cell")
 	backendName := flag.String("backend", "interp", "Table II execution backend: interp (in-process), aot (generated runner binaries), or both (each cell measured twice, with a deterministic-parity check)")
 	aotCache := flag.String("aot-cache", "", "directory caching compiled AOT runner binaries (keyed by source hash); empty uses a per-run temporary cache")
+	aotPlugin := flag.Bool("aot-plugin", false, "load AOT runners in process via the Go plugin transport where the toolchain supports it, falling back to subprocess runners where it does not (results identical; see EXPERIMENTS.md)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	serveFabric := flag.String("serve-fabric", "", "run the Table II sweep as a fabric coordinator listening on this address (e.g. 127.0.0.1:7707); workers join with -join (see EXPERIMENTS.md)")
 	join := flag.String("join", "", "run as a fabric worker joining the coordinator at this address; sweep flags (-scale, -metric, -backend, ...) must match the coordinator's or the worker is refused")
@@ -140,6 +141,7 @@ func main() {
 			"ckpt-every":   strconv.FormatUint(*ckptEvery, 10),
 			"backend":      *backendName,
 			"aot-cache":    *aotCache,
+			"aot-plugin":   strconv.FormatBool(*aotPlugin),
 		}
 		if *serveFabric != "" {
 			man.Flags["serve-fabric"] = *serveFabric
@@ -191,7 +193,7 @@ func main() {
 	}
 	cfg := expt.Config{Scale: *scale, MinDur: *dur, Workers: *parallel, Metric: metric,
 		CellTimeout: *cellTimeout, Obs: reg, CkptEvery: *ckptEvery, Interrupt: interrupt,
-		Backend: backend, AOTCacheDir: *aotCache,
+		Backend: backend, AOTCacheDir: *aotCache, AOTPlugin: *aotPlugin,
 		RetryBackoff: *retryBackoff, RetrySeed: *retrySeed}
 
 	// Fabric worker mode: join a coordinator and serve leases until the

@@ -2,6 +2,7 @@ package aot
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ func TestMain(m *testing.M) {
 // built here.
 func requireToolchain(t *testing.T) {
 	t.Helper()
-	if _, err := goVersion(); errors.Is(err, ErrNoToolchain) {
+	if _, err := probeToolchain(); errors.Is(err, ErrNoToolchain) {
 		t.Skip("skipping: go toolchain not available on PATH")
 	} else if err != nil {
 		t.Fatal(err)
@@ -224,6 +225,59 @@ func TestBuildCacheCorruption(t *testing.T) {
 	}
 }
 
+// TestBuildCacheSpoofedManifest: a manifest claiming a foreign GOOS/GOARCH
+// for our cache key must be treated as corrupt. The key itself covers the
+// platform, so such an entry can only be damage or tampering (e.g. a shared
+// NFS cache edited by a foreign worker) — the binary is rebuilt, never
+// exec'd on the strength of the spoofed claim.
+func TestBuildCacheSpoofedManifest(t *testing.T) {
+	requireToolchain(t)
+	i, sim := loadSim(t, "alpha64", "one_min")
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	first, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manPath := filepath.Join(filepath.Dir(first.BinPath), "manifest.json")
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(manData, &man); err != nil {
+		t.Fatal(err)
+	}
+	man.GoOS, man.GoArch = "plan9", "mips64"
+	spoofed, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, spoofed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("binary under a foreign-platform manifest was served from cache")
+	}
+	if got := reg.Counter("aot.cache.corrupt").Load(); got != 1 {
+		t.Fatalf("aot.cache.corrupt = %d, want 1", got)
+	}
+	if got := reg.Counter("aot.build").Load(); got != 2 {
+		t.Fatalf("aot.build = %d, want 2", got)
+	}
+	third, err := Build(sim, RunnerConvFor(i.Conv), dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Cached {
+		t.Fatal("rebuilt entry did not verify on the next lookup")
+	}
+}
+
 // TestBuildCacheConcurrent: racing cells on one cache entry build exactly
 // once (run under -race in CI).
 func TestBuildCacheConcurrent(t *testing.T) {
@@ -387,6 +441,99 @@ func requireProtocolError(t *testing.T, err error) {
 	if !errors.As(err, &pe) {
 		t.Fatalf("decoder returned untyped error %T: %v", err, err)
 	}
+}
+
+// FuzzBatchedRecordFrames targets the batched 'R' frame path specifically:
+// the runner coalesces up to pipe-buffer-sized runs of records into one
+// frame with a single count prefix, so the decoder must round-trip
+// arbitrary batch shapes exactly, honor append semantics into a caller
+// slice with independent per-record value storage, and reject truncations
+// and count lies with a typed *ProtocolError — never a panic or a
+// count-driven over-allocation.
+func FuzzBatchedRecordFrames(f *testing.F) {
+	f.Add(uint16(0), uint8(0), uint8(0))
+	f.Add(uint16(1), uint8(3), uint8(1))
+	f.Add(uint16(257), uint8(1), uint8(7))
+	f.Add(uint16(1000), uint8(4), uint8(31))
+	f.Add(uint16(9), uint8(7), uint8(255))
+	f.Fuzz(func(t *testing.T, nRecs uint16, visRaw, salt uint8) {
+		nVis := int(visRaw % 8)
+		frame := []byte{'R'}
+		frame = binary.LittleEndian.AppendUint32(frame, uint32(nRecs))
+		for i := 0; i < int(nRecs); i++ {
+			var hdr [32]byte
+			binary.LittleEndian.PutUint64(hdr[0:], uint64(i)*4+uint64(salt))
+			binary.LittleEndian.PutUint64(hdr[8:], uint64(i)*4)
+			binary.LittleEndian.PutUint64(hdr[16:], uint64(i)*4+4)
+			binary.LittleEndian.PutUint32(hdr[24:], uint32(i)^uint32(salt)<<8)
+			binary.LittleEndian.PutUint16(hdr[28:], uint16(i))
+			frame = append(frame, hdr[:]...)
+			for v := 0; v < nVis; v++ {
+				frame = binary.LittleEndian.AppendUint64(frame, uint64(i)*8+uint64(v))
+			}
+		}
+
+		recs, err := decodeRecordsFrame(frame, nVis, nil)
+		if err != nil {
+			t.Fatalf("well-formed batch rejected: %v", err)
+		}
+		if len(recs) != int(nRecs) {
+			t.Fatalf("decoded %d records, want %d", len(recs), nRecs)
+		}
+		for i, r := range recs {
+			if r.PC != uint64(i)*4+uint64(salt) || r.InstrID != uint16(i) {
+				t.Fatalf("record %d decoded wrong: %+v", i, r)
+			}
+			for v := 0; v < nVis; v++ {
+				if r.Vals[v] != uint64(i)*8+uint64(v) {
+					t.Fatalf("record %d value %d decoded wrong: %d", i, v, r.Vals[v])
+				}
+			}
+		}
+
+		// Append semantics: decoding into an existing slice extends it, and
+		// the flat value storage must still hand out full-capacity subslices
+		// so growing one record's values cannot clobber its neighbor.
+		both, err := decodeRecordsFrame(frame, nVis, recs)
+		if err != nil {
+			t.Fatalf("append decode failed: %v", err)
+		}
+		if len(both) != 2*int(nRecs) {
+			t.Fatalf("append decode produced %d records, want %d", len(both), 2*int(nRecs))
+		}
+		if nVis > 0 && nRecs >= 2 {
+			both[0].Vals = append(both[0].Vals, 0xdead)
+			if both[1].Vals[0] != 8 {
+				t.Fatal("growing one record's values clobbered its neighbor")
+			}
+		}
+
+		// Every strict truncation must fail typed: the count prefix then
+		// disagrees with the payload length.
+		for _, cut := range []int{0, 1, 3, len(frame) / 2, len(frame) - 1} {
+			if cut >= len(frame) {
+				continue
+			}
+			_, err := decodeRecordsFrame(frame[:cut], nVis, nil)
+			if err == nil {
+				t.Fatalf("truncation to %d of %d bytes accepted", cut, len(frame))
+			}
+			requireProtocolError(t, err)
+		}
+		// So must trailing garbage and a count that lies upward.
+		if _, err := decodeRecordsFrame(append(frame[:len(frame):len(frame)], salt), nVis, nil); err == nil {
+			t.Fatal("trailing garbage accepted")
+		} else {
+			requireProtocolError(t, err)
+		}
+		lying := append([]byte(nil), frame...)
+		binary.LittleEndian.PutUint32(lying[1:], uint32(nRecs)+1)
+		if _, err := decodeRecordsFrame(lying, nVis, nil); err == nil {
+			t.Fatal("count lying past the payload accepted")
+		} else {
+			requireProtocolError(t, err)
+		}
+	})
 }
 
 // TestCacheDirLayout documents the on-disk contract: one directory per

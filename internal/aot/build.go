@@ -26,7 +26,8 @@ import (
 
 // abiVersion names the runner protocol + harness contract. It participates
 // in the cache key so a protocol change can never reuse a stale binary.
-const abiVersion = "aot-v1"
+// v2: superblock drivers, batched record frames, plugin exports.
+const abiVersion = "aot-v2"
 
 // ErrNoToolchain reports that the go toolchain needed to build runner
 // binaries is not on PATH. Callers (tests, sweeps) skip AOT cells with this
@@ -64,35 +65,60 @@ type manifest struct {
 	BinarySHA256 string `json:"binary_sha256"`
 	Key          string `json:"key"`
 	GoVersion    string `json:"go_version"`
+	GoOS         string `json:"go_os"`
+	GoArch       string `json:"go_arch"`
 	Spec         string `json:"spec"`
 	Buildset     string `json:"buildset"`
 }
 
+// toolchain describes the go toolchain on PATH and the platform it targets.
+// GOOS/GOARCH participate in the cache key and manifest so a cache directory
+// shared across heterogeneous workers (NFS fleets) can never serve a
+// wrong-platform binary: a foreign entry lands under a different key, and a
+// manifest claiming the local platform for a foreign binary is rejected as
+// corrupt.
+type toolchain struct {
+	Version string
+	OS      string
+	Arch    string
+}
+
 var (
-	goVersionOnce sync.Once
-	goVersionStr  string
-	goVersionErr  error
+	goProbeOnce sync.Once
+	goProbeTC   toolchain
+	goProbeErr  error
 )
 
-// goVersion returns the `go version` string of the toolchain on PATH,
-// probing once per process. The toolchain that builds runners is the one on
-// PATH, not necessarily the one that built this host binary, so the probe
-// asks it directly rather than trusting runtime.Version.
-func goVersion() (string, error) {
-	goVersionOnce.Do(func() {
+// probeToolchain asks the toolchain on PATH for its version and target
+// platform, once per process. The toolchain that builds runners is the one
+// on PATH, not necessarily the one that built this host binary, so the probe
+// asks it directly rather than trusting runtime.Version/GOOS/GOARCH.
+func probeToolchain() (toolchain, error) {
+	goProbeOnce.Do(func() {
 		gobin, err := exec.LookPath("go")
 		if err != nil {
-			goVersionErr = ErrNoToolchain
+			goProbeErr = ErrNoToolchain
 			return
 		}
 		out, err := exec.Command(gobin, "version").Output()
 		if err != nil {
-			goVersionErr = fmt.Errorf("aot: probing go version: %w", err)
+			goProbeErr = fmt.Errorf("aot: probing go version: %w", err)
 			return
 		}
-		goVersionStr = strings.TrimSpace(string(out))
+		goProbeTC.Version = strings.TrimSpace(string(out))
+		out, err = exec.Command(gobin, "env", "GOOS", "GOARCH").Output()
+		if err != nil {
+			goProbeErr = fmt.Errorf("aot: probing go platform: %w", err)
+			return
+		}
+		fields := strings.Fields(string(out))
+		if len(fields) != 2 {
+			goProbeErr = fmt.Errorf("aot: unexpected go env output %q", out)
+			return
+		}
+		goProbeTC.OS, goProbeTC.Arch = fields[0], fields[1]
 	})
-	return goVersionStr, goVersionErr
+	return goProbeTC, goProbeErr
 }
 
 // inflight is the in-process singleflight state for one cache key: racing
@@ -116,7 +142,7 @@ var (
 // rebuild, never silent use. Concurrent calls for one key build exactly
 // once per process.
 func Build(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Registry) (*BuildResult, error) {
-	gover, err := goVersion()
+	tc, err := probeToolchain()
 	if err != nil {
 		return nil, err
 	}
@@ -124,12 +150,7 @@ func Build(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Regist
 	if err != nil {
 		return nil, err
 	}
-	h := sha256.New()
-	for _, part := range []string{abiVersion, gover, runnerGoMod, runnerHarness, src} {
-		h.Write([]byte(part))
-		h.Write([]byte{0})
-	}
-	key := hex.EncodeToString(h.Sum(nil))
+	key := cacheKey(tc, src)
 	entryDir := filepath.Join(cacheDir, key[:16])
 
 	buildMu.Lock()
@@ -142,7 +163,7 @@ func Build(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Regist
 	buildInflight[entryDir] = fl
 	buildMu.Unlock()
 
-	fl.res, fl.err = buildLocked(sim, src, key, cacheDir, entryDir, gover, reg)
+	fl.res, fl.err = buildLocked(sim, src, key, cacheDir, entryDir, tc, reg)
 	buildMu.Lock()
 	delete(buildInflight, entryDir)
 	buildMu.Unlock()
@@ -150,11 +171,23 @@ func Build(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Regist
 	return fl.res, fl.err
 }
 
-func buildLocked(sim *core.Sim, src, key, cacheDir, entryDir, gover string, reg *obs.Registry) (*BuildResult, error) {
+// cacheKey covers everything that determines the binary: the ABI tag, the
+// toolchain version and target platform, go.mod, the static harness, and
+// the generated source.
+func cacheKey(tc toolchain, src string) string {
+	h := sha256.New()
+	for _, part := range []string{abiVersion, tc.Version, tc.OS, tc.Arch, runnerGoMod, runnerHarness, src} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func buildLocked(sim *core.Sim, src, key, cacheDir, entryDir string, tc toolchain, reg *obs.Registry) (*BuildResult, error) {
 	binPath := filepath.Join(entryDir, "runner")
 	manPath := filepath.Join(entryDir, "manifest.json")
 
-	if ok, corrupt := verifyCached(binPath, manPath, key); ok {
+	if ok, corrupt := verifyCached(binPath, manPath, key, tc); ok {
 		count(reg, "aot.cache.hit")
 		return &BuildResult{BinPath: binPath, Key: key, Cached: true}, nil
 	} else if corrupt {
@@ -197,38 +230,54 @@ func buildLocked(sim *core.Sim, src, key, cacheDir, entryDir, gover string, reg 
 	if err != nil {
 		return nil, fmt.Errorf("aot: reading built runner: %w", err)
 	}
-	sum := sha256.Sum256(binData)
-	man := manifest{
-		BinarySHA256: hex.EncodeToString(sum[:]),
-		Key:          key,
-		GoVersion:    gover,
-		Spec:         sim.Spec.Name,
-		Buildset:     sim.BS.Name,
-	}
-	manData, err := json.MarshalIndent(&man, "", "  ")
-	if err != nil {
+	man := newManifest(binData, key, tc, sim)
+	if err := installArtifact(tmp, tmpBin, binPath, manPath, man); err != nil {
 		return nil, err
-	}
-	tmpMan := filepath.Join(tmp, "manifest.json")
-	if err := os.WriteFile(tmpMan, manData, 0o644); err != nil {
-		return nil, fmt.Errorf("aot: writing manifest: %w", err)
-	}
-	// Binary first, manifest last: a crash in between leaves a manifest-less
-	// entry that the next Build treats as a miss, never a torn hit.
-	if err := os.Rename(tmpBin, binPath); err != nil {
-		return nil, fmt.Errorf("aot: installing runner: %w", err)
-	}
-	if err := os.Rename(tmpMan, manPath); err != nil {
-		return nil, fmt.Errorf("aot: installing manifest: %w", err)
 	}
 	return &BuildResult{BinPath: binPath, Key: key}, nil
 }
 
+// newManifest describes a freshly built artifact.
+func newManifest(binData []byte, key string, tc toolchain, sim *core.Sim) manifest {
+	sum := sha256.Sum256(binData)
+	return manifest{
+		BinarySHA256: hex.EncodeToString(sum[:]),
+		Key:          key,
+		GoVersion:    tc.Version,
+		GoOS:         tc.OS,
+		GoArch:       tc.Arch,
+		Spec:         sim.Spec.Name,
+		Buildset:     sim.BS.Name,
+	}
+}
+
+// installArtifact moves a built artifact and its manifest into the cache
+// entry. Binary first, manifest last: a crash in between leaves a
+// manifest-less entry that the next build treats as a miss, never a torn
+// hit.
+func installArtifact(tmp, tmpBin, binPath, manPath string, man manifest) error {
+	manData, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmpMan := filepath.Join(tmp, filepath.Base(manPath))
+	if err := os.WriteFile(tmpMan, manData, 0o644); err != nil {
+		return fmt.Errorf("aot: writing manifest: %w", err)
+	}
+	if err := os.Rename(tmpBin, binPath); err != nil {
+		return fmt.Errorf("aot: installing artifact: %w", err)
+	}
+	if err := os.Rename(tmpMan, manPath); err != nil {
+		return fmt.Errorf("aot: installing manifest: %w", err)
+	}
+	return nil
+}
+
 // verifyCached reports whether the cached binary at binPath is usable
-// (manifest present, key matches, binary hash matches). corrupt is true
-// when artifacts exist but fail verification — distinguishing damage from
-// a plain cold miss.
-func verifyCached(binPath, manPath, key string) (ok, corrupt bool) {
+// (manifest present, key and platform match, binary hash matches). corrupt
+// is true when artifacts exist but fail verification — distinguishing damage
+// from a plain cold miss.
+func verifyCached(binPath, manPath, key string, tc toolchain) (ok, corrupt bool) {
 	manData, err := os.ReadFile(manPath)
 	if err != nil {
 		// Missing manifest with a present binary is a torn install.
@@ -239,6 +288,11 @@ func verifyCached(binPath, manPath, key string) (ok, corrupt bool) {
 	}
 	var man manifest
 	if json.Unmarshal(manData, &man) != nil || man.Key != key {
+		return false, true
+	}
+	if man.GoOS != tc.OS || man.GoArch != tc.Arch {
+		// A wrong-platform binary under our key can only be a spoofed or
+		// damaged manifest; rebuild rather than ever exec-ing it.
 		return false, true
 	}
 	binData, err := os.ReadFile(binPath)

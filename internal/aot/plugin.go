@@ -1,0 +1,276 @@
+package aot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"plugin"
+	"sync"
+
+	"singlespec/internal/asm"
+	"singlespec/internal/core"
+	"singlespec/internal/obs"
+)
+
+// The plugin transport loads the generated runner into the host process
+// (go build -buildmode=plugin + plugin.Open) so Step/Block interfaces skip
+// the pipe entirely: Init/Run become direct calls carrying the same frame
+// payloads the subprocess protocol does, minus the length prefixes and the
+// two process switches per exchange.
+//
+// Availability is a build-time property of the toolchain on PATH
+// (-buildmode=plugin needs cgo and a supported GOOS/GOARCH, in practice
+// linux and a few friends). Every unavailability — unsupported platform,
+// cgo disabled, plugin.Open refusing the artifact — surfaces as a typed
+// ErrNoPlugin so callers fall back to the subprocess transport without
+// giving up the cell.
+
+// ErrNoPlugin reports that the in-process plugin transport is not available
+// here. Callers are expected to fall back to the subprocess protocol;
+// errors.Is(err, ErrNoPlugin) identifies the condition through wrapping.
+var ErrNoPlugin = errors.New("aot: plugin transport not available")
+
+// BuildPlugin compiles the runner for sim's (spec, buildset) pair as a Go
+// plugin, sharing Build's cache layout: the .so and its own manifest live
+// next to the subprocess binary under the same source-keyed entry. A build
+// failure of the plugin artifact (no cgo, unsupported platform) returns an
+// ErrNoPlugin-wrapped error rather than a hard failure.
+func BuildPlugin(sim *core.Sim, conv core.RunnerConv, cacheDir string, reg *obs.Registry) (*BuildResult, error) {
+	tc, err := probeToolchain()
+	if err != nil {
+		return nil, err
+	}
+	src, err := sim.EmitRunner(conv)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(tc, src)
+	entryDir := filepath.Join(cacheDir, key[:16])
+	flKey := entryDir + "#plugin"
+
+	buildMu.Lock()
+	if fl, ok := buildInflight[flKey]; ok {
+		buildMu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	fl := &inflight{done: make(chan struct{})}
+	buildInflight[flKey] = fl
+	buildMu.Unlock()
+
+	fl.res, fl.err = buildPluginLocked(sim, src, key, cacheDir, entryDir, tc, reg)
+	buildMu.Lock()
+	delete(buildInflight, flKey)
+	buildMu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+func buildPluginLocked(sim *core.Sim, src, key, cacheDir, entryDir string, tc toolchain, reg *obs.Registry) (*BuildResult, error) {
+	soPath := filepath.Join(entryDir, "runner.so")
+	manPath := filepath.Join(entryDir, "plugin-manifest.json")
+
+	if ok, corrupt := verifyCached(soPath, manPath, key, tc); ok {
+		count(reg, "aot.plugin.cache.hit")
+		return &BuildResult{BinPath: soPath, Key: key, Cached: true}, nil
+	} else if corrupt {
+		count(reg, "aot.plugin.cache.corrupt")
+	}
+	count(reg, "aot.plugin.cache.miss")
+
+	if err := os.MkdirAll(entryDir, 0o755); err != nil {
+		return nil, fmt.Errorf("aot: creating cache entry: %w", err)
+	}
+	tmp, err := os.MkdirTemp(cacheDir, "pluginbuild-*")
+	if err != nil {
+		return nil, fmt.Errorf("aot: creating build dir: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	// A unique module path per cache key: the plugin's lookup path and its
+	// dynamic symbol prefix both derive from the main package's import path
+	// at compile time, and plugin.Open refuses two plugins sharing a path —
+	// so distinct (spec, buildset) runners must differ at the module level.
+	// (Overriding -pluginpath at link time only renames the lookup path, not
+	// the compiled symbols, which breaks dlsym.)
+	files := map[string]string{
+		"gen.go":     src,
+		"harness.go": runnerHarness,
+		"go.mod":     "module aotrunner_" + key[:16] + "\n\ngo 1.24\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(content), 0o644); err != nil {
+			return nil, fmt.Errorf("aot: writing %s: %w", name, err)
+		}
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		return nil, ErrNoToolchain
+	}
+	tmpSo := filepath.Join(tmp, "runner.so")
+	// The cgo requirement is inherited from the environment on purpose:
+	// under CGO_ENABLED=0 (or a host without a C toolchain) the build fails
+	// here and degrades to the typed ErrNoPlugin fallback below.
+	cmd := exec.Command(gobin, "build", "-buildmode=plugin", "-o", tmpSo, ".")
+	cmd.Dir = tmp
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("%w: go build -buildmode=plugin (%s/%s) failed: %v\n%s",
+			ErrNoPlugin, sim.Spec.Name, sim.BS.Name, err, out)
+	}
+	count(reg, "aot.plugin.build")
+
+	soData, err := os.ReadFile(tmpSo)
+	if err != nil {
+		return nil, fmt.Errorf("aot: reading built plugin: %w", err)
+	}
+	man := newManifest(soData, key, tc, sim)
+	if err := installArtifact(tmp, tmpSo, soPath, manPath, man); err != nil {
+		return nil, err
+	}
+	return &BuildResult{BinPath: soPath, Key: key}, nil
+}
+
+// pluginExports are the symbols a runner plugin provides; builtin types
+// only, so host and plugin share no packages.
+type pluginExports struct {
+	hello func() []byte
+	init  func([]byte) string
+	run   func([]byte) ([][]byte, string)
+}
+
+// PluginHandle is one loaded runner plugin. plugin.Open pins a .so for the
+// process lifetime and the runner's machine state is package-global inside
+// it, so a handle is a shared, serially-usable resource: Session acquires
+// exclusive use, and handles are cached per path (LoadPlugin of one path
+// returns one handle).
+type PluginHandle struct {
+	path  string
+	hello Hello
+	fns   pluginExports
+	mu    sync.Mutex
+}
+
+var (
+	pluginRegMu sync.Mutex
+	pluginReg   = map[string]*PluginHandle{}
+)
+
+// LoadPlugin opens a runner plugin built by BuildPlugin and verifies its
+// hello. Any failure to load or bind — unsupported platform, stale ABI,
+// missing symbols — is reported wrapped in ErrNoPlugin so the caller can
+// fall back to the subprocess transport.
+func LoadPlugin(soPath string) (*PluginHandle, error) {
+	pluginRegMu.Lock()
+	defer pluginRegMu.Unlock()
+	if h, ok := pluginReg[soPath]; ok {
+		return h, nil
+	}
+	pl, err := plugin.Open(soPath)
+	if err != nil {
+		return nil, fmt.Errorf("%w: opening %s: %v", ErrNoPlugin, soPath, err)
+	}
+	var fns pluginExports
+	lookups := []struct {
+		name string
+		bind func(plugin.Symbol) bool
+	}{
+		{"PluginHello", func(s plugin.Symbol) bool { f, ok := s.(func() []byte); fns.hello = f; return ok }},
+		{"PluginInit", func(s plugin.Symbol) bool { f, ok := s.(func([]byte) string); fns.init = f; return ok }},
+		{"PluginRun", func(s plugin.Symbol) bool { f, ok := s.(func([]byte) ([][]byte, string)); fns.run = f; return ok }},
+	}
+	for _, l := range lookups {
+		sym, err := pl.Lookup(l.name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrNoPlugin, soPath, err)
+		}
+		if !l.bind(sym) {
+			return nil, fmt.Errorf("%w: %s: symbol %s has wrong type %T", ErrNoPlugin, soPath, l.name, sym)
+		}
+	}
+	helloFrame := fns.hello()
+	hello, err := decodeHelloFrame(helloFrame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNoPlugin, soPath, err)
+	}
+	h := &PluginHandle{path: soPath, hello: *hello, fns: fns}
+	pluginReg[soPath] = h
+	return h, nil
+}
+
+// Session acquires exclusive use of the plugin's machine state and returns
+// a Client over it. Close releases the handle for the next session; the
+// plugin itself stays loaded (the platform offers no unload).
+func (h *PluginHandle) Session() *PluginSession {
+	h.mu.Lock()
+	return &PluginSession{h: h}
+}
+
+// PluginSession is one exclusive Init/Run session against a loaded runner
+// plugin. It implements Client with the same observable semantics as a
+// fresh subprocess: Init hard-resets the in-plugin machine.
+type PluginSession struct {
+	h      *PluginHandle
+	closed bool
+}
+
+func (s *PluginSession) Hello() Hello { return s.h.hello }
+
+func (s *PluginSession) Init(prog *asm.Program, stdin []byte) error {
+	if s.closed {
+		return fmt.Errorf("aot: plugin session closed")
+	}
+	if errs := s.h.fns.init(encodeInitPayload(prog, stdin)[1:]); errs != "" {
+		return fmt.Errorf("aot: plugin init: %s", errs)
+	}
+	return nil
+}
+
+func (s *PluginSession) Run(maxInstr uint64, wantRecs bool, resultAddr uint64) (*RunResult, error) {
+	if s.closed {
+		return nil, fmt.Errorf("aot: plugin session closed")
+	}
+	frames, errs := s.h.fns.run(encodeRunPayload(maxInstr, wantRecs, resultAddr)[1:])
+	if errs != "" {
+		return nil, fmt.Errorf("aot: plugin run: %s", errs)
+	}
+	res := &RunResult{}
+	sawFinal := false
+	for _, frame := range frames {
+		if len(frame) == 0 {
+			return nil, perr("stream", "empty plugin frame")
+		}
+		if sawFinal {
+			return nil, perr("stream", "frame after final")
+		}
+		switch frame[0] {
+		case 'R':
+			var err error
+			res.Records, err = decodeRecordsFrame(frame, len(s.h.hello.VisNames), res.Records)
+			if err != nil {
+				return nil, err
+			}
+		case 'F':
+			fin, err := decodeFinalFrame(frame)
+			if err != nil {
+				return nil, err
+			}
+			res.FinalState = *fin
+			sawFinal = true
+		default:
+			return nil, perr("stream", "unexpected frame type %#x", frame[0])
+		}
+	}
+	if !sawFinal {
+		return nil, perr("stream", "plugin run produced no final frame")
+	}
+	return res, nil
+}
+
+func (s *PluginSession) Close() error {
+	if !s.closed {
+		s.closed = true
+		s.h.mu.Unlock()
+	}
+	return nil
+}

@@ -95,6 +95,17 @@ func (e *TimeoutError) Error() string {
 // before the escalation to SIGKILL.
 const defaultKillGrace = 2 * time.Second
 
+// Client is one live runner session, whatever the transport: a *Runner
+// subprocess over the pipe protocol, or a *PluginSession executing in
+// process (see plugin.go). Both speak identical frame payloads, so every
+// consumer (bench cells, the differential harness) is transport-agnostic.
+type Client interface {
+	Hello() Hello
+	Init(prog *asm.Program, stdin []byte) error
+	Run(maxInstr uint64, wantRecs bool, resultAddr uint64) (*RunResult, error)
+	Close() error
+}
+
 // Runner is a live runner subprocess speaking the frame protocol.
 type Runner struct {
 	cmd    *exec.Cmd
@@ -238,12 +249,12 @@ func (r *Runner) readFrame() ([]byte, error) {
 }
 
 func (r *Runner) writeFrame(payload []byte) error {
-	var lb [4]byte
-	binary.LittleEndian.PutUint32(lb[:], uint32(len(payload)))
-	if _, err := r.stdin.Write(lb[:]); err != nil {
-		return fmt.Errorf("aot: writing frame: %w%s", err, r.stderrSuffix())
-	}
-	if _, err := r.stdin.Write(payload); err != nil {
+	// One gathered write per frame (prefix + payload) so a frame costs one
+	// syscall on the pipe, matching the runner's batched reads.
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := r.stdin.Write(buf); err != nil {
 		return fmt.Errorf("aot: writing frame: %w%s", err, r.stderrSuffix())
 	}
 	if r.reg != nil {
@@ -252,10 +263,9 @@ func (r *Runner) writeFrame(payload []byte) error {
 	return nil
 }
 
-// Init ships the program image and emulated-OS stdin to the runner. The
-// runner loads every segment and parks the PC at the entry point; each Run
-// then resets architectural state exactly like one interpreter cell reset.
-func (r *Runner) Init(prog *asm.Program, stdin []byte) error {
+// encodeInitPayload builds the 'I' frame payload (tag included) shared by
+// the subprocess and plugin transports.
+func encodeInitPayload(prog *asm.Program, stdin []byte) []byte {
 	p := []byte{'I'}
 	p = binary.LittleEndian.AppendUint64(p, prog.Entry)
 	p = binary.LittleEndian.AppendUint32(p, uint32(len(prog.Segments)))
@@ -268,6 +278,27 @@ func (r *Runner) Init(prog *asm.Program, stdin []byte) error {
 	}
 	p = binary.LittleEndian.AppendUint32(p, uint32(len(stdin)))
 	p = append(p, stdin...)
+	return p
+}
+
+// encodeRunPayload builds the 'R' frame payload (tag included).
+func encodeRunPayload(maxInstr uint64, wantRecs bool, resultAddr uint64) []byte {
+	p := []byte{'R'}
+	p = binary.LittleEndian.AppendUint64(p, maxInstr)
+	wr := byte(0)
+	if wantRecs {
+		wr = 1
+	}
+	p = append(p, wr)
+	p = binary.LittleEndian.AppendUint64(p, resultAddr)
+	return p
+}
+
+// Init ships the program image and emulated-OS stdin to the runner. The
+// runner loads every segment and parks the PC at the entry point; each Run
+// then resets architectural state exactly like one interpreter cell reset.
+func (r *Runner) Init(prog *asm.Program, stdin []byte) error {
+	p := encodeInitPayload(prog, stdin)
 	return r.watch("init", func() error { return r.writeFrame(p) })
 }
 
@@ -279,14 +310,7 @@ func (r *Runner) Run(maxInstr uint64, wantRecs bool, resultAddr uint64) (*RunRes
 	if r.broken {
 		return nil, fmt.Errorf("aot: runner already failed; spawn a fresh one")
 	}
-	p := []byte{'R'}
-	p = binary.LittleEndian.AppendUint64(p, maxInstr)
-	wr := byte(0)
-	if wantRecs {
-		wr = 1
-	}
-	p = append(p, wr)
-	p = binary.LittleEndian.AppendUint64(p, resultAddr)
+	p := encodeRunPayload(maxInstr, wantRecs, resultAddr)
 	res := &RunResult{}
 	err := r.watch("run", func() error {
 		if err := r.writeFrame(p); err != nil {
@@ -507,6 +531,13 @@ func decodeRecordsFrame(p []byte, nVis int, out []core.Record) ([]core.Record, e
 		return out, perr("records", "count %d disagrees with %d payload bytes (record size %d)",
 			nRecs, d.rem(), recSize)
 	}
+	// One flat allocation of value storage per frame: with batched frames a
+	// single 'R' frame can carry thousands of records, and a per-record
+	// make() dominates the decode cost.
+	var flat []uint64
+	if nVis > 0 {
+		flat = make([]uint64, int(nRecs)*nVis)
+	}
 	for i := uint32(0); i < nRecs; i++ {
 		hdr := d.bytes(32)
 		rec := core.Record{
@@ -519,10 +550,11 @@ func decodeRecordsFrame(p []byte, nVis int, out []core.Record) ([]core.Record, e
 			Nullified: hdr[31] != 0,
 		}
 		if nVis > 0 {
-			rec.Vals = make([]uint64, nVis)
+			vals := flat[int(i)*nVis : (int(i)+1)*nVis : (int(i)+1)*nVis]
 			for j := 0; j < nVis; j++ {
-				rec.Vals[j] = d.u64()
+				vals[j] = d.u64()
 			}
+			rec.Vals = vals
 		}
 		out = append(out, rec)
 	}

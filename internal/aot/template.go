@@ -37,15 +37,31 @@ const pageBits = 16
 const pageSize = 1 << pageBits
 const nullPage = 4096
 
-var memPages = map[uint64]*[pageSize]byte{}
+// mpage carries the code mark next to the data so the store path can bump
+// the code epoch without a second map probe (mach.Memory keeps the same
+// page-local flag).
+type mpage struct {
+	data [pageSize]byte
+	code bool
+}
 
-func pageFor(addr uint64) *[pageSize]byte {
+var (
+	memPages = map[uint64]*mpage{}
+	lastPN   = ^uint64(0)
+	lastPg   *mpage
+)
+
+func pageFor(addr uint64) *mpage {
 	pn := addr >> pageBits
+	if pn == lastPN {
+		return lastPg
+	}
 	p := memPages[pn]
 	if p == nil {
-		p = new([pageSize]byte)
+		p = new(mpage)
 		memPages[pn] = p
 	}
+	lastPN, lastPg = pn, p
 	return p
 }
 
@@ -84,12 +100,12 @@ func memLoad(addr uint64, size int) (uint64, uint8) {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
 		p := pageFor(addr)
-		return memGet(p[off : off+uint64(size)]), 0
+		return memGet(p.data[off : off+uint64(size)]), 0
 	}
 	var buf [8]byte
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
-		buf[i] = pageFor(a)[a&(pageSize-1)]
+		buf[i] = pageFor(a).data[a&(pageSize-1)]
 	}
 	return memGet(buf[:size]), 0
 }
@@ -101,28 +117,45 @@ func memStore(addr, val uint64, size int) uint8 {
 	off := addr & (pageSize - 1)
 	if off+uint64(size) <= pageSize {
 		p := pageFor(addr)
-		memPut(p[off:off+uint64(size)], val)
+		if p.code {
+			codeEpoch++
+		}
+		memPut(p.data[off:off+uint64(size)], val)
 		return 0
 	}
 	var buf [8]byte
 	memPut(buf[:size], val)
+	bumped := false
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
-		pageFor(a)[a&(pageSize-1)] = buf[i]
+		p := pageFor(a)
+		if p.code && !bumped {
+			codeEpoch++
+			bumped = true
+		}
+		p.data[a&(pageSize-1)] = buf[i]
 	}
 	return 0
 }
 
 // memWriteBytes and memReadBytes bypass the null-page check, like the
-// loader/emulator paths mach.Memory.WriteBytes/ReadBytes serve.
+// loader/emulator paths mach.Memory.WriteBytes/ReadBytes serve. Writes into
+// code-marked pages bump the epoch like stores do (the interpreter's
+// syscall-read path invalidates translations the same way).
 func memWriteBytes(addr uint64, data []byte) {
+	bumped := false
 	for len(data) > 0 {
 		off := addr & (pageSize - 1)
 		n := uint64(pageSize) - off
 		if uint64(len(data)) < n {
 			n = uint64(len(data))
 		}
-		copy(pageFor(addr)[off:off+n], data[:n])
+		p := pageFor(addr)
+		if p.code && !bumped {
+			codeEpoch++
+			bumped = true
+		}
+		copy(p.data[off:off+n], data[:n])
 		addr += n
 		data = data[n:]
 	}
@@ -132,7 +165,7 @@ func memReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
 	for i := range out {
 		a := addr + uint64(i)
-		out[i] = pageFor(a)[a&(pageSize-1)]
+		out[i] = pageFor(a).data[a&(pageSize-1)]
 	}
 	return out
 }
@@ -392,6 +425,200 @@ type profKey struct {
 
 var profile = map[profKey]uint64{}
 
+// ---- superblocks ----
+//
+// The One/Block driver executes chained superblocks: straight-line runs of
+// decoded instructions (ended by a control transfer, an undecodable or
+// faulting fetch, the page boundary, or gMaxBlockLen) dispatched slot to
+// slot with no per-instruction fetch/decode. Each block records its observed
+// successor so the common path jumps block to block directly; the links and
+// the cached decodes are severed by code-store epoch bumps, mirroring the
+// interpreter's chain links. Full non-recording passes retire as one count
+// on the block, folded into the per-(pc,bits) profile at run end, so work
+// accounting stays byte-identical to the interpreter's.
+
+type sbSlot struct {
+	pc   uint64
+	fall uint64
+	bits uint32
+	id   uint16
+	fn   func()
+}
+
+type sblock struct {
+	startPC uint64
+	epoch   uint64
+	count   uint64
+	slots   []sbSlot
+	next    *sblock
+}
+
+var (
+	sblocks   = map[uint64]*sblock{}
+	codeEpoch uint64
+)
+
+func markCode(addr uint64) {
+	pageFor(addr).code = true
+}
+
+// buildSB decodes the superblock starting at startPC, or returns nil when
+// the first instruction does not translate (fetch fault, undecodable, or a
+// page-straddling fetch, which stays on the dynamic fallback path like the
+// interpreter's uncached straddles).
+func buildSB(startPC uint64) *sblock {
+	pageEnd := (startPC | (pageSize - 1)) + 1
+	sb := &sblock{startPC: startPC}
+	pcb := startPC
+	for len(sb.slots) < gMaxBlockLen {
+		if pcb+gInstrSize > pageEnd {
+			break
+		}
+		v, f := memLoad(pcb, int(gInstrSize))
+		if f != 0 {
+			break
+		}
+		bits := uint32(v)
+		id := gDecode(bits)
+		if id < 0 {
+			break
+		}
+		sb.slots = append(sb.slots, sbSlot{pc: pcb, fall: pcb + gInstrSize, bits: bits, id: uint16(id), fn: gInstrFns[id][0]})
+		if gInstrCTI[id] {
+			break
+		}
+		pcb += gInstrSize
+	}
+	if len(sb.slots) == 0 {
+		return nil
+	}
+	markCode(startPC)
+	sb.epoch = codeEpoch
+	sblocks[startPC] = sb
+	return sb
+}
+
+// lookupSB returns a current-epoch block for pcv. A stale block is
+// revalidated by re-reading its slots' bits; on any mismatch its pending
+// count is folded (those executions ran the old bits) and it is rebuilt.
+func lookupSB(pcv uint64) *sblock {
+	sb := sblocks[pcv]
+	if sb == nil {
+		return buildSB(pcv)
+	}
+	if sb.epoch != codeEpoch {
+		for si := range sb.slots {
+			sl := &sb.slots[si]
+			v, f := memLoad(sl.pc, int(gInstrSize))
+			if f != 0 || uint32(v) != sl.bits {
+				foldSB(sb)
+				delete(sblocks, pcv)
+				return buildSB(pcv)
+			}
+		}
+		sb.epoch = codeEpoch
+	}
+	return sb
+}
+
+func foldSB(sb *sblock) {
+	if sb.count == 0 {
+		return
+	}
+	for si := range sb.slots {
+		sl := &sb.slots[si]
+		profile[profKey{sl.pc, sl.bits}] += sb.count
+	}
+	sb.count = 0
+}
+
+func foldAllSB() {
+	for _, sb := range sblocks {
+		foldSB(sb)
+	}
+}
+
+// runSuper is the One/Block driver loop. Observable semantics match the
+// attemptOne loop exactly: per-slot working-header setup equals attemptOne's
+// preamble (the slot's cached bits/id replay fetch+decode, validated by the
+// epoch), pc advances through diNextPC so generated assignments to next_pc
+// are honored, faulting attempts do not retire, and records are emitted per
+// instruction in retirement order.
+func runSuper(maxInstr uint64) {
+	var pred *sblock
+	for !halted && instret < maxInstr {
+		var sb *sblock
+		if pred != nil && pred.startPC == pc && pred.epoch == codeEpoch {
+			sb = pred
+		} else {
+			sb = lookupSB(pc)
+		}
+		pred = nil
+		if sb == nil {
+			attemptOne()
+			emitRec()
+			if diFault != 0 {
+				break
+			}
+			pc = diNextPC
+			instret++
+			continue
+		}
+		full := true
+		executed := 0
+		for si := range sb.slots {
+			if instret >= maxInstr {
+				full = false
+				break
+			}
+			sl := &sb.slots[si]
+			diPC = sl.pc
+			diPhysPC = sl.pc
+			diNextPC = sl.fall
+			diBits = sl.bits
+			diID = sl.id
+			diFault = 0
+			diNullify = false
+			faultKind = 0
+			sl.fn()
+			executed++
+			if emitting {
+				emitRec()
+			}
+			if diFault != 0 {
+				full = false
+				pc = sl.pc
+				break
+			}
+			pc = diNextPC
+			instret++
+			if si+1 < len(sb.slots) && pc != sb.slots[si+1].pc {
+				// A non-CTI slot redirected next_pc: leave the block.
+				full = false
+				break
+			}
+		}
+		if full && executed == len(sb.slots) {
+			sb.count++
+			if sb.next != nil && sb.next.startPC == pc && sb.next.epoch == codeEpoch {
+				pred = sb.next
+			} else if nb := lookupSB(pc); nb != nil {
+				sb.next = nb
+				pred = nb
+			}
+		} else {
+			for si := 0; si < executed; si++ {
+				sl := &sb.slots[si]
+				profile[profKey{sl.pc, sl.bits}]++
+			}
+		}
+		if diFault != 0 {
+			break
+		}
+	}
+	foldAllSB()
+}
+
 // ---- interface drivers ----
 
 func fetch() {
@@ -479,18 +706,17 @@ func attemptStep() {
 func runProgram(maxInstr uint64, wantRecs bool) {
 	stepMode := gNumEps > 1
 	emitting = wantRecs && (stepMode || !gModeBlock || gEmitRecs)
-	for !halted && instret < maxInstr {
-		if stepMode {
+	if stepMode {
+		for !halted && instret < maxInstr {
 			attemptStep()
-		} else {
-			attemptOne()
-			emitRec()
+			if diFault != 0 {
+				break
+			}
+			pc = diNextPC
+			instret++
 		}
-		if diFault != 0 {
-			break
-		}
-		pc = diNextPC
-		instret++
+	} else {
+		runSuper(maxInstr)
 	}
 	emitting = false
 }
@@ -502,9 +728,18 @@ const maxFrame = 1 << 26
 var (
 	protoIn  = bufio.NewReader(os.Stdin)
 	protoOut = bufio.NewWriter(os.Stdout)
+
+	// Plugin mode (see the Plugin* exports): frames are collected in memory
+	// instead of written to stdout, and protocol errors panic (recovered at
+	// the export boundary) instead of exiting the host process.
+	pluginMode   bool
+	pluginFrames [][]byte
 )
 
 func fatalf(format string, args ...any) {
+	if pluginMode {
+		panic(fmt.Sprintf("aotrunner: "+format, args...))
+	}
 	fmt.Fprintf(os.Stderr, "aotrunner: "+format+"\n", args...)
 	os.Exit(2)
 }
@@ -526,6 +761,11 @@ func readFrame() ([]byte, error) {
 }
 
 func writeFrame(payload []byte) {
+	if pluginMode {
+		// Copy: record batches reuse recBuf's backing array after a flush.
+		pluginFrames = append(pluginFrames, append([]byte(nil), payload...))
+		return
+	}
 	var lb [4]byte
 	binary.LittleEndian.PutUint32(lb[:], uint32(len(payload)))
 	protoOut.Write(lb[:])
@@ -569,11 +809,15 @@ func b2u8(b bool) byte {
 
 // ---- record stream ----
 
-const recsPerFrame = 256
+// Records accumulate directly into a pre-tagged frame buffer and flush once
+// the batch reaches pipe size: one length prefix and one write per batch
+// instead of per fixed record count, so the record path costs appends, not
+// syscalls.
+const recBatchTarget = 1 << 16
 
 var (
 	emitting bool
-	recBuf   []byte
+	recBuf   = []byte{'R', 0, 0, 0, 0}
 	recCount uint32
 )
 
@@ -594,7 +838,7 @@ func emitRec() {
 		recBuf = append8(recBuf, *p)
 	}
 	recCount++
-	if recCount >= recsPerFrame {
+	if len(recBuf) >= recBatchTarget {
 		flushRecs()
 	}
 }
@@ -603,12 +847,9 @@ func flushRecs() {
 	if recCount == 0 {
 		return
 	}
-	p := make([]byte, 0, 5+len(recBuf))
-	p = append(p, 'R')
-	p = append4(p, recCount)
-	p = append(p, recBuf...)
-	writeFrame(p)
-	recBuf = recBuf[:0]
+	binary.LittleEndian.PutUint32(recBuf[1:5], recCount)
+	writeFrame(recBuf)
+	recBuf = recBuf[:5]
 	recCount = 0
 }
 
@@ -626,6 +867,7 @@ var (
 )
 
 func handleInit(p []byte) {
+	hardReset()
 	d := newDec(p)
 	progEntry = d.u64()
 	nSegs := d.u32()
@@ -646,10 +888,47 @@ func handleInit(p []byte) {
 	pc = progEntry
 }
 
+// hardReset restores process-start machine state. In the subprocess it runs
+// once per Init as a no-op refresh; through the plugin path it is what makes
+// a cached handle reusable (plugin.Open loads one copy per process, so
+// successive sessions share these globals).
+func hardReset() {
+	memPages = map[uint64]*mpage{}
+	lastPN, lastPg = ^uint64(0), nil
+	sblocks = map[uint64]*sblock{}
+	codeEpoch = 0
+	for _, r := range regs {
+		for i := range r {
+			r[i] = 0
+		}
+	}
+	pc = 0
+	instret = 0
+	halted = false
+	exitCode = 0
+	faultKind = 0
+	diPC, diPhysPC, diNextPC = 0, 0, 0
+	diBits = 0
+	diID = gUndecodedID
+	diFault = 0
+	diNullify = false
+	gClearFields()
+	brk = gHeapBase
+	ticks = 0
+	stdinBuf = nil
+	stdout = nil
+	profile = map[profKey]uint64{}
+	recBuf = recBuf[:5]
+	recCount = 0
+	progSegs = nil
+	progEntry = 0
+}
+
 // reset mirrors the host-side expt.Runner.reset: zero the register file,
 // clear halt state and counters, reinstall the stack pointer, and reload
 // the data segments. Memory pages, brk, ticks, and remaining stdin persist,
-// as they do across runs of one interpreter cell.
+// as they do across runs of one interpreter cell. Cached superblocks also
+// persist (their pending counts are cleared with the profile).
 func reset() {
 	for _, r := range regs {
 		for i := range r {
@@ -662,6 +941,9 @@ func reset() {
 	stdout = stdout[:0]
 	for k := range profile {
 		delete(profile, k)
+	}
+	for _, sb := range sblocks {
+		sb.count = 0
 	}
 	spWrite(0, gConvStack, gStackTop)
 	for _, sg := range progSegs {
@@ -797,6 +1079,66 @@ func (d *dec) bytes(n int) []byte {
 	v := d.b[d.off : d.off+n]
 	d.off += n
 	return v
+}
+
+// ---- plugin exports ----
+//
+// When the runner is built with -buildmode=plugin the host loads it in
+// process (aot.LoadPlugin) and drives these exports with the same payloads
+// the pipe protocol carries, minus the length prefixes. Symbol types stick
+// to builtins so host and plugin need no shared package.
+
+func ensureRegs() {
+	if regs == nil {
+		regs = make([][]uint64, len(gSpaceCount))
+		for i, c := range gSpaceCount {
+			regs[i] = make([]uint64, c)
+		}
+	}
+}
+
+func pluginEnter() {
+	pluginMode = true
+	ensureRegs()
+	pluginFrames = nil
+}
+
+// PluginHello returns the hello frame payload ('H'-tagged).
+func PluginHello() []byte {
+	pluginEnter()
+	sendHello()
+	out := pluginFrames
+	pluginFrames = nil
+	return out[0]
+}
+
+// PluginInit applies an init payload (the bytes after the 'I' tag) to a
+// hard-reset machine. Returns "" on success or an error description.
+func PluginInit(p []byte) (errs string) {
+	defer func() {
+		if r := recover(); r != nil {
+			errs = fmt.Sprint(r)
+		}
+	}()
+	pluginEnter()
+	handleInit(p)
+	return ""
+}
+
+// PluginRun executes a run payload (the bytes after the 'R' tag) and
+// returns the frames the run produced: zero or more 'R' record batches
+// followed by the final 'F' frame.
+func PluginRun(p []byte) (frames [][]byte, errs string) {
+	defer func() {
+		if r := recover(); r != nil {
+			frames, errs = nil, fmt.Sprint(r)
+		}
+	}()
+	pluginEnter()
+	handleRun(p)
+	out := pluginFrames
+	pluginFrames = nil
+	return out, ""
 }
 
 func main() {

@@ -64,7 +64,11 @@ func (s *Sim) emitInstrFns(b *strings.Builder, in *lis.Instr) {
 		li = liveAll(ops)
 	}
 	fmt.Fprintf(b, "// %s: instruction %s under buildset %q\n", s.Spec.Name, in.Name, s.BS.Name)
-	s.emitUnitFns(b, sanitizeIdent(in.Name), in, ops, li)
+	// The i_ prefix keeps instruction functions unexported whatever the
+	// mnemonic's case: a -buildmode=plugin build exports every capitalized
+	// package-main symbol, and the plugin loader must only see the three
+	// Plugin* entry points.
+	s.emitUnitFns(b, "i_"+sanitizeIdent(in.Name), in, ops, li)
 	fmt.Fprintln(b)
 }
 
@@ -125,6 +129,11 @@ type emitter struct {
 	li  *liveInfo
 
 	letNames map[*lis.Local]string
+
+	// touched collects the localized hidden fields (sim.localFields) the
+	// current function body referenced, so emitEpBody can declare them as
+	// zero-initialized locals instead of package globals.
+	touched map[string]bool
 
 	// Per-function emission state: body lines (label lines carry a marker
 	// prefix) and the set of labels actually targeted by a goto. Go rejects
@@ -193,6 +202,7 @@ func (e *emitter) buildSegs(ops []iop) []eseg {
 func (e *emitter) emitEpBody(b *strings.Builder, ops []iop, segs []eseg, epi, lo, hi, excIdx int) {
 	e.lines = e.lines[:0]
 	e.used = make(map[string]bool)
+	e.touched = make(map[string]bool)
 
 	// Let declarations for this entrypoint's live let statements.
 	var lets []string
@@ -248,6 +258,25 @@ func (e *emitter) emitEpBody(b *strings.Builder, ops []iop, segs []eseg, epi, lo
 	}
 	e.label("end")
 	e.linef("return")
+
+	// Localized hidden fields become zero-initialized locals: they never
+	// cross the interface, so the runner's global state omits them entirely
+	// (cross-block field elimination). Declarations go first; the blank
+	// assignment keeps write-only locals compiling.
+	if len(e.touched) > 0 {
+		var names []string
+		for _, f := range e.sim.Spec.Fields {
+			if e.touched[f.Name] {
+				names = append(names, "f_"+f.Name)
+			}
+		}
+		decl := []string{
+			"\t// localized hidden fields (never cross this interface call)",
+			"\tvar " + strings.Join(names, ", ") + " uint64",
+			"\t" + strings.TrimSuffix(strings.Repeat("_, ", len(names)), ", ") + " = " + strings.Join(names, ", "),
+		}
+		e.lines = append(decl, e.lines...)
+	}
 	e.flush(b)
 }
 
@@ -709,6 +738,9 @@ func (e *emitter) readFieldStr(f *lis.Field) string {
 			return "b2u(diNullify)"
 		}
 	}
+	if e.sim.localFields[f.Name] {
+		e.touched[f.Name] = true
+	}
 	return "f_" + f.Name
 }
 
@@ -730,6 +762,9 @@ func (e *emitter) assignFieldLine(ind string, f *lis.Field, rhs string) {
 			e.lines = append(e.lines, fmt.Sprintf("%sdiNullify = (%s) != 0", ind, rhs))
 			return
 		}
+	}
+	if e.sim.localFields[f.Name] {
+		e.touched[f.Name] = true
 	}
 	if f.Width < 64 {
 		e.lines = append(e.lines, fmt.Sprintf("%sf_%s = %s & %#x", ind, f.Name, rhs, uint64(1)<<uint(f.Width)-1))
@@ -852,9 +887,13 @@ func (s *Sim) EmitRunner(rc RunnerConv) (string, error) {
 	b.WriteString("\tdiFault   uint8\n")
 	b.WriteString("\tdiNullify bool\n")
 	b.WriteString(")\n\n")
+	// Localized hidden fields (see localize.go) never appear here: they are
+	// declared as zero-initialized locals inside each specialized function,
+	// so the generated state carries only fields that can cross an
+	// instruction or interface-call boundary.
 	var frameFields, hiddenFields []*lis.Field
 	for _, f := range spec.Fields {
-		if f.Builtin {
+		if f.Builtin || s.localFields[f.Name] {
 			continue
 		}
 		frameFields = append(frameFields, f)
@@ -910,7 +949,7 @@ func (s *Sim) EmitRunner(rc RunnerConv) (string, error) {
 			if ei > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "%s_%s", sanitizeIdent(in.Name), sanitizeIdent(ep.Name))
+			fmt.Fprintf(&b, "i_%s_%s", sanitizeIdent(in.Name), sanitizeIdent(ep.Name))
 		}
 		b.WriteString("},\n")
 	}
@@ -921,6 +960,16 @@ func (s *Sim) EmitRunner(rc RunnerConv) (string, error) {
 			b.WriteString(", ")
 		}
 		fmt.Fprintf(&b, "pdfault_%s", sanitizeIdent(ep.Name))
+	}
+	b.WriteString("}\n\n")
+
+	// Superblock metadata: which instructions end a block (control transfers
+	// and barriers, matching the interpreter's block boundaries) and the
+	// block-length cap shared with the interpreter translator.
+	fmt.Fprintf(&b, "const gMaxBlockLen = %d\n\n", s.Opts.MaxBlockLen)
+	b.WriteString("var gInstrCTI = []bool{\n")
+	for _, in := range spec.Instrs {
+		fmt.Fprintf(&b, "\t%v, // %s\n", in.CTI || in.Barrier, in.Name)
 	}
 	b.WriteString("}\n")
 

@@ -1,0 +1,188 @@
+package core
+
+import "singlespec/internal/lis"
+
+// This file decides which hidden fields the emitter may demote from
+// package-level frame storage to per-function locals in generated runner
+// code ("cross-block field elimination"): a hidden field only ever lives
+// inside one interface call, so materializing it in the runner's global
+// state buys nothing and costs a memory round-trip per instruction.
+//
+// The demotion is sound when no emitted function can observe a value the
+// field held before the call began:
+//
+//   - Step interfaces (multiple entrypoints) clear every hidden field at
+//     each entrypoint boundary (core.Exec.importRec; gClearHidden in the
+//     runner), so a zero-initialized local is exactly the cleared global.
+//     Every hidden field is localizable.
+//
+//   - One/Block interfaces keep the frame across instructions
+//     (read-before-write staleness included), so a hidden field is
+//     localizable only if every live read of it in every emitted function
+//     is preceded by a definite write on all paths reaching that read.
+//
+// The path analysis mirrors the emitter's control flow: statements in
+// non-exception segments only execute after complete fall-through of all
+// earlier code in the call (a pending fault at a segment boundary diverts
+// to the exception segment or out of the call, never into a later
+// segment's body), so definite writes accumulate linearly with IfStmt
+// branches merged by intersection. The exception segment is entered by
+// fault diversion from any earlier boundary, so no prior write is definite
+// there; segments after it inherit only its own definite writes. The
+// analysis is conservative against the emitter's constant folding in both
+// directions: reads in a folded-away branch are still counted (they can
+// only demote a field) and writes in a folded-to branch are not promoted
+// to definite (intersection merge).
+func (s *Sim) computeLocalFields() map[string]bool {
+	cand := make(map[string]bool)
+	for _, f := range s.Spec.Fields {
+		if !f.Builtin && !s.BS.Visible(f) {
+			cand[f.Name] = true
+		}
+	}
+	if len(cand) == 0 || len(s.BS.Entrypoints) > 1 {
+		return cand
+	}
+
+	readF := func(f *lis.Field, w map[string]bool) {
+		if !f.Builtin && cand[f.Name] && !w[f.Name] {
+			delete(cand, f.Name) // possibly-stale read: keep the global
+		}
+	}
+	writeF := func(f *lis.Field, w map[string]bool) {
+		if !f.Builtin {
+			w[f.Name] = true
+		}
+	}
+
+	analyze := func(in *lis.Instr, ops []iop, li *liveInfo) {
+		e := &emitter{sim: s, in: in, li: li}
+		segs := e.buildSegs(ops)
+
+		var scanExpr func(x lis.Expr, w map[string]bool)
+		scanExpr = func(x lis.Expr, w map[string]bool) {
+			switch x := x.(type) {
+			case *lis.IdentExpr:
+				if x.Ref == lis.RefField {
+					readF(x.Sym.(*lis.Field), w)
+				}
+			case *lis.UnaryExpr:
+				scanExpr(x.X, w)
+			case *lis.BinaryExpr:
+				scanExpr(x.L, w)
+				scanExpr(x.R, w)
+			case *lis.CondExpr:
+				scanExpr(x.C, w)
+				scanExpr(x.A, w)
+				scanExpr(x.B, w)
+			case *lis.CallExpr:
+				for _, a := range x.Args {
+					scanExpr(a, w)
+				}
+			}
+		}
+		var scanStmt func(st lis.Stmt, w map[string]bool)
+		scanStmt = func(st lis.Stmt, w map[string]bool) {
+			switch st := st.(type) {
+			case *lis.Block:
+				for _, s2 := range st.Stmts {
+					scanStmt(s2, w)
+				}
+			case *lis.AssignStmt:
+				if !li.stmt[st] {
+					return
+				}
+				scanExpr(st.RHS, w)
+				if st.Ref == lis.RefField {
+					writeF(st.Sym.(*lis.Field), w)
+				}
+			case *lis.LetStmt:
+				if !li.stmt[st] {
+					return
+				}
+				scanExpr(st.RHS, w)
+			case *lis.IfStmt:
+				if !li.stmt[st] {
+					return
+				}
+				scanExpr(st.Cond, w)
+				wt := copyStrSet(w)
+				for _, s2 := range st.Then.Stmts {
+					scanStmt(s2, wt)
+				}
+				we := copyStrSet(w)
+				if st.Else != nil && li.stmt[st.Else] {
+					scanStmt(st.Else, we)
+				}
+				for k := range wt {
+					if we[k] {
+						w[k] = true
+					}
+				}
+			case *lis.CallStmt:
+				for _, a := range st.Args {
+					scanExpr(a, w)
+				}
+			}
+		}
+
+		w := make(map[string]bool)
+		for _, sg := range segs {
+			// Mirror emitUnitFns: only segments belonging to the (single)
+			// entrypoint produce code.
+			if s.epOf[sg.step] != 0 {
+				continue
+			}
+			if sg.exc {
+				w = make(map[string]bool)
+			}
+			for _, oi := range sg.ops {
+				op := ops[oi]
+				switch op.kind {
+				case opExtract:
+					writeF(op.bind.Op.IdxField, w)
+				case opRead:
+					if op.bind.IdxEnc != nil {
+						readF(op.bind.Op.IdxField, w)
+					}
+					writeF(op.bind.Op.Value, w)
+				case opWrite:
+					if op.bind.IdxEnc != nil {
+						readF(op.bind.Op.IdxField, w)
+					}
+					readF(op.bind.Op.Value, w)
+				case opAction:
+					for _, s2 := range op.act.Body.Stmts {
+						scanStmt(s2, w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, in := range s.Spec.Instrs {
+		ops := buildOps(s.Spec, in)
+		li := analyzeLiveness(s.BS, ops, false)
+		if s.Opts.NoDCE {
+			li = liveAll(ops)
+		}
+		analyze(in, ops, li)
+	}
+	// The pre-decode fault unit is emitted with everything live.
+	var fops []iop
+	for st := s.Spec.DecodeStep; st < len(s.Spec.Steps); st++ {
+		for _, a := range s.Spec.AllActions[st] {
+			fops = append(fops, iop{kind: opAction, step: st, act: a})
+		}
+	}
+	analyze(nil, fops, liveAll(fops))
+	return cand
+}
+
+func copyStrSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}

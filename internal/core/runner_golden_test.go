@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"singlespec/internal/core"
+	"singlespec/internal/isa"
+)
+
+// Golden-file tests for EmitRunner — the whole-program emitter behind the
+// AOT backend. Unlike the per-instruction EmitSpecialized goldens, these pin
+// the complete generated runner source per (ISA, buildset): superblock
+// metadata (gMaxBlockLen, gInstrCTI), hidden-field localization (which
+// fields become function locals vs. materialized globals), the gClear sets,
+// and the instruction function table. A codegen change that silently
+// rematerializes a localized field or alters block metadata shows up as a
+// textual diff here before it shows up as a performance regression.
+// Regenerate with:
+//
+//	go test ./internal/core/ -run TestEmitRunnerGolden -update
+
+func runnerConvFor(c isa.Convention) core.RunnerConv {
+	return core.RunnerConv{
+		SyscallNum: c.SyscallNum,
+		Args:       c.Args,
+		Ret:        c.Ret,
+		Stack:      c.Stack,
+		HeapBase:   c.HeapBase,
+		StackTop:   c.StackTop,
+	}
+}
+
+func TestEmitRunnerGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		name := fmt.Sprintf("%s/%s", tc.isa, tc.buildset)
+		t.Run(name, func(t *testing.T) {
+			i, err := isa.Load(tc.isa)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := core.Synthesize(i.Spec, tc.buildset, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.EmitRunner(runnerConvFor(i.Conv))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sanity-pin the structural landmarks the AOT engine depends on,
+			// so a golden regeneration cannot silently drop them.
+			for _, landmark := range []string{"gMaxBlockLen", "gInstrCTI", "gInstrFns", "gClearFields"} {
+				if !strings.Contains(got, landmark) {
+					t.Fatalf("generated runner source lost landmark %q", landmark)
+				}
+			}
+			path := filepath.Join("testdata", "runner", tc.isa+"_"+tc.buildset+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EmitRunner output for %s/%s changed; run with -update if intentional (diff suppressed, %d vs %d bytes)",
+					tc.isa, tc.buildset, len(got), len(want))
+			}
+		})
+	}
+}

@@ -65,6 +65,11 @@ type Sim struct {
 	// It is the only mutable state reachable from a Sim after Synthesize,
 	// which is what makes one Sim safely shareable across goroutines.
 	shared *sharedCache
+
+	// localFields marks hidden fields the emitter demotes to per-function
+	// locals in generated runner code (see localize.go). Computed once at
+	// synthesis so emission stays deterministic and read-only.
+	localFields map[string]bool
 }
 
 // undecoded marks a record whose instruction has not been decoded (yet) or
@@ -196,6 +201,7 @@ func Synthesize(spec *lis.Spec, buildset string, opts Options) (s *Sim, err erro
 		return nil, fmt.Errorf("core: interface errors in buildset %q:\n  %s", bs.Name, joinLines(errs))
 	}
 	s.faultUnit = s.compileFaultUnit()
+	s.localFields = s.computeLocalFields()
 	return s, nil
 }
 

@@ -104,9 +104,32 @@ func measureCellAOT(p *Programs, buildset string, opts core.Options, minDur time
 	if cacheDir == "" {
 		cacheDir = defaultAOTCache()
 	}
-	b, err := aot.Build(sim, aot.RunnerConvFor(p.ISA.Conv), cacheDir, cfg.Obs)
-	if err != nil {
-		return Cell{}, err
+	conv := aot.RunnerConvFor(p.ISA.Conv)
+
+	// Optional in-process transport: build + load the runner as a Go
+	// plugin. Any unavailability (unsupported platform, cgo disabled)
+	// falls back to the subprocess protocol — same payloads, same results.
+	var ph *aot.PluginHandle
+	if cfg.AOTPlugin {
+		pb, perr := aot.BuildPlugin(sim, conv, cacheDir, cfg.Obs)
+		if perr == nil {
+			ph, perr = aot.LoadPlugin(pb.BinPath)
+		}
+		if perr != nil {
+			if !errors.Is(perr, aot.ErrNoPlugin) {
+				return Cell{}, perr
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.Counter("aot.plugin.fallback").Inc()
+			}
+		}
+	}
+	var b *aot.BuildResult
+	if ph == nil {
+		b, err = aot.Build(sim, conv, cacheDir, cfg.Obs)
+		if err != nil {
+			return Cell{}, err
+		}
 	}
 
 	// Hard deadline per protocol exchange with the runner process: the
@@ -126,9 +149,20 @@ func measureCellAOT(p *Programs, buildset string, opts core.Options, minDur time
 	for idx, prog := range p.Progs {
 		kname := p.Names[idx]
 		err := func() error {
-			r, err := aot.SpawnWithDeadline(b.BinPath, cfg.Obs, hard)
-			if err != nil {
-				return fmt.Errorf("%s: %w", kname, err)
+			// Per kernel one fresh session: a subprocess (runner memory
+			// pages persist across in-process resets), or an exclusive
+			// plugin session whose Init performs the same hard reset. The
+			// pipe watchdog only applies to the subprocess transport; the
+			// in-process plugin is bounded by the instruction budget alone.
+			var r aot.Client
+			if ph != nil {
+				r = ph.Session()
+			} else {
+				sr, err := aot.SpawnWithDeadline(b.BinPath, cfg.Obs, hard)
+				if err != nil {
+					return fmt.Errorf("%s: %w", kname, err)
+				}
+				r = sr
 			}
 			defer r.Close()
 			if err := r.Init(prog, nil); err != nil {

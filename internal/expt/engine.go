@@ -115,6 +115,12 @@ type Config struct {
 	// AOTCacheDir is where AOT runner binaries are compiled and cached;
 	// empty means a per-process temporary cache.
 	AOTCacheDir string
+	// AOTPlugin asks AOT cells to load the generated runner in process
+	// (go plugin transport) instead of spawning subprocesses. Where the
+	// toolchain cannot build plugins the cell falls back to the subprocess
+	// protocol (aot.ErrNoPlugin), counting aot.plugin.fallback. Results are
+	// identical either way; only transport cost differs.
+	AOTPlugin bool
 	// OnCell, when non-nil, is called once per resolved sweep cell as it
 	// lands — computed, journal-restored, or error-marked — with the
 	// cell's stable job key. The serve daemon streams per-cell results

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"singlespec/internal/expt"
+	"singlespec/internal/isa"
 	"singlespec/internal/obs"
 )
 
@@ -487,6 +488,77 @@ func TestMergeRefusesCorruptSegment(t *testing.T) {
 	var fpErr *expt.FingerprintMismatchError
 	if !errors.As(err, &fpErr) {
 		t.Fatalf("mismatched fingerprint: want *expt.FingerprintMismatchError, got %v", err)
+	}
+}
+
+// TestFabricWorkersShareAOTCache: two workers pointing -aot-cache at one
+// shared directory compile each runner binary exactly once — the second
+// worker's AOT cell is served entirely from the first worker's on-disk
+// cache entry (verified by manifest hash, observable as aot.cache.hit with
+// zero aot.build). It also pins the membership contract that makes sharing
+// safe to deploy incrementally: the cache path is worker-local, NOT part of
+// the sweep fingerprint, so workers with different -aot-cache values join
+// the same run.
+func TestFabricWorkersShareAOTCache(t *testing.T) {
+	shared := t.TempDir()
+	spec := expt.JobSpec{ISA: "alpha64", Buildset: "block_min", Backend: expt.BackendAOT}
+
+	measureAs := func(workerID string) (expt.Cell, *obs.Registry) {
+		reg := obs.NewRegistry()
+		cfg := WorkerConfig{ID: workerID, Sweep: sweepCfg(reg)}
+		cfg.Sweep.AOTCacheDir = shared
+		mixes := map[string]*expt.Programs{}
+		mix := func(name string) (*expt.Programs, error) {
+			if p := mixes[name]; p != nil {
+				return p, nil
+			}
+			i, err := isa.Load(name)
+			if err != nil {
+				return nil, err
+			}
+			p, err := expt.BuildMix(i, cfg.Sweep.Scale)
+			if err != nil {
+				return nil, err
+			}
+			mixes[name] = p
+			return p, nil
+		}
+		cell, _ := measureSweepCell(cfg, mix, spec, nil, nil)
+		return cell, reg
+	}
+
+	first, reg1 := measureAs("w1")
+	if expt.IsNoToolchain(first) {
+		t.Skip("skipping: go toolchain not available on PATH")
+	}
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if got := reg1.Counter("aot.build").Load(); got != 1 {
+		t.Fatalf("first worker aot.build = %d, want 1", got)
+	}
+
+	second, reg2 := measureAs("w2")
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if got := reg2.Counter("aot.cache.hit").Load(); got == 0 {
+		t.Fatal("second worker never hit the shared AOT cache")
+	}
+	if got := reg2.Counter("aot.build").Load(); got != 0 {
+		t.Fatalf("second worker rebuilt a cached runner: aot.build = %d", got)
+	}
+	if first.WorkPerInstr != second.WorkPerInstr || first.Instret != second.Instret {
+		t.Fatalf("cached runner changed the measurement: first %s, second %s",
+			detLine(first), detLine(second))
+	}
+
+	// Membership: the cache directory must not perturb the fingerprint —
+	// otherwise a worker with a different local cache path would be refused.
+	a, b := sweepCfg(obs.NewRegistry()), sweepCfg(obs.NewRegistry())
+	a.AOTCacheDir, b.AOTCacheDir = "/cache/a", "/cache/b"
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("AOTCacheDir leaked into the sweep fingerprint; heterogeneous cache paths would split the fleet")
 	}
 }
 
